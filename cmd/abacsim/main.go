@@ -1,0 +1,192 @@
+// Command abacsim runs one of the repository's consensus protocols on a
+// chosen graph under a chosen adversary and reports outputs, agreement
+// spread, validity and message accounting.
+//
+// Usage:
+//
+//	abacsim -graph fig1a -algo bw -f 1 -eps 0.25 -inputs 0,4,1,3,2 -fault 2:silent
+//	abacsim -graph clique:4 -algo aad -inputs 0,1,2,3
+//	abacsim -graph circulant:5:1,2 -algo crash -fault 4:crash:10
+//	abacsim -graph fig1b-analog -algo iterative -inputs 0,0,0,0,1,1,1,1
+//	abacsim -graph clique:3 -algo necessity -f 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abacsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		spec    = flag.String("graph", "fig1a", "graph spec (see graphcheck)")
+		algo    = flag.String("algo", "bw", "protocol: bw | aad | crash | iterative | necessity")
+		f       = flag.Int("f", 1, "fault bound")
+		k       = flag.Float64("k", 0, "a-priori input range bound (default: max input)")
+		eps     = flag.Float64("eps", 0.1, "agreement parameter")
+		seed    = flag.Int64("seed", 1, "asynchrony schedule seed")
+		inputs  = flag.String("inputs", "", "comma-separated inputs (default: i mod 4)")
+		faults  = flag.String("fault", "", "semicolon-separated faults: node:kind[:param], kinds: silent,crash,extreme,equivocate,tamper,noise")
+		rounds  = flag.Int("rounds", 0, "round override for the iterative baseline")
+		history = flag.Bool("history", false, "print per-round value histories")
+	)
+	flag.Parse()
+
+	g, err := repro.NamedGraph(*spec)
+	if err != nil {
+		return err
+	}
+
+	if *algo == "necessity" {
+		res, err := repro.RunNecessity(g, *f, maxf(*k, 1), *eps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+
+	in, err := parseInputs(*inputs, g.N())
+	if err != nil {
+		return err
+	}
+	fl, err := parseFaults(*faults)
+	if err != nil {
+		return err
+	}
+	opts := repro.Options{F: *f, K: *k, Eps: *eps, Seed: *seed, Faults: fl, Rounds: *rounds}
+
+	var res *repro.Result
+	switch *algo {
+	case "bw":
+		res, err = repro.RunBW(g, in, opts)
+	case "aad":
+		res, err = repro.RunAAD(g, in, opts)
+	case "crash":
+		res, err = repro.RunCrashApprox(g, in, opts)
+	case "iterative":
+		res, err = repro.RunIterative(g, in, opts)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("graph: %s, algo: %s, f=%d, eps=%g, seed=%d\n", g, *algo, *f, *eps, *seed)
+	fmt.Printf("inputs: %v\n", in)
+	ids := make([]int, 0, len(res.Outputs))
+	for id := range res.Outputs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Printf("  node %2d -> %.6g\n", id, res.Outputs[id])
+	}
+	fmt.Printf("decided: %v, spread: %.6g, converged(<%g): %v, validity: %v\n",
+		res.Decided, res.Spread, *eps, res.Converged, res.ValidityOK)
+	fmt.Printf("deliveries: %d, sends: %d, by kind: %v\n", res.Steps, res.MessagesSent, res.ByKind)
+	if *history {
+		for _, id := range ids {
+			fmt.Printf("  history %2d: %v\n", id, res.Histories[id])
+		}
+	}
+	return nil
+}
+
+func parseInputs(s string, n int) ([]float64, error) {
+	out := make([]float64, n)
+	if s == "" {
+		for i := range out {
+			out[i] = float64(i % 4)
+		}
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("%d inputs for %d nodes", len(parts), n)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("input %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+var faultKinds = map[string]repro.FaultType{
+	"silent":     repro.FaultSilent,
+	"crash":      repro.FaultCrash,
+	"extreme":    repro.FaultExtreme,
+	"equivocate": repro.FaultEquivocate,
+	"tamper":     repro.FaultTamper,
+	"noise":      repro.FaultNoise,
+}
+
+func parseFaults(s string) (map[int]repro.Fault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[int]repro.Fault)
+	for _, item := range strings.Split(s, ";") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("fault %q: want node:kind[:param]", item)
+		}
+		node, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("fault %q: bad node: %w", item, err)
+		}
+		kind, ok := faultKinds[parts[1]]
+		if !ok {
+			return nil, fmt.Errorf("fault %q: unknown kind %q", item, parts[1])
+		}
+		fl := repro.Fault{Type: kind, Param: defaultParam(kind)}
+		if len(parts) > 2 {
+			fl.Param, err = strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault %q: bad param: %w", item, err)
+			}
+		}
+		out[node] = fl
+	}
+	return out, nil
+}
+
+func defaultParam(kind repro.FaultType) float64 {
+	switch kind {
+	case repro.FaultCrash:
+		return 20
+	case repro.FaultExtreme:
+		return 1e9
+	case repro.FaultEquivocate:
+		return 0.5
+	case repro.FaultTamper:
+		return 100
+	case repro.FaultNoise:
+		return 10
+	default:
+		return 0
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

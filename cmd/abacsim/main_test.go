@@ -1,0 +1,67 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro"
+)
+
+func TestParseInputs(t *testing.T) {
+	got, err := parseInputs("0, 1.5 ,2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0, 1.5, 2}) {
+		t.Errorf("parseInputs = %v", got)
+	}
+	if _, err := parseInputs("1,2", 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := parseInputs("1,x,3", 3); err == nil {
+		t.Error("garbage accepted")
+	}
+	def, err := parseInputs("", 5)
+	if err != nil || len(def) != 5 {
+		t.Errorf("default inputs: %v %v", def, err)
+	}
+}
+
+func TestParseFaults(t *testing.T) {
+	got, err := parseFaults("2:silent; 3:extreme:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2].Type != repro.FaultSilent {
+		t.Errorf("fault 2 = %+v", got[2])
+	}
+	if got[3].Type != repro.FaultExtreme || got[3].Param != 42 {
+		t.Errorf("fault 3 = %+v", got[3])
+	}
+	// Defaults applied when param omitted.
+	def, err := parseFaults("1:crash")
+	if err != nil || def[1].Param != 20 {
+		t.Errorf("crash default: %+v %v", def, err)
+	}
+	for _, bad := range []string{"x:silent", "1", "1:nope", "1:crash:x"} {
+		if _, err := parseFaults(bad); err == nil {
+			t.Errorf("parseFaults(%q) should fail", bad)
+		}
+	}
+	if got, err := parseFaults(""); err != nil || got != nil {
+		t.Errorf("empty spec: %v %v", got, err)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	kinds := []repro.FaultType{
+		repro.FaultSilent, repro.FaultCrash, repro.FaultExtreme,
+		repro.FaultEquivocate, repro.FaultTamper, repro.FaultNoise,
+	}
+	for _, k := range kinds {
+		p := defaultParam(k)
+		if k != repro.FaultSilent && p == 0 {
+			t.Errorf("kind %d has zero default param", k)
+		}
+	}
+}

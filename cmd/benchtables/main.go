@@ -1,0 +1,139 @@
+// Command benchtables regenerates every table and figure report of the
+// reproduction (the EXPERIMENTS.md numbers): the Table 1 and Table 2
+// condition equivalences, the Figure 1(a)/(b) claims, the Theorem 4
+// sufficiency matrix, the Lemma 15 convergence series, the Theorem 18
+// necessity construction, the baseline comparisons and the structural and
+// scaling studies.
+//
+// Usage:
+//
+//	benchtables              # run everything
+//	benchtables table1 fig1b # run selected experiments
+//	benchtables -list        # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(seed int64) (string, error)
+}
+
+func catalog() []experiment {
+	return []experiment{
+		{"table1", "E1: undirected condition equivalences (Table 1)", func(seed int64) (string, error) {
+			rep := experiments.Table1(8, seed)
+			return rep.Render(), nil
+		}},
+		{"table2", "E2: directed condition equivalences (Table 2, Theorem 17)", func(seed int64) (string, error) {
+			rep := experiments.Table2(12, seed)
+			return rep.Render(), nil
+		}},
+		{"fig1a", "E3: Figure 1(a) claims + BW run", func(seed int64) (string, error) {
+			rep, err := experiments.RunFig1a(seed)
+			return rep.Render(), err
+		}},
+		{"fig1b", "E4: Figure 1(b) claims (exhaustive f=2) + scaled BW run", func(seed int64) (string, error) {
+			rep, err := experiments.RunFig1b(seed)
+			return rep.Render(), err
+		}},
+		{"sufficiency", "E5: Theorem 4 sufficiency matrix (graph x adversary)", func(seed int64) (string, error) {
+			rep, err := experiments.RunSufficiency(seed)
+			return rep.Render(), err
+		}},
+		{"sweep", "E5b: BW on random 3-reach digraphs with random adversaries", func(seed int64) (string, error) {
+			rep, err := experiments.RunSweep(8, seed+1000)
+			return rep.Render(), err
+		}},
+		{"convergence", "E6: Lemma 15 per-round contraction", func(seed int64) (string, error) {
+			rep, err := experiments.RunConvergence(seed)
+			return rep.Render(), err
+		}},
+		{"necessity", "E7: Theorem 18 necessity construction", func(seed int64) (string, error) {
+			rep, err := experiments.RunNecessity(seed)
+			return rep.Render(), err
+		}},
+		{"aad", "E8: Abraham-Amit-Dolev baseline vs BW", func(seed int64) (string, error) {
+			rep, err := experiments.RunAADComparison(seed)
+			return rep.Render(), err
+		}},
+		{"iterative", "E9: local iterative ablation", func(seed int64) (string, error) {
+			rep, err := experiments.RunIterativeAblation(seed)
+			return rep.Render(), err
+		}},
+		{"kreach", "E10: k-reach hierarchy (Appendix A)", func(seed int64) (string, error) {
+			rep := experiments.RunKReach()
+			return rep.Render(), nil
+		}},
+		{"structure", "E11: Theorems 5 and 12 structure checks", func(seed int64) (string, error) {
+			rep := experiments.RunStructure()
+			return rep.Render(), nil
+		}},
+		{"crashcell", "Table 2 crash/async cell (Theorem 2 algorithm)", func(seed int64) (string, error) {
+			rep, err := experiments.RunCrashCell(seed)
+			return rep.Render(), err
+		}},
+		{"scaling", "E12: BW cost growth on circulant family", func(seed int64) (string, error) {
+			rep, err := experiments.RunScaling(seed)
+			return rep.Render(), err
+		}},
+	}
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list = flag.Bool("list", false, "list experiments and exit")
+		seed = flag.Int64("seed", 1, "base seed for all randomized pieces")
+	)
+	flag.Parse()
+
+	all := catalog()
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-12s %s\n", e.name, e.desc)
+		}
+		return nil
+	}
+
+	selected := all
+	if args := flag.Args(); len(args) > 0 {
+		byName := make(map[string]experiment, len(all))
+		for _, e := range all {
+			byName[e.name] = e
+		}
+		selected = selected[:0]
+		for _, name := range args {
+			e, ok := byName[name]
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", name)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		out, err := e.run(*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("  [%s took %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadSpec(t *testing.T) {
+	g, err := load("clique:4", "")
+	if err != nil || g.N() != 4 {
+		t.Fatalf("load spec: %v %v", g, err)
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte("# tiny\nn 3\ne 0 1\ne 1 2\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	g, err := load("", path)
+	if err != nil || g.N() != 3 || g.M() != 2 {
+		t.Fatalf("load file: %v %v", g, err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := load("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := load("clique:4", "x.txt"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := load("", "/does/not/exist"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

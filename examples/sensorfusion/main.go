@@ -1,0 +1,61 @@
+// Sensor fusion (the paper's motivating application [2]): a field of
+// sensors measures the same physical quantity with noise; radio ranges
+// differ, so the communication topology is directed. One sensor is
+// compromised and reports garbage. The sensors agree on a fused reading
+// within eps despite asynchrony and the Byzantine sensor.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// Directed topology: a circulant network — sensor i transmits to
+	// i+1, i+2, i+3 (mod n); different transmit powers would break the
+	// symmetric-link assumption, which is exactly the paper's motivation
+	// for directed graphs.
+	const (
+		n         = 7
+		f         = 1
+		truth     = 21.5 // ground-truth temperature
+		noiseAmp  = 0.8
+		eps       = 0.1
+		byzSensor = 3
+	)
+	g := repro.Circulant(n, 1, 2, 3)
+
+	if ok, _ := repro.Check3Reach(g, f); !ok {
+		log.Fatal("topology cannot tolerate a Byzantine sensor")
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	readings := make([]float64, n)
+	for i := range readings {
+		readings[i] = truth + noiseAmp*(2*rng.Float64()-1)
+	}
+	fmt.Printf("raw readings: %.3v\n", readings)
+
+	res, err := repro.RunBW(g, readings, repro.Options{
+		F: f, K: 25, Eps: eps, Seed: 99,
+		Faults: map[int]repro.Fault{
+			byzSensor: {Type: repro.FaultNoise, Param: 500},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fused readings: %v\n", res.Outputs)
+	fmt.Printf("agreement spread: %.4g (eps %g), validity: %v\n", res.Spread, eps, res.ValidityOK)
+	var fused float64
+	for _, x := range res.Outputs {
+		fused = x
+		break
+	}
+	fmt.Printf("fused estimate %.3f vs ground truth %.3f (honest noise ±%.1f)\n",
+		fused, truth, noiseAmp)
+}

@@ -1,0 +1,264 @@
+// Package aad implements the Abraham–Amit–Dolev (OPODIS 2004) optimal
+// resilience asynchronous approximate agreement algorithm for complete
+// networks with n > 3f — the algorithm whose generalization to directed
+// networks is this paper's contribution (Section 2, "Technique Outline").
+//
+// Per asynchronous round, every node reliably broadcasts its state value;
+// after accepting n−f values it reliably broadcasts its report (the set of
+// accepted values); a reporter q becomes a *witness* for p once p has
+// accepted both q's report and every value the report contains. When p has
+// n−f witnesses, any two nonfaulty nodes share a nonfaulty witness (since
+// 2(n−f) − n ≥ f+1), hence at least n−2f ≥ f+1 common values — the common
+// information that drives the halving. The update trims the f lowest and f
+// highest collected values and moves to the midpoint of the remainder.
+package aad
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/rbc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// numContent is a reliably broadcast state value.
+type numContent float64
+
+// RBCKey implements rbc.Content.
+func (v numContent) RBCKey() string {
+	return strconv.FormatUint(math.Float64bits(float64(v)), 16)
+}
+
+// reportContent is a reliably broadcast report: origin -> value.
+type reportContent map[int]float64
+
+// RBCKey implements rbc.Content.
+func (r reportContent) RBCKey() string {
+	keys := make([]int, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%d=%x;", k, math.Float64bits(r[k]))
+	}
+	return b.String()
+}
+
+// roundState tracks one asynchronous round.
+type roundState struct {
+	values    map[int]float64       // accepted state values by origin
+	reports   map[int]reportContent // accepted reports by origin
+	reported  bool                  // own report broadcast yet?
+	witnesses graph.Set
+	advanced  bool
+}
+
+func newRound() *roundState {
+	return &roundState{
+		values:  make(map[int]float64),
+		reports: make(map[int]reportContent),
+	}
+}
+
+// Machine is the AAD protocol endpoint for one nonfaulty node; it
+// implements sim.Handler.
+type Machine struct {
+	n, f   int
+	id     int
+	rounds int
+	input  float64
+
+	bcast *rbc.Broadcaster
+	cur   int
+	x     float64
+	state map[int]*roundState
+
+	output  float64
+	done    bool
+	history []float64
+}
+
+var _ sim.Handler = (*Machine)(nil)
+
+// NewMachine builds an AAD node for an n-clique with resilience f; rounds
+// follows the same log2(K/eps) bound as BW.
+func NewMachine(n, f, id, rounds int, input float64) (*Machine, error) {
+	b, err := rbc.New(n, f, id)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		n: n, f: f, id: id, rounds: rounds, input: input,
+		bcast: b,
+		state: make(map[int]*roundState),
+	}, nil
+}
+
+// ID implements sim.Handler.
+func (m *Machine) ID() int { return m.id }
+
+// Output implements sim.Handler.
+func (m *Machine) Output() (float64, bool) { return m.output, m.done }
+
+// History returns x after each completed round.
+func (m *Machine) History() []float64 { return m.history }
+
+// Start implements sim.Handler.
+func (m *Machine) Start(out *sim.Outbox) {
+	m.x = m.input
+	if m.rounds == 0 {
+		m.output, m.done = m.x, true
+		return
+	}
+	m.cur = 1
+	m.beginRound(out)
+}
+
+// Deliver implements sim.Handler.
+func (m *Machine) Deliver(msg transport.Message, out *sim.Outbox) {
+	for _, d := range m.bcast.Handle(msg, out) {
+		m.onDelivery(d, out)
+	}
+	m.maybeAdvance(out)
+}
+
+func (m *Machine) round(r int) *roundState {
+	rs, ok := m.state[r]
+	if !ok {
+		rs = newRound()
+		m.state[r] = rs
+	}
+	return rs
+}
+
+func (m *Machine) beginRound(out *sim.Outbox) {
+	tag := "r" + strconv.Itoa(m.cur) + "/value"
+	for _, d := range m.bcast.Broadcast(tag, numContent(m.x), out) {
+		m.onDelivery(d, out)
+	}
+	m.maybeAdvance(out)
+}
+
+// onDelivery routes a reliable delivery into its round state.
+func (m *Machine) onDelivery(d rbc.Delivery, out *sim.Outbox) {
+	r, kind, ok := parseTag(d.Tag)
+	if !ok || r < 1 || r > m.rounds {
+		return
+	}
+	rs := m.round(r)
+	switch kind {
+	case "value":
+		if v, ok := d.Content.(numContent); ok {
+			if _, dup := rs.values[d.Origin]; !dup {
+				rs.values[d.Origin] = float64(v)
+			}
+		}
+	case "report":
+		if rep, ok := d.Content.(reportContent); ok {
+			if _, dup := rs.reports[d.Origin]; !dup && len(rep) >= m.n-m.f {
+				rs.reports[d.Origin] = rep
+			}
+		}
+	}
+	// Broadcast our own report once n−f values are in (for the round we
+	// are actually in; later rounds report when we reach them).
+	if r == m.cur && !rs.reported && len(rs.values) >= m.n-m.f {
+		rs.reported = true
+		snapshot := make(reportContent, len(rs.values))
+		for o, v := range rs.values {
+			snapshot[o] = v
+		}
+		tag := "r" + strconv.Itoa(r) + "/report"
+		for _, dd := range m.bcast.Broadcast(tag, snapshot, out) {
+			m.onDelivery(dd, out)
+		}
+	}
+}
+
+// witnessCount recomputes the witness set: reporters whose entire report
+// has been accepted by this node with matching values.
+func (m *Machine) refreshWitnesses(rs *roundState) {
+	for origin, rep := range rs.reports {
+		if rs.witnesses.Has(origin) {
+			continue
+		}
+		ok := true
+		for o, v := range rep {
+			if got, have := rs.values[o]; !have || got != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rs.witnesses = rs.witnesses.Add(origin)
+		}
+	}
+}
+
+func (m *Machine) maybeAdvance(out *sim.Outbox) {
+	for !m.done {
+		rs := m.round(m.cur)
+		if rs.advanced {
+			return
+		}
+		if !rs.reported {
+			// The report threshold can also be crossed by deliveries that
+			// arrived before this round began.
+			if len(rs.values) >= m.n-m.f {
+				rs.reported = true
+				snapshot := make(reportContent, len(rs.values))
+				for o, v := range rs.values {
+					snapshot[o] = v
+				}
+				tag := "r" + strconv.Itoa(m.cur) + "/report"
+				for _, dd := range m.bcast.Broadcast(tag, snapshot, out) {
+					m.onDelivery(dd, out)
+				}
+			} else {
+				return
+			}
+		}
+		m.refreshWitnesses(rs)
+		if rs.witnesses.Count() < m.n-m.f {
+			return
+		}
+		// Update: trim f lowest and f highest accepted values, midpoint.
+		rs.advanced = true
+		vals := make([]float64, 0, len(rs.values))
+		for _, v := range rs.values {
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		trimmed := vals[m.f : len(vals)-m.f]
+		m.x = (trimmed[0] + trimmed[len(trimmed)-1]) / 2
+		m.history = append(m.history, m.x)
+		if m.cur == m.rounds {
+			m.output, m.done = m.x, true
+			return
+		}
+		m.cur++
+		m.beginRound(out)
+	}
+}
+
+func parseTag(tag string) (round int, kind string, ok bool) {
+	if !strings.HasPrefix(tag, "r") {
+		return 0, "", false
+	}
+	parts := strings.SplitN(tag[1:], "/", 2)
+	if len(parts) != 2 {
+		return 0, "", false
+	}
+	r, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, "", false
+	}
+	return r, parts[1], true
+}

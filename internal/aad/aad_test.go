@@ -1,0 +1,161 @@
+package aad_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/aad"
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func runAAD(t *testing.T, n, f, rounds int, inputs []float64,
+	faulty map[int]func(inner sim.Handler) sim.Handler, seed int64) map[int]float64 {
+	t.Helper()
+	g := graph.Clique(n)
+	honest := graph.EmptySet
+	handlers := make([]sim.Handler, n)
+	for i := 0; i < n; i++ {
+		m, err := aad.NewMachine(n, f, i, rounds, inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wrap, bad := faulty[i]; bad {
+			handlers[i] = wrap(m)
+		} else {
+			handlers[i] = m
+			honest = honest.Add(i)
+		}
+	}
+	r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(seed)}, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	outs, all := r.Outputs(honest)
+	if !all {
+		t.Fatalf("honest nodes did not decide: %v (steps=%d)", outs, r.Steps())
+	}
+	t.Logf("n=%d f=%d outputs=%v steps=%d", n, f, outs, r.Steps())
+	return outs
+}
+
+func spread(outs map[int]float64) float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, x := range outs {
+		min, max = math.Min(min, x), math.Max(max, x)
+	}
+	return max - min
+}
+
+func TestAADHonestClique(t *testing.T) {
+	outs := runAAD(t, 4, 1, 6, []float64{0, 1, 2, 3}, nil, 4)
+	if s := spread(outs); s >= 3.0/32 {
+		t.Errorf("spread = %g after 6 rounds", s)
+	}
+	for _, x := range outs {
+		if x < 0 || x > 3 {
+			t.Errorf("validity violated: %g", x)
+		}
+	}
+}
+
+func TestAADWithSilentFault(t *testing.T) {
+	outs := runAAD(t, 4, 1, 5, []float64{0, 1, 2, 3},
+		map[int]func(sim.Handler) sim.Handler{
+			2: func(sim.Handler) sim.Handler { return &adversary.Silent{NodeID: 2} },
+		}, 8)
+	// Honest inputs 0, 1, 3.
+	if s := spread(outs); s >= 3.0/16 {
+		t.Errorf("spread = %g", s)
+	}
+	for _, x := range outs {
+		if x < 0 || x > 3 {
+			t.Errorf("validity violated: %g", x)
+		}
+	}
+}
+
+func TestAADWithExtremeInjector(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		outs := runAAD(t, 7, 2, 5, []float64{1, 1.5, 2, 1, 1.5, 2, 1},
+			map[int]func(sim.Handler) sim.Handler{
+				3: func(inner sim.Handler) sim.Handler {
+					return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed))}
+				},
+				5: func(sim.Handler) sim.Handler { return &adversary.Silent{NodeID: 5} },
+			}, seed)
+		// Honest inputs within [1, 2].
+		for _, x := range outs {
+			if x < 1 || x > 2 {
+				t.Errorf("seed %d: validity violated: %g", seed, x)
+			}
+		}
+		if s := spread(outs); s >= 0.2 {
+			t.Errorf("seed %d: spread = %g", seed, s)
+		}
+	}
+}
+
+func TestAADHalving(t *testing.T) {
+	// Per-round contraction should be at least a factor 2 (the AAD
+	// guarantee); check the recorded histories.
+	g := graph.Clique(4)
+	inputs := []float64{0, 4, 8, 2}
+	handlers := make([]sim.Handler, 4)
+	machines := make([]*aad.Machine, 4)
+	for i := 0; i < 4; i++ {
+		m, err := aad.NewMachine(4, 1, i, 6, inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+		handlers[i] = m
+	}
+	r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(2)}, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	prev := 8.0
+	for round := 0; round < 6; round++ {
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, m := range machines {
+			h := m.History()
+			if len(h) <= round {
+				t.Fatalf("missing history round %d", round)
+			}
+			min, max = math.Min(min, h[round]), math.Max(max, h[round])
+		}
+		if max-min > prev/2+1e-12 {
+			t.Errorf("round %d: spread %g did not halve from %g", round, max-min, prev)
+		}
+		prev = max - min
+	}
+}
+
+func TestAADRejectsBadParams(t *testing.T) {
+	if _, err := aad.NewMachine(3, 1, 0, 5, 0); err == nil {
+		t.Error("n=3f accepted")
+	}
+}
+
+func TestAADZeroRounds(t *testing.T) {
+	m, err := aad.NewMachine(4, 1, 0, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Clique(4)
+	col := sim.NewCollector(0, g)
+	m.Start(col)
+	if out, done := m.Output(); !done || out != 7 {
+		t.Errorf("zero rounds: out=%g done=%v", out, done)
+	}
+}

@@ -1,0 +1,233 @@
+// Package adversary provides the fault behaviors used in the experiments:
+// crash faults (including mid-broadcast partial sends), silent nodes, and
+// Byzantine nodes that produce protocol-shaped but corrupted traffic —
+// equivocation, relay tampering, extreme-value injection, COMPLETE-set
+// forgery and seeded random misbehavior. It also hosts the Theorem 18
+// indistinguishability construction (necessity.go).
+package adversary
+
+import (
+	"math/rand"
+
+	"repro/internal/bw"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Silent is a node that never sends anything: the simplest Byzantine
+// behavior (equivalently, a node crashed from the very beginning).
+type Silent struct{ NodeID int }
+
+var _ sim.Handler = (*Silent)(nil)
+
+// ID implements sim.Handler.
+func (s *Silent) ID() int { return s.NodeID }
+
+// Start implements sim.Handler.
+func (s *Silent) Start(*sim.Outbox) {}
+
+// Deliver implements sim.Handler.
+func (s *Silent) Deliver(transport.Message, *sim.Outbox) {}
+
+// Output implements sim.Handler; a faulty node has no meaningful output.
+func (s *Silent) Output() (float64, bool) { return 0, false }
+
+// Crash wraps an honest handler and crashes it after a given number of
+// deliveries. On the crash event only a prefix of the node's outgoing batch
+// escapes, modeling a node dying mid-broadcast (crash faults may deliver to
+// an arbitrary subset, which is the adversarial power in the crash model).
+type Crash struct {
+	Inner sim.Handler
+	// AfterDeliveries is the number of Deliver events processed before the
+	// crash; 0 crashes on the first delivery (Start always runs).
+	AfterDeliveries int
+	// FinalSends bounds the crash event's escaping sends.
+	FinalSends int
+
+	delivered int
+	crashed   bool
+}
+
+var _ sim.Handler = (*Crash)(nil)
+
+// ID implements sim.Handler.
+func (c *Crash) ID() int { return c.Inner.ID() }
+
+// Start implements sim.Handler.
+func (c *Crash) Start(out *sim.Outbox) {
+	if c.AfterDeliveries < 0 {
+		c.crashed = true
+		return
+	}
+	c.Inner.Start(out)
+}
+
+// Deliver implements sim.Handler.
+func (c *Crash) Deliver(msg transport.Message, out *sim.Outbox) {
+	if c.crashed {
+		return
+	}
+	if c.delivered < c.AfterDeliveries {
+		c.delivered++
+		c.Inner.Deliver(msg, out)
+		return
+	}
+	// Crash event: run the inner handler against a collector and let only a
+	// prefix of its sends out.
+	c.crashed = true
+	col := sim.NewCollector(c.Inner.ID(), out.Graph())
+	c.Inner.Deliver(msg, col)
+	for i, m := range col.Messages() {
+		if i >= c.FinalSends {
+			break
+		}
+		out.Send(m.To, m.Payload)
+	}
+}
+
+// Output implements sim.Handler. A crashed node never outputs.
+func (c *Crash) Output() (float64, bool) { return 0, false }
+
+// Mutator rewrites one outgoing message of a Byzantine node; returning nil
+// drops it, returning several fabricates extra traffic. The destination is
+// fixed (mutators corrupt content, not routing).
+type Mutator func(rng *rand.Rand, m transport.Message) []transport.Payload
+
+// Mutant wraps an honest machine and applies mutators to all of its
+// outgoing traffic, producing protocol-shaped Byzantine behavior: message
+// pattern and timing of a correct node, contents chosen by the adversary.
+type Mutant struct {
+	Inner    sim.Handler
+	Mutators []Mutator
+	Rng      *rand.Rand
+}
+
+var _ sim.Handler = (*Mutant)(nil)
+
+// ID implements sim.Handler.
+func (b *Mutant) ID() int { return b.Inner.ID() }
+
+// Start implements sim.Handler.
+func (b *Mutant) Start(out *sim.Outbox) {
+	col := sim.NewCollector(b.Inner.ID(), out.Graph())
+	b.Inner.Start(col)
+	b.emit(col.Messages(), out)
+}
+
+// Deliver implements sim.Handler.
+func (b *Mutant) Deliver(msg transport.Message, out *sim.Outbox) {
+	col := sim.NewCollector(b.Inner.ID(), out.Graph())
+	b.Inner.Deliver(msg, col)
+	b.emit(col.Messages(), out)
+}
+
+// Output implements sim.Handler.
+func (b *Mutant) Output() (float64, bool) { return 0, false }
+
+func (b *Mutant) emit(msgs []transport.Message, out *sim.Outbox) {
+	for _, m := range msgs {
+		payloads := []transport.Payload{m.Payload}
+		for _, mut := range b.Mutators {
+			var next []transport.Payload
+			for _, p := range payloads {
+				next = append(next, mut(b.Rng, transport.Message{From: m.From, To: m.To, Payload: p})...)
+			}
+			payloads = next
+		}
+		for _, p := range payloads {
+			out.Send(m.To, p)
+		}
+	}
+}
+
+// EquivocateInput makes the node report a different initial value to every
+// out-neighbor: its round-r origination (trivial path) carries
+// base + step·(to+1).
+func EquivocateInput(step float64) Mutator {
+	return func(_ *rand.Rand, m transport.Message) []transport.Payload {
+		v, ok := m.Payload.(bw.ValPayload)
+		if !ok || len(v.Path) != 1 {
+			return []transport.Payload{m.Payload}
+		}
+		v.Value += step * float64(m.To+1)
+		return []transport.Payload{v}
+	}
+}
+
+// TamperRelays corrupts every relayed state value (paths longer than one)
+// by applying fn.
+func TamperRelays(fn func(float64) float64) Mutator {
+	return func(_ *rand.Rand, m transport.Message) []transport.Payload {
+		v, ok := m.Payload.(bw.ValPayload)
+		if !ok || len(v.Path) <= 1 {
+			return []transport.Payload{m.Payload}
+		}
+		v.Value = fn(v.Value)
+		return []transport.Payload{v}
+	}
+}
+
+// ExtremeInput replaces the node's own originations with an extreme value —
+// the classic attack Filter-and-Average's trimming must absorb.
+func ExtremeInput(x float64) Mutator {
+	return func(_ *rand.Rand, m transport.Message) []transport.Payload {
+		v, ok := m.Payload.(bw.ValPayload)
+		if !ok || len(v.Path) != 1 {
+			return []transport.Payload{m.Payload}
+		}
+		v.Value = x
+		return []transport.Payload{v}
+	}
+}
+
+// ForgeCompletes corrupts the entry sets of all COMPLETE messages the node
+// originates or relays: entry values are shifted by delta, making the
+// reported message sets inconsistent with the genuine flood.
+func ForgeCompletes(delta float64) Mutator {
+	return func(_ *rand.Rand, m transport.Message) []transport.Payload {
+		c, ok := m.Payload.(bw.CompletePayload)
+		if !ok {
+			return []transport.Payload{m.Payload}
+		}
+		entries := make([]bw.ValEntry, len(c.Entries))
+		copy(entries, c.Entries)
+		for i := range entries {
+			entries[i].Value += delta
+		}
+		c.Entries = entries
+		return []transport.Payload{c}
+	}
+}
+
+// DropKind drops all messages of the given payload kind with probability p.
+func DropKind(kind string, p float64) Mutator {
+	return func(rng *rand.Rand, m transport.Message) []transport.Payload {
+		if m.Payload.Kind() == kind && rng.Float64() < p {
+			return nil
+		}
+		return []transport.Payload{m.Payload}
+	}
+}
+
+// RandomNoise perturbs every carried value (originations, relays and
+// COMPLETE entries) by a uniform offset in [-amp, amp], independently per
+// message — a seeded fuzzing adversary.
+func RandomNoise(amp float64) Mutator {
+	return func(rng *rand.Rand, m transport.Message) []transport.Payload {
+		switch p := m.Payload.(type) {
+		case bw.ValPayload:
+			p.Value += amp * (2*rng.Float64() - 1)
+			return []transport.Payload{p}
+		case bw.CompletePayload:
+			entries := make([]bw.ValEntry, len(p.Entries))
+			copy(entries, p.Entries)
+			for i := range entries {
+				entries[i].Value += amp * (2*rng.Float64() - 1)
+			}
+			p.Entries = entries
+			return []transport.Payload{p}
+		default:
+			return []transport.Payload{m.Payload}
+		}
+	}
+}

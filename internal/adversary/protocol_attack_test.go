@@ -1,0 +1,97 @@
+package adversary_test
+
+import (
+	"testing"
+
+	"repro/internal/bw"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// seqJammer attacks the FIFO layer: it floods COMPLETE messages with a
+// gapped sequence number (seq = 7 with nothing before it) and a bogus but
+// well-formed message set, trying to wedge receivers' FIFO streams, plus
+// VAL messages carrying its own trivial path so the traffic looks alive.
+// Receiver-side gap buffering must simply hold the jammed messages forever
+// without blocking the actual-fault-set thread.
+type seqJammer struct {
+	id int
+	g  *graph.Graph
+}
+
+func (j *seqJammer) ID() int { return j.id }
+
+func (j *seqJammer) Start(out *sim.Outbox) {
+	out.Broadcast(bw.ValPayload{Round: 1, Value: 0.5, Path: graph.Path{j.id}})
+	for _, w := range j.g.Out(j.id) {
+		out.Send(w, bw.CompletePayload{
+			Round:  1,
+			Origin: j.id,
+			Seq:    7, // gap: seqs 1..6 never sent
+			Tag:    graph.EmptySet,
+			Entries: []bw.ValEntry{
+				{Value: 123, PathKey: (graph.Path{j.id}).Key()},
+			},
+			Path: graph.Path{j.id},
+		})
+	}
+}
+
+func (j *seqJammer) Deliver(msg transport.Message, out *sim.Outbox) {}
+
+func (j *seqJammer) Output() (float64, bool) { return 0, false }
+
+func TestBWSeqJammer(t *testing.T) {
+	g := graph.Clique(4)
+	outs, _ := runWithFaults(t, g, 1, []float64{0, 1, 1.5, 2}, 2, 0.25,
+		map[int]func(sim.Handler) sim.Handler{
+			1: func(sim.Handler) sim.Handler { return &seqJammer{id: 1, g: g} },
+		}, 77)
+	// Honest inputs 0, 1.5, 2.
+	assertAgreementValidity(t, outs, 0.25, 0, 2)
+}
+
+// tagForger floods syntactically valid COMPLETE messages whose tag names an
+// honest node as the suspect and whose message set is internally consistent
+// but fabricated. Honest nodes may snapshot it in threads whose reach set
+// admits the forger; its Completeness clauses must then never be satisfied
+// by genuine traffic (the fabricated values arrive over no uncoverable path
+// set), which stalls only threads that are allowed to stall.
+type tagForger struct {
+	id     int
+	g      *graph.Graph
+	victim int
+}
+
+func (f *tagForger) ID() int { return f.id }
+
+func (f *tagForger) Start(out *sim.Outbox) {
+	out.Broadcast(bw.ValPayload{Round: 1, Value: 0.25, Path: graph.Path{f.id}})
+	entries := []bw.ValEntry{
+		{Value: 42, PathKey: (graph.Path{f.id}).Key()},
+	}
+	for _, w := range f.g.Out(f.id) {
+		out.Send(w, bw.CompletePayload{
+			Round:   1,
+			Origin:  f.id,
+			Seq:     1,
+			Tag:     graph.SetOf(f.victim),
+			Entries: entries,
+			Path:    graph.Path{f.id},
+		})
+	}
+}
+
+func (f *tagForger) Deliver(msg transport.Message, out *sim.Outbox) {}
+
+func (f *tagForger) Output() (float64, bool) { return 0, false }
+
+func TestBWTagForger(t *testing.T) {
+	g := graph.Clique(4)
+	outs, _ := runWithFaults(t, g, 1, []float64{0, 1, 1.5, 2}, 2, 0.25,
+		map[int]func(sim.Handler) sim.Handler{
+			1: func(sim.Handler) sim.Handler { return &tagForger{id: 1, g: g, victim: 0} },
+		}, 79)
+	assertAgreementValidity(t, outs, 0.25, 0, 2)
+}

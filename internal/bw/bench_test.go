@@ -1,0 +1,65 @@
+package bw_test
+
+import (
+	"testing"
+
+	"repro/internal/bw"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// BenchmarkBWRoundClique4 measures a full honest K4 execution (all rounds).
+func BenchmarkBWRoundClique4(b *testing.B) {
+	g := graph.Clique(4)
+	proto, err := bw.NewProto(g, 1, 3, 0.5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inputs := []float64{0, 1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handlers := make([]sim.Handler, 4)
+		for id := range handlers {
+			m, err := bw.NewMachine(proto, id, inputs[id])
+			if err != nil {
+				b.Fatal(err)
+			}
+			handlers[id] = m
+		}
+		r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(int64(i))}, handlers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMachinePrecompute measures the per-node setup (path enumeration,
+// FIFO requirements) on the two-clique analog.
+func BenchmarkMachinePrecompute(b *testing.B) {
+	g := graph.Fig1bAnalog()
+	proto, err := bw.NewProto(g, 1, 1, 0.5, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bw.NewMachine(proto, 0, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtoSetup measures the shared source-component precomputation.
+func BenchmarkProtoSetup(b *testing.B) {
+	g := graph.Fig1a()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bw.NewProto(g, 1, 4, 0.25, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

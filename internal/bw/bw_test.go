@@ -1,0 +1,197 @@
+package bw
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRoundsFor(t *testing.T) {
+	tests := []struct {
+		k, eps float64
+		want   int
+	}{
+		{1, 2, 0},   // K < eps: trivial
+		{1, 1, 1},   // K/2 < eps = 1
+		{1, 0.5, 2}, // 1 -> 0.5 -> 0.25
+		{8, 1, 4},   // 8 -> 4 -> 2 -> 1 -> 0.5
+		{3, 0.1, 5}, // 3 -> ... -> 0.09375
+		{100, 0.01, 14},
+	}
+	for _, tc := range tests {
+		if got := RoundsFor(tc.k, tc.eps); got != tc.want {
+			t.Errorf("RoundsFor(%g,%g) = %d, want %d", tc.k, tc.eps, got, tc.want)
+		}
+	}
+	// Resulting spread bound: K/2^R < eps.
+	for _, tc := range tests {
+		r := RoundsFor(tc.k, tc.eps)
+		spread := tc.k
+		for i := 0; i < r; i++ {
+			spread /= 2
+		}
+		if spread >= tc.eps {
+			t.Errorf("K=%g eps=%g: %d rounds leave spread %g", tc.k, tc.eps, r, spread)
+		}
+	}
+}
+
+func TestNewProtoValidation(t *testing.T) {
+	g := graph.Clique(4)
+	if _, err := NewProto(g, -1, 1, 0.1, 0); err == nil {
+		t.Error("negative f accepted")
+	}
+	if _, err := NewProto(g, 1, 0, 0.1, 0); err == nil {
+		t.Error("zero K accepted")
+	}
+	if _, err := NewProto(g, 1, 1, 0, 0); err == nil {
+		t.Error("zero eps accepted")
+	}
+	p, err := NewProto(g, 1, 1, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault sets: empty + 4 singletons.
+	if len(p.FaultSets) != 5 {
+		t.Errorf("fault sets = %d, want 5", len(p.FaultSets))
+	}
+	if p.PathBudget != DefaultPathBudget {
+		t.Errorf("budget default = %d", p.PathBudget)
+	}
+}
+
+func TestProtoSourceComponentTable(t *testing.T) {
+	g := graph.Clique(4)
+	p, err := NewProto(g, 1, 1, 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table entries must agree with direct computation for all unions.
+	graph.Subsets(g.Nodes(), 2, func(s graph.Set) bool {
+		if got, want := p.SourceComponent(s, graph.EmptySet), g.SourceComponent(s, graph.EmptySet); got != want {
+			t.Errorf("S_%s: table %s, direct %s", s, got, want)
+		}
+		return true
+	})
+	// Symmetric in its arguments.
+	if p.SourceComponent(graph.SetOf(0), graph.SetOf(1)) != p.SourceComponent(graph.SetOf(1), graph.SetOf(0)) {
+		t.Error("source component not symmetric")
+	}
+}
+
+func TestMachinePathBudget(t *testing.T) {
+	p, err := NewProto(graph.Clique(6), 1, 1, 0.5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMachine(p, 0, 0.5); err == nil {
+		t.Error("tiny budget should fail on K6")
+	}
+}
+
+func TestThreadPrecompute(t *testing.T) {
+	g := graph.Fig1a()
+	p, err := NewProto(g, 1, 1, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := p.precompute(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One thread per F ⊆ V\{0} with |F| <= 1: empty + 4 singletons.
+	if len(pre.threads) != 5 {
+		t.Fatalf("threads = %d, want 5", len(pre.threads))
+	}
+	for _, th := range pre.threads {
+		if th.fv.Has(0) {
+			t.Error("thread suspects its own node")
+		}
+		// Fullness sets must contain the trivial path <0>.
+		if _, ok := th.expected[(graph.Path{0}).Key()]; !ok {
+			t.Errorf("thread %s misses the trivial path", th.fv)
+		}
+		// reach_v(Fv) contains v, and the FIFO requirement for v itself is
+		// exactly the trivial path.
+		if !th.reach.Has(0) {
+			t.Errorf("thread %s: reach misses v", th.fv)
+		}
+		self, ok := th.requiredFIFO[0]
+		if !ok || len(self) != 1 {
+			t.Errorf("thread %s: self FIFO requirement = %v", th.fv, self)
+		}
+		// Every expected path avoids Fv and terminates at 0.
+		for key := range th.expected {
+			path := graph.PathFromKey(key)
+			if path.Ter() != 0 || path.Set().Intersects(th.fv) {
+				t.Errorf("thread %s: bad expected path %v", th.fv, path)
+			}
+			if !path.IsRedundant() || !path.ValidIn(g) {
+				t.Errorf("thread %s: invalid path %v", th.fv, path)
+			}
+		}
+		// FIFO-required paths lie inside the reach set.
+		for c, paths := range th.requiredFIFO {
+			if !th.reach.Has(c) {
+				t.Errorf("thread %s: origin %d outside reach", th.fv, c)
+			}
+			for key := range paths {
+				path := graph.PathFromKey(key)
+				if !path.IsSimple() || path.Init() != c || path.Ter() != 0 {
+					t.Errorf("thread %s: bad FIFO path %v", th.fv, path)
+				}
+				if !th.reach.Contains(path.Set()) {
+					t.Errorf("thread %s: FIFO path %v leaves the reach set", th.fv, path)
+				}
+			}
+		}
+	}
+}
+
+func TestContentKeyCanonical(t *testing.T) {
+	a := CompletePayload{Origin: 1, Tag: graph.SetOf(2), Entries: []ValEntry{
+		{Value: 1.5, PathKey: "ab"}, {Value: 2.5, PathKey: "cd"},
+	}}
+	b := a
+	b.Path = graph.Path{9, 9} // path and seq are not content
+	b.Seq = 7
+	if a.contentKey() != b.contentKey() {
+		t.Error("content key depends on path/seq")
+	}
+	c := a
+	c.Entries = []ValEntry{{Value: 1.5, PathKey: "ab"}, {Value: 2.5000001, PathKey: "cd"}}
+	if a.contentKey() == c.contentKey() {
+		t.Error("content key ignores values")
+	}
+	d := a
+	d.Tag = graph.SetOf(3)
+	if a.contentKey() == d.contentKey() {
+		t.Error("content key ignores tag")
+	}
+}
+
+func TestContentRecordConsistency(t *testing.T) {
+	p := &CompletePayload{Origin: 0, Entries: []ValEntry{
+		{Value: 1, PathKey: string([]byte{2, 0})},
+		{Value: 1, PathKey: string([]byte{2, 1, 0})},
+		{Value: 3, PathKey: string([]byte{4, 0})},
+	}}
+	rec := newContentRecord(p)
+	if !rec.consistent {
+		t.Error("consistent set flagged inconsistent")
+	}
+	if rec.values[2] != 1 || rec.values[4] != 3 {
+		t.Errorf("values = %v", rec.values)
+	}
+	p2 := &CompletePayload{Origin: 0, Entries: []ValEntry{
+		{Value: 1, PathKey: string([]byte{2, 0})},
+		{Value: 2, PathKey: string([]byte{2, 1, 0})}, // same init, different value
+	}}
+	if newContentRecord(p2).consistent {
+		t.Error("inconsistent set not flagged")
+	}
+	p3 := &CompletePayload{Origin: 0, Entries: []ValEntry{{Value: 1, PathKey: ""}}}
+	if newContentRecord(p3).consistent {
+		t.Error("empty path key accepted")
+	}
+}

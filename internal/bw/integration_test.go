@@ -1,0 +1,221 @@
+package bw_test
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/bw"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// buildMachines constructs one honest machine per node.
+func buildMachines(t *testing.T, g *graph.Graph, f int, inputs []float64, k, eps float64) ([]sim.Handler, []*bw.Machine) {
+	t.Helper()
+	proto, err := bw.NewProto(g, f, k, eps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlers := make([]sim.Handler, g.N())
+	machines := make([]*bw.Machine, g.N())
+	for i := 0; i < g.N(); i++ {
+		m, err := bw.NewMachine(proto, i, inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		machines[i] = m
+		handlers[i] = m
+	}
+	return handlers, machines
+}
+
+func execute(t *testing.T, g *graph.Graph, handlers []sim.Handler, policy transport.Policy) *sim.Runner {
+	t.Helper()
+	r, err := sim.New(sim.Config{Graph: g, Policy: policy}, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestBWDeterministicUnderSeed(t *testing.T) {
+	run := func() map[int]float64 {
+		g := graph.Fig1a()
+		handlers, _ := buildMachines(t, g, 1, []float64{0, 1, 2, 3, 4}, 4, 0.5)
+		r := execute(t, g, handlers, transport.NewRandomPolicy(77))
+		outs, all := r.Outputs(g.Nodes())
+		if !all {
+			t.Fatal("undecided")
+		}
+		return outs
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+// TestBWAllSchedules runs the same configuration under FIFO, LIFO and
+// several random schedules; convergence and validity must hold under every
+// asynchrony pattern.
+func TestBWAllSchedules(t *testing.T) {
+	policies := map[string]func() transport.Policy{
+		"fifo":    func() transport.Policy { return transport.FIFOPolicy{} },
+		"lifo":    func() transport.Policy { return transport.LIFOPolicy{} },
+		"random1": func() transport.Policy { return transport.NewRandomPolicy(1) },
+		"random2": func() transport.Policy { return transport.NewRandomPolicy(999) },
+		"bounded": func() transport.Policy { return transport.NewBoundedDelayPolicy(40, 5) },
+	}
+	for name, mk := range policies {
+		t.Run(name, func(t *testing.T) {
+			g := graph.Clique(4)
+			handlers, _ := buildMachines(t, g, 1, []float64{0, 3, 1, 2}, 3, 0.2)
+			r := execute(t, g, handlers, mk())
+			outs, all := r.Outputs(g.Nodes())
+			if !all {
+				t.Fatal("undecided")
+			}
+			min, max := math.Inf(1), math.Inf(-1)
+			for _, x := range outs {
+				min, max = math.Min(min, x), math.Max(max, x)
+			}
+			if max-min >= 0.2 || min < 0 || max > 3 {
+				t.Errorf("outputs %v violate agreement/validity", outs)
+			}
+		})
+	}
+}
+
+// TestBWLemma15Halving checks the per-round contraction U[r+1]-µ[r+1] <=
+// (U[r]-µ[r])/2 on recorded histories (experiment E6).
+func TestBWLemma15Halving(t *testing.T) {
+	g := graph.Fig1a()
+	inputs := []float64{0, 8, 4, 6, 2}
+	handlers, machines := buildMachines(t, g, 1, inputs, 8, 0.2)
+	execute(t, g, handlers, transport.NewRandomPolicy(31))
+
+	rounds := len(machines[0].Snapshot().History)
+	prev := 8.0
+	for r := 0; r < rounds; r++ {
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, m := range machines {
+			h := m.Snapshot().History
+			if len(h) != rounds {
+				t.Fatalf("history lengths differ: %d vs %d", len(h), rounds)
+			}
+			min, max = math.Min(min, h[r]), math.Max(max, h[r])
+		}
+		if max-min > prev/2+1e-12 {
+			t.Errorf("round %d: spread %g exceeds half of %g", r+1, max-min, prev)
+		}
+		prev = max - min
+	}
+	if prev >= 0.2 {
+		t.Errorf("final spread %g >= eps", prev)
+	}
+}
+
+// TestBWFig1bAnalog runs the scaled Figure 1(b) graph end to end (E4).
+func TestBWFig1bAnalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavier end-to-end run")
+	}
+	g := graph.Fig1bAnalog()
+	inputs := []float64{0, 0.5, 1, 0.25, 0.75, 1, 0, 0.5}
+	handlers, _ := buildMachines(t, g, 1, inputs, 1, 0.25)
+	r := execute(t, g, handlers, transport.NewRandomPolicy(41))
+	outs, all := r.Outputs(g.Nodes())
+	if !all {
+		t.Fatal("undecided")
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, x := range outs {
+		min, max = math.Min(min, x), math.Max(max, x)
+	}
+	if max-min >= 0.25 {
+		t.Errorf("spread = %g", max-min)
+	}
+	if min < 0 || max > 1 {
+		t.Errorf("validity violated: [%g, %g]", min, max)
+	}
+	t.Logf("fig1b-analog: outputs=%v messages=%d", outs, r.Stats().Sent)
+}
+
+// TestBWMetrics sanity-checks the observability counters.
+func TestBWMetrics(t *testing.T) {
+	g := graph.Clique(4)
+	handlers, machines := buildMachines(t, g, 1, []float64{0, 1, 2, 3}, 3, 0.5)
+	execute(t, g, handlers, transport.NewRandomPolicy(3))
+	for i, m := range machines {
+		snap := m.Snapshot()
+		if snap.FAExecutions != bw.RoundsFor(3, 0.5) {
+			t.Errorf("node %d: FA executions = %d, want %d", i, snap.FAExecutions, bw.RoundsFor(3, 0.5))
+		}
+		if snap.MCFires == 0 {
+			t.Errorf("node %d: no MC fires", i)
+		}
+		if snap.TrimAnomalies != 0 {
+			t.Errorf("node %d: trim anomalies = %d", i, snap.TrimAnomalies)
+		}
+		if len(snap.DecidedThreads) != snap.FAExecutions {
+			t.Errorf("node %d: decided threads %d != FA %d", i, len(snap.DecidedThreads), snap.FAExecutions)
+		}
+	}
+}
+
+// TestBWIgnoresGarbage feeds malformed messages directly into a machine;
+// they must all be rejected without state corruption.
+func TestBWIgnoresGarbage(t *testing.T) {
+	g := graph.Clique(4)
+	proto, err := bw.NewProto(g, 1, 1, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := bw.NewMachine(proto, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := sim.NewCollector(0, g)
+	m.Start(col)
+	garbage := []transport.Message{
+		// Wrong terminal: path must end at the actual sender.
+		{From: 1, To: 0, Payload: bw.ValPayload{Round: 1, Value: 1, Path: graph.Path{2}}},
+		// Invalid walk.
+		{From: 1, To: 0, Payload: bw.ValPayload{Round: 1, Value: 1, Path: graph.Path{9, 1}}},
+		// Bad round.
+		{From: 1, To: 0, Payload: bw.ValPayload{Round: 99, Value: 1, Path: graph.Path{1}}},
+		{From: 1, To: 0, Payload: bw.ValPayload{Round: 0, Value: 1, Path: graph.Path{1}}},
+		// Empty path.
+		{From: 1, To: 0, Payload: bw.ValPayload{Round: 1, Value: 1, Path: nil}},
+		// COMPLETE with origin not matching the path head.
+		{From: 1, To: 0, Payload: bw.CompletePayload{Round: 1, Origin: 2, Seq: 1, Tag: graph.SetOf(3), Path: graph.Path{1}}},
+		// COMPLETE whose tag includes its own origin.
+		{From: 1, To: 0, Payload: bw.CompletePayload{Round: 1, Origin: 1, Seq: 1, Tag: graph.SetOf(1), Path: graph.Path{1}}},
+		// COMPLETE with an oversized tag.
+		{From: 1, To: 0, Payload: bw.CompletePayload{Round: 1, Origin: 1, Seq: 1, Tag: graph.SetOf(2, 3), Path: graph.Path{1}}},
+		// COMPLETE with zero sequence number.
+		{From: 1, To: 0, Payload: bw.CompletePayload{Round: 1, Origin: 1, Seq: 0, Tag: graph.SetOf(3), Path: graph.Path{1}}},
+		// Unknown payload type.
+		{From: 1, To: 0, Payload: junkPayload{}},
+	}
+	for _, msg := range garbage {
+		before := m.Snapshot()
+		out := sim.NewCollector(0, g)
+		m.Deliver(msg, out)
+		after := m.Snapshot()
+		if before.FAExecutions != after.FAExecutions {
+			t.Errorf("garbage %v advanced the machine", msg)
+		}
+	}
+	if _, done := m.Output(); done {
+		t.Error("garbage alone made the node decide")
+	}
+}
+
+type junkPayload struct{}
+
+func (junkPayload) Kind() string { return "JUNK" }

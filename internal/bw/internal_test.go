@@ -1,0 +1,119 @@
+package bw
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cond"
+	"repro/internal/graph"
+)
+
+// TestAnalyzeRedundantMatchesDefinition cross-validates the O(1) relay
+// extension test against the direct IsRedundant definition over random
+// walks — the incremental prefix/suffix bound arithmetic is hand-derived,
+// so it gets exhaustive scrutiny.
+func TestAnalyzeRedundantMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 5000; trial++ {
+		n := 1 + rng.Intn(10)
+		p := make(graph.Path, n)
+		for i := range p {
+			p[i] = rng.Intn(5)
+		}
+		ext, ok := analyzeRedundant(p)
+		if ok != p.IsRedundant() {
+			t.Fatalf("analyzeRedundant(%v) ok=%v, IsRedundant=%v", p, ok, p.IsRedundant())
+		}
+		if !ok {
+			continue
+		}
+		for w := 0; w < 6; w++ {
+			got := ext.extendable(w)
+			want := p.Append(w).IsRedundant()
+			if got != want {
+				t.Fatalf("extendable(%v, %d) = %v, want %v", p, w, got, want)
+			}
+		}
+	}
+}
+
+// TestClauseAddPathMatchesCoverSearch cross-validates the incremental
+// viable-cover clause evaluation against the exact hitting-set search it
+// replaced: after any sequence of paths, the clause is satisfied iff the
+// path set has no f-cover inside allowed.
+func TestClauseAddPathMatchesCoverSearch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(4)
+		fBound := rng.Intn(3)
+		allowed := graph.FullSet(n)
+		for k := 0; k < rng.Intn(3); k++ {
+			allowed = allowed.Remove(rng.Intn(n))
+		}
+		cl := &clause{f: fBound, allowed: allowed}
+		var paths []graph.Set
+		for step := 0; step < 8; step++ {
+			var p graph.Set
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				p = p.Add(rng.Intn(n))
+			}
+			paths = append(paths, p)
+			cl.addPath(p)
+			want := !cond.HasFCover(paths, fBound, allowed)
+			if cl.satisfied != want {
+				t.Logf("seed=%d step=%d paths=%v f=%d allowed=%s: incremental=%v exact=%v",
+					seed, step, paths, fBound, allowed, cl.satisfied, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClauseAddPathLatched: once satisfied, further paths cannot
+// unsatisfy a clause (monotonicity the algorithm relies on).
+func TestClauseAddPathLatched(t *testing.T) {
+	cl := &clause{f: 1, allowed: graph.SetOf(0, 1)}
+	cl.addPath(graph.SetOf(2)) // no candidate can hit {2}
+	if !cl.satisfied {
+		t.Fatal("clause should be satisfied")
+	}
+	cl.addPath(graph.SetOf(0))
+	if !cl.satisfied {
+		t.Fatal("satisfaction must latch")
+	}
+}
+
+// TestDigestCacheDistinguishesContents ensures the identity-keyed digest
+// cache cannot conflate payloads with different backing arrays.
+func TestDigestCacheDistinguishesContents(t *testing.T) {
+	p, err := NewProto(graph.Clique(4), 1, 1, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(p, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &CompletePayload{Origin: 1, Tag: graph.SetOf(2),
+		Entries: []ValEntry{{Value: 1, PathKey: "\x01\x00"}}}
+	b := &CompletePayload{Origin: 1, Tag: graph.SetOf(2),
+		Entries: []ValEntry{{Value: 2, PathKey: "\x01\x00"}}}
+	if m.contentDigest(a) == m.contentDigest(b) {
+		t.Error("different contents produced the same digest")
+	}
+	// Same payload twice: cached, equal.
+	if m.contentDigest(a) != m.contentDigest(a) {
+		t.Error("digest not stable")
+	}
+	// Equal content in a different backing array still digests equally.
+	c := &CompletePayload{Origin: 1, Tag: graph.SetOf(2),
+		Entries: []ValEntry{{Value: 1, PathKey: "\x01\x00"}}}
+	if m.contentDigest(a) != m.contentDigest(c) {
+		t.Error("equal contents digested differently")
+	}
+}

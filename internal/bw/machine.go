@@ -1,0 +1,585 @@
+package bw
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cond"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Machine is the BW protocol endpoint for one nonfaulty node. It implements
+// sim.Handler; all state is confined to the node's goroutine.
+type Machine struct {
+	proto *Proto
+	pre   *nodePre
+	id    int
+	input float64
+
+	cur    int
+	x      float64
+	rounds map[int]*roundState
+
+	digests map[digestKey]string
+
+	output float64
+	done   bool
+
+	metrics Metrics
+}
+
+var _ sim.Handler = (*Machine)(nil)
+
+// Metrics exposes per-node execution observability.
+type Metrics struct {
+	MCFires       int
+	FAExecutions  int
+	TrimAnomalies int
+	// History records x_v[r] after each Filter-and-Average execution.
+	History []float64
+	// DecidedThreads records, per round, the suspect set F_v of the
+	// parallel execution that reached Filter-and-Average first.
+	DecidedThreads []graph.Set
+}
+
+// NewMachine builds the node's machine, precomputing its fullness and
+// FIFO-path requirements. It fails if the graph's redundant-path count for
+// some candidate fault set exceeds the protocol's budget.
+func NewMachine(p *Proto, id int, input float64) (*Machine, error) {
+	pre, err := p.precompute(id)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		proto:   p,
+		pre:     pre,
+		id:      id,
+		input:   input,
+		rounds:  make(map[int]*roundState),
+		digests: make(map[digestKey]string),
+	}, nil
+}
+
+// ID implements sim.Handler.
+func (m *Machine) ID() int { return m.id }
+
+// Output implements sim.Handler.
+func (m *Machine) Output() (float64, bool) { return m.output, m.done }
+
+// Snapshot returns a copy of the node's execution metrics.
+func (m *Machine) Snapshot() Metrics { return m.metrics }
+
+// History returns x_v[r] after each completed round.
+func (m *Machine) History() []float64 { return m.metrics.History }
+
+// Start implements sim.Handler: it begins round 1 by redundant-flooding the
+// input value (Algorithm 1 line 4).
+func (m *Machine) Start(out *sim.Outbox) {
+	m.x = m.input
+	if m.proto.Rounds == 0 { // K < eps: the trivial case
+		m.output = m.x
+		m.done = true
+		return
+	}
+	m.cur = 1
+	m.startRound(1, out)
+	m.tryAdvance(out)
+}
+
+// Deliver implements sim.Handler.
+func (m *Machine) Deliver(msg transport.Message, out *sim.Outbox) {
+	switch p := msg.Payload.(type) {
+	case ValPayload:
+		m.deliverVal(p, msg.From, out)
+	case CompletePayload:
+		m.deliverComplete(p, msg.From, out)
+	default:
+		// Unknown payloads (from Byzantine peers) are ignored.
+	}
+	m.tryAdvance(out)
+}
+
+func (m *Machine) round(r int) *roundState {
+	rs, ok := m.rounds[r]
+	if !ok {
+		rs = newRoundState(r, m.pre)
+		m.rounds[r] = rs
+	}
+	return rs
+}
+
+// startRound floods x_v for round r and stores the node's own trivial-path
+// message.
+func (m *Machine) startRound(r int, out *sim.Outbox) {
+	rs := m.round(r)
+	rs.started = true
+	rs.x = m.x
+	self := graph.Path{m.id}
+	out.Broadcast(ValPayload{Round: r, Value: m.x, Path: self})
+	m.acceptVal(rs, valEntry{
+		value: m.x,
+		key:   self.Key(),
+		set:   graph.SetOf(m.id),
+		init:  m.id,
+	}, out)
+}
+
+// deliverVal validates, relays and stores one RedundantFlood message
+// (Algorithm 4 plus the receiver-side checks of Appendix E).
+func (m *Machine) deliverVal(p ValPayload, from int, out *sim.Outbox) {
+	if p.Round < 1 || p.Round > m.proto.Rounds {
+		return
+	}
+	if len(p.Path) == 0 || p.Path.Ter() != from || !p.Path.ValidIn(m.proto.G) {
+		return
+	}
+	storage := p.Path.Append(m.id)
+	ext, ok := analyzeRedundant(storage)
+	if !ok {
+		return // storage itself is not a redundant path
+	}
+
+	rs := m.round(p.Round)
+	key := storage.Key()
+	if _, dup := rs.byPath[key]; dup {
+		return // first message per path wins (Algorithm 4 line 3)
+	}
+	for _, w := range m.proto.G.Out(m.id) {
+		if ext.extendable(w) {
+			out.Send(w, ValPayload{Round: p.Round, Value: p.Value, Path: storage})
+		}
+	}
+	m.acceptVal(rs, valEntry{value: p.Value, key: key, set: storage.Set(), init: storage.Init()}, out)
+}
+
+// redundantExt answers "is storage||w still a redundant path?" in O(1) per
+// neighbor. With a = length of the longest all-distinct prefix and b = start
+// of the longest all-distinct suffix, a walk is redundant iff b <= a-1
+// (graph.Path.IsRedundant). Appending w moves a only when the walk was fully
+// distinct, and moves b to just past w's last occurrence.
+type redundantExt struct {
+	n       int
+	a, b    int
+	lastIdx [graph.MaxNodes]int16
+}
+
+// analyzeRedundant precomputes the extension test for storage; ok is false
+// when storage itself is not redundant (in which case no extension is
+// either, since prefixes of redundant walks are redundant).
+func analyzeRedundant(storage graph.Path) (redundantExt, bool) {
+	var ext redundantExt
+	ext.n = len(storage)
+	for i := range ext.lastIdx {
+		ext.lastIdx[i] = -1
+	}
+	ext.a = ext.n
+	var seen graph.Set
+	for i, v := range storage {
+		if seen.Has(v) {
+			ext.a = i
+			break
+		}
+		seen = seen.Add(v)
+	}
+	seen = graph.EmptySet
+	for i := ext.n - 1; i >= 0; i-- {
+		v := storage[i]
+		if seen.Has(v) {
+			ext.b = i + 1
+			break
+		}
+		seen = seen.Add(v)
+	}
+	for i, v := range storage {
+		ext.lastIdx[v] = int16(i)
+	}
+	return ext, ext.b <= ext.a-1
+}
+
+// extendable reports whether appending w keeps the walk redundant.
+func (e *redundantExt) extendable(w int) bool {
+	a := e.a
+	if e.a == e.n && e.lastIdx[w] < 0 { // fully distinct walk, new node
+		a = e.n + 1
+	}
+	b := e.b
+	if int(e.lastIdx[w])+1 > b {
+		b = int(e.lastIdx[w]) + 1
+	}
+	return b <= a-1
+}
+
+// acceptVal appends the message to M_v and updates every parallel
+// execution: Maximal-Consistency progress for threads whose exclusion set
+// the path avoids, and outstanding Completeness clauses everywhere.
+func (m *Machine) acceptVal(rs *roundState, e valEntry, out *sim.Outbox) {
+	rs.byPath[e.key] = len(rs.entries)
+	rs.entries = append(rs.entries, e)
+	rs.byInit[e.init] = append(rs.byInit[e.init], len(rs.entries)-1)
+
+	for _, t := range rs.threads {
+		// Membership in the fullness set is a bitmask test: every accepted
+		// entry is a redundant path of G ending here, so it belongs to
+		// thread t's expected set exactly when it avoids F_v.
+		if !t.mcFired && !t.inconsistent && !e.set.Intersects(t.pre.fv) {
+			if prev, ok := t.initVals[e.init]; ok && prev != e.value {
+				t.inconsistent = true
+			} else {
+				t.initVals[e.init] = e.value
+			}
+			t.missing--
+			if t.missing == 0 && !t.inconsistent {
+				m.fireMC(rs, t, out)
+			}
+		}
+		if t.snapshotDone && t.pendingLeft > 0 {
+			for _, cl := range t.clauseByInit[e.init] {
+				if cl.satisfied || cl.want != e.value {
+					continue
+				}
+				cl.addPath(e.set)
+				if cl.satisfied {
+					m.clauseSatisfied(t, cl)
+				}
+			}
+		}
+	}
+}
+
+// fireMC executes lines 10-11: the Maximal-Consistency condition holds for
+// this thread for the first time, so the node FIFO-floods
+// (M_v excluding F_v, COMPLETE(F_v)).
+func (m *Machine) fireMC(rs *roundState, t *threadState, out *sim.Outbox) {
+	t.mcFired = true
+	m.metrics.MCFires++
+
+	entries := make([]ValEntry, 0, len(t.initVals))
+	for _, e := range rs.entries {
+		if !e.set.Intersects(t.pre.fv) {
+			entries = append(entries, ValEntry{Value: e.value, PathKey: e.key})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].PathKey < entries[j].PathKey })
+
+	rs.outSeq++
+	payload := CompletePayload{
+		Round:   rs.round,
+		Origin:  m.id,
+		Seq:     rs.outSeq,
+		Tag:     t.pre.fv,
+		Entries: entries,
+		Path:    graph.Path{m.id},
+	}
+	out.Broadcast(payload)
+	// The node FIFO-receives its own flood through the trivial path <v>.
+	m.registerComplete(rs, &payload, graph.Path{m.id}, out)
+}
+
+// deliverComplete validates, relays and FIFO-buffers one COMPLETE message.
+func (m *Machine) deliverComplete(p CompletePayload, from int, out *sim.Outbox) {
+	if p.Round < 1 || p.Round > m.proto.Rounds || p.Seq < 1 {
+		return
+	}
+	if len(p.Path) == 0 || p.Path.Ter() != from || p.Path.Init() != p.Origin || !p.Path.ValidIn(m.proto.G) {
+		return
+	}
+	if p.Tag.Count() > m.proto.F || p.Tag.Has(p.Origin) {
+		return // no honest thread floods such a tag (line 5)
+	}
+	storage := p.Path.Append(m.id)
+	if !storage.IsSimple() {
+		return // FIFO floods use simple paths only (Appendix F)
+	}
+	rs := m.round(p.Round)
+	// The stream is keyed by (origin, path); the path key alone suffices
+	// because its first byte is the origin (validated above).
+	streamKey := storage.Key()
+	st, ok := rs.streams[streamKey]
+	if !ok {
+		st = &fifoStream{next: 1, buf: make(map[int]*bufferedComplete)}
+		rs.streams[streamKey] = st
+	}
+	if _, dup := st.buf[p.Seq]; dup || p.Seq < st.next {
+		return // first message per (origin, path, seq) wins
+	}
+	// Relay before FIFO reordering: forwarding is immediate, ordering is
+	// enforced receiver-side.
+	for _, w := range m.proto.G.Out(m.id) {
+		if !storage.Set().Has(w) {
+			fwd := p
+			fwd.Path = storage
+			out.Send(w, fwd)
+		}
+	}
+	st.buf[p.Seq] = &bufferedComplete{payload: &p, storage: storage}
+	for {
+		b, ok := st.buf[st.next]
+		if !ok {
+			break
+		}
+		delete(st.buf, st.next)
+		st.next++
+		m.registerComplete(rs, b.payload, b.storage, out)
+	}
+}
+
+// digestKey identifies a COMPLETE payload's content by the identity of its
+// (immutable, relay-shared) entry slice, so the content digest is computed
+// once per distinct flood rather than once per delivered copy. Two payloads
+// share a digest cache entry only when they share the same backing array,
+// origin and tag — in which case their contents are byte-identical.
+type digestKey struct {
+	origin int
+	tag    graph.Set
+	first  *ValEntry
+	n      int
+}
+
+func (m *Machine) contentDigest(p *CompletePayload) string {
+	var first *ValEntry
+	if len(p.Entries) > 0 {
+		first = &p.Entries[0]
+	}
+	dk := digestKey{origin: p.Origin, tag: p.Tag, first: first, n: len(p.Entries)}
+	if d, ok := m.digests[dk]; ok {
+		return d
+	}
+	d := p.contentKey()
+	m.digests[dk] = d
+	return d
+}
+
+// registerComplete processes one FIFO-delivered COMPLETE: it records the
+// content, advances the FIFO-Receive-All condition of the thread whose
+// suspect set matches the tag, and — when that condition fires — snapshots
+// the qualifying COMPLETE messages for verification (Algorithm 1 lines
+// 12-13 and the Section 4.3 snapshot semantics).
+func (m *Machine) registerComplete(rs *roundState, p *CompletePayload, storage graph.Path, out *sim.Outbox) {
+	key := m.contentDigest(p)
+	rec, ok := rs.contents[key]
+	if !ok {
+		rec = newContentRecord(p)
+		rs.contents[key] = rec
+		rs.contentOrder = append(rs.contentOrder, key)
+	}
+	rec.via[storage.Key()] = storage.Set()
+
+	idx, ok := m.pre.byFv[p.Tag]
+	if !ok {
+		return
+	}
+	t := rs.threads[idx]
+	if t.fifoDone {
+		return
+	}
+	required, ok := t.pre.requiredFIFO[p.Origin]
+	if !ok {
+		return // origin outside reach_v(F_v); not part of the condition
+	}
+	if _, need := required[storage.Key()]; !need {
+		return
+	}
+	byContent, ok := t.perOrigin[p.Origin]
+	if !ok {
+		byContent = make(map[string]map[string]struct{})
+		t.perOrigin[p.Origin] = byContent
+	}
+	paths, ok := byContent[key]
+	if !ok {
+		paths = make(map[string]struct{})
+		byContent[key] = paths
+	}
+	paths[storage.Key()] = struct{}{}
+	if len(paths) == len(required) && !t.satisfied[p.Origin] {
+		t.satisfied[p.Origin] = true
+		t.satCount++
+		if t.satCount == len(t.pre.requiredFIFO) {
+			t.fifoDone = true
+			m.buildSnapshot(rs, t)
+		}
+	}
+}
+
+// buildSnapshot freezes the set of COMPLETE messages this thread must
+// verify: every consistent content FIFO-received so far through at least
+// one simple (c,v)-path inside reach_v(F_v) (Verify, lines 20-26). Each
+// snapshot member contributes the Algorithm 2 clauses; clause state is
+// shared across snapshot members imposing the same (S, q, want) obligation.
+func (m *Machine) buildSnapshot(rs *roundState, t *threadState) {
+	t.clauseByInit = make(map[int][]*clause)
+	t.clauseDedup = make(map[sharedClauseKey]*clause)
+	for _, key := range rs.contentOrder {
+		rec := rs.contents[key]
+		if !rec.consistent {
+			continue
+		}
+		qualifies := false
+		for _, set := range rec.via {
+			if set.Minus(t.pre.reach).Empty() {
+				qualifies = true
+				break
+			}
+		}
+		if !qualifies {
+			continue
+		}
+		pc := &pendingComplete{content: rec, fu: rec.tag}
+		type pcClauseKey struct {
+			s graph.Set
+			q int
+		}
+		seen := make(map[pcClauseKey]struct{})
+		for _, fw := range m.proto.FaultSets {
+			if fw == rec.tag {
+				continue
+			}
+			s := m.proto.SourceComponent(rec.tag, fw)
+			for _, q := range s.Members() {
+				ck := pcClauseKey{s: s, q: q}
+				if _, dup := seen[ck]; dup {
+					continue
+				}
+				seen[ck] = struct{}{}
+				want, okv := rec.values[q]
+				if !okv {
+					pc.impossible = true
+					break
+				}
+				cl := m.sharedClause(rs, t, s, q, want)
+				pc.clauses = append(pc.clauses, cl)
+				if !cl.satisfied {
+					pc.remaining++
+					cl.subscribers = append(cl.subscribers, pc)
+				}
+			}
+			if pc.impossible {
+				break
+			}
+		}
+		t.pending = append(t.pending, pc)
+		if pc.impossible || pc.remaining > 0 {
+			t.pendingLeft++
+		}
+	}
+	t.snapshotDone = true
+}
+
+// sharedClause returns the thread's clause for (S, q, want), creating and
+// pre-feeding it from the current M_v on first use.
+func (m *Machine) sharedClause(rs *roundState, t *threadState, s graph.Set, q int, want float64) *clause {
+	key := sharedClauseKey{s: s, q: q, wantBits: math.Float64bits(want)}
+	if cl, ok := t.clauseDedup[key]; ok {
+		return cl
+	}
+	cl := &clause{
+		s: s, q: q, want: want, f: m.proto.F,
+		allowed: m.proto.G.Nodes().Minus(s).Remove(m.id),
+	}
+	for _, idx := range rs.byInit[q] {
+		if e := rs.entries[idx]; e.value == want {
+			cl.addPath(e.set)
+			if cl.satisfied {
+				break
+			}
+		}
+	}
+	t.clauseDedup[key] = cl
+	t.clauseByInit[q] = append(t.clauseByInit[q], cl)
+	return cl
+}
+
+// clauseSatisfied fans a newly satisfied clause out to its subscribers.
+func (m *Machine) clauseSatisfied(t *threadState, cl *clause) {
+	for _, pc := range cl.subscribers {
+		if pc.impossible {
+			continue
+		}
+		pc.remaining--
+		if pc.remaining == 0 {
+			t.pendingLeft--
+		}
+	}
+	cl.subscribers = nil
+}
+
+// tryAdvance executes Filter-and-Average once some parallel execution of
+// the current round is fully verified, then starts the next round; it loops
+// because buffered future-round messages can complete several rounds in one
+// delivery.
+func (m *Machine) tryAdvance(out *sim.Outbox) {
+	for !m.done {
+		rs, ok := m.rounds[m.cur]
+		if !ok || !rs.started || rs.advanced {
+			return
+		}
+		var winner *threadState
+		for _, t := range rs.threads {
+			if t.verified() {
+				winner = t
+				break
+			}
+		}
+		if winner == nil {
+			return
+		}
+		rs.advanced = true
+		m.x = m.filterAndAverage(rs)
+		m.metrics.FAExecutions++
+		m.metrics.History = append(m.metrics.History, m.x)
+		m.metrics.DecidedThreads = append(m.metrics.DecidedThreads, winner.pre.fv)
+		if m.cur == m.proto.Rounds {
+			m.output = m.x
+			m.done = true
+			return
+		}
+		m.cur++
+		m.startRound(m.cur, out)
+	}
+}
+
+// filterAndAverage implements Algorithm 3 with the midpoint correction
+// (DESIGN.md fidelity note 1): sort M_v by value, trim the longest
+// f-coverable prefix and suffix, and return the midpoint of the remaining
+// extremes. The node's own trivial-path message admits no cover (a node
+// never suspects itself), so the trimmed vector is always nonempty.
+func (m *Machine) filterAndAverage(rs *roundState) float64 {
+	order := make([]int, len(rs.entries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ea, eb := rs.entries[order[a]], rs.entries[order[b]]
+		if ea.value != eb.value {
+			return ea.value < eb.value
+		}
+		return ea.key < eb.key
+	})
+	sets := make([]graph.Set, len(order))
+	for i, idx := range order {
+		sets[i] = rs.entries[idx].set
+	}
+	allowed := m.proto.G.Nodes().Remove(m.id)
+	lo := cond.CoverablePrefix(sets, m.proto.F, allowed)
+	rev := make([]graph.Set, len(sets))
+	for i := range sets {
+		rev[i] = sets[len(sets)-1-i]
+	}
+	hi := cond.CoverablePrefix(rev, m.proto.F, allowed)
+	if lo+hi >= len(order) {
+		// Unreachable when the node's own message is present; defensive.
+		m.metrics.TrimAnomalies++
+		return rs.x
+	}
+	low := rs.entries[order[lo]].value
+	high := rs.entries[order[len(order)-1-hi]].value
+	return (low + high) / 2
+}
+
+// String aids debugging.
+func (m *Machine) String() string {
+	return fmt.Sprintf("bw.Machine(node=%d round=%d/%d x=%g done=%v)",
+		m.id, m.cur, m.proto.Rounds, m.x, m.done)
+}

@@ -1,0 +1,141 @@
+// Package bw implements the paper's main contribution: the Byzantine
+// Witness (BW) algorithm for asynchronous approximate Byzantine consensus in
+// directed networks satisfying the 3-reach condition (Algorithm 1), together
+// with its Completeness verification (Algorithm 2), the Filter-and-Average
+// value update (Algorithm 3), the RedundantFlood propagation of state values
+// (Algorithm 4, Appendix E) and the FIFO-Flood/FIFO-Receive layer
+// (Appendix F).
+//
+// Fidelity notes relative to the paper's pseudocode are catalogued in
+// DESIGN.md; the two substantive ones are the midpoint correction in
+// Filter-and-Average (the paper's line 5 typo) and the exclusion of the
+// local node from hypothesized f-covers (required by Lemma 8's Equation 1).
+package bw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// ValPayload is a RedundantFlood message (x, p): a round-r state value
+// propagated along a redundant path. Path ends at the sender; the receiver
+// appends itself before storing or relaying, and rejects messages whose
+// claimed path does not terminate at the actual sender (Appendix E's
+// ter(p) = u check).
+type ValPayload struct {
+	Round int
+	Value float64
+	Path  graph.Path
+}
+
+// Kind implements transport.Payload.
+func (ValPayload) Kind() string { return "VAL" }
+
+// ValEntry is one (value, path) pair of a flooded message set M_c. Entries
+// are sorted by path key so that equal message sets serialize identically.
+type ValEntry struct {
+	Value   float64
+	PathKey string
+}
+
+// CompletePayload is a FIFO-flooded (M_c, COMPLETE(F)) message: the message
+// set M_c that satisfied the Maximal-Consistency condition at Origin for the
+// suspect set Tag, together with Origin's per-round FIFO sequence number.
+// Entries is immutable and shared between relayed copies.
+type CompletePayload struct {
+	Round   int
+	Origin  int
+	Seq     int
+	Tag     graph.Set
+	Entries []ValEntry
+	Path    graph.Path
+}
+
+// Kind implements transport.Payload.
+func (CompletePayload) Kind() string { return "COMPLETE" }
+
+// contentKey digests the content of a COMPLETE message (origin, tag and
+// entry set — not the propagation path or sequence number), so that "the
+// same message received from all paths" (the FIFO-Receive-All condition,
+// Algorithm 1 line 12) is a key comparison. The digest is a 128-bit FNV-1a
+// pair: entry sets can hold thousands of path entries and arrive over many
+// paths, so full canonical serialization per receipt dominated profiles;
+// a collision would require two distinct Byzantine message sets hashing
+// identically under both variants, which is negligible at simulation scale.
+func (c CompletePayload) contentKey() string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h1 := uint64(offset64)
+	h2 := uint64(offset64 ^ 0x9e3779b97f4a7c15)
+	mix := func(b byte) {
+		h1 = (h1 ^ uint64(b)) * prime64
+		h2 = (h2 ^ uint64(b^0xa5)) * prime64
+	}
+	mix64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	}
+	mix(byte(c.Origin))
+	mix64(uint64(c.Tag))
+	for _, e := range c.Entries {
+		for i := 0; i < len(e.PathKey); i++ {
+			mix(e.PathKey[i])
+		}
+		mix(0xff) // entry separator
+		mix64(math.Float64bits(e.Value))
+	}
+	var out [17]byte
+	out[0] = byte(c.Origin)
+	for i := 0; i < 8; i++ {
+		out[1+i] = byte(h1 >> (8 * i))
+		out[9+i] = byte(h2 >> (8 * i))
+	}
+	return string(out[:])
+}
+
+// contentRecord is the per-receiver digest of one distinct COMPLETE content:
+// its per-origin value map (well defined only when the entry set is
+// consistent in the sense of Definition 8) and the set of propagation paths
+// it has been FIFO-received through so far.
+type contentRecord struct {
+	key        string
+	origin     int
+	tag        graph.Set
+	consistent bool
+	values     map[int]float64      // init node -> unique value (Definition 8)
+	via        map[string]graph.Set // delivered path key -> node set of that path
+}
+
+func newContentRecord(p *CompletePayload) *contentRecord {
+	r := &contentRecord{
+		key:        p.contentKey(),
+		origin:     p.Origin,
+		tag:        p.Tag,
+		consistent: true,
+		values:     make(map[int]float64),
+		via:        make(map[string]graph.Set),
+	}
+	for _, e := range p.Entries {
+		if len(e.PathKey) == 0 {
+			r.consistent = false
+			continue
+		}
+		init := int(e.PathKey[0])
+		if prev, ok := r.values[init]; ok && prev != e.Value {
+			r.consistent = false
+		}
+		r.values[init] = e.Value
+	}
+	return r
+}
+
+// String aids debugging.
+func (r *contentRecord) String() string {
+	return fmt.Sprintf("COMPLETE(origin=%d tag=%s consistent=%v |values|=%d)",
+		r.origin, r.tag, r.consistent, len(r.values))
+}

@@ -1,0 +1,152 @@
+package bw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Proto holds the static, shared context of a BW execution: the topology,
+// the resilience parameter, the termination bound and the precomputed
+// structures every node consults (fault-set enumeration and source
+// components). A Proto is immutable after construction and safely shared by
+// all node machines.
+type Proto struct {
+	G   *graph.Graph
+	F   int
+	K   float64 // a-priori bound: inputs lie in [0, K]
+	Eps float64
+	// Rounds is the paper's termination rule: nonfaulty nodes output after
+	// the first round r > log2(K/eps), so Rounds = floor(log2(K/eps)) + 1.
+	Rounds int
+	// PathBudget caps the number of redundant paths any single node may
+	// have to track; configurations beyond it are rejected at setup (see
+	// DESIGN.md fidelity note 7).
+	PathBudget int
+
+	// FaultSets enumerates every F ⊆ V with |F| <= f in a deterministic
+	// order; one parallel thread per member of this list runs at each node
+	// (restricted to sets not containing the node itself).
+	FaultSets []graph.Set
+	// srcComp maps a removal union F1 ∪ F2 (size <= 2f) to the source
+	// component S_{F1,F2} of Definition 6, which depends on F1, F2 only
+	// through their union.
+	srcComp map[graph.Set]graph.Set
+}
+
+// DefaultPathBudget bounds per-node redundant path enumeration.
+const DefaultPathBudget = 250_000
+
+// RoundsFor returns the paper's round bound: the smallest R such that
+// K / 2^R < eps (zero when K < eps — the trivial case).
+func RoundsFor(k, eps float64) int {
+	if eps <= 0 {
+		panic("bw: eps must be positive")
+	}
+	r := 0
+	for spread := k; spread >= eps; spread /= 2 {
+		r++
+		if r > 64 {
+			break
+		}
+	}
+	return r
+}
+
+// NewProto validates the configuration and precomputes the shared
+// structures. It does not verify 3-reach (checking is the condition
+// package's job and some experiments deliberately run BW on graphs that
+// violate it); callers wanting the guarantee should check first.
+func NewProto(g *graph.Graph, f int, k, eps float64, pathBudget int) (*Proto, error) {
+	if f < 0 {
+		return nil, fmt.Errorf("bw: negative fault bound %d", f)
+	}
+	if k <= 0 || eps <= 0 || math.IsNaN(k) || math.IsNaN(eps) {
+		return nil, fmt.Errorf("bw: invalid range/eps %v/%v", k, eps)
+	}
+	if pathBudget <= 0 {
+		pathBudget = DefaultPathBudget
+	}
+	p := &Proto{
+		G:          g,
+		F:          f,
+		K:          k,
+		Eps:        eps,
+		Rounds:     RoundsFor(k, eps),
+		PathBudget: pathBudget,
+		srcComp:    make(map[graph.Set]graph.Set),
+	}
+	graph.Subsets(g.Nodes(), f, func(s graph.Set) bool {
+		p.FaultSets = append(p.FaultSets, s)
+		return true
+	})
+	graph.Subsets(g.Nodes(), 2*f, func(s graph.Set) bool {
+		p.srcComp[s] = g.SourceComponent(s, graph.EmptySet)
+		return true
+	})
+	return p, nil
+}
+
+// SourceComponent returns S_{F1,F2} from the precomputed table.
+func (p *Proto) SourceComponent(f1, f2 graph.Set) graph.Set {
+	return p.srcComp[f1.Union(f2)]
+}
+
+// threadPre is the per-(node, suspect set) static context: the reach set,
+// the fullness target of the Maximal-Consistency condition and the
+// per-origin simple-path requirements of the FIFO-Receive-All condition.
+type threadPre struct {
+	fv    graph.Set
+	reach graph.Set
+	// expected is the fullness set {p ∈ Pr_{V\Fv} : ter(p) = v} of
+	// Definition 9, as path keys.
+	expected map[string]struct{}
+	// requiredFIFO maps each c in reach_v(Fv) to the key set of all simple
+	// (c,v)-paths contained in reach_v(Fv) (Algorithm 1 line 12).
+	requiredFIFO map[int]map[string]struct{}
+}
+
+// nodePre is the full static context of one node's machine.
+type nodePre struct {
+	id      int
+	threads []*threadPre
+	byFv    map[graph.Set]int
+}
+
+// precompute builds nodePre for node v, enumerating redundant paths within
+// the budget.
+func (p *Proto) precompute(v int) (*nodePre, error) {
+	pre := &nodePre{id: v, byFv: make(map[graph.Set]int)}
+	for _, fv := range p.FaultSets {
+		if fv.Has(v) {
+			continue
+		}
+		t := &threadPre{fv: fv, reach: p.G.ReachSet(v, fv)}
+		exp, err := p.G.RedundantPathsTo(v, fv, p.PathBudget)
+		if err != nil {
+			return nil, fmt.Errorf("bw: node %d, thread %s: %w", v, fv, err)
+		}
+		t.expected = exp
+		t.requiredFIFO = make(map[int]map[string]struct{})
+		// All simple paths ending at v whose nodes lie inside the reach
+		// set; grouped by initial node they realize line 12's requirement.
+		outside := p.G.Nodes().Minus(t.reach)
+		simple, err := p.G.SimplePathsTo(v, outside, p.PathBudget)
+		if err != nil {
+			return nil, fmt.Errorf("bw: node %d, thread %s simple paths: %w", v, fv, err)
+		}
+		for _, sp := range simple {
+			c := sp.Init()
+			set, ok := t.requiredFIFO[c]
+			if !ok {
+				set = make(map[string]struct{})
+				t.requiredFIFO[c] = set
+			}
+			set[sp.Key()] = struct{}{}
+		}
+		pre.byFv[fv] = len(pre.threads)
+		pre.threads = append(pre.threads, t)
+	}
+	return pre, nil
+}

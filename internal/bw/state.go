@@ -1,0 +1,187 @@
+package bw
+
+import (
+	"repro/internal/graph"
+)
+
+// valEntry is one accepted (value, path) message in M_v, stored with its
+// derived attributes. Entries are append-only: the paper's shared M_v only
+// grows, which is what makes the Maximal-Consistency "first time" latch and
+// the monotone Completeness condition sound.
+type valEntry struct {
+	value float64
+	key   string
+	set   graph.Set
+	init  int
+}
+
+// clause is one conjunct of Algorithm 2: for source component S and node
+// q ∈ S, node v must receive value want (= value_q(M_c)) over a path set
+// with no f-cover inside allowed = V \ S \ {v}.
+//
+// Evaluation is incremental: viable holds the maximal candidate covers
+// (size min(f, |allowed|) subsets of allowed) that still intersect every
+// matching path seen so far. Adding a path filters the list; the clause is
+// satisfied exactly when at least one path arrived and no candidate
+// survives (no cover can exist, since any cover extends to a maximal
+// candidate). This turns the repeated hitting-set searches that dominated
+// profiles into O(|viable|) filtering per message.
+type clause struct {
+	s         graph.Set
+	q         int
+	want      float64
+	allowed   graph.Set
+	f         int
+	started   bool
+	viable    []graph.Set
+	satisfied bool
+	// subscribers are the pending COMPLETEs sharing this clause: distinct
+	// message sets frequently impose identical (S, q, want) obligations
+	// (every honest COMPLETE for the same tag does), so clause state is
+	// deduplicated per thread and satisfaction fans out to subscribers.
+	subscribers []*pendingComplete
+}
+
+// addPath feeds one matching propagation path into the clause.
+func (cl *clause) addPath(p graph.Set) {
+	if cl.satisfied {
+		return
+	}
+	if !cl.started {
+		cl.started = true
+		size := cl.f
+		if c := cl.allowed.Count(); c < size {
+			size = c
+		}
+		// With f == 0 or an empty allowed set the only candidate is the
+		// empty set, which covers nothing: viable stays empty and the
+		// clause is satisfied by the first path.
+		if size > 0 {
+			graph.SubsetsOfSize(cl.allowed, size, func(c graph.Set) bool {
+				if c.Intersects(p) {
+					cl.viable = append(cl.viable, c)
+				}
+				return true
+			})
+		}
+	} else {
+		kept := cl.viable[:0]
+		for _, c := range cl.viable {
+			if c.Intersects(p) {
+				kept = append(kept, c)
+			}
+		}
+		cl.viable = kept
+	}
+	cl.satisfied = len(cl.viable) == 0
+}
+
+// pendingComplete tracks the Completeness(M_v, M_c, Fu) verification of one
+// snapshotted COMPLETE message (Definition 11's "informed" requirement).
+type pendingComplete struct {
+	content    *contentRecord
+	fu         graph.Set
+	clauses    []*clause
+	remaining  int
+	impossible bool // M_c lacks a value for some q ∈ S_{Fu,Fw}; never satisfiable
+}
+
+// threadState is the dynamic state of the parallel execution for one
+// candidate fault set F_v (Algorithm 1 lines 5–18).
+type threadState struct {
+	pre *threadPre
+
+	// Maximal-Consistency condition (line 10).
+	mcFired      bool
+	inconsistent bool
+	missing      int
+	initVals     map[int]float64
+
+	// FIFO-Receive-All condition (line 12).
+	fifoDone  bool
+	perOrigin map[int]map[string]map[string]struct{} // origin -> content -> delivered required paths
+	satisfied map[int]bool
+	satCount  int
+
+	// Verify (lines 14, 20–26): the COMPLETE messages snapshotted when
+	// FIFO-Receive-All fired, and their outstanding clauses (deduplicated
+	// by (S, q, want) across the snapshot).
+	snapshotDone bool
+	pending      []*pendingComplete
+	pendingLeft  int
+	clauseByInit map[int][]*clause
+	clauseDedup  map[sharedClauseKey]*clause
+}
+
+// sharedClauseKey identifies a clause up to its evaluation semantics.
+type sharedClauseKey struct {
+	s        graph.Set
+	q        int
+	wantBits uint64
+}
+
+func newThreadState(pre *threadPre) *threadState {
+	return &threadState{
+		pre:       pre,
+		missing:   len(pre.expected),
+		initVals:  make(map[int]float64),
+		perOrigin: make(map[int]map[string]map[string]struct{}),
+		satisfied: make(map[int]bool),
+	}
+}
+
+// verified reports whether this parallel execution may proceed to
+// Filter-and-Average.
+func (t *threadState) verified() bool {
+	return t.fifoDone && t.snapshotDone && t.pendingLeft == 0
+}
+
+// fifoStream reorders COMPLETE messages per (origin, propagation path) so
+// that a message with sequence number k is processed only after sequence
+// numbers 1..k-1 arrived through the same path (Appendix F's FIFO-Receive).
+type fifoStream struct {
+	next int
+	buf  map[int]*bufferedComplete
+}
+
+type bufferedComplete struct {
+	payload *CompletePayload
+	storage graph.Path // wire path extended with the local node
+}
+
+// roundState holds everything node v tracks for one asynchronous round r:
+// the shared message history M_v, the per-candidate-fault-set thread states,
+// the FIFO streams and the COMPLETE content registry.
+type roundState struct {
+	round   int
+	started bool
+	x       float64 // x_v[r], the state value flooded this round
+
+	entries []valEntry
+	byPath  map[string]int
+	byInit  map[int][]int
+
+	threads []*threadState
+
+	streams      map[string]*fifoStream
+	contents     map[string]*contentRecord
+	contentOrder []string
+
+	outSeq   int  // FIFO counter for this node's own floods in this round
+	advanced bool // the nextround latch (lines 16-18)
+}
+
+func newRoundState(r int, pre *nodePre) *roundState {
+	rs := &roundState{
+		round:    r,
+		byPath:   make(map[string]int),
+		byInit:   make(map[int][]int),
+		streams:  make(map[string]*fifoStream),
+		contents: make(map[string]*contentRecord),
+	}
+	rs.threads = make([]*threadState, len(pre.threads))
+	for i, tp := range pre.threads {
+		rs.threads[i] = newThreadState(tp)
+	}
+	return rs
+}

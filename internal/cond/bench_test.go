@@ -1,0 +1,73 @@
+package cond
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func BenchmarkCheck3ReachFig1a(b *testing.B) {
+	g := graph.Fig1a()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := Check3Reach(g, 1); !ok {
+			b.Fatal("must hold")
+		}
+	}
+}
+
+func BenchmarkCheck3ReachFig1bAnalog(b *testing.B) {
+	g := graph.Fig1bAnalog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := Check3Reach(g, 1); !ok {
+			b.Fatal("must hold")
+		}
+	}
+}
+
+func BenchmarkCheckBCS(b *testing.B) {
+	g := graph.Fig1a()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := CheckBCS(g, 1); !ok {
+			b.Fatal("must hold")
+		}
+	}
+}
+
+func BenchmarkHasFCover(b *testing.B) {
+	paths := []graph.Set{
+		graph.SetOf(0, 1, 2), graph.SetOf(1, 3), graph.SetOf(2, 4),
+		graph.SetOf(1, 5), graph.SetOf(3, 6, 1),
+	}
+	allowed := graph.FullSet(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !HasFCover(paths, 2, allowed) {
+			b.Fatal("cover must exist")
+		}
+	}
+}
+
+func BenchmarkCoverablePrefix(b *testing.B) {
+	paths := make([]graph.Set, 64)
+	for i := range paths {
+		paths[i] = graph.SetOf(i%6, 6+(i%2))
+	}
+	allowed := graph.FullSet(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CoverablePrefix(paths, 1, allowed)
+	}
+}
+
+func BenchmarkTheorem5Fig1a(b *testing.B) {
+	g := graph.Fig1a()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := CheckTheorem5(g, 1); !rep.Ok() {
+			b.Fatal(rep.Failure)
+		}
+	}
+}

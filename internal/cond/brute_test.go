@@ -1,0 +1,191 @@
+package cond
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// brute3Reach evaluates Definition 3's 3-reach by direct quantifier
+// enumeration (F, Fu, Fv each of size <= f, u outside F∪Fu, v outside
+// F∪Fv). It is exponential in a worse way than Check3Reach's removal-pair
+// enumeration and exists to cross-validate the optimized checker's
+// decompose() feasibility arithmetic.
+func brute3Reach(g *graph.Graph, f int) bool {
+	all := g.Nodes()
+	ok := true
+	graph.Subsets(all, f, func(fshared graph.Set) bool {
+		graph.Subsets(all, f, func(fu graph.Set) bool {
+			graph.Subsets(all, f, func(fv graph.Set) bool {
+				ru := fshared.Union(fu)
+				rv := fshared.Union(fv)
+				for u := 0; u < g.N() && ok; u++ {
+					if ru.Has(u) {
+						continue
+					}
+					reachU := g.ReachSet(u, ru)
+					for v := 0; v < g.N(); v++ {
+						if rv.Has(v) || u == v {
+							continue
+						}
+						if !reachU.Intersects(g.ReachSet(v, rv)) {
+							ok = false
+							break
+						}
+					}
+				}
+				return ok
+			})
+			return ok
+		})
+		return ok
+	})
+	return ok
+}
+
+// brute2Reach evaluates 2-reach directly.
+func brute2Reach(g *graph.Graph, f int) bool {
+	all := g.Nodes()
+	ok := true
+	graph.Subsets(all, f, func(fu graph.Set) bool {
+		graph.Subsets(all, f, func(fv graph.Set) bool {
+			for u := 0; u < g.N() && ok; u++ {
+				if fu.Has(u) {
+					continue
+				}
+				reachU := g.ReachSet(u, fu)
+				for v := 0; v < g.N(); v++ {
+					if fv.Has(v) || u == v {
+						continue
+					}
+					if !reachU.Intersects(g.ReachSet(v, fv)) {
+						ok = false
+						break
+					}
+				}
+			}
+			return ok
+		})
+		return ok
+	})
+	return ok
+}
+
+// bruteKReach evaluates the implemented k-reach family directly: ⌈k/2⌉
+// fault sets of size <= f per side, the first shared when k is odd.
+func bruteKReach(g *graph.Graph, k, f int) bool {
+	perSide := (k + 1) / 2
+	shared := k%2 == 1
+	all := g.Nodes()
+	ok := true
+
+	// Enumerate each side's removal as a union of perSide subsets.
+	var sideUnions func(count int, base graph.Set, fn func(graph.Set) bool) bool
+	sideUnions = func(count int, base graph.Set, fn func(graph.Set) bool) bool {
+		if count == 0 {
+			return fn(base)
+		}
+		cont := true
+		graph.Subsets(all, f, func(s graph.Set) bool {
+			cont = sideUnions(count-1, base.Union(s), fn)
+			return cont
+		})
+		return cont
+	}
+
+	checkPairQuantified := func(ru, rv graph.Set) bool {
+		for u := 0; u < g.N(); u++ {
+			if ru.Has(u) {
+				continue
+			}
+			reachU := g.ReachSet(u, ru)
+			for v := 0; v < g.N(); v++ {
+				if rv.Has(v) || u == v {
+					continue
+				}
+				if !reachU.Intersects(g.ReachSet(v, rv)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	if shared {
+		graph.Subsets(all, f, func(fshared graph.Set) bool {
+			sideUnions(perSide-1, fshared, func(ru graph.Set) bool {
+				sideUnions(perSide-1, fshared, func(rv graph.Set) bool {
+					if !checkPairQuantified(ru, rv) {
+						ok = false
+					}
+					return ok
+				})
+				return ok
+			})
+			return ok
+		})
+	} else {
+		sideUnions(perSide, graph.EmptySet, func(ru graph.Set) bool {
+			sideUnions(perSide, graph.EmptySet, func(rv graph.Set) bool {
+				if !checkPairQuantified(ru, rv) {
+					ok = false
+				}
+				return ok
+			})
+			return ok
+		})
+	}
+	return ok
+}
+
+// TestCheck3ReachMatchesBruteForce cross-validates the optimized checker on
+// random digraphs and on the paper's graphs.
+func TestCheck3ReachMatchesBruteForce(t *testing.T) {
+	graphs := []*graph.Graph{
+		graph.Clique(3), graph.Clique(4), graph.DirectedCycle(4), graph.Fig1a(),
+	}
+	for seed := int64(0); seed < 40; seed++ {
+		graphs = append(graphs, graph.RandomDigraph(5, 0.35+float64(seed%3)*0.15, seed))
+	}
+	for _, g := range graphs {
+		for f := 0; f <= 2; f++ {
+			got, _ := Check3Reach(g, f)
+			want := brute3Reach(g, f)
+			if got != want {
+				t.Errorf("%s f=%d: Check3Reach=%v brute=%v", g, f, got, want)
+			}
+		}
+	}
+}
+
+func TestCheck2ReachMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		g := graph.RandomDigraph(5, 0.4, seed)
+		for f := 0; f <= 2; f++ {
+			got, _ := Check2Reach(g, f)
+			if want := brute2Reach(g, f); got != want {
+				t.Errorf("seed=%d f=%d: Check2Reach=%v brute=%v", seed, f, got, want)
+			}
+		}
+	}
+}
+
+func TestCheckKReachMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := graph.RandomDigraph(5, 0.5, seed)
+		for k := 1; k <= 5; k++ {
+			got, _ := CheckKReach(g, k, 1)
+			if want := bruteKReach(g, k, 1); got != want {
+				t.Errorf("seed=%d k=%d: CheckKReach=%v brute=%v", seed, k, got, want)
+			}
+		}
+	}
+	// Spot-check k=4 with f=2 where decompose-style pruning differs most.
+	for seed := int64(50); seed < 54; seed++ {
+		g := graph.RandomDigraph(6, 0.7, seed)
+		got, _ := CheckKReach(g, 4, 2)
+		if want := bruteKReach(g, 4, 2); got != want {
+			t.Errorf("seed=%d k=4 f=2: CheckKReach=%v brute=%v", seed, got, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cond
+
+import "repro/internal/graph"
+
+// This file implements f-covers of path sets (Definition 4): a node set C
+// with |C| <= f intersecting every path of a given collection. The search is
+// the classic bounded hitting-set branching: pick an uncovered path, branch
+// on each of its (allowed) nodes, recurse with budget f-1. Depth is at most
+// f, so for the small f of the paper's setting this is exact and fast.
+
+// FindFCover searches for a set C ⊆ allowed with |C| <= f intersecting every
+// path in pathSets (paths are given as node sets). It returns the cover and
+// true, or (0, false) if none exists. An empty path collection is covered by
+// the empty set. Callers enforce the paper's exclusions through the allowed
+// mask (e.g. the local node is never a candidate: a node does not suspect
+// itself — DESIGN.md fidelity note 2; Completeness further restricts
+// candidates to V \ S_{Fu,Fw} per Algorithm 2).
+func FindFCover(pathSets []graph.Set, f int, allowed graph.Set) (graph.Set, bool) {
+	return findCover(pathSets, f, allowed, graph.EmptySet)
+}
+
+// HasFCover reports whether an f-cover within allowed exists.
+func HasFCover(pathSets []graph.Set, f int, allowed graph.Set) bool {
+	_, ok := FindFCover(pathSets, f, allowed)
+	return ok
+}
+
+func findCover(pathSets []graph.Set, budget int, allowed, chosen graph.Set) (graph.Set, bool) {
+	// Find the first path not yet covered.
+	var uncovered graph.Set
+	found := false
+	for _, p := range pathSets {
+		if !p.Intersects(chosen) {
+			uncovered = p
+			found = true
+			break
+		}
+	}
+	if !found {
+		return chosen, true
+	}
+	if budget == 0 {
+		return 0, false
+	}
+	candidates := uncovered.Intersect(allowed)
+	var (
+		result graph.Set
+		ok     bool
+	)
+	candidates.ForEach(func(v int) bool {
+		result, ok = findCover(pathSets, budget-1, allowed, chosen.Add(v))
+		return !ok
+	})
+	return result, ok
+}
+
+// CoverablePrefix returns the largest k such that the first k path sets
+// admit an f-cover within allowed. Because covering only gets harder as
+// paths are added, the property is monotone and binary search applies; the
+// collections here are small, so a linear scan from the end is simpler and
+// exact. This realizes lines 2–3 of Algorithm 3 (Filter-and-Average), where
+// the message vector is sorted and the longest coverable prefix/suffix of
+// extreme values is trimmed.
+func CoverablePrefix(pathSets []graph.Set, f int, allowed graph.Set) int {
+	lo, hi := 0, len(pathSets)
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if HasFCover(pathSets[:mid], f, allowed) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,132 @@
+package cond
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestFindFCoverBasics(t *testing.T) {
+	paths := []graph.Set{graph.SetOf(0, 1), graph.SetOf(1, 2), graph.SetOf(1, 3)}
+	allowed := graph.FullSet(6)
+	cover, ok := FindFCover(paths, 1, allowed)
+	if !ok || cover != graph.SetOf(1) {
+		t.Errorf("cover = %s ok=%v, want {1}", cover, ok)
+	}
+	// Excluding the hub forces failure at f=1.
+	if _, ok := FindFCover(paths, 1, allowed.Remove(1)); ok {
+		t.Error("cover should not exist without node 1 at f=1")
+	}
+	// ... but succeed at f=2 ({0,2}? no: needs {0 or...} paths {0,1},{1,2},{1,3}
+	// without 1: need a node from each: {0},{2},{3} -> 3 nodes needed).
+	if _, ok := FindFCover(paths, 2, allowed.Remove(1)); ok {
+		t.Error("three disjoint remainders cannot be covered by 2 nodes")
+	}
+	if cover, ok := FindFCover(paths, 3, allowed.Remove(1)); !ok || cover.Count() != 3 {
+		t.Errorf("f=3 cover = %s ok=%v", cover, ok)
+	}
+}
+
+func TestFindFCoverEmptyCollection(t *testing.T) {
+	cover, ok := FindFCover(nil, 0, graph.FullSet(4))
+	if !ok || !cover.Empty() {
+		t.Errorf("empty collection: cover=%s ok=%v", cover, ok)
+	}
+}
+
+func TestFindFCoverZeroBudget(t *testing.T) {
+	if _, ok := FindFCover([]graph.Set{graph.SetOf(2)}, 0, graph.FullSet(4)); ok {
+		t.Error("nonempty collection cannot be covered with f=0")
+	}
+}
+
+// TestFindFCoverMatchesBruteForce cross-checks the branching search against
+// exhaustive subset enumeration.
+func TestFindFCoverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const n = 7
+	for trial := 0; trial < 400; trial++ {
+		numPaths := rng.Intn(6)
+		paths := make([]graph.Set, numPaths)
+		for i := range paths {
+			var s graph.Set
+			for j := 0; j < 1+rng.Intn(4); j++ {
+				s = s.Add(rng.Intn(n))
+			}
+			paths[i] = s
+		}
+		allowed := graph.FullSet(n)
+		if rng.Intn(2) == 0 {
+			allowed = allowed.Remove(rng.Intn(n))
+		}
+		f := rng.Intn(3)
+		got := HasFCover(paths, f, allowed)
+		want := false
+		graph.Subsets(allowed, f, func(c graph.Set) bool {
+			covers := true
+			for _, p := range paths {
+				if !p.Intersects(c) {
+					covers = false
+					break
+				}
+			}
+			if covers {
+				want = true
+				return false
+			}
+			return true
+		})
+		if got != want {
+			t.Fatalf("trial %d: HasFCover=%v brute=%v paths=%v f=%d allowed=%s",
+				trial, got, want, paths, f, allowed)
+		}
+	}
+}
+
+func TestCoverablePrefix(t *testing.T) {
+	// Paths: three covered by node 9, then one that cannot be covered.
+	paths := []graph.Set{
+		graph.SetOf(9, 1), graph.SetOf(9, 2), graph.SetOf(9, 3),
+		graph.SetOf(4, 5),
+	}
+	allowed := graph.FullSet(10)
+	if got := CoverablePrefix(paths, 1, allowed); got != 3 {
+		t.Errorf("prefix = %d, want 3", got)
+	}
+	if got := CoverablePrefix(paths, 2, allowed); got != 4 {
+		t.Errorf("prefix = %d, want 4 (cover {9, 4 or 5})", got)
+	}
+	if got := CoverablePrefix(paths, 0, allowed); got != 0 {
+		t.Errorf("prefix = %d, want 0", got)
+	}
+	if got := CoverablePrefix(nil, 1, allowed); got != 0 {
+		t.Errorf("empty prefix = %d", got)
+	}
+}
+
+// TestCoverablePrefixMonotone validates the binary-search precondition:
+// coverability is monotone decreasing in the prefix length.
+func TestCoverablePrefixMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		numPaths := 1 + rng.Intn(7)
+		paths := make([]graph.Set, numPaths)
+		for i := range paths {
+			var s graph.Set
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				s = s.Add(rng.Intn(6))
+			}
+			paths[i] = s
+		}
+		f := rng.Intn(3)
+		allowed := graph.FullSet(6)
+		k := CoverablePrefix(paths, f, allowed)
+		for i := 0; i <= len(paths); i++ {
+			if got := HasFCover(paths[:i], f, allowed); got != (i <= k) {
+				t.Fatalf("trial %d: prefix %d coverable=%v but CoverablePrefix=%d (paths=%v f=%d)",
+					trial, i, got, k, paths, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package cond
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestTheorem17Equivalences verifies the paper's Theorem 17 computationally:
+// CCS ⟺ 1-reach, CCA ⟺ 2-reach, BCS ⟺ 3-reach. Exhaustive over all
+// digraphs on 3 nodes and randomized over larger orders (experiment E2).
+func TestTheorem17Equivalences(t *testing.T) {
+	check := func(g *graph.Graph, f int) {
+		t.Helper()
+		r1, _ := Check1Reach(g, f)
+		ccs, _ := CheckCCS(g, f)
+		if r1 != ccs {
+			t.Errorf("%s f=%d: 1-reach=%v CCS=%v", g, f, r1, ccs)
+		}
+		r2, _ := Check2Reach(g, f)
+		cca, _ := CheckCCA(g, f)
+		if r2 != cca {
+			t.Errorf("%s f=%d: 2-reach=%v CCA=%v", g, f, r2, cca)
+		}
+		r3, _ := Check3Reach(g, f)
+		bcs, _ := CheckBCS(g, f)
+		if r3 != bcs {
+			t.Errorf("%s f=%d: 3-reach=%v BCS=%v", g, f, r3, bcs)
+		}
+	}
+
+	// Exhaustive: all 2^6 = 64 digraphs on 3 nodes.
+	pairs := [][2]int{{0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 0}, {2, 1}}
+	for mask := 0; mask < 64; mask++ {
+		g := graph.New(3)
+		for i, e := range pairs {
+			if mask&(1<<i) != 0 {
+				g.MustAddEdge(e[0], e[1])
+			}
+		}
+		for f := 0; f <= 1; f++ {
+			check(g, f)
+		}
+	}
+
+	// Randomized: denser orders.
+	for seed := int64(0); seed < 25; seed++ {
+		check(graph.RandomDigraph(5, 0.35, seed), 1)
+		check(graph.RandomDigraph(6, 0.5, seed), 1)
+	}
+	for seed := int64(100); seed < 106; seed++ {
+		check(graph.RandomDigraph(6, 0.7, seed), 2)
+	}
+}
+
+func TestPartitionWitness(t *testing.T) {
+	// The directed cycle with f=1 violates CCA (threshold f+1 = 2 incoming
+	// neighbors); the witness must be a real partition with both
+	// thresholds failing.
+	g := graph.DirectedCycle(4)
+	ok, w := CheckCCA(g, 1)
+	if ok {
+		t.Fatal("cycle should violate CCA for f=1")
+	}
+	if w == nil {
+		t.Fatal("missing witness")
+	}
+	if w.L.Union(w.C).Union(w.R) != g.Nodes() {
+		t.Errorf("witness is not a partition: %s", w)
+	}
+	if w.L.Empty() || w.R.Empty() {
+		t.Errorf("witness has empty L or R: %s", w)
+	}
+	if incomingCount(g, w.L.Union(w.C), w.R) >= 2 || incomingCount(g, w.R.Union(w.C), w.L) >= 2 {
+		t.Errorf("witness partition does not violate CCA: %s", w)
+	}
+	// CCS (threshold 1) does hold on the ring for f=1.
+	if ok, _ := CheckCCS(g, 1); !ok {
+		t.Error("cycle should satisfy CCS for f=1")
+	}
+}
+
+func TestIncomingCount(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 2)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(1, 3)
+	g.MustAddEdge(2, 3) // inside B when B = {2,3}
+	b := graph.SetOf(2, 3)
+	if got := incomingCount(g, graph.SetOf(0, 1), b); got != 2 {
+		t.Errorf("incomingCount = %d, want 2 (nodes 0 and 1)", got)
+	}
+	if got := incomingCount(g, graph.SetOf(0), b); got != 1 {
+		t.Errorf("incomingCount = %d, want 1", got)
+	}
+	if got := incomingCount(g, graph.EmptySet, b); got != 0 {
+		t.Errorf("incomingCount = %d, want 0", got)
+	}
+}
+
+func TestCCAOnUndirected(t *testing.T) {
+	// Table 1's undirected crash-async condition is n > 2f and κ(G) > f.
+	// The wheel W4 has n = 5, κ = 3: CCA should hold for f = 1, 2 and fail
+	// for f = 3 (κ = 3 is not > 3, and n = 5 is not > 6).
+	w := graph.Wheel(4)
+	for f := 1; f <= 2; f++ {
+		if ok, _ := CheckCCA(w, f); !ok {
+			t.Errorf("W4 should satisfy CCA for f=%d", f)
+		}
+	}
+	if ok, _ := CheckCCA(w, 3); ok {
+		t.Error("W4 should fail CCA for f=3")
+	}
+}

@@ -1,0 +1,68 @@
+package cond
+
+import "repro/internal/graph"
+
+// This file implements (r, s)-robustness, the tight condition for the
+// *local iterative* W-MSR algorithms of LeBlanc–Zhang–Koutsoukos–Sundaram
+// [13] (the paper's related work): resilient consensus under the f-total
+// Byzantine model is achievable by W-MSR iff the digraph is (f+1, f+1)-
+// robust. Robustness is strictly stronger than this paper's 3-reach —
+// experiment E9 exhibits a graph satisfying 3-reach (so algorithm BW works)
+// that is not (f+1, f+1)-robust (so every local algorithm fails).
+
+// reachableCount returns |X_S^r|: the number of nodes in s with at least r
+// in-neighbors outside s.
+func reachableCount(g *graph.Graph, s graph.Set, r int) int {
+	count := 0
+	s.ForEach(func(v int) bool {
+		if g.InSet(v).Minus(s).Count() >= r {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// CheckRobustness reports whether g is (r, s)-robust: for every pair of
+// disjoint nonempty subsets S1, S2, either every node of S1 has r
+// in-neighbors outside S1, or every node of S2 does, or at least s nodes
+// across the two sets do. The witness (if any) is the violating pair.
+func CheckRobustness(g *graph.Graph, r, s int) (bool, *RobustnessWitness) {
+	n := g.N()
+	var w *RobustnessWitness
+	// Enumerate assignments node -> {S1, S2, neither}.
+	assign := make([]int, n)
+	var rec func(i int, s1, s2 graph.Set) bool
+	rec = func(i int, s1, s2 graph.Set) bool {
+		if i == n {
+			if s1.Empty() || s2.Empty() {
+				return true
+			}
+			x1 := reachableCount(g, s1, r)
+			x2 := reachableCount(g, s2, r)
+			if x1 == s1.Count() || x2 == s2.Count() || x1+x2 >= s {
+				return true
+			}
+			w = &RobustnessWitness{S1: s1, S2: s2, X1: x1, X2: x2}
+			return false
+		}
+		assign[i] = 0
+		if !rec(i+1, s1, s2) {
+			return false
+		}
+		assign[i] = 1
+		if !rec(i+1, s1.Add(i), s2) {
+			return false
+		}
+		assign[i] = 2
+		return rec(i+1, s1, s2.Add(i))
+	}
+	ok := rec(0, graph.EmptySet, graph.EmptySet)
+	return ok, w
+}
+
+// RobustnessWitness is a violating subset pair.
+type RobustnessWitness struct {
+	S1, S2 graph.Set
+	X1, X2 int
+}

@@ -1,0 +1,65 @@
+package cond
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestRobustnessCliques(t *testing.T) {
+	// K_n is (r, s)-robust for r up to ceil(n/2) — in particular K5 is
+	// (2,2)-robust, the W-MSR requirement for f = 1.
+	if ok, w := CheckRobustness(graph.Clique(5), 2, 2); !ok {
+		t.Errorf("K5 should be (2,2)-robust; witness %+v", w)
+	}
+	if ok, _ := CheckRobustness(graph.Clique(2), 2, 2); ok {
+		t.Error("K2 cannot be (2,2)-robust")
+	}
+}
+
+// TestRobustnessSeparation is the theoretical core of experiment E9: the
+// two-clique graph satisfies 3-reach for f=1 (BW works — Theorem 4) but is
+// not (2,2)-robust (W-MSR provably fails — LeBlanc et al.).
+func TestRobustnessSeparation(t *testing.T) {
+	g := graph.Fig1bAnalog()
+	if ok, _ := Check3Reach(g, 1); !ok {
+		t.Fatal("analog must satisfy 3-reach")
+	}
+	ok, w := CheckRobustness(g, 2, 2)
+	if ok {
+		t.Fatal("analog should not be (2,2)-robust")
+	}
+	if w == nil {
+		t.Fatal("missing witness")
+	}
+	// The natural witness: the two cliques themselves — each node has at
+	// most one in-neighbor outside its own clique.
+	if w.S1.Empty() || w.S2.Empty() || w.S1.Intersects(w.S2) {
+		t.Errorf("malformed witness %+v", w)
+	}
+	if x := reachableCount(g, graph.SetOf(0, 1, 2, 3), 2); x != 0 {
+		t.Errorf("K1 side should have no 2-reachable node, got %d", x)
+	}
+}
+
+func TestRobustnessDirectedCycle(t *testing.T) {
+	// A directed cycle is (1,1)-robust (every subset has a node with an
+	// in-neighbor outside) but not (2,s)-robust for any s.
+	g := graph.DirectedCycle(5)
+	if ok, _ := CheckRobustness(g, 1, 1); !ok {
+		t.Error("cycle should be (1,1)-robust")
+	}
+	if ok, _ := CheckRobustness(g, 2, 1); ok {
+		t.Error("cycle cannot be (2,1)-robust (in-degree 1)")
+	}
+}
+
+func TestReachableCount(t *testing.T) {
+	g := graph.Clique(4)
+	if got := reachableCount(g, graph.SetOf(0, 1), 2); got != 2 {
+		t.Errorf("reachableCount = %d, want 2", got)
+	}
+	if got := reachableCount(g, graph.SetOf(0, 1, 2), 2); got != 0 {
+		t.Errorf("reachableCount = %d, want 0 (only one outside node)", got)
+	}
+}

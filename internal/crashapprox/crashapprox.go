@@ -1,0 +1,258 @@
+// Package crashapprox implements asynchronous approximate consensus for
+// crash faults in directed networks under the 2-reach condition — the
+// crash/asynchronous cell of the paper's Table 2 (Theorem 2, due to
+// Tseng–Vaidya 2012/2015).
+//
+// Crash faults never tamper with relayed values, so the Byzantine machinery
+// of algorithm BW (redundant paths, COMPLETE verification, f-covers)
+// degenerates away. What remains is the skeleton shared with BW: per round,
+// flood the state value along all simple paths; run one logical thread per
+// candidate crash set Fv; a thread fires when the node has received a value
+// along every simple incoming path avoiding Fv (the fullness condition);
+// the first fired thread updates the state to the midpoint of all collected
+// values. Convergence follows from 2-reach exactly as in the paper's
+// Lemma 15: for any two nodes the fired threads' reach sets intersect in a
+// common influence node z whose (genuine, untampered) value both have
+// collected, so midpoints contract the range by half each round.
+package crashapprox
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ValPayload is a flooded (round, value, path) message; the path ends at
+// the sender, and relays extend it along simple paths only.
+type ValPayload struct {
+	Round int
+	Value float64
+	Path  graph.Path
+}
+
+// Kind implements transport.Payload.
+func (ValPayload) Kind() string { return "CRASH-VAL" }
+
+// Proto is the shared static context.
+type Proto struct {
+	G          *graph.Graph
+	F          int
+	K, Eps     float64
+	Rounds     int
+	PathBudget int
+	faultSets  []graph.Set
+}
+
+// NewProto validates parameters and enumerates candidate crash sets.
+func NewProto(g *graph.Graph, f int, k, eps float64, pathBudget int) (*Proto, error) {
+	if f < 0 || k <= 0 || eps <= 0 {
+		return nil, fmt.Errorf("crashapprox: invalid parameters f=%d k=%v eps=%v", f, k, eps)
+	}
+	if pathBudget <= 0 {
+		pathBudget = 250_000
+	}
+	p := &Proto{G: g, F: f, K: k, Eps: eps, Rounds: roundsFor(k, eps), PathBudget: pathBudget}
+	graph.Subsets(g.Nodes(), f, func(s graph.Set) bool {
+		p.faultSets = append(p.faultSets, s)
+		return true
+	})
+	return p, nil
+}
+
+func roundsFor(k, eps float64) int {
+	r := 0
+	for spread := k; spread >= eps; spread /= 2 {
+		r++
+		if r > 64 {
+			break
+		}
+	}
+	return r
+}
+
+type threadState struct {
+	fv      graph.Set
+	missing int
+	fired   bool
+}
+
+type roundState struct {
+	started  bool
+	advanced bool
+	min, max float64
+	haveAny  bool
+	byPath   map[string]struct{}
+	threads  []*threadState
+}
+
+// Machine is the protocol endpoint for one node; it implements sim.Handler.
+type Machine struct {
+	proto *Proto
+	id    int
+	input float64
+
+	// expected[i] is the fullness target of thread i: all simple paths
+	// ending at this node that avoid faultSets[i].
+	expected []map[string]struct{}
+
+	cur    int
+	x      float64
+	rounds map[int]*roundState
+
+	output  float64
+	done    bool
+	history []float64
+}
+
+var _ sim.Handler = (*Machine)(nil)
+
+// NewMachine precomputes the per-thread fullness sets for node id.
+func NewMachine(p *Proto, id int, input float64) (*Machine, error) {
+	m := &Machine{proto: p, id: id, input: input, rounds: make(map[int]*roundState)}
+	for _, fv := range p.faultSets {
+		if fv.Has(id) {
+			m.expected = append(m.expected, nil)
+			continue
+		}
+		paths, err := p.G.SimplePathsTo(id, fv, p.PathBudget)
+		if err != nil {
+			return nil, fmt.Errorf("crashapprox: node %d thread %s: %w", id, fv, err)
+		}
+		set := make(map[string]struct{}, len(paths))
+		for _, sp := range paths {
+			set[sp.Key()] = struct{}{}
+		}
+		m.expected = append(m.expected, set)
+	}
+	return m, nil
+}
+
+// ID implements sim.Handler.
+func (m *Machine) ID() int { return m.id }
+
+// Output implements sim.Handler.
+func (m *Machine) Output() (float64, bool) { return m.output, m.done }
+
+// History returns x after each completed round.
+func (m *Machine) History() []float64 { return m.history }
+
+// Start implements sim.Handler.
+func (m *Machine) Start(out *sim.Outbox) {
+	m.x = m.input
+	if m.proto.Rounds == 0 {
+		m.output, m.done = m.x, true
+		return
+	}
+	m.cur = 1
+	m.startRound(out)
+	m.tryAdvance(out)
+}
+
+// Deliver implements sim.Handler.
+func (m *Machine) Deliver(msg transport.Message, out *sim.Outbox) {
+	p, ok := msg.Payload.(ValPayload)
+	if !ok {
+		return
+	}
+	if p.Round < 1 || p.Round > m.proto.Rounds {
+		return
+	}
+	if len(p.Path) == 0 || p.Path.Ter() != msg.From || !p.Path.ValidIn(m.proto.G) {
+		return
+	}
+	storage := p.Path.Append(m.id)
+	if !storage.IsSimple() {
+		return
+	}
+	rs := m.round(p.Round)
+	key := storage.Key()
+	if _, dup := rs.byPath[key]; dup {
+		return
+	}
+	for _, w := range m.proto.G.Out(m.id) {
+		if !storage.Set().Has(w) {
+			out.Send(w, ValPayload{Round: p.Round, Value: p.Value, Path: storage})
+		}
+	}
+	m.accept(rs, key, storage.Set(), p.Value)
+	m.tryAdvance(out)
+}
+
+func (m *Machine) round(r int) *roundState {
+	rs, ok := m.rounds[r]
+	if !ok {
+		rs = &roundState{byPath: make(map[string]struct{})}
+		for i, fv := range m.proto.faultSets {
+			t := &threadState{fv: fv}
+			if m.expected[i] == nil {
+				t.fired = false
+				t.missing = -1 // thread unusable: fv contains this node
+			} else {
+				t.missing = len(m.expected[i])
+			}
+			rs.threads = append(rs.threads, t)
+		}
+		m.rounds[r] = rs
+	}
+	return rs
+}
+
+func (m *Machine) startRound(out *sim.Outbox) {
+	rs := m.round(m.cur)
+	rs.started = true
+	self := graph.Path{m.id}
+	out.Broadcast(ValPayload{Round: m.cur, Value: m.x, Path: self})
+	m.accept(rs, self.Key(), graph.SetOf(m.id), m.x)
+}
+
+func (m *Machine) accept(rs *roundState, key string, set graph.Set, value float64) {
+	rs.byPath[key] = struct{}{}
+	if !rs.haveAny || value < rs.min {
+		rs.min = value
+	}
+	if !rs.haveAny || value > rs.max {
+		rs.max = value
+	}
+	rs.haveAny = true
+	for i, t := range rs.threads {
+		if t.fired || t.missing < 0 {
+			continue
+		}
+		if _, want := m.expected[i][key]; want {
+			t.missing--
+			if t.missing == 0 {
+				t.fired = true
+			}
+		}
+	}
+}
+
+func (m *Machine) tryAdvance(out *sim.Outbox) {
+	for !m.done {
+		rs, ok := m.rounds[m.cur]
+		if !ok || !rs.started || rs.advanced {
+			return
+		}
+		fired := false
+		for _, t := range rs.threads {
+			if t.fired {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			return
+		}
+		rs.advanced = true
+		m.x = (rs.min + rs.max) / 2
+		m.history = append(m.history, m.x)
+		if m.cur == m.proto.Rounds {
+			m.output, m.done = m.x, true
+			return
+		}
+		m.cur++
+		m.startRound(out)
+	}
+}

@@ -1,0 +1,188 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestTable1NoMismatches(t *testing.T) {
+	samples := 6
+	if testing.Short() {
+		samples = 2
+	}
+	rep := experiments.Table1(samples, 42)
+	if rep.Mismatches() != 0 {
+		t.Fatalf("Table 1 equivalences violated:\n%s", rep.Render())
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if !strings.Contains(rep.Render(), "total mismatches: 0") {
+		t.Error("render missing summary")
+	}
+}
+
+func TestTable2NoMismatches(t *testing.T) {
+	samples := 10
+	if testing.Short() {
+		samples = 3
+	}
+	rep := experiments.Table2(samples, 7)
+	if rep.Mismatches() != 0 {
+		t.Fatalf("Theorem 17 equivalences violated:\n%s", rep.Render())
+	}
+	for _, row := range rep.Rows {
+		if row.Checked < 64 {
+			t.Errorf("row %q checked only %d graphs", row.Condition, row.Checked)
+		}
+	}
+}
+
+func TestFig1a(t *testing.T) {
+	rep, err := experiments.RunFig1a(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ThreeReach || rep.Kappa != 3 || !rep.MinimalEdge || !rep.BWConverged {
+		t.Fatalf("Figure 1(a) claims failed:\n%s", rep.Render())
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive n=14 check")
+	}
+	rep, err := experiments.RunFig1b(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ThreeReachF2 || rep.DisjointVW != 4 || rep.DisjointWV != 4 ||
+		!rep.RMTImpossible || !rep.BridgeBreak || !rep.AnalogConverged {
+		t.Fatalf("Figure 1(b) claims failed:\n%s", rep.Render())
+	}
+}
+
+func TestSufficiencyMatrix(t *testing.T) {
+	rep, err := experiments.RunSufficiency(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("sufficiency matrix failed:\n%s", rep.Render())
+	}
+	if len(rep.Cases) != 3*7 {
+		t.Errorf("cases = %d, want 21", len(rep.Cases))
+	}
+}
+
+func TestConvergenceBound(t *testing.T) {
+	rep, err := experiments.RunConvergence(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("Lemma 15 bound violated:\n%s", rep.Render())
+	}
+	if len(rep.Spreads) != rep.Rounds {
+		t.Errorf("series length %d != rounds %d", len(rep.Spreads), rep.Rounds)
+	}
+	// Final spread below eps.
+	if rep.Spreads[len(rep.Spreads)-1] >= rep.Eps {
+		t.Errorf("final spread %g >= eps", rep.Spreads[len(rep.Spreads)-1])
+	}
+}
+
+func TestNecessity(t *testing.T) {
+	rep, err := experiments.RunNecessity(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Violated {
+		t.Fatalf("necessity construction did not violate convergence:\n%s", rep.Render())
+	}
+}
+
+func TestAADComparison(t *testing.T) {
+	rep, err := experiments.RunAADComparison(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if !row.BothOK {
+			t.Fatalf("comparison failed:\n%s", rep.Render())
+		}
+		if row.AADMessages > row.BWMessages {
+			t.Errorf("expected AAD to be no costlier on K%d: aad=%d bw=%d",
+				row.N, row.AADMessages, row.BWMessages)
+		}
+	}
+	// BW's path-flooding overhead must dominate as the clique grows.
+	last := rep.Rows[len(rep.Rows)-1]
+	if last.AADMessages >= last.BWMessages {
+		t.Errorf("on K%d BW should pay a strict flooding overhead: aad=%d bw=%d",
+			last.N, last.AADMessages, last.BWMessages)
+	}
+}
+
+func TestIterativeAblation(t *testing.T) {
+	rep, err := experiments.RunIterativeAblation(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.CliqueConverged || !rep.TwoCliqueStalled || !rep.BWConverged {
+		t.Fatalf("ablation failed:\n%s", rep.Render())
+	}
+}
+
+func TestKReachHierarchy(t *testing.T) {
+	rep := experiments.RunKReach()
+	if !rep.AllMatch() {
+		t.Fatalf("k-reach hierarchy mismatch:\n%s", rep.Render())
+	}
+}
+
+func TestStructureTheorems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("K7 f=2 structure check is heavy")
+	}
+	rep := experiments.RunStructure()
+	if !rep.AllOK() {
+		t.Fatalf("structure theorems failed:\n%s", rep.Render())
+	}
+}
+
+func TestCrashCell(t *testing.T) {
+	rep, err := experiments.RunCrashCell(29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TwoReach || !rep.Converged || !rep.Validity {
+		t.Fatalf("crash cell failed:\n%s", rep.Render())
+	}
+}
+
+func TestScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-size BW runs")
+	}
+	rep, err := experiments.RunScaling(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 3 {
+		t.Fatalf("too few scaling rows:\n%s", rep.Render())
+	}
+	for _, row := range rep.Rows {
+		if !row.Converged {
+			t.Errorf("n=%d did not converge", row.N)
+		}
+	}
+	// Cost grows with n.
+	for i := 1; i < len(rep.Rows); i++ {
+		if rep.Rows[i].Messages <= rep.Rows[i-1].Messages {
+			t.Errorf("messages not growing: %d then %d", rep.Rows[i-1].Messages, rep.Rows[i].Messages)
+		}
+	}
+}

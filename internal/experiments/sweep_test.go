@@ -1,0 +1,25 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRandomSweep(t *testing.T) {
+	count := 8
+	if testing.Short() {
+		count = 3
+	}
+	rep, err := experiments.RunSweep(count, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < count {
+		t.Fatalf("only %d of %d runs completed (candidates=%d, satisfying=%d)",
+			len(rep.Rows), count, rep.Candidates, rep.Satisfying)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("sweep failures:\n%s", rep.Render())
+	}
+}

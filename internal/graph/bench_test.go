@@ -1,0 +1,85 @@
+package graph
+
+import "testing"
+
+func BenchmarkDescendants(b *testing.B) {
+	g := Fig1b()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Descendants(0, SetOf(3, 10))
+	}
+}
+
+func BenchmarkSourceComponent(b *testing.B) {
+	g := Fig1b()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SourceComponent(SetOf(3), SetOf(10))
+	}
+}
+
+func BenchmarkSCCs(b *testing.B) {
+	g := RandomDigraph(32, 0.1, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SCCs()
+	}
+}
+
+func BenchmarkMaxDisjointPaths(b *testing.B) {
+	g := Fig1b()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.MaxDisjointPaths(0, 7, EmptySet) != 4 {
+			b.Fatal("wrong count")
+		}
+	}
+}
+
+func BenchmarkVertexConnectivity(b *testing.B) {
+	g := Wheel(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.VertexConnectivity()
+	}
+}
+
+func BenchmarkSimplePathsTo(b *testing.B) {
+	g := Fig1bAnalog()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.SimplePathsTo(0, EmptySet, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRedundantPathsTo(b *testing.B) {
+	g := Circulant(6, 1, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.RedundantPathsTo(0, EmptySet, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIsRedundant(b *testing.B) {
+	p := Path{0, 1, 2, 3, 4, 2, 5, 6}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.IsRedundant()
+	}
+}
+
+func BenchmarkSubsets(b *testing.B) {
+	u := FullSet(14)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		Subsets(u, 2, func(Set) bool { count++; return true })
+		if count != 106 {
+			b.Fatal("wrong count")
+		}
+	}
+}

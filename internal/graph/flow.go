@@ -1,0 +1,166 @@
+package graph
+
+// This file implements vertex-disjoint path counting (Menger's theorem) via
+// unit-capacity max-flow with node splitting. Graphs here are tiny (n <= 64)
+// so an adjacency-matrix Edmonds-Karp is simple and fast.
+
+const infCap = 1 << 20
+
+type flowNet struct {
+	size int
+	cap  [][]int
+}
+
+func newFlowNet(size int) *flowNet {
+	capm := make([][]int, size)
+	cells := make([]int, size*size)
+	for i := range capm {
+		capm[i] = cells[i*size : (i+1)*size]
+	}
+	return &flowNet{size: size, cap: capm}
+}
+
+func (f *flowNet) addEdge(u, v, c int) { f.cap[u][v] += c }
+
+// maxFlow runs Edmonds-Karp from s to t and returns the max flow value,
+// stopping early once the flow reaches limit (pass infCap for no limit).
+func (f *flowNet) maxFlow(s, t, limit int) int {
+	total := 0
+	parent := make([]int, f.size)
+	queue := make([]int, 0, f.size)
+	for total < limit {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue = queue[:0]
+		queue = append(queue, s)
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < f.size; v++ {
+				if parent[v] == -1 && f.cap[u][v] > 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			break
+		}
+		// Find bottleneck.
+		aug := infCap
+		for v := t; v != s; v = parent[v] {
+			if c := f.cap[parent[v]][v]; c < aug {
+				aug = c
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			f.cap[parent[v]][v] -= aug
+			f.cap[v][parent[v]] += aug
+		}
+		total += aug
+	}
+	return total
+}
+
+// nodeSplit builds the split network for g restricted to V \ excl:
+// in(x) = 2x, out(x) = 2x+1, through-capacity 1 except for nodes in wide,
+// which get infinite through-capacity. Graph edges get capacity 1: the
+// graph is simple, so each edge carries at most one of the disjoint paths
+// (this also makes a direct u->v edge count as exactly one path even though
+// both endpoints have infinite through-capacity).
+func (g *Graph) nodeSplit(excl, wide Set) *flowNet {
+	f := newFlowNet(2*g.n + 2)
+	for x := 0; x < g.n; x++ {
+		if excl.Has(x) {
+			continue
+		}
+		c := 1
+		if wide.Has(x) {
+			c = infCap
+		}
+		f.addEdge(2*x, 2*x+1, c)
+		for _, y := range g.out[x] {
+			if !excl.Has(y) {
+				f.addEdge(2*x+1, 2*y, 1)
+			}
+		}
+	}
+	return f
+}
+
+// MaxDisjointPaths returns the maximum number of internally vertex-disjoint
+// directed paths from u to v in the subgraph induced by V \ excl. The direct
+// edge (u,v), if present, counts as one path. Returns 0 if u or v is
+// excluded; returns a large value (>= n) if u == v.
+func (g *Graph) MaxDisjointPaths(u, v int, excl Set) int {
+	if u == v {
+		return g.n
+	}
+	if excl.Has(u) || excl.Has(v) {
+		return 0
+	}
+	f := g.nodeSplit(excl, SetOf(u, v))
+	return f.maxFlow(2*u+1, 2*v, infCap)
+}
+
+// MaxDisjointPathsFromSet returns the maximum number of node-disjoint
+// (A, b)-paths — paths starting at distinct nodes of A, ending at b, and
+// pairwise sharing no node other than b — in the subgraph induced by
+// V \ excl. This realizes the paper's Definition 10 when called with
+// excl = complement of C. If b is in A the answer is taken to be n
+// (the trivial path <b> gives unbounded common influence).
+func (g *Graph) MaxDisjointPathsFromSet(a Set, b int, excl Set) int {
+	a = a.Minus(excl)
+	if a.Has(b) {
+		return g.n
+	}
+	if a.Empty() || excl.Has(b) {
+		return 0
+	}
+	f := g.nodeSplit(excl, SetOf(b))
+	s := 2 * g.n
+	a.ForEach(func(x int) bool {
+		f.addEdge(s, 2*x, 1)
+		return true
+	})
+	return f.maxFlow(s, 2*b, infCap)
+}
+
+// Propagates implements Definition 10: A propagates in C to B, written
+// A ~C~> B, iff B is empty or every b in B has at least f+1 node-disjoint
+// (A, b)-paths inside the induced subgraph G_C.
+func (g *Graph) Propagates(a, b, c Set, f int) bool {
+	if b.Empty() {
+		return true
+	}
+	excl := g.Nodes().Minus(c)
+	ok := true
+	b.ForEach(func(x int) bool {
+		if g.MaxDisjointPathsFromSet(a, x, excl) < f+1 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// VertexConnectivity returns κ(G) for an undirected graph (one with
+// symmetric edges): the minimum, over non-adjacent ordered pairs, of the
+// max number of internally disjoint paths; n-1 for complete graphs.
+func (g *Graph) VertexConnectivity() int {
+	best := g.n - 1
+	for u := 0; u < g.n; u++ {
+		for v := 0; v < g.n; v++ {
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			if k := g.MaxDisjointPaths(u, v, EmptySet); k < best {
+				best = k
+			}
+		}
+	}
+	return best
+}

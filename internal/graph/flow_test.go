@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxDisjointPathsClique(t *testing.T) {
+	g := Clique(5)
+	// K5: direct edge plus 3 two-hop paths.
+	if got := g.MaxDisjointPaths(0, 1, EmptySet); got != 4 {
+		t.Errorf("K5 disjoint(0,1) = %d, want 4", got)
+	}
+	if got := g.MaxDisjointPaths(0, 1, SetOf(2)); got != 3 {
+		t.Errorf("K5 minus node disjoint = %d, want 3", got)
+	}
+}
+
+func TestMaxDisjointPathsCycle(t *testing.T) {
+	g := DirectedCycle(5)
+	if got := g.MaxDisjointPaths(0, 3, EmptySet); got != 1 {
+		t.Errorf("cycle disjoint = %d, want 1", got)
+	}
+	if got := g.MaxDisjointPaths(0, 3, SetOf(1)); got != 0 {
+		t.Errorf("cut cycle disjoint = %d, want 0", got)
+	}
+}
+
+func TestMaxDisjointPathsEdgeCases(t *testing.T) {
+	g := Clique(4)
+	if got := g.MaxDisjointPaths(2, 2, EmptySet); got != 4 {
+		t.Errorf("self disjoint = %d, want n", got)
+	}
+	if got := g.MaxDisjointPaths(0, 1, SetOf(0)); got != 0 {
+		t.Errorf("excluded source = %d, want 0", got)
+	}
+}
+
+func TestMaxDisjointPathsFromSet(t *testing.T) {
+	g := DirectedCycle(4)
+	// Only one path into any node on a cycle.
+	if got := g.MaxDisjointPathsFromSet(SetOf(0, 1), 3, EmptySet); got != 1 {
+		t.Errorf("cycle from-set = %d, want 1", got)
+	}
+	k := Clique(5)
+	if got := k.MaxDisjointPathsFromSet(SetOf(0, 1, 2), 4, EmptySet); got != 3 {
+		t.Errorf("clique from-set = %d, want 3", got)
+	}
+	// b inside A: unbounded by convention.
+	if got := k.MaxDisjointPathsFromSet(SetOf(3, 4), 4, EmptySet); got != 5 {
+		t.Errorf("b in A = %d, want n", got)
+	}
+}
+
+func TestPropagates(t *testing.T) {
+	g := Clique(5)
+	all := g.Nodes()
+	// In K5, any 3-set propagates to the rest for f+1 = 3.
+	if !g.Propagates(SetOf(0, 1, 2), SetOf(3, 4), all, 2) {
+		t.Error("K5 propagation should hold for f=2")
+	}
+	if g.Propagates(SetOf(0, 1, 2), SetOf(3, 4), all, 3) {
+		t.Error("K5 propagation cannot reach f+1=4 from 3 sources")
+	}
+	// Empty B propagates trivially.
+	if !g.Propagates(SetOf(0), EmptySet, all, 10) {
+		t.Error("empty target must propagate")
+	}
+}
+
+func TestVertexConnectivity(t *testing.T) {
+	tests := []struct {
+		g    *Graph
+		want int
+	}{
+		{Clique(5), 4},
+		{Wheel(4), 3},
+		{RandomUndirected(1, 0, 1), 0},
+	}
+	for _, tc := range tests {
+		if got := tc.g.VertexConnectivity(); got != tc.want {
+			t.Errorf("kappa(%s) = %d, want %d", tc.g, got, tc.want)
+		}
+	}
+	// Path graph has connectivity 1.
+	p := New(4)
+	p.AddBoth(0, 1)
+	p.AddBoth(1, 2)
+	p.AddBoth(2, 3)
+	if got := p.VertexConnectivity(); got != 1 {
+		t.Errorf("path kappa = %d, want 1", got)
+	}
+}
+
+func TestWheelMinimallyThreeConnected(t *testing.T) {
+	// The Figure 1(a) claim: removing ANY edge of W4 drops κ below 3.
+	w := Wheel(4)
+	if w.VertexConnectivity() != 3 {
+		t.Fatalf("W4 kappa = %d", w.VertexConnectivity())
+	}
+	for _, e := range w.Edges() {
+		if e[0] > e[1] {
+			continue // undirected edge once
+		}
+		c := w.Clone()
+		c.RemoveEdge(e[0], e[1])
+		c.RemoveEdge(e[1], e[0])
+		if got := c.VertexConnectivity(); got >= 3 {
+			t.Errorf("removing %v keeps kappa = %d", e, got)
+		}
+	}
+}
+
+// TestMengerLowerBound cross-checks max-flow against explicit path packing:
+// the flow value never exceeds the in/out degree bounds and respects
+// monotonicity under node removal.
+func TestMengerBounds(t *testing.T) {
+	f := func(seed int64, x uint8) bool {
+		g := RandomDigraph(7, 0.35, seed)
+		u, v := int(x%7), int((x/7)%7)
+		if u == v {
+			return true
+		}
+		k := g.MaxDisjointPaths(u, v, EmptySet)
+		outDeg, inDeg := len(g.Out(u)), len(g.In(v))
+		if k > outDeg || k > inDeg {
+			return false
+		}
+		// Removing one more node cannot increase the count.
+		for w := 0; w < 7; w++ {
+			if w == u || w == v {
+				continue
+			}
+			if g.MaxDisjointPaths(u, v, SetOf(w)) > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFig1bDisjointPathCounts(t *testing.T) {
+	// The paper: v1 and w1 are connected via only 2f = 4 disjoint paths.
+	g := Fig1b()
+	if got := g.MaxDisjointPaths(0, 7, EmptySet); got != 4 {
+		t.Errorf("fig1b v1->w1 = %d, want 4", got)
+	}
+	if got := g.MaxDisjointPaths(7, 0, EmptySet); got != 4 {
+		t.Errorf("fig1b w1->v1 = %d, want 4", got)
+	}
+	// Inside a clique connectivity stays high.
+	if got := g.MaxDisjointPaths(0, 1, EmptySet); got != 6 {
+		t.Errorf("fig1b v1->v2 = %d, want 6", got)
+	}
+}

@@ -1,0 +1,168 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Clique returns the complete digraph on n nodes (every ordered pair joined).
+func Clique(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g.SetName(fmt.Sprintf("clique%d", n))
+}
+
+// DirectedCycle returns the cycle 0 -> 1 -> ... -> n-1 -> 0.
+func DirectedCycle(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		g.MustAddEdge(u, (u+1)%n)
+	}
+	return g.SetName(fmt.Sprintf("cycle%d", n))
+}
+
+// Wheel returns the (bidirected) wheel W_k: hub node 0 joined to every rim
+// node, plus the rim cycle 1..k. W_4 (n = 5) is minimally 3-connected and is
+// our stand-in for the paper's Figure 1(a): n > 3f and κ(G) > 2f hold for
+// f = 1, and removing any single edge breaks κ(G) > 2f.
+func Wheel(k int) *Graph {
+	g := New(k + 1)
+	for i := 1; i <= k; i++ {
+		if err := g.AddBoth(0, i); err != nil {
+			panic(err)
+		}
+		if err := g.AddBoth(i, i%k+1); err != nil {
+			panic(err)
+		}
+	}
+	return g.SetName(fmt.Sprintf("wheel%d", k))
+}
+
+// Fig1a returns the Figure 1(a) stand-in graph (see DESIGN.md fidelity
+// note 6): the wheel W_4 as a bidirected digraph, n = 5.
+func Fig1a() *Graph {
+	return Wheel(4).SetName("fig1a")
+}
+
+// Fig1b returns the Figure 1(b) graph: two cliques of 7 nodes each plus
+// eight directed cross edges. Nodes 0..6 are v1..v7 (clique K1) and nodes
+// 7..13 are w1..w7 (clique K2). Cross edges: v_i -> w_i for i = 1..4 and
+// w_i -> v_i for i = 4..7, so only the pair (v4, w4) carries a bidirectional
+// bridge. The benchmark suite verifies exhaustively that this graph
+// satisfies 3-reach for f = 2 while v1 and w1 are joined by only 2f = 4
+// vertex-disjoint paths (all-pair reliable message transmission impossible).
+func Fig1b() *Graph {
+	g := New(14)
+	for u := 0; u < 7; u++ {
+		for v := 0; v < 7; v++ {
+			if u != v {
+				g.MustAddEdge(u, v)
+				g.MustAddEdge(u+7, v+7)
+			}
+		}
+	}
+	for i := 0; i < 4; i++ { // v1->w1 .. v4->w4
+		g.MustAddEdge(i, i+7)
+	}
+	for i := 3; i < 7; i++ { // w4->v4 .. w7->v7
+		g.MustAddEdge(i+7, i)
+	}
+	return g.SetName("fig1b")
+}
+
+// Fig1bAnalog returns the scaled-down analog of Figure 1(b) used for
+// end-to-end BW executions (f = 1): two cliques of 4 plus four cross edges
+// with pairwise-disjoint endpoints. Nodes 0..3 are v1..v4, nodes 4..7 are
+// w1..w4. Cross edges: v1->w1, v2->w2 (K1 to K2) and w3->v3, w4->v4 (K2 to
+// K1). The condition checker verifies 3-reach for f = 1, and v1-w1 are
+// joined by only 2f = 2 disjoint paths.
+func Fig1bAnalog() *Graph {
+	g := New(8)
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v {
+				g.MustAddEdge(u, v)
+				g.MustAddEdge(u+4, v+4)
+			}
+		}
+	}
+	g.MustAddEdge(0, 4) // v1 -> w1
+	g.MustAddEdge(1, 5) // v2 -> w2
+	g.MustAddEdge(6, 2) // w3 -> v3
+	g.MustAddEdge(7, 3) // w4 -> v4
+	return g.SetName("fig1b-analog")
+}
+
+// Circulant returns the circulant digraph on n nodes with edges
+// i -> (i+d) mod n for every offset d. With offsets 1..2f+1 these graphs
+// satisfy 3-reach for small f and grow sparsely, which makes them the
+// scalability family for the benchmarks.
+func Circulant(n int, offsets ...int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for _, d := range offsets {
+			v := ((u+d)%n + n) % n
+			if v != u {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g.SetName(fmt.Sprintf("circulant%d", n))
+}
+
+// RandomDigraph returns a digraph where each ordered pair (u, v), u != v, is
+// an edge independently with probability p, using the given seed.
+func RandomDigraph(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	return g.SetName(fmt.Sprintf("random%d", n))
+}
+
+// RandomUndirected returns a bidirected digraph where each unordered pair is
+// joined (in both directions) independently with probability p.
+func RandomUndirected(n int, p float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if err := g.AddBoth(u, v); err != nil {
+					panic(err) // unreachable: endpoints valid by loop bounds
+				}
+			}
+		}
+	}
+	return g.SetName(fmt.Sprintf("randomU%d", n))
+}
+
+// TwoCliquesBridged is the generic two-clique family behind Figure 1(b):
+// cliques of size k on nodes 0..k-1 and k..2k-1, plus the given cross edges
+// (pairs are (u, v) node IDs in the combined numbering).
+func TwoCliquesBridged(k int, cross [][2]int) *Graph {
+	g := New(2 * k)
+	for u := 0; u < k; u++ {
+		for v := 0; v < k; v++ {
+			if u != v {
+				g.MustAddEdge(u, v)
+				g.MustAddEdge(u+k, v+k)
+			}
+		}
+	}
+	for _, e := range cross {
+		g.MustAddEdge(e[0], e[1])
+	}
+	return g.SetName(fmt.Sprintf("twocliques%d", k))
+}

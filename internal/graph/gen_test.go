@@ -1,0 +1,120 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClique(t *testing.T) {
+	g := Clique(5)
+	if g.N() != 5 || g.M() != 20 {
+		t.Errorf("K5: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsStronglyConnected() {
+		t.Error("clique not strongly connected")
+	}
+}
+
+func TestDirectedCycleShape(t *testing.T) {
+	g := DirectedCycle(6)
+	if g.M() != 6 {
+		t.Errorf("cycle m = %d", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if len(g.Out(v)) != 1 || len(g.In(v)) != 1 {
+			t.Errorf("cycle degree wrong at %d", v)
+		}
+	}
+}
+
+func TestWheelShape(t *testing.T) {
+	g := Wheel(4)
+	if g.N() != 5 || g.M() != 16 { // 8 undirected edges
+		t.Errorf("W4: n=%d m=%d", g.N(), g.M())
+	}
+	if len(g.Out(0)) != 4 {
+		t.Errorf("hub degree = %d", len(g.Out(0)))
+	}
+	for v := 1; v <= 4; v++ {
+		if len(g.Out(v)) != 3 {
+			t.Errorf("rim degree at %d = %d", v, len(g.Out(v)))
+		}
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	g := Fig1b()
+	if g.N() != 14 {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Two K7s: 2*42 = 84 internal edges, plus 8 bridges.
+	if g.M() != 92 {
+		t.Errorf("m = %d, want 92", g.M())
+	}
+	cross := 0
+	for _, e := range g.Edges() {
+		if (e[0] < 7) != (e[1] < 7) {
+			cross++
+		}
+	}
+	if cross != 8 {
+		t.Errorf("cross edges = %d, want 8", cross)
+	}
+}
+
+func TestFig1bAnalogShape(t *testing.T) {
+	g := Fig1bAnalog()
+	if g.N() != 8 || g.M() != 2*12+4 {
+		t.Errorf("analog: n=%d m=%d", g.N(), g.M())
+	}
+	if !g.IsStronglyConnected() {
+		t.Error("analog not strongly connected")
+	}
+}
+
+func TestCirculant(t *testing.T) {
+	g := Circulant(6, 1, 2)
+	if g.M() != 12 {
+		t.Errorf("m = %d", g.M())
+	}
+	if !g.HasEdge(5, 0) || !g.HasEdge(5, 1) {
+		t.Error("wraparound edges missing")
+	}
+	if !g.IsStronglyConnected() {
+		t.Error("circulant not strongly connected")
+	}
+}
+
+func TestRandomDigraphDeterminism(t *testing.T) {
+	a := RandomDigraph(8, 0.4, 11)
+	b := RandomDigraph(8, 0.4, 11)
+	c := RandomDigraph(8, 0.4, 12)
+	if strings.Join(a.SortedEdges(), ",") != strings.Join(b.SortedEdges(), ",") {
+		t.Error("same seed produced different graphs")
+	}
+	if strings.Join(a.SortedEdges(), ",") == strings.Join(c.SortedEdges(), ",") {
+		t.Error("different seeds produced identical graphs (unlikely)")
+	}
+}
+
+func TestRandomDigraphExtremes(t *testing.T) {
+	if g := RandomDigraph(5, 0, 1); g.M() != 0 {
+		t.Error("p=0 has edges")
+	}
+	if g := RandomDigraph(5, 1, 1); g.M() != 20 {
+		t.Error("p=1 not complete")
+	}
+	if g := RandomUndirected(5, 1, 1); g.M() != 20 || !g.IsUndirected() {
+		t.Error("undirected p=1 wrong")
+	}
+}
+
+func TestTwoCliquesBridged(t *testing.T) {
+	g := TwoCliquesBridged(3, [][2]int{{0, 3}, {4, 1}})
+	if g.N() != 6 || g.M() != 12+2 {
+		t.Errorf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(0, 3) || !g.HasEdge(4, 1) {
+		t.Error("bridges missing")
+	}
+}

@@ -1,0 +1,212 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Marshal writes the graph in a small line-oriented text format:
+//
+//	# optional comment lines
+//	n <order>
+//	e <from> <to>
+//
+// The format round-trips through Unmarshal.
+func (g *Graph) Marshal(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if g.name != "" {
+		fmt.Fprintf(bw, "# %s\n", g.name)
+	}
+	fmt.Fprintf(bw, "n %d\n", g.n)
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "e %d %d\n", e[0], e[1])
+	}
+	return bw.Flush()
+}
+
+// Unmarshal parses the format written by Marshal.
+func Unmarshal(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	var g *Graph
+	name := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if name == "" {
+				name = strings.TrimSpace(strings.TrimPrefix(text, "#"))
+			}
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate order declaration", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: want 'n <order>'", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 || n > MaxNodes {
+				return nil, fmt.Errorf("graph: line %d: bad order %q", line, fields[1])
+			}
+			g = New(n)
+			g.name = name
+		case "e":
+			if g == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before order declaration", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want 'e <from> <to>'", line)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph: line %d: bad edge %q", line, text)
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				return nil, fmt.Errorf("graph: line %d: %w", line, err)
+			}
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: input contained no order declaration")
+	}
+	return g, nil
+}
+
+// DOT renders the graph in Graphviz format. Bidirectional edge pairs are
+// drawn once with dir=both to keep figures readable.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	name := g.name
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	drawn := make(map[[2]int]bool)
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		if drawn[[2]int{u, v}] {
+			continue
+		}
+		if g.HasEdge(v, u) {
+			fmt.Fprintf(&b, "  %d -> %d [dir=both];\n", u, v)
+			drawn[[2]int{v, u}] = true
+		} else {
+			fmt.Fprintf(&b, "  %d -> %d;\n", u, v)
+		}
+		drawn[[2]int{u, v}] = true
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Named constructs one of the built-in graphs from a spec string, for the
+// CLIs:
+//
+//	clique:<n>       complete digraph
+//	cycle:<n>        directed cycle
+//	wheel:<k>        bidirected wheel (k rim nodes)
+//	fig1a            the paper's Figure 1(a) stand-in (W4)
+//	fig1b            the paper's Figure 1(b) graph (two K7 + 8 bridges)
+//	fig1b-analog     the scaled Figure 1(b) analog (two K4 + 4 bridges)
+//	circulant:<n>:<d1,d2,...>  circulant digraph
+//	random:<n>:<p>:<seed>      random digraph
+func Named(spec string) (*Graph, error) {
+	parts := strings.Split(spec, ":")
+	arg := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("graph: spec %q: missing argument %d", spec, i)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	switch parts[0] {
+	case "clique":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return Clique(n), nil
+	case "cycle":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return DirectedCycle(n), nil
+	case "wheel":
+		k, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		return Wheel(k), nil
+	case "fig1a":
+		return Fig1a(), nil
+	case "fig1b":
+		return Fig1b(), nil
+	case "fig1b-analog":
+		return Fig1bAnalog(), nil
+	case "circulant":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("graph: spec %q: missing offsets", spec)
+		}
+		var offsets []int
+		for _, s := range strings.Split(parts[2], ",") {
+			d, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("graph: spec %q: bad offset %q", spec, s)
+			}
+			offsets = append(offsets, d)
+		}
+		return Circulant(n, offsets...), nil
+	case "random":
+		n, err := arg(1)
+		if err != nil {
+			return nil, err
+		}
+		if len(parts) < 4 {
+			return nil, fmt.Errorf("graph: spec %q: want random:<n>:<p>:<seed>", spec)
+		}
+		p, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: spec %q: bad probability", spec)
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: spec %q: bad seed", spec)
+		}
+		return RandomDigraph(n, p, seed), nil
+	default:
+		return nil, fmt.Errorf("graph: unknown spec %q", spec)
+	}
+}
+
+// SortedEdges returns the edges formatted "u->v", sorted, for stable test
+// comparisons.
+func (g *Graph) SortedEdges() []string {
+	es := g.Edges()
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = fmt.Sprintf("%d->%d", e[0], e[1])
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{Clique(4), DirectedCycle(5), Fig1b(), Wheel(4)} {
+		var buf bytes.Buffer
+		if err := g.Marshal(&buf); err != nil {
+			t.Fatalf("Marshal(%s): %v", g, err)
+		}
+		back, err := Unmarshal(&buf)
+		if err != nil {
+			t.Fatalf("Unmarshal(%s): %v", g, err)
+		}
+		if back.N() != g.N() || !reflect.DeepEqual(back.SortedEdges(), g.SortedEdges()) {
+			t.Errorf("round trip mismatch for %s", g)
+		}
+		if back.Name() != g.Name() {
+			t.Errorf("name lost: %q != %q", back.Name(), g.Name())
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"edge first":     "e 0 1\nn 2\n",
+		"double order":   "n 2\nn 3\n",
+		"bad order":      "n zero\n",
+		"order range":    "n 100\n",
+		"bad edge arity": "n 2\ne 0\n",
+		"bad edge node":  "n 2\ne 0 5\n",
+		"self loop":      "n 2\ne 1 1\n",
+		"unknown":        "n 2\nx 1 2\n",
+	}
+	for name, in := range cases {
+		if _, err := Unmarshal(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestUnmarshalSkipsBlanksAndComments(t *testing.T) {
+	in := "# my graph\n\n  \nn 3\ne 0 1\n# trailing\ne 1 2\n"
+	g, err := Unmarshal(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "my graph" || g.M() != 2 {
+		t.Errorf("got %s name=%q", g, g.Name())
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.AddBoth(1, 2)
+	dot := g.DOT()
+	if !strings.Contains(dot, "0 -> 1;") {
+		t.Errorf("missing directed edge: %s", dot)
+	}
+	if !strings.Contains(dot, "1 -> 2 [dir=both];") {
+		t.Errorf("missing bidirected edge: %s", dot)
+	}
+	if strings.Contains(dot, "2 -> 1") {
+		t.Errorf("bidirected pair drawn twice: %s", dot)
+	}
+}
+
+func TestNamedSpecs(t *testing.T) {
+	good := map[string]int{
+		"clique:5":        5,
+		"cycle:3":         3,
+		"wheel:4":         5,
+		"fig1a":           5,
+		"fig1b":           14,
+		"fig1b-analog":    8,
+		"circulant:7:1,2": 7,
+		"random:6:0.5:42": 6,
+	}
+	for spec, n := range good {
+		g, err := Named(spec)
+		if err != nil {
+			t.Errorf("Named(%q): %v", spec, err)
+			continue
+		}
+		if g.N() != n {
+			t.Errorf("Named(%q).N() = %d, want %d", spec, g.N(), n)
+		}
+	}
+	bad := []string{"", "nope", "clique", "clique:x", "circulant:5", "circulant:5:a", "random:5", "random:5:x:1", "random:5:0.5:x"}
+	for _, spec := range bad {
+		if _, err := Named(spec); err == nil {
+			t.Errorf("Named(%q) should fail", spec)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Path is a directed walk represented by its node sequence. Path{v} is the
+// trivial path at v. The paper's propagation paths are "redundant paths":
+// concatenations of at most two simple paths (Section 3), so their length is
+// bounded by 2n.
+type Path []int
+
+// Init returns the initial node of the path.
+func (p Path) Init() int { return p[0] }
+
+// Ter returns the terminal node of the path.
+func (p Path) Ter() int { return p[len(p)-1] }
+
+// Key encodes the path as a compact string usable as a map key. Node IDs are
+// below 64, so one byte per node suffices.
+func (p Path) Key() string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// PathFromKey decodes a Key back into a Path.
+func PathFromKey(k string) Path {
+	p := make(Path, len(k))
+	for i := 0; i < len(k); i++ {
+		p[i] = int(k[i])
+	}
+	return p
+}
+
+// Set returns the set of nodes on the path.
+func (p Path) Set() Set { return PathSet(p) }
+
+// Clone returns a copy of the path.
+func (p Path) Clone() Path { return append(Path(nil), p...) }
+
+// Append returns p with v appended (a fresh slice; p is not modified).
+func (p Path) Append(v int) Path {
+	out := make(Path, len(p)+1)
+	copy(out, p)
+	out[len(p)] = v
+	return out
+}
+
+// IsSimple reports whether the path repeats no node.
+func (p Path) IsSimple() bool {
+	var seen Set
+	for _, v := range p {
+		if seen.Has(v) {
+			return false
+		}
+		seen = seen.Add(v)
+	}
+	return true
+}
+
+// IsRedundant reports whether the path is a concatenation p1 || p2 of two
+// simple paths (one possibly trivial) — the paper's redundant path
+// (Section 3). Every simple path is redundant.
+func (p Path) IsRedundant() bool {
+	if len(p) == 0 {
+		return false
+	}
+	// a = length of the longest all-distinct prefix; prefixes p[:i+1] are
+	// simple iff i+1 <= a.
+	a := len(p)
+	var seen Set
+	for i, v := range p {
+		if seen.Has(v) {
+			a = i
+			break
+		}
+		seen = seen.Add(v)
+	}
+	// b = start of the longest all-distinct suffix; suffixes p[i:] are
+	// simple iff i >= b.
+	b := 0
+	seen = EmptySet
+	for i := len(p) - 1; i >= 0; i-- {
+		if seen.Has(p[i]) {
+			b = i + 1
+			break
+		}
+		seen = seen.Add(p[i])
+	}
+	// Redundant iff some split index i has p[:i+1] and p[i:] both simple:
+	// i <= a-1 and i >= b.
+	return b <= a-1
+}
+
+// ValidIn reports whether p is a directed walk of g: nonempty, nodes in
+// range, and consecutive nodes joined by edges.
+func (p Path) ValidIn(g *Graph) bool {
+	if len(p) == 0 {
+		return false
+	}
+	for _, v := range p {
+		if v < 0 || v >= g.n {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the path as "<a b c>".
+func (p Path) String() string {
+	s := "<"
+	for i, v := range p {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s + ">"
+}
+
+// ErrPathBudget is returned when an enumeration would exceed its budget.
+// Callers use it to refuse experiment configurations whose redundant-path
+// floods would be astronomically large (see DESIGN.md fidelity note 7).
+var ErrPathBudget = errors.New("graph: path enumeration budget exceeded")
+
+// SimplePathsTo enumerates every simple path that ends at v and avoids excl,
+// including the trivial path <v>. It returns ErrPathBudget if more than
+// budget paths exist (budget <= 0 means unlimited).
+func (g *Graph) SimplePathsTo(v int, excl Set, budget int) ([]Path, error) {
+	if excl.Has(v) {
+		return nil, nil
+	}
+	var out []Path
+	// Backward DFS from v, extending at the front.
+	cur := Path{v}
+	var rec func(front int, visited Set) error
+	rec = func(front int, visited Set) error {
+		p := make(Path, len(cur))
+		copy(p, cur)
+		out = append(out, p)
+		if budget > 0 && len(out) > budget {
+			return ErrPathBudget
+		}
+		var err error
+		g.inMask[front].Minus(visited).Minus(excl).ForEach(func(w int) bool {
+			cur = append(Path{w}, cur...)
+			err = rec(w, visited.Add(w))
+			cur = cur[1:]
+			return err == nil
+		})
+		return err
+	}
+	if err := rec(v, SetOf(v)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SimplePathsFromTo enumerates the simple (from, to)-paths avoiding excl.
+// With from == to only the trivial path is returned.
+func (g *Graph) SimplePathsFromTo(from, to int, excl Set, budget int) ([]Path, error) {
+	if excl.Has(from) || excl.Has(to) {
+		return nil, nil
+	}
+	if from == to {
+		return []Path{{to}}, nil
+	}
+	var out []Path
+	cur := Path{from}
+	var rec func(at int, visited Set) error
+	rec = func(at int, visited Set) error {
+		if at == to {
+			p := make(Path, len(cur))
+			copy(p, cur)
+			out = append(out, p)
+			if budget > 0 && len(out) > budget {
+				return ErrPathBudget
+			}
+			return nil
+		}
+		var err error
+		g.outMask[at].Minus(visited).Minus(excl).ForEach(func(w int) bool {
+			cur = append(cur, w)
+			err = rec(w, visited.Add(w))
+			cur = cur[:len(cur)-1]
+			return err == nil
+		})
+		return err
+	}
+	if err := rec(from, SetOf(from)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RedundantPathsTo enumerates every redundant path ending at v that avoids
+// excl — the set {p in Pr_{V\excl} : ter(p) = v} of Definition 9. The result
+// is deduplicated (a sequence decomposable at several split points appears
+// once) and returned as a key set. It returns ErrPathBudget if more than
+// budget distinct paths exist (budget <= 0 means unlimited).
+func (g *Graph) RedundantPathsTo(v int, excl Set, budget int) (map[string]struct{}, error) {
+	if excl.Has(v) {
+		return map[string]struct{}{}, nil
+	}
+	// All simple paths ending at v.
+	s2, err := g.SimplePathsTo(v, excl, budget)
+	if err != nil {
+		return nil, err
+	}
+	// Group second halves by their initial node.
+	byInit := make(map[int][]Path)
+	for _, p := range s2 {
+		byInit[p.Init()] = append(byInit[p.Init()], p)
+	}
+	out := make(map[string]struct{}, len(s2))
+	for m, seconds := range byInit {
+		firsts, err := g.SimplePathsTo(m, excl, budget)
+		if err != nil {
+			return nil, err
+		}
+		for _, s1 := range firsts {
+			for _, sp := range seconds {
+				whole := make(Path, 0, len(s1)+len(sp)-1)
+				whole = append(whole, s1...)
+				whole = append(whole, sp[1:]...)
+				out[whole.Key()] = struct{}{}
+				if budget > 0 && len(out) > budget {
+					return nil, ErrPathBudget
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CountRedundantPathsTo returns the number of distinct redundant paths
+// ending at v avoiding excl, or ErrPathBudget if it exceeds budget.
+func (g *Graph) CountRedundantPathsTo(v int, excl Set, budget int) (int, error) {
+	m, err := g.RedundantPathsTo(v, excl, budget)
+	if err != nil {
+		return 0, err
+	}
+	return len(m), nil
+}

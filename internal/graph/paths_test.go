@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathBasics(t *testing.T) {
+	p := Path{2, 0, 1}
+	if p.Init() != 2 || p.Ter() != 1 {
+		t.Error("Init/Ter wrong")
+	}
+	if p.Set() != SetOf(0, 1, 2) {
+		t.Error("Set wrong")
+	}
+	if got := PathFromKey(p.Key()); !reflect.DeepEqual(got, p) {
+		t.Errorf("key round trip: %v", got)
+	}
+	ap := p.Append(3)
+	if !reflect.DeepEqual(ap, Path{2, 0, 1, 3}) || len(p) != 3 {
+		t.Error("Append must not mutate the receiver")
+	}
+	if p.String() != "<2 0 1>" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestIsSimple(t *testing.T) {
+	if !(Path{0, 1, 2}).IsSimple() || (Path{0, 1, 0}).IsSimple() {
+		t.Error("IsSimple wrong")
+	}
+	if !(Path{5}).IsSimple() {
+		t.Error("trivial path is simple")
+	}
+}
+
+func TestIsRedundant(t *testing.T) {
+	tests := []struct {
+		p    Path
+		want bool
+	}{
+		{Path{0}, true},              // trivial
+		{Path{0, 1, 2}, true},        // simple
+		{Path{0, 1, 0, 2}, true},     // <0,1,0> no... split at index 1: <0,1>+<1,0,2>
+		{Path{0, 1, 2, 1, 3}, true},  // <0,1,2> + <2,1,3>
+		{Path{0, 1, 0, 1}, false},    // needs three simple pieces
+		{Path{1, 0, 1, 0}, false},    // same
+		{Path{0, 1, 2, 0, 1}, true},  // <0,1,2> + <2,0,1>
+		{Path{}, false},              // empty is not a path
+		{Path{3, 4, 3, 4, 3}, false}, // zigzag needs 4 pieces
+	}
+	for _, tc := range tests {
+		if got := tc.p.IsRedundant(); got != tc.want {
+			t.Errorf("IsRedundant(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestIsRedundantMatchesBruteForce compares the linear-time check with the
+// definition: some split into two simple halves exists.
+func TestIsRedundantMatchesBruteForce(t *testing.T) {
+	brute := func(p Path) bool {
+		for i := 0; i < len(p); i++ {
+			if Path(p[:i+1]).IsSimple() && Path(p[i:]).IsSimple() {
+				return true
+			}
+		}
+		return false
+	}
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(8)
+		p := make(Path, n)
+		for i := range p {
+			p[i] = rng.Intn(4)
+		}
+		if got, want := p.IsRedundant(), brute(p); got != want {
+			t.Fatalf("IsRedundant(%v) = %v, brute = %v", p, got, want)
+		}
+	}
+}
+
+func TestValidIn(t *testing.T) {
+	g := DirectedCycle(4)
+	if !(Path{0, 1, 2}).ValidIn(g) {
+		t.Error("valid path rejected")
+	}
+	if (Path{0, 2}).ValidIn(g) {
+		t.Error("non-edge accepted")
+	}
+	if (Path{}).ValidIn(g) || (Path{7}).ValidIn(g) {
+		t.Error("empty/out-of-range accepted")
+	}
+}
+
+func TestSimplePathsToCycle(t *testing.T) {
+	g := DirectedCycle(4)
+	paths, err := g.SimplePathsTo(0, EmptySet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <0>, <3,0>, <2,3,0>, <1,2,3,0>.
+	if len(paths) != 4 {
+		t.Fatalf("cycle simple paths to 0: %d, want 4: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		if p.Ter() != 0 || !p.IsSimple() || !p.ValidIn(g) {
+			t.Errorf("bad path %v", p)
+		}
+	}
+}
+
+func TestSimplePathsToExclusion(t *testing.T) {
+	g := Clique(4)
+	paths, err := g.SimplePathsTo(0, SetOf(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K3 on {0,1,2}: <0>, <1,0>, <2,0>, <1,2,0>, <2,1,0>.
+	if len(paths) != 5 {
+		t.Fatalf("got %d paths: %v", len(paths), paths)
+	}
+	for _, p := range paths {
+		if p.Set().Has(3) {
+			t.Errorf("excluded node on path %v", p)
+		}
+	}
+}
+
+func TestSimplePathsFromTo(t *testing.T) {
+	g := Clique(4)
+	paths, err := g.SimplePathsFromTo(1, 2, EmptySet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <1,2>, <1,0,2>, <1,3,2>, <1,0,3,2>, <1,3,0,2>.
+	if len(paths) != 5 {
+		t.Fatalf("got %d: %v", len(paths), paths)
+	}
+	same, err := g.SimplePathsFromTo(2, 2, EmptySet, 0)
+	if err != nil || len(same) != 1 || len(same[0]) != 1 {
+		t.Errorf("from==to: %v, %v", same, err)
+	}
+}
+
+func TestPathBudget(t *testing.T) {
+	g := Clique(6)
+	if _, err := g.SimplePathsTo(0, EmptySet, 10); !errors.Is(err, ErrPathBudget) {
+		t.Errorf("want ErrPathBudget, got %v", err)
+	}
+	if _, err := g.RedundantPathsTo(0, EmptySet, 50); !errors.Is(err, ErrPathBudget) {
+		t.Errorf("want ErrPathBudget, got %v", err)
+	}
+}
+
+// TestRedundantPathsMatchBruteForce enumerates all walks up to length 2n on
+// tiny graphs and compares the redundant ones ending at v with the
+// generator's output.
+func TestRedundantPathsMatchBruteForce(t *testing.T) {
+	graphs := []*Graph{
+		DirectedCycle(3),
+		Clique(3),
+		func() *Graph {
+			g := New(4)
+			g.MustAddEdge(0, 1)
+			g.MustAddEdge(1, 2)
+			g.MustAddEdge(2, 0)
+			g.MustAddEdge(1, 3)
+			g.MustAddEdge(3, 0)
+			return g
+		}(),
+	}
+	for gi, g := range graphs {
+		for v := 0; v < g.N(); v++ {
+			got, err := g.RedundantPathsTo(v, EmptySet, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteRedundantTo(g, v, EmptySet)
+			if !reflect.DeepEqual(keysSorted(got), keysSorted(want)) {
+				t.Errorf("graph %d, v=%d: generator %d paths, brute force %d",
+					gi, v, len(got), len(want))
+			}
+		}
+	}
+}
+
+// bruteRedundantTo enumerates all walks ending at v by BFS over walk space,
+// keeping redundant ones. Walk length is bounded by 2n (the paper's bound
+// on redundant path length).
+func bruteRedundantTo(g *Graph, v int, excl Set) map[string]struct{} {
+	out := make(map[string]struct{})
+	var rec func(walk Path)
+	rec = func(walk Path) {
+		if len(walk) > 2*g.N() {
+			return
+		}
+		if !walk.IsRedundant() {
+			return // no extension of a non-redundant prefix is redundant
+		}
+		if walk.Ter() == v {
+			out[walk.Key()] = struct{}{}
+		}
+		last := walk.Ter()
+		for _, w := range g.Out(last) {
+			if !excl.Has(w) {
+				rec(walk.Append(w))
+			}
+		}
+	}
+	for s := 0; s < g.N(); s++ {
+		if !excl.Has(s) {
+			rec(Path{s})
+		}
+	}
+	return out
+}
+
+func keysSorted(m map[string]struct{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestRedundantPrefixClosed: every prefix of a redundant path is redundant
+// (the property the flooding relay rule relies on).
+func TestRedundantPrefixClosed(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := make(Path, 0, len(raw))
+		for _, b := range raw {
+			p = append(p, int(b%5))
+		}
+		if !p.IsRedundant() {
+			return true
+		}
+		for i := 1; i <= len(p); i++ {
+			if !Path(p[:i]).IsRedundant() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountRedundantPathsTo(t *testing.T) {
+	g := DirectedCycle(3)
+	n, err := g.CountRedundantPathsTo(0, EmptySet, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(bruteRedundantTo(g, 0, EmptySet))
+	if n != want {
+		t.Errorf("count = %d, want %d", n, want)
+	}
+}

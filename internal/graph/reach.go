@@ -1,0 +1,108 @@
+package graph
+
+// Descendants returns the set of nodes reachable from v (including v) by
+// directed paths that avoid every node in excl entirely. If v itself is in
+// excl the result is empty.
+func (g *Graph) Descendants(v int, excl Set) Set {
+	if excl.Has(v) {
+		return EmptySet
+	}
+	seen := SetOf(v)
+	frontier := SetOf(v)
+	for !frontier.Empty() {
+		var next Set
+		frontier.ForEach(func(u int) bool {
+			next = next.Union(g.outMask[u].Minus(seen).Minus(excl))
+			return true
+		})
+		seen = seen.Union(next)
+		frontier = next
+	}
+	return seen
+}
+
+// Ancestors returns the set of nodes that can reach v (including v) by
+// directed paths avoiding every node in excl. If v is in excl the result is
+// empty.
+func (g *Graph) Ancestors(v int, excl Set) Set {
+	if excl.Has(v) {
+		return EmptySet
+	}
+	seen := SetOf(v)
+	frontier := SetOf(v)
+	for !frontier.Empty() {
+		var next Set
+		frontier.ForEach(func(u int) bool {
+			next = next.Union(g.inMask[u].Minus(seen).Minus(excl))
+			return true
+		})
+		seen = seen.Union(next)
+		frontier = next
+	}
+	return seen
+}
+
+// ReachSet implements Definition 2 of the paper: reach_v(F) is the set of
+// nodes u outside F that have a directed path to v in the subgraph induced by
+// V \ F. v itself is always a member (when v is not in F).
+func (g *Graph) ReachSet(v int, f Set) Set {
+	return g.Ancestors(v, f)
+}
+
+// DescendantsReduced returns the nodes reachable from v in the reduced graph
+// G_{F1,F2} (Definition 5): outgoing edges of nodes in F1 ∪ F2 are removed,
+// but those nodes remain valid targets.
+func (g *Graph) DescendantsReduced(v int, f1, f2 Set) Set {
+	rm := f1.Union(f2)
+	seen := SetOf(v)
+	frontier := SetOf(v)
+	for !frontier.Empty() {
+		var next Set
+		frontier.ForEach(func(u int) bool {
+			if rm.Has(u) {
+				return true // no outgoing edges from removed nodes
+			}
+			next = next.Union(g.outMask[u].Minus(seen))
+			return true
+		})
+		seen = seen.Union(next)
+		frontier = next
+	}
+	return seen
+}
+
+// SourceComponent implements Definition 6: the set of nodes in the reduced
+// graph G_{F1,F2} that have directed paths to every node in V. The result is
+// either empty or a strongly connected set.
+func (g *Graph) SourceComponent(f1, f2 Set) Set {
+	all := g.Nodes()
+	var src Set
+	for v := 0; v < g.n; v++ {
+		if f1.Union(f2).Has(v) {
+			continue // removed nodes have no outgoing edges; cannot reach all
+		}
+		if g.DescendantsReduced(v, f1, f2) == all {
+			src = src.Add(v)
+		}
+	}
+	return src
+}
+
+// StronglyConnectedWithin reports whether every ordered pair of nodes in s
+// is connected by a directed path that stays inside s.
+func (g *Graph) StronglyConnectedWithin(s Set) bool {
+	if s.Count() <= 1 {
+		return true
+	}
+	excl := g.Nodes().Minus(s)
+	root := s.Min()
+	if g.Descendants(root, excl) != s {
+		return false
+	}
+	return g.Ancestors(root, excl) == s
+}
+
+// IsStronglyConnected reports whether the whole graph is strongly connected.
+func (g *Graph) IsStronglyConnected() bool {
+	return g.StronglyConnectedWithin(g.Nodes())
+}

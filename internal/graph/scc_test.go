@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSCCsCycleAndClique(t *testing.T) {
+	if got := DirectedCycle(5).SCCs(); len(got) != 1 || got[0] != FullSet(5) {
+		t.Errorf("cycle SCCs = %v", got)
+	}
+	if got := Clique(4).SCCs(); len(got) != 1 || got[0] != FullSet(4) {
+		t.Errorf("clique SCCs = %v", got)
+	}
+}
+
+func TestSCCsChain(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	sccs := g.SCCs()
+	if len(sccs) != 3 {
+		t.Fatalf("chain SCCs = %v", sccs)
+	}
+	// Reverse topological order: sinks first.
+	if sccs[0] != SetOf(2) || sccs[2] != SetOf(0) {
+		t.Errorf("order wrong: %v", sccs)
+	}
+}
+
+func TestSCCsTwoCycles(t *testing.T) {
+	// Cycle {0,1} feeding cycle {2,3}.
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 0)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 2)
+	g.MustAddEdge(1, 2)
+	sccs := g.SCCs()
+	if len(sccs) != 2 {
+		t.Fatalf("SCCs = %v", sccs)
+	}
+	if sccs[0] != SetOf(2, 3) || sccs[1] != SetOf(0, 1) {
+		t.Errorf("components/order wrong: %v", sccs)
+	}
+	srcs := g.CondensationSources()
+	if len(srcs) != 1 || srcs[0] != SetOf(0, 1) {
+		t.Errorf("condensation sources = %v", srcs)
+	}
+}
+
+// TestSCCPartition: components partition V and each is maximal strongly
+// connected, cross-checked against reachability.
+func TestSCCPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		g := RandomDigraph(8, 0.25, seed)
+		sccs := g.SCCs()
+		var union Set
+		for _, c := range sccs {
+			if c.Empty() || c.Intersects(union) {
+				return false
+			}
+			union = union.Union(c)
+			if !g.StronglyConnectedWithin(c) {
+				return false
+			}
+		}
+		if union != FullSet(8) {
+			return false
+		}
+		// Same-component iff mutually reachable.
+		for u := 0; u < 8; u++ {
+			du := g.Descendants(u, EmptySet)
+			au := g.Ancestors(u, EmptySet)
+			for v := 0; v < 8; v++ {
+				same := false
+				for _, c := range sccs {
+					if c.Has(u) && c.Has(v) {
+						same = true
+					}
+				}
+				if same != (du.Has(v) && au.Has(v)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

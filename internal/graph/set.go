@@ -1,0 +1,216 @@
+// Package graph provides the directed-graph substrate used throughout the
+// repository: bitmask node sets, adjacency structures, strongly connected
+// components, reachability, vertex-disjoint paths (Menger via max-flow),
+// simple/redundant path enumeration with explicit budgets, generators for
+// the paper's example graphs, and text serialization.
+//
+// Node identifiers are dense ints in [0, n) with n <= MaxNodes so that node
+// sets fit in a single machine word.
+package graph
+
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MaxNodes is the largest supported graph order. Sets are single uint64
+// bitmasks, which keeps the exponential condition checkers (that enumerate
+// millions of node subsets) allocation-free.
+const MaxNodes = 64
+
+// Set is a set of node IDs represented as a bitmask. The zero value is the
+// empty set and is ready to use.
+type Set uint64
+
+// EmptySet is the set containing no nodes.
+const EmptySet Set = 0
+
+// SetOf builds a set from the given node IDs.
+func SetOf(nodes ...int) Set {
+	var s Set
+	for _, v := range nodes {
+		s = s.Add(v)
+	}
+	return s
+}
+
+// FullSet returns the set {0, ..., n-1}.
+func FullSet(n int) Set {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxNodes {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Add returns s with node v included.
+func (s Set) Add(v int) Set { return s | 1<<uint(v) }
+
+// Remove returns s with node v excluded.
+func (s Set) Remove(v int) Set { return s &^ (1 << uint(v)) }
+
+// Has reports whether v is a member of s.
+func (s Set) Has(v int) bool { return s&(1<<uint(v)) != 0 }
+
+// Union returns the union of s and t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns the intersection of s and t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns the set difference s \ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// Count returns the number of members.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool { return s == 0 }
+
+// Contains reports whether every member of t is also in s.
+func (s Set) Contains(t Set) bool { return t&^s == 0 }
+
+// Intersects reports whether s and t share at least one member.
+func (s Set) Intersects(t Set) bool { return s&t != 0 }
+
+// Members returns the node IDs in ascending order.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	for m := s; m != 0; {
+		v := bits.TrailingZeros64(uint64(m))
+		out = append(out, v)
+		m &= m - 1
+	}
+	return out
+}
+
+// ForEach calls fn for every member in ascending order. It stops early if fn
+// returns false.
+func (s Set) ForEach(fn func(v int) bool) {
+	for m := s; m != 0; {
+		v := bits.TrailingZeros64(uint64(m))
+		if !fn(v) {
+			return
+		}
+		m &= m - 1
+	}
+}
+
+// Min returns the smallest member, or -1 if the set is empty.
+func (s Set) Min() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// String renders the set as "{a,b,c}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(v int) bool {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(v))
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// PathSet returns the set of nodes appearing on the path.
+func PathSet(path []int) Set {
+	var s Set
+	for _, v := range path {
+		s = s.Add(v)
+	}
+	return s
+}
+
+// Subsets enumerates every subset of universe with at most k members, in a
+// deterministic order (by size, then lexicographically by member list), and
+// calls fn for each. Enumeration stops early if fn returns false.
+func Subsets(universe Set, k int, fn func(Set) bool) {
+	members := universe.Members()
+	if k > len(members) {
+		k = len(members)
+	}
+	if !fn(EmptySet) {
+		return
+	}
+	// chosen holds indices into members.
+	chosen := make([]int, 0, k)
+	var rec func(start int, cur Set) bool
+	rec = func(start int, cur Set) bool {
+		if len(chosen) == cap(chosen) {
+			return true
+		}
+		for i := start; i < len(members); i++ {
+			next := cur.Add(members[i])
+			chosen = append(chosen, i)
+			if !fn(next) {
+				return false
+			}
+			if !rec(i+1, next) {
+				return false
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return true
+	}
+	if k > 0 {
+		rec(0, EmptySet)
+	}
+}
+
+// SubsetsOfSize enumerates subsets of universe with exactly k members.
+func SubsetsOfSize(universe Set, k int, fn func(Set) bool) {
+	Subsets(universe, k, func(s Set) bool {
+		if s.Count() != k {
+			return true
+		}
+		return fn(s)
+	})
+}
+
+// CountSubsets returns the number of subsets of a set with size c that have
+// at most k members: sum_{i=0..k} C(c, i).
+func CountSubsets(c, k int) int {
+	total := 0
+	for i := 0; i <= k && i <= c; i++ {
+		total += binomial(c, i)
+	}
+	return total
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 1; i <= k; i++ {
+		res = res * (n - k + i) / i
+	}
+	return res
+}
+
+// SortedMembers is a convenience for tests: it returns the members of each
+// set in the slice, sorted by the sets' string forms for stable comparison.
+func SortedMembers(sets []Set) []string {
+	out := make([]string, len(sets))
+	for i, s := range sets {
+		out[i] = s.String()
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,151 @@
+// Package iterative implements the local iterative trimmed-mean algorithm
+// family (W-MSR style) studied by LeBlanc et al. [13] and Vaidya–Tseng–
+// Liang [25], the paper's related-work baseline. Nodes exchange values only
+// with direct neighbors and trim up to f extreme values per side before
+// averaging.
+//
+// These algorithms need a strictly stronger topological condition
+// (robustness) than the paper's 3-reach: experiment E9 shows a graph that
+// satisfies 3-reach — where algorithm BW converges — on which the iterative
+// update provably stalls, because each clique trims away the only values
+// arriving from the other side. This reproduces the paper's point that
+// local algorithms cannot be resilience-optimal in directed networks.
+package iterative
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ValPayload carries one round's state value to direct out-neighbors.
+type ValPayload struct {
+	Round int
+	Value float64
+}
+
+// Kind implements transport.Payload.
+func (ValPayload) Kind() string { return "ITER-VAL" }
+
+// Machine is the iterative protocol endpoint; it implements sim.Handler.
+type Machine struct {
+	g      *graph.Graph
+	f      int
+	id     int
+	rounds int
+	input  float64
+
+	cur     int
+	x       float64
+	state   map[int]map[int]float64 // round -> sender -> value
+	output  float64
+	done    bool
+	history []float64
+}
+
+var _ sim.Handler = (*Machine)(nil)
+
+// NewMachine builds an iterative node that runs the given number of rounds.
+func NewMachine(g *graph.Graph, f, id, rounds int, input float64) (*Machine, error) {
+	if f < 0 || rounds < 0 {
+		return nil, fmt.Errorf("iterative: invalid f=%d rounds=%d", f, rounds)
+	}
+	return &Machine{
+		g: g, f: f, id: id, rounds: rounds, input: input,
+		state: make(map[int]map[int]float64),
+	}, nil
+}
+
+// ID implements sim.Handler.
+func (m *Machine) ID() int { return m.id }
+
+// Output implements sim.Handler.
+func (m *Machine) Output() (float64, bool) { return m.output, m.done }
+
+// History returns x after each completed round.
+func (m *Machine) History() []float64 { return m.history }
+
+// Start implements sim.Handler.
+func (m *Machine) Start(out *sim.Outbox) {
+	m.x = m.input
+	if m.rounds == 0 {
+		m.output, m.done = m.x, true
+		return
+	}
+	m.cur = 1
+	out.Broadcast(ValPayload{Round: 1, Value: m.x})
+	m.tryAdvance(out)
+}
+
+// Deliver implements sim.Handler.
+func (m *Machine) Deliver(msg transport.Message, out *sim.Outbox) {
+	p, ok := msg.Payload.(ValPayload)
+	if !ok || p.Round < 1 || p.Round > m.rounds {
+		return
+	}
+	bySender, ok := m.state[p.Round]
+	if !ok {
+		bySender = make(map[int]float64)
+		m.state[p.Round] = bySender
+	}
+	if _, dup := bySender[msg.From]; !dup {
+		bySender[msg.From] = p.Value
+	}
+	m.tryAdvance(out)
+}
+
+// tryAdvance applies the W-MSR update once enough in-neighbor values for
+// the current round have arrived. The node waits for indegree−f distinct
+// senders (it cannot wait for all: up to f in-neighbors may be faulty and
+// silent).
+func (m *Machine) tryAdvance(out *sim.Outbox) {
+	for !m.done {
+		need := len(m.g.In(m.id)) - m.f
+		if need < 0 {
+			need = 0
+		}
+		got := m.state[m.cur]
+		if len(got) < need {
+			return
+		}
+		m.x = m.trimmedUpdate(got)
+		m.history = append(m.history, m.x)
+		if m.cur == m.rounds {
+			m.output, m.done = m.x, true
+			return
+		}
+		m.cur++
+		out.Broadcast(ValPayload{Round: m.cur, Value: m.x})
+	}
+}
+
+// trimmedUpdate is the W-MSR rule: among received values, discard up to f
+// strictly above own value and up to f strictly below, then average the
+// survivors together with the own value.
+func (m *Machine) trimmedUpdate(received map[int]float64) float64 {
+	vals := make([]float64, 0, len(received))
+	for _, v := range received {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	lo := 0
+	for lo < len(vals) && lo < m.f && vals[lo] < m.x {
+		lo++
+	}
+	hi := len(vals)
+	trimmedHigh := 0
+	for hi > lo && trimmedHigh < m.f && vals[hi-1] > m.x {
+		hi--
+		trimmedHigh++
+	}
+	sum := m.x
+	count := 1
+	for _, v := range vals[lo:hi] {
+		sum += v
+		count++
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,133 @@
+package iterative_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/graph"
+	"repro/internal/iterative"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func run(t *testing.T, g *graph.Graph, f, rounds int, inputs []float64,
+	faulty map[int]sim.Handler, seed int64) map[int]float64 {
+	t.Helper()
+	honest := graph.EmptySet
+	handlers := make([]sim.Handler, g.N())
+	for i := 0; i < g.N(); i++ {
+		if h, bad := faulty[i]; bad {
+			handlers[i] = h
+			continue
+		}
+		m, err := iterative.NewMachine(g, f, i, rounds, inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i] = m
+		honest = honest.Add(i)
+	}
+	r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(seed)}, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	outs, all := r.Outputs(honest)
+	if !all {
+		t.Fatalf("nodes did not finish: %v", outs)
+	}
+	t.Logf("%s outputs=%v", g, outs)
+	return outs
+}
+
+func spread(outs map[int]float64) float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, x := range outs {
+		min, max = math.Min(min, x), math.Max(max, x)
+	}
+	return max - min
+}
+
+func TestIterativeCliqueConverges(t *testing.T) {
+	g := graph.Clique(5)
+	outs := run(t, g, 1, 30, []float64{0, 1, 2, 3, 4}, nil, 3)
+	if s := spread(outs); s >= 0.01 {
+		t.Errorf("clique iterative should converge, spread = %g", s)
+	}
+}
+
+func TestIterativeCliqueWithSilentFault(t *testing.T) {
+	g := graph.Clique(5)
+	outs := run(t, g, 1, 30, []float64{0, 1, 2, 3, 4},
+		map[int]sim.Handler{2: &adversary.Silent{NodeID: 2}}, 5)
+	if s := spread(outs); s >= 0.01 {
+		t.Errorf("spread = %g", s)
+	}
+	for _, x := range outs {
+		if x < 0 || x > 4 {
+			t.Errorf("validity violated: %g", x)
+		}
+	}
+}
+
+// TestIterativeFailsOn3ReachGraph is the E9 ablation: the two-clique
+// Figure 1(b) analog satisfies 3-reach for f=1 — algorithm BW converges on
+// it (see the adversary tests) — yet the local trimmed-mean update cannot:
+// each clique trims away the single cross-clique value as a potential
+// Byzantine extreme, so the cliques' values never merge even with NO actual
+// faults. Local algorithms require a strictly stronger condition than
+// 3-reach.
+func TestIterativeFailsOn3ReachGraph(t *testing.T) {
+	g := graph.Fig1bAnalog()
+	inputs := []float64{0, 0, 0, 0, 1, 1, 1, 1} // clique K1 at 0, K2 at 1
+	outs := run(t, g, 1, 40, inputs, nil, 7)
+	if s := spread(outs); s < 0.5 {
+		t.Errorf("expected the cliques to stay separated, spread = %g", s)
+	}
+	// Per-clique agreement still holds (each clique is locally fine).
+	for _, clique := range [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		min, max := math.Inf(1), math.Inf(-1)
+		for _, v := range clique {
+			min, max = math.Min(min, outs[v]), math.Max(max, outs[v])
+		}
+		if max-min > 1e-9 {
+			t.Errorf("intra-clique spread %g", max-min)
+		}
+	}
+}
+
+func TestIterativeValidity(t *testing.T) {
+	g := graph.Clique(4)
+	outs := run(t, g, 1, 20, []float64{1, 2, 3, 1.5}, nil, 9)
+	for _, x := range outs {
+		if x < 1 || x > 3 {
+			t.Errorf("validity violated: %g", x)
+		}
+	}
+}
+
+func TestIterativeZeroRounds(t *testing.T) {
+	g := graph.Clique(3)
+	m, err := iterative.NewMachine(g, 1, 0, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := sim.NewCollector(0, g)
+	m.Start(col)
+	if out, done := m.Output(); !done || out != 5 {
+		t.Errorf("out=%g done=%v", out, done)
+	}
+}
+
+func TestIterativeRejectsBadParams(t *testing.T) {
+	g := graph.Clique(3)
+	if _, err := iterative.NewMachine(g, -1, 0, 5, 0); err == nil {
+		t.Error("negative f accepted")
+	}
+	if _, err := iterative.NewMachine(g, 1, 0, -5, 0); err == nil {
+		t.Error("negative rounds accepted")
+	}
+}

@@ -1,0 +1,173 @@
+// Package rbc implements Bracha-style reliable broadcast for complete
+// networks with n > 3f, the substrate of the Abraham–Amit–Dolev baseline
+// [1] that this paper generalizes to directed networks. The classic
+// INIT/ECHO/READY protocol guarantees that all nonfaulty nodes deliver the
+// same content per (origin, tag) slot, and that they deliver at all if the
+// origin is nonfaulty.
+package rbc
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Content is an opaque broadcast payload; RBCKey must canonically encode it
+// so that equality of contents is equality of keys.
+type Content interface {
+	RBCKey() string
+}
+
+// Phase is the protocol step of an RBC message.
+type Phase int
+
+// Message phases.
+const (
+	PhaseInit Phase = iota + 1
+	PhaseEcho
+	PhaseReady
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseInit:
+		return "INIT"
+	case PhaseEcho:
+		return "ECHO"
+	case PhaseReady:
+		return "READY"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Msg is the wire payload of the broadcast protocol.
+type Msg struct {
+	Phase   Phase
+	Origin  int
+	Tag     string // caller-chosen slot label, e.g. "r3/value"
+	Content Content
+}
+
+// Kind implements transport.Payload.
+func (m Msg) Kind() string { return "RBC-" + m.Phase.String() }
+
+// Delivery is a reliably delivered broadcast.
+type Delivery struct {
+	Origin  int
+	Tag     string
+	Content Content
+}
+
+type slotKey struct {
+	origin int
+	tag    string
+}
+
+type slotState struct {
+	sentEcho  bool
+	sentReady bool
+	delivered bool
+	echoes    map[string]graph.Set // content key -> echoing senders
+	readies   map[string]graph.Set
+	contents  map[string]Content
+}
+
+// Broadcaster is the per-node reliable-broadcast engine. It is driven by
+// the owning handler's event loop (single goroutine), so it needs no
+// internal locking.
+type Broadcaster struct {
+	n, f  int
+	id    int
+	slots map[slotKey]*slotState
+}
+
+// New returns a Broadcaster for node id in an n-node clique tolerating f
+// Byzantine faults; it requires n > 3f.
+func New(n, f, id int) (*Broadcaster, error) {
+	if n <= 3*f {
+		return nil, fmt.Errorf("rbc: n=%d must exceed 3f=%d", n, 3*f)
+	}
+	return &Broadcaster{n: n, f: f, id: id, slots: make(map[slotKey]*slotState)}, nil
+}
+
+func (b *Broadcaster) slot(k slotKey) *slotState {
+	s, ok := b.slots[k]
+	if !ok {
+		s = &slotState{
+			echoes:   make(map[string]graph.Set),
+			readies:  make(map[string]graph.Set),
+			contents: make(map[string]Content),
+		}
+		b.slots[k] = s
+	}
+	return s
+}
+
+// Broadcast initiates a reliable broadcast of content under the given tag.
+// The INIT is sent to all neighbors and self-processed; resulting
+// deliveries (possible in a one-node system) are returned.
+func (b *Broadcaster) Broadcast(tag string, content Content, out *sim.Outbox) []Delivery {
+	msg := Msg{Phase: PhaseInit, Origin: b.id, Tag: tag, Content: content}
+	out.Broadcast(msg)
+	return b.Handle(transport.Message{From: b.id, To: b.id, Payload: msg}, out)
+}
+
+// Handle processes one incoming RBC message, emitting any protocol messages
+// through out and returning newly delivered broadcasts.
+func (b *Broadcaster) Handle(m transport.Message, out *sim.Outbox) []Delivery {
+	msg, ok := m.Payload.(Msg)
+	if !ok || msg.Content == nil {
+		return nil
+	}
+	key := slotKey{origin: msg.Origin, tag: msg.Tag}
+	s := b.slot(key)
+	ck := msg.Content.RBCKey()
+	if _, seen := s.contents[ck]; !seen {
+		s.contents[ck] = msg.Content
+	}
+
+	switch msg.Phase {
+	case PhaseInit:
+		// Only the origin itself may INIT its slot; first INIT wins.
+		if m.From != msg.Origin || s.sentEcho {
+			return nil
+		}
+		s.sentEcho = true
+		echo := Msg{Phase: PhaseEcho, Origin: msg.Origin, Tag: msg.Tag, Content: msg.Content}
+		out.Broadcast(echo)
+		return b.Handle(transport.Message{From: b.id, To: b.id, Payload: echo}, out)
+	case PhaseEcho:
+		if s.echoes[ck].Has(m.From) {
+			return nil
+		}
+		s.echoes[ck] = s.echoes[ck].Add(m.From)
+		return b.maybeAdvance(key, s, ck, out)
+	case PhaseReady:
+		if s.readies[ck].Has(m.From) {
+			return nil
+		}
+		s.readies[ck] = s.readies[ck].Add(m.From)
+		return b.maybeAdvance(key, s, ck, out)
+	default:
+		return nil
+	}
+}
+
+func (b *Broadcaster) maybeAdvance(key slotKey, s *slotState, ck string, out *sim.Outbox) []Delivery {
+	var deliveries []Delivery
+	echoThreshold := (b.n + b.f + 2) / 2 // ceil((n+f+1)/2)
+	if !s.sentReady && (s.echoes[ck].Count() >= echoThreshold || s.readies[ck].Count() >= b.f+1) {
+		s.sentReady = true
+		ready := Msg{Phase: PhaseReady, Origin: key.origin, Tag: key.tag, Content: s.contents[ck]}
+		out.Broadcast(ready)
+		deliveries = append(deliveries, b.Handle(transport.Message{From: b.id, To: b.id, Payload: ready}, out)...)
+	}
+	if !s.delivered && s.readies[ck].Count() >= 2*b.f+1 {
+		s.delivered = true
+		deliveries = append(deliveries, Delivery{Origin: key.origin, Tag: key.tag, Content: s.contents[ck]})
+	}
+	return deliveries
+}

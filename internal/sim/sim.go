@@ -1,0 +1,263 @@
+// Package sim runs protocol handlers as message-passing goroutines over the
+// transport pool. Each node's handler executes on its own goroutine with
+// channel-based delivery, while a central loop picks the next in-flight
+// message according to the configured asynchrony policy. Any serialization
+// of deliveries chosen this way is a legal asynchronous schedule, so seeded
+// executions are both adversarially reorderable and exactly reproducible.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/transport"
+)
+
+// Handler is a protocol endpoint for one node. Start is invoked once before
+// any delivery; Deliver is invoked once per received message. Handlers send
+// by calling Outbox methods; sends are collected per invocation and injected
+// into the network atomically afterwards. Output reports the node's
+// consensus output once available.
+type Handler interface {
+	ID() int
+	Start(out *Outbox)
+	Deliver(msg transport.Message, out *Outbox)
+	Output() (float64, bool)
+}
+
+// Outbox collects a handler's sends during one invocation and enforces the
+// network model: a node can only transmit over its outgoing edges (the
+// paper's reliable-link model also means the receiver learns the true
+// sender, which the runner guarantees by stamping From itself).
+type Outbox struct {
+	from  int
+	g     *graph.Graph
+	msgs  []transport.Message
+	stats *transport.Stats
+}
+
+// Send queues a message to an out-neighbor. Sends over non-edges are
+// dropped (and counted): even Byzantine nodes cannot forge links.
+func (o *Outbox) Send(to int, p transport.Payload) {
+	if !o.g.HasEdge(o.from, to) {
+		if o.stats != nil {
+			o.stats.RecordDrop()
+		}
+		return
+	}
+	o.msgs = append(o.msgs, transport.Message{From: o.from, To: to, Payload: p})
+}
+
+// NewCollector returns a detached Outbox that records sends without
+// injecting them anywhere; fault-injection wrappers use it to intercept and
+// rewrite an inner handler's traffic before forwarding.
+func NewCollector(from int, g *graph.Graph) *Outbox {
+	return &Outbox{from: from, g: g}
+}
+
+// Messages returns the sends collected so far.
+func (o *Outbox) Messages() []transport.Message { return o.msgs }
+
+// Broadcast sends the payload to every out-neighbor.
+func (o *Outbox) Broadcast(p transport.Payload) {
+	for _, v := range o.g.Out(o.from) {
+		o.Send(v, p)
+	}
+}
+
+// Graph exposes the topology (all nodes know the network, as the paper
+// assumes).
+func (o *Outbox) Graph() *graph.Graph { return o.g }
+
+type procReq struct {
+	start bool
+	msg   transport.Message
+	reply chan []transport.Message
+}
+
+type proc struct {
+	h     Handler
+	in    chan procReq
+	done  chan struct{}
+	reply chan []transport.Message
+}
+
+func startProc(h Handler, g *graph.Graph, stats *transport.Stats) *proc {
+	p := &proc{
+		h:     h,
+		in:    make(chan procReq),
+		done:  make(chan struct{}),
+		reply: make(chan []transport.Message, 1),
+	}
+	go func() {
+		defer close(p.done)
+		for req := range p.in {
+			out := &Outbox{from: h.ID(), g: g, stats: stats}
+			if req.start {
+				h.Start(out)
+			} else {
+				h.Deliver(req.msg, out)
+			}
+			req.reply <- out.msgs
+		}
+	}()
+	return p
+}
+
+func (p *proc) invoke(req procReq) []transport.Message {
+	req.reply = p.reply
+	p.in <- req
+	return <-req.reply
+}
+
+func (p *proc) stop() {
+	close(p.in)
+	<-p.done
+}
+
+// Config parameterizes an execution.
+type Config struct {
+	Graph  *graph.Graph
+	Policy transport.Policy
+	// Hold withholds matching messages until ReleaseWhen fires (or until the
+	// rest of the network quiesces — delays are finite). Optional.
+	Hold *transport.HoldRule
+	// ReleaseWhen, checked after every delivery, releases held messages when
+	// it returns true. Optional.
+	ReleaseWhen func(r *Runner) bool
+	// StopWhen, checked after every delivery, ends the run early. Optional;
+	// by default the run ends at quiescence (no deliverable messages).
+	StopWhen func(r *Runner) bool
+	// MaxSteps caps deliveries as a livelock guard. 0 means the default cap.
+	MaxSteps int
+}
+
+// DefaultMaxSteps is the delivery cap when Config.MaxSteps is zero.
+const DefaultMaxSteps = 20_000_000
+
+// ErrLivelock is returned when an execution exceeds its delivery cap.
+var ErrLivelock = errors.New("sim: delivery cap exceeded (livelock?)")
+
+// Runner executes a set of handlers to quiescence.
+type Runner struct {
+	cfg      Config
+	handlers []Handler
+	pool     *transport.Pool
+	stats    *transport.Stats
+	steps    int
+}
+
+// New builds a runner. Handlers must be indexed by node ID (handler i has
+// ID i) and cover every node of the graph.
+func New(cfg Config, handlers []Handler) (*Runner, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("sim: config needs a graph")
+	}
+	if len(handlers) != cfg.Graph.N() {
+		return nil, fmt.Errorf("sim: %d handlers for %d nodes", len(handlers), cfg.Graph.N())
+	}
+	for i, h := range handlers {
+		if h.ID() != i {
+			return nil, fmt.Errorf("sim: handler at index %d has ID %d", i, h.ID())
+		}
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = transport.NewRandomPolicy(1)
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	stats := transport.NewStats()
+	return &Runner{
+		cfg:      cfg,
+		handlers: handlers,
+		pool:     transport.NewPool(cfg.Hold, stats),
+		stats:    stats,
+	}, nil
+}
+
+// Run executes until quiescence, early stop, or the delivery cap.
+func (r *Runner) Run() error {
+	procs := make([]*proc, len(r.handlers))
+	for i, h := range r.handlers {
+		procs[i] = startProc(h, r.cfg.Graph, r.stats)
+	}
+	defer func() {
+		for _, p := range procs {
+			p.stop()
+		}
+	}()
+
+	for _, p := range procs {
+		for _, m := range p.invoke(procReq{start: true}) {
+			r.pool.Add(m)
+		}
+	}
+
+	for {
+		if r.cfg.StopWhen != nil && r.cfg.StopWhen(r) {
+			return nil
+		}
+		if r.cfg.ReleaseWhen != nil && r.cfg.Hold != nil && !r.cfg.Hold.Released() && r.cfg.ReleaseWhen(r) {
+			r.pool.ReleaseHeld()
+		}
+		if r.pool.PendingEmpty() {
+			if r.pool.HeldCount() > 0 {
+				// Finite delays: once everything else has quiesced the
+				// withheld messages must eventually arrive.
+				r.pool.ReleaseHeld()
+				continue
+			}
+			return nil
+		}
+		if r.steps >= r.cfg.MaxSteps {
+			return fmt.Errorf("%w: %d deliveries", ErrLivelock, r.steps)
+		}
+		r.steps++
+		idx := r.cfg.Policy.Pick(r.pool.Pending())
+		m := r.pool.Take(idx)
+		for _, out := range procs[m.To].invoke(procReq{msg: m}) {
+			r.pool.Add(out)
+		}
+	}
+}
+
+// Steps returns the number of deliveries so far.
+func (r *Runner) Steps() int { return r.steps }
+
+// Stats returns the execution's message statistics.
+func (r *Runner) Stats() *transport.Stats { return r.stats }
+
+// Handler returns the handler for node id.
+func (r *Runner) Handler(id int) Handler { return r.handlers[id] }
+
+// AllOutput reports whether every handler in the set has produced output.
+func (r *Runner) AllOutput(set graph.Set) bool {
+	ok := true
+	set.ForEach(func(v int) bool {
+		if _, done := r.handlers[v].Output(); !done {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Outputs collects the outputs of the given nodes; the bool result is false
+// if any of them has not decided.
+func (r *Runner) Outputs(set graph.Set) (map[int]float64, bool) {
+	out := make(map[int]float64, set.Count())
+	all := true
+	set.ForEach(func(v int) bool {
+		x, done := r.handlers[v].Output()
+		if !done {
+			all = false
+			return true
+		}
+		out[v] = x
+		return true
+	})
+	return out, all
+}

@@ -1,0 +1,233 @@
+// Package transport models the paper's asynchronous message-passing network:
+// reliable directed links with arbitrary, unknown, finite delays. Messages
+// in flight live in a pool; a pluggable delivery policy picks which pending
+// message is delivered next, which realizes adversarial asynchrony while
+// keeping executions deterministic under a fixed seed. Hold rules keep
+// selected edges' messages undeliverable until a predicate fires — the
+// bounded-but-arbitrary delays used by the Theorem 18 indistinguishability
+// construction.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Payload is the protocol-level content of a message. Kind is used for
+// message accounting and tracing.
+type Payload interface {
+	Kind() string
+}
+
+// Message is a message in flight on a directed edge.
+type Message struct {
+	From, To int
+	Payload  Payload
+	Seq      uint64 // global send order, assigned by the pool
+}
+
+// String renders the message for traces.
+func (m Message) String() string {
+	return fmt.Sprintf("#%d %d->%d %s", m.Seq, m.From, m.To, m.Payload.Kind())
+}
+
+// Policy selects which pending message is delivered next.
+type Policy interface {
+	// Pick returns an index into pending (len(pending) > 0).
+	Pick(pending []Message) int
+}
+
+// RandomPolicy delivers a uniformly random pending message; with a fixed
+// seed the whole execution is deterministic. This is the default model of
+// asynchrony for the experiments.
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+// NewRandomPolicy returns a RandomPolicy with the given seed.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Policy.
+func (p *RandomPolicy) Pick(pending []Message) int {
+	return p.rng.Intn(len(pending))
+}
+
+// FIFOPolicy delivers messages in global send order (the most synchronous
+// schedule); useful as a baseline and for debugging.
+type FIFOPolicy struct{}
+
+// Pick implements Policy.
+func (FIFOPolicy) Pick(pending []Message) int {
+	best := 0
+	for i := 1; i < len(pending); i++ {
+		if pending[i].Seq < pending[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// LIFOPolicy delivers the most recently sent message first — a pathological
+// but legal asynchronous schedule that stresses the event-driven conditions.
+type LIFOPolicy struct{}
+
+// Pick implements Policy.
+func (LIFOPolicy) Pick(pending []Message) int {
+	best := 0
+	for i := 1; i < len(pending); i++ {
+		if pending[i].Seq > pending[best].Seq {
+			best = i
+		}
+	}
+	return best
+}
+
+// BoundedDelayPolicy models partial synchrony: deliveries are random, but no
+// message is overtaken by more than Bound younger deliveries — once a
+// message has waited that long it is delivered first. Asynchronous
+// algorithms must of course keep working under this (it is a subset of the
+// asynchronous schedules); it also gives experiments a knob between fully
+// random (Bound = ∞) and FIFO (Bound = 0).
+type BoundedDelayPolicy struct {
+	Bound     uint64
+	rng       *rand.Rand
+	delivered uint64
+}
+
+// NewBoundedDelayPolicy returns a seeded policy with the given overtaking
+// bound.
+func NewBoundedDelayPolicy(bound uint64, seed int64) *BoundedDelayPolicy {
+	return &BoundedDelayPolicy{Bound: bound, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Policy.
+func (p *BoundedDelayPolicy) Pick(pending []Message) int {
+	oldest := 0
+	for i := 1; i < len(pending); i++ {
+		if pending[i].Seq < pending[oldest].Seq {
+			oldest = i
+		}
+	}
+	p.delivered++
+	if p.delivered > pending[oldest].Seq+p.Bound {
+		return oldest
+	}
+	return p.rng.Intn(len(pending))
+}
+
+// HoldRule withholds matching messages from delivery until Release is
+// called. Held messages are still "in flight" (delays are finite but
+// unbounded); the runner re-injects them on release.
+type HoldRule struct {
+	// Match reports whether the message is subject to the hold.
+	Match func(Message) bool
+	// released flips once; afterwards Match is ignored.
+	released bool
+}
+
+// NewHoldRule builds a hold rule from a match function.
+func NewHoldRule(match func(Message) bool) *HoldRule {
+	return &HoldRule{Match: match}
+}
+
+// HoldEdges builds a hold rule matching all messages on the given directed
+// edges.
+func HoldEdges(edges map[[2]int]bool) *HoldRule {
+	return NewHoldRule(func(m Message) bool {
+		return edges[[2]int{m.From, m.To}]
+	})
+}
+
+// Release lifts the hold.
+func (h *HoldRule) Release() { h.released = true }
+
+// Released reports whether the hold has been lifted.
+func (h *HoldRule) Released() bool { return h.released }
+
+// Holds reports whether the message is currently withheld.
+func (h *HoldRule) Holds(m Message) bool {
+	return !h.released && h.Match(m)
+}
+
+// Stats accumulates message accounting for an execution.
+type Stats struct {
+	Sent      int
+	Delivered int
+	Dropped   int // sends over non-edges (faulty behavior), discarded
+	ByKind    map[string]int
+}
+
+// NewStats returns empty statistics.
+func NewStats() *Stats {
+	return &Stats{ByKind: make(map[string]int)}
+}
+
+func (s *Stats) recordSend(m Message) {
+	s.Sent++
+	s.ByKind[m.Payload.Kind()]++
+}
+
+// RecordDrop counts a message that was discarded before entering the pool.
+func (s *Stats) RecordDrop() { s.Dropped++ }
+
+func (s *Stats) recordDelivery() { s.Delivered++ }
+
+// Pool is the multiset of in-flight messages plus held messages.
+type Pool struct {
+	pending []Message
+	held    []Message
+	hold    *HoldRule
+	nextSeq uint64
+	stats   *Stats
+}
+
+// NewPool returns an empty pool. hold may be nil.
+func NewPool(hold *HoldRule, stats *Stats) *Pool {
+	return &Pool{hold: hold, stats: stats}
+}
+
+// Add inserts a newly sent message.
+func (p *Pool) Add(m Message) {
+	m.Seq = p.nextSeq
+	p.nextSeq++
+	p.stats.recordSend(m)
+	if p.hold != nil && p.hold.Holds(m) {
+		p.held = append(p.held, m)
+		return
+	}
+	p.pending = append(p.pending, m)
+}
+
+// Pending returns the deliverable messages (callers must not modify).
+func (p *Pool) Pending() []Message { return p.pending }
+
+// HeldCount returns the number of withheld messages.
+func (p *Pool) HeldCount() int { return len(p.held) }
+
+// Take removes and returns the pending message at index i.
+func (p *Pool) Take(i int) Message {
+	m := p.pending[i]
+	last := len(p.pending) - 1
+	p.pending[i] = p.pending[last]
+	p.pending = p.pending[:last]
+	p.stats.recordDelivery()
+	return m
+}
+
+// ReleaseHeld moves all held messages into the pending pool (called after
+// the hold rule's release condition fires).
+func (p *Pool) ReleaseHeld() {
+	if p.hold != nil {
+		p.hold.Release()
+	}
+	p.pending = append(p.pending, p.held...)
+	p.held = nil
+}
+
+// Empty reports whether no message is deliverable or held.
+func (p *Pool) Empty() bool { return len(p.pending) == 0 && len(p.held) == 0 }
+
+// PendingEmpty reports whether no message is deliverable right now.
+func (p *Pool) PendingEmpty() bool { return len(p.pending) == 0 }

@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"testing"
+)
+
+type testPayload string
+
+func (p testPayload) Kind() string { return string(p) }
+
+func msg(from, to int, kind string) Message {
+	return Message{From: from, To: to, Payload: testPayload(kind)}
+}
+
+func TestPoolAddTake(t *testing.T) {
+	stats := NewStats()
+	p := NewPool(nil, stats)
+	p.Add(msg(0, 1, "a"))
+	p.Add(msg(1, 2, "b"))
+	if len(p.Pending()) != 2 || p.Empty() {
+		t.Fatal("pool bookkeeping wrong")
+	}
+	m := p.Take(0)
+	if m.Payload.Kind() != "a" && m.Payload.Kind() != "b" {
+		t.Fatal("unexpected payload")
+	}
+	if stats.Sent != 2 || stats.Delivered != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.ByKind["a"] != 1 || stats.ByKind["b"] != 1 {
+		t.Errorf("by-kind = %v", stats.ByKind)
+	}
+}
+
+func TestPoolSeqAssignment(t *testing.T) {
+	p := NewPool(nil, NewStats())
+	p.Add(msg(0, 1, "a"))
+	p.Add(msg(0, 1, "b"))
+	if p.Pending()[0].Seq != 0 || p.Pending()[1].Seq != 1 {
+		t.Errorf("sequence numbers wrong: %v", p.Pending())
+	}
+}
+
+func TestFIFOPolicy(t *testing.T) {
+	p := NewPool(nil, NewStats())
+	for _, k := range []string{"first", "second", "third"} {
+		p.Add(msg(0, 1, k))
+	}
+	var policy FIFOPolicy
+	var got []string
+	for !p.PendingEmpty() {
+		got = append(got, p.Take(policy.Pick(p.Pending())).Payload.Kind())
+	}
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FIFO order = %v", got)
+		}
+	}
+}
+
+func TestLIFOPolicy(t *testing.T) {
+	p := NewPool(nil, NewStats())
+	for _, k := range []string{"first", "second", "third"} {
+		p.Add(msg(0, 1, k))
+	}
+	var policy LIFOPolicy
+	if got := p.Take(policy.Pick(p.Pending())).Payload.Kind(); got != "third" {
+		t.Fatalf("LIFO picked %q", got)
+	}
+}
+
+func TestRandomPolicyDeterminism(t *testing.T) {
+	mkPending := func() []Message {
+		var out []Message
+		for i := 0; i < 10; i++ {
+			out = append(out, msg(0, 1, "x"))
+		}
+		return out
+	}
+	a, b := NewRandomPolicy(7), NewRandomPolicy(7)
+	pending := mkPending()
+	for i := 0; i < 20; i++ {
+		if a.Pick(pending) != b.Pick(pending) {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestBoundedDelayPolicy(t *testing.T) {
+	p := NewBoundedDelayPolicy(3, 1)
+	pool := NewPool(nil, NewStats())
+	for i := 0; i < 10; i++ {
+		pool.Add(msg(0, 1, "m"))
+	}
+	// Deliver 10 messages; the oldest pending seq can never lag the
+	// delivery count by more than the bound.
+	for i := 0; i < 10; i++ {
+		pending := pool.Pending()
+		idx := p.Pick(pending)
+		oldest := pending[0].Seq
+		for _, m := range pending {
+			if m.Seq < oldest {
+				oldest = m.Seq
+			}
+		}
+		if uint64(i+1) > oldest+3 && pending[idx].Seq != oldest {
+			t.Fatalf("delivery %d: overtaking bound violated (oldest=%d picked=%d)",
+				i, oldest, pending[idx].Seq)
+		}
+		pool.Take(idx)
+	}
+}
+
+func TestBoundedDelayZeroIsFIFO(t *testing.T) {
+	p := NewBoundedDelayPolicy(0, 1)
+	pool := NewPool(nil, NewStats())
+	for _, k := range []string{"a", "b", "c"} {
+		pool.Add(msg(0, 1, k))
+	}
+	var got []string
+	for !pool.PendingEmpty() {
+		got = append(got, pool.Take(p.Pick(pool.Pending())).Payload.Kind())
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if got[i] != want {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestHoldRule(t *testing.T) {
+	hold := HoldEdges(map[[2]int]bool{{0, 1}: true})
+	stats := NewStats()
+	p := NewPool(hold, stats)
+	p.Add(msg(0, 1, "held"))
+	p.Add(msg(1, 0, "free"))
+	if len(p.Pending()) != 1 || p.HeldCount() != 1 {
+		t.Fatalf("pending=%d held=%d", len(p.Pending()), p.HeldCount())
+	}
+	if p.Empty() {
+		t.Error("pool with held messages is not empty")
+	}
+	p.ReleaseHeld()
+	if len(p.Pending()) != 2 || p.HeldCount() != 0 {
+		t.Error("release did not move messages")
+	}
+	// After release the rule no longer captures new sends.
+	p.Add(msg(0, 1, "late"))
+	if p.HeldCount() != 0 {
+		t.Error("released hold captured a message")
+	}
+	if !hold.Released() {
+		t.Error("Released() should be true")
+	}
+}
+
+func TestHoldRuleMatchFunc(t *testing.T) {
+	h := NewHoldRule(func(m Message) bool { return m.Payload.Kind() == "x" })
+	if !h.Holds(msg(0, 1, "x")) || h.Holds(msg(0, 1, "y")) {
+		t.Error("match function ignored")
+	}
+}
+
+func TestStatsDrop(t *testing.T) {
+	s := NewStats()
+	s.RecordDrop()
+	if s.Dropped != 1 {
+		t.Error("drop not counted")
+	}
+}

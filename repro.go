@@ -1,0 +1,360 @@
+// Package repro is the public API of this repository: a reproduction of
+// "Asynchronous Byzantine Approximate Consensus in Directed Networks"
+// (Sakavalas, Tseng, Vaidya — PODC 2020).
+//
+// It exposes three layers:
+//
+//   - graph construction and the paper's topological conditions
+//     (1-/2-/3-reach, the k-reach family, CCS/CCA/BCS, connectivity),
+//   - protocol execution: the paper's BW algorithm (Byzantine,
+//     asynchronous, directed — Theorem 4), the Abraham–Amit–Dolev clique
+//     baseline, the crash-fault 2-reach algorithm and the local iterative
+//     baseline, all over a deterministic goroutine message-passing
+//     simulator with pluggable fault injection,
+//   - the Theorem 18 necessity construction, which exhibits a convergence
+//     violation on any graph that fails 3-reach.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced tables and figures.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/aad"
+	"repro/internal/adversary"
+	"repro/internal/bw"
+	"repro/internal/cond"
+	"repro/internal/crashapprox"
+	"repro/internal/graph"
+	"repro/internal/iterative"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Graph is a simple directed graph on nodes 0..n-1 (see internal/graph).
+type Graph = graph.Graph
+
+// NodeSet is a bitmask set of node IDs.
+type NodeSet = graph.Set
+
+// Path is a node sequence forming a directed walk.
+type Path = graph.Path
+
+// ReachWitness describes a violated reach condition.
+type ReachWitness = cond.Witness
+
+// NecessityResult is the outcome of the Theorem 18 construction.
+type NecessityResult = adversary.NecessityResult
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// NamedGraph constructs a built-in graph from a spec string such as
+// "clique:5", "fig1b" or "random:7:0.5:3"; see graph.Named for the full
+// grammar.
+func NamedGraph(spec string) (*Graph, error) { return graph.Named(spec) }
+
+// Builders for the graphs used throughout the paper and the experiments.
+var (
+	Clique        = graph.Clique
+	DirectedCycle = graph.DirectedCycle
+	Wheel         = graph.Wheel
+	Fig1a         = graph.Fig1a
+	Fig1b         = graph.Fig1b
+	Fig1bAnalog   = graph.Fig1bAnalog
+	Circulant     = graph.Circulant
+	RandomDigraph = graph.RandomDigraph
+)
+
+// ConditionReport collects every condition of the paper's Tables 1 and 2
+// for one graph and fault bound.
+type ConditionReport struct {
+	N, M, F    int
+	OneReach   bool
+	TwoReach   bool
+	ThreeReach bool
+	CCS        bool
+	CCA        bool
+	BCS        bool
+	// Witness3 is a 3-reach violation witness when ThreeReach is false.
+	Witness3 *ReachWitness
+	// Kappa is the vertex connectivity (meaningful for undirected graphs;
+	// -1 for directed inputs).
+	Kappa int
+}
+
+// CheckConditions evaluates all conditions on g with fault bound f. The
+// partition conditions enumerate 3^n assignments and are skipped (reported
+// as the equivalent reach results) for n > PartitionLimit.
+func CheckConditions(g *Graph, f int) ConditionReport {
+	rep := ConditionReport{N: g.N(), M: g.M(), F: f, Kappa: -1}
+	rep.OneReach, _ = cond.Check1Reach(g, f)
+	rep.TwoReach, _ = cond.Check2Reach(g, f)
+	var w *cond.Witness
+	rep.ThreeReach, w = cond.Check3Reach(g, f)
+	rep.Witness3 = w
+	if g.N() <= PartitionLimit {
+		rep.CCS, _ = cond.CheckCCS(g, f)
+		rep.CCA, _ = cond.CheckCCA(g, f)
+		rep.BCS, _ = cond.CheckBCS(g, f)
+	} else {
+		rep.CCS, rep.CCA, rep.BCS = rep.OneReach, rep.TwoReach, rep.ThreeReach
+	}
+	if g.IsUndirected() {
+		rep.Kappa = g.VertexConnectivity()
+	}
+	return rep
+}
+
+// PartitionLimit is the largest order for which CheckConditions runs the
+// exponential partition-based checkers directly.
+const PartitionLimit = 9
+
+// Check3Reach verifies the paper's tight condition (Definition 3) and
+// returns a violation witness when it fails.
+func Check3Reach(g *Graph, f int) (bool, *ReachWitness) { return cond.Check3Reach(g, f) }
+
+// CheckKReach verifies the generalized k-reach condition (Definition 20).
+func CheckKReach(g *Graph, k, f int) (bool, *ReachWitness) { return cond.CheckKReach(g, k, f) }
+
+// CheckRobustness verifies (r, s)-robustness, the tight condition for the
+// *local iterative* algorithms of the paper's related work [13]. Strictly
+// stronger than 3-reach: see experiment E9 for the separation.
+func CheckRobustness(g *Graph, r, s int) bool {
+	ok, _ := cond.CheckRobustness(g, r, s)
+	return ok
+}
+
+// FaultType selects a built-in fault behavior for RunBW and friends.
+type FaultType int
+
+// Fault behaviors.
+const (
+	// FaultSilent never sends a message (crashed from the start).
+	FaultSilent FaultType = iota + 1
+	// FaultCrash behaves honestly, then crashes after Param deliveries
+	// with at most one escaping send.
+	FaultCrash
+	// FaultExtreme floods the extreme value Param instead of its input.
+	FaultExtreme
+	// FaultEquivocate reports input + Param·(neighbor+1) per neighbor.
+	FaultEquivocate
+	// FaultTamper negates and shifts every relayed value and corrupts
+	// relayed COMPLETE sets by Param.
+	FaultTamper
+	// FaultNoise perturbs every outgoing value by uniform noise in
+	// [-Param, Param].
+	FaultNoise
+)
+
+// Fault configures one faulty node.
+type Fault struct {
+	Type  FaultType
+	Param float64
+}
+
+// Options parameterizes a protocol run.
+type Options struct {
+	// F is the resilience parameter (default 1).
+	F int
+	// K is the a-priori input range bound; defaults to max(inputs).
+	K float64
+	// Eps is the agreement parameter (default 0.1).
+	Eps float64
+	// Seed drives both the asynchrony schedule and randomized faults.
+	Seed int64
+	// PathBudget caps per-node path enumeration (default 250000).
+	PathBudget int
+	// Faults maps node IDs to fault behaviors.
+	Faults map[int]Fault
+	// Rounds overrides the log2(K/Eps) round bound for protocols that
+	// take an explicit round count (iterative baseline).
+	Rounds int
+}
+
+func (o *Options) normalize(inputs []float64) {
+	if o.F == 0 {
+		o.F = 1
+	}
+	if o.Eps == 0 {
+		o.Eps = 0.1
+	}
+	if o.K == 0 {
+		for _, x := range inputs {
+			o.K = math.Max(o.K, x)
+		}
+		if o.K == 0 {
+			o.K = 1
+		}
+	}
+}
+
+// Result reports a protocol execution.
+type Result struct {
+	// Outputs holds each honest node's decision.
+	Outputs map[int]float64
+	// Honest is the set of non-faulty nodes.
+	Honest NodeSet
+	// Spread is max-min over honest outputs.
+	Spread float64
+	// Converged reports Spread < Eps, Decided that all honest nodes output.
+	Converged bool
+	Decided   bool
+	// ValidityOK reports that outputs stayed within the honest input range.
+	ValidityOK bool
+	// Steps is the number of message deliveries; MessagesSent the number of
+	// sends (they differ only when a run is cut short).
+	Steps        int
+	MessagesSent int
+	ByKind       map[string]int
+	// Histories holds per-round state values of honest nodes where the
+	// protocol records them.
+	Histories map[int][]float64
+}
+
+func buildFaulty(id int, fl Fault, inner sim.Handler, seed int64) sim.Handler {
+	switch fl.Type {
+	case FaultSilent:
+		return &adversary.Silent{NodeID: id}
+	case FaultCrash:
+		return &adversary.Crash{Inner: inner, AfterDeliveries: int(fl.Param), FinalSends: 1}
+	case FaultExtreme:
+		return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
+			Mutators: []adversary.Mutator{adversary.ExtremeInput(fl.Param)}}
+	case FaultEquivocate:
+		return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
+			Mutators: []adversary.Mutator{adversary.EquivocateInput(fl.Param)}}
+	case FaultTamper:
+		return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
+			Mutators: []adversary.Mutator{
+				adversary.TamperRelays(func(x float64) float64 { return -x - fl.Param }),
+				adversary.ForgeCompletes(fl.Param),
+			}}
+	case FaultNoise:
+		return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
+			Mutators: []adversary.Mutator{adversary.RandomNoise(fl.Param)}}
+	default:
+		return inner
+	}
+}
+
+// historyProvider is implemented by machines that record per-round values.
+type historyProvider interface{ History() []float64 }
+
+func runProtocol(g *Graph, inputs []float64, opts Options,
+	build func(id int) (sim.Handler, error)) (*Result, error) {
+	if len(inputs) != g.N() {
+		return nil, fmt.Errorf("repro: %d inputs for %d nodes", len(inputs), g.N())
+	}
+	honest := graph.EmptySet
+	handlers := make([]sim.Handler, g.N())
+	for i := 0; i < g.N(); i++ {
+		inner, err := build(i)
+		if err != nil {
+			return nil, err
+		}
+		if fl, bad := opts.Faults[i]; bad {
+			handlers[i] = buildFaulty(i, fl, inner, opts.Seed+int64(i))
+		} else {
+			handlers[i] = inner
+			honest = honest.Add(i)
+		}
+	}
+	runner, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(opts.Seed)}, handlers)
+	if err != nil {
+		return nil, err
+	}
+	if err := runner.Run(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Honest:       honest,
+		Steps:        runner.Steps(),
+		MessagesSent: runner.Stats().Sent,
+		ByKind:       runner.Stats().ByKind,
+		Histories:    make(map[int][]float64),
+	}
+	res.Outputs, res.Decided = runner.Outputs(honest)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	honest.ForEach(func(v int) bool {
+		lo, hi = math.Min(lo, inputs[v]), math.Max(hi, inputs[v])
+		if hp, ok := runner.Handler(v).(historyProvider); ok {
+			res.Histories[v] = hp.History()
+		}
+		return true
+	})
+	omin, omax := math.Inf(1), math.Inf(-1)
+	for _, x := range res.Outputs {
+		omin, omax = math.Min(omin, x), math.Max(omax, x)
+	}
+	if len(res.Outputs) > 0 {
+		res.Spread = omax - omin
+		res.ValidityOK = omin >= lo && omax <= hi
+	}
+	res.Converged = res.Decided && res.Spread < opts.Eps
+	return res, nil
+}
+
+// RunBW executes the paper's Algorithm BW on g.
+func RunBW(g *Graph, inputs []float64, opts Options) (*Result, error) {
+	opts.normalize(inputs)
+	proto, err := bw.NewProto(g, opts.F, opts.K, opts.Eps, opts.PathBudget)
+	if err != nil {
+		return nil, err
+	}
+	return runProtocol(g, inputs, opts, func(id int) (sim.Handler, error) {
+		return bw.NewMachine(proto, id, inputs[id])
+	})
+}
+
+// RunAAD executes the Abraham–Amit–Dolev baseline; g must be a clique with
+// n > 3f.
+func RunAAD(g *Graph, inputs []float64, opts Options) (*Result, error) {
+	opts.normalize(inputs)
+	if g.M() != g.N()*(g.N()-1) {
+		return nil, errors.New("repro: AAD requires a complete graph")
+	}
+	rounds := bw.RoundsFor(opts.K, opts.Eps)
+	return runProtocol(g, inputs, opts, func(id int) (sim.Handler, error) {
+		return aad.NewMachine(g.N(), opts.F, id, rounds, inputs[id])
+	})
+}
+
+// RunCrashApprox executes the 2-reach crash-fault algorithm (Table 2's
+// crash/asynchronous cell).
+func RunCrashApprox(g *Graph, inputs []float64, opts Options) (*Result, error) {
+	opts.normalize(inputs)
+	proto, err := crashapprox.NewProto(g, opts.F, opts.K, opts.Eps, opts.PathBudget)
+	if err != nil {
+		return nil, err
+	}
+	return runProtocol(g, inputs, opts, func(id int) (sim.Handler, error) {
+		return crashapprox.NewMachine(proto, id, inputs[id])
+	})
+}
+
+// RunIterative executes the local trimmed-mean baseline for opts.Rounds
+// rounds (default: the log2(K/Eps) bound).
+func RunIterative(g *Graph, inputs []float64, opts Options) (*Result, error) {
+	opts.normalize(inputs)
+	rounds := opts.Rounds
+	if rounds == 0 {
+		rounds = bw.RoundsFor(opts.K, opts.Eps)
+	}
+	return runProtocol(g, inputs, opts, func(id int) (sim.Handler, error) {
+		return iterative.NewMachine(g, opts.F, id, rounds, inputs[id])
+	})
+}
+
+// RunNecessity executes the Theorem 18 construction on a graph violating
+// 3-reach; see adversary.RunNecessity.
+func RunNecessity(g *Graph, f int, k, eps float64, seed int64) (*NecessityResult, error) {
+	return adversary.RunNecessity(g, f, k, eps, seed)
+}
+
+// BWRounds exposes the paper's termination bound r > log2(K/eps).
+func BWRounds(k, eps float64) int { return bw.RoundsFor(k, eps) }

@@ -1,0 +1,190 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestCheckConditionsFig1a(t *testing.T) {
+	g := repro.Fig1a()
+	rep := repro.CheckConditions(g, 1)
+	if !rep.OneReach || !rep.TwoReach || !rep.ThreeReach {
+		t.Errorf("fig1a should satisfy all reach conditions for f=1: %+v", rep)
+	}
+	if !rep.CCS || !rep.CCA || !rep.BCS {
+		t.Errorf("fig1a should satisfy all partition conditions for f=1: %+v", rep)
+	}
+	if rep.Kappa != 3 {
+		t.Errorf("fig1a kappa = %d, want 3", rep.Kappa)
+	}
+	if rep.Witness3 != nil {
+		t.Error("no witness expected when 3-reach holds")
+	}
+}
+
+func TestCheckConditionsDirectedSkipsKappa(t *testing.T) {
+	rep := repro.CheckConditions(repro.DirectedCycle(4), 1)
+	if rep.Kappa != -1 {
+		t.Errorf("directed graph kappa = %d, want -1", rep.Kappa)
+	}
+}
+
+func TestCheckConditionsLargeUsesReachForPartitions(t *testing.T) {
+	// n = 14 exceeds PartitionLimit; partition fields mirror reach results.
+	rep := repro.CheckConditions(repro.Fig1b(), 2)
+	if !rep.ThreeReach || rep.BCS != rep.ThreeReach {
+		t.Errorf("fig1b f=2: %+v", rep)
+	}
+}
+
+func TestRunBWFacade(t *testing.T) {
+	g := repro.Fig1a()
+	res, err := repro.RunBW(g, []float64{0, 4, 1, 3, 2}, repro.Options{
+		F: 1, K: 4, Eps: 0.25, Seed: 5,
+		Faults: map[int]repro.Fault{2: {Type: repro.FaultSilent}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || !res.Converged || !res.ValidityOK {
+		t.Errorf("result: %+v", res)
+	}
+	if res.Honest.Count() != 4 || res.Honest.Has(2) {
+		t.Errorf("honest set = %s", res.Honest)
+	}
+	if res.MessagesSent == 0 || res.Steps == 0 {
+		t.Error("missing stats")
+	}
+	if res.ByKind["VAL"] == 0 || res.ByKind["COMPLETE"] == 0 {
+		t.Errorf("by-kind stats: %v", res.ByKind)
+	}
+	for v, h := range res.Histories {
+		if len(h) == 0 {
+			t.Errorf("node %d has empty history", v)
+		}
+	}
+}
+
+func TestRunBWInputMismatch(t *testing.T) {
+	if _, err := repro.RunBW(repro.Clique(4), []float64{1}, repro.Options{}); err == nil {
+		t.Error("input length mismatch accepted")
+	}
+}
+
+func TestRunAADFacade(t *testing.T) {
+	g := repro.Clique(4)
+	res, err := repro.RunAAD(g, []float64{0, 1, 2, 3}, repro.Options{F: 1, K: 3, Eps: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.ValidityOK {
+		t.Errorf("AAD result: %+v", res)
+	}
+	if _, err := repro.RunAAD(repro.DirectedCycle(4), []float64{0, 1, 2, 3}, repro.Options{}); err == nil {
+		t.Error("AAD on non-clique accepted")
+	}
+}
+
+func TestRunCrashApproxFacade(t *testing.T) {
+	g := repro.Circulant(5, 1, 2)
+	res, err := repro.RunCrashApprox(g, []float64{0, 1, 2, 3, 4}, repro.Options{
+		F: 1, K: 4, Eps: 0.2, Seed: 3,
+		Faults: map[int]repro.Fault{4: {Type: repro.FaultCrash, Param: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.ValidityOK {
+		t.Errorf("crash approx result: %+v", res)
+	}
+}
+
+func TestRunIterativeFacade(t *testing.T) {
+	res, err := repro.RunIterative(repro.Clique(5), []float64{0, 1, 2, 3, 4}, repro.Options{
+		F: 1, K: 4, Eps: 0.1, Seed: 4, Rounds: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("iterative on clique should converge: %+v", res)
+	}
+	// The E9 separation via the facade.
+	sep, err := repro.RunIterative(repro.Fig1bAnalog(),
+		[]float64{0, 0, 0, 0, 1, 1, 1, 1}, repro.Options{F: 1, K: 1, Eps: 0.1, Seed: 4, Rounds: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.Converged {
+		t.Error("iterative should not converge on the two-clique graph")
+	}
+}
+
+func TestRunNecessityFacade(t *testing.T) {
+	res, err := repro.RunNecessity(repro.Clique(3), 1, 1, 0.25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Violated() {
+		t.Errorf("expected violation: %s", res)
+	}
+}
+
+func TestBWRounds(t *testing.T) {
+	if got := repro.BWRounds(8, 1); got != 4 {
+		t.Errorf("BWRounds(8,1) = %d", got)
+	}
+}
+
+func TestFaultTypesAllRun(t *testing.T) {
+	g := repro.Clique(4)
+	for _, ft := range []repro.FaultType{
+		repro.FaultSilent, repro.FaultCrash, repro.FaultExtreme,
+		repro.FaultEquivocate, repro.FaultTamper, repro.FaultNoise,
+	} {
+		res, err := repro.RunBW(g, []float64{1, 0, 1.5, 2}, repro.Options{
+			F: 1, K: 2, Eps: 0.25, Seed: int64(ft),
+			Faults: map[int]repro.Fault{1: {Type: ft, Param: 3}},
+		})
+		if err != nil {
+			t.Fatalf("fault %d: %v", ft, err)
+		}
+		if !res.Converged || !res.ValidityOK {
+			t.Errorf("fault %d: %+v", ft, res)
+		}
+	}
+}
+
+func TestNamedGraphFacade(t *testing.T) {
+	g, err := repro.NamedGraph("wheel:4")
+	if err != nil || g.N() != 5 {
+		t.Errorf("NamedGraph: %v %v", g, err)
+	}
+	if _, err := repro.NamedGraph("bogus"); err == nil {
+		t.Error("bogus spec accepted")
+	}
+}
+
+func TestCheckRobustnessFacade(t *testing.T) {
+	if !repro.CheckRobustness(repro.Clique(5), 2, 2) {
+		t.Error("K5 should be (2,2)-robust")
+	}
+	// The E9 separation via the facade: 3-reach without robustness.
+	g := repro.Fig1bAnalog()
+	if ok, _ := repro.Check3Reach(g, 1); !ok {
+		t.Error("analog should satisfy 3-reach")
+	}
+	if repro.CheckRobustness(g, 2, 2) {
+		t.Error("analog should not be (2,2)-robust")
+	}
+}
+
+func TestCheckKReachFacade(t *testing.T) {
+	if ok, _ := repro.CheckKReach(repro.Clique(5), 4, 1); !ok {
+		t.Error("K5 should satisfy 4-reach for f=1")
+	}
+	if ok, w := repro.CheckKReach(repro.Clique(4), 4, 1); ok || w == nil {
+		t.Error("K4 should fail 4-reach with witness")
+	}
+}
