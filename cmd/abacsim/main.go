@@ -9,6 +9,8 @@
 //	abacsim -graph circulant:5:1,2 -algo crash -fault 4:crash:10
 //	abacsim -graph fig1b-analog -algo iterative -inputs 0,0,0,0,1,1,1,1
 //	abacsim -graph clique:3 -algo necessity -f 1
+//	abacsim -graph fig1a -algo bw -seeds 32 -workers 8   # parallel seed sweep
+//	abacsim -graph fig1a -algo bw -engine goroutine      # alternate engine
 package main
 
 import (
@@ -41,6 +43,9 @@ func run() error {
 		faults  = flag.String("fault", "", "semicolon-separated faults: node:kind[:param], kinds: silent,crash,extreme,equivocate,tamper,noise")
 		rounds  = flag.Int("rounds", 0, "round override for the iterative baseline")
 		history = flag.Bool("history", false, "print per-round value histories")
+		engine  = flag.String("engine", "", "execution engine: inline (default) | goroutine")
+		seeds   = flag.Int("seeds", 1, "run this many consecutive seeds (a seed sweep when > 1)")
+		workers = flag.Int("workers", 0, "worker pool size for -seeds > 1 (0 = one per CPU, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -50,6 +55,9 @@ func run() error {
 	}
 
 	if *algo == "necessity" {
+		if *seeds > 1 || *engine != "" {
+			return fmt.Errorf("-seeds and -engine do not apply to -algo necessity")
+		}
 		res, err := repro.RunNecessity(g, *f, maxf(*k, 1), *eps, *seed)
 		if err != nil {
 			return err
@@ -66,21 +74,28 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	opts := repro.Options{F: *f, K: *k, Eps: *eps, Seed: *seed, Faults: fl, Rounds: *rounds}
+	opts := repro.Options{F: *f, K: *k, Eps: *eps, Seed: *seed, Faults: fl, Rounds: *rounds,
+		Engine: *engine}
 
-	var res *repro.Result
+	var run repro.RunFunc
 	switch *algo {
 	case "bw":
-		res, err = repro.RunBW(g, in, opts)
+		run = repro.RunBW
 	case "aad":
-		res, err = repro.RunAAD(g, in, opts)
+		run = repro.RunAAD
 	case "crash":
-		res, err = repro.RunCrashApprox(g, in, opts)
+		run = repro.RunCrashApprox
 	case "iterative":
-		res, err = repro.RunIterative(g, in, opts)
+		run = repro.RunIterative
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algo)
 	}
+
+	if *seeds > 1 {
+		return runSeedSweep(run, g, in, opts, *algo, *seeds, *workers)
+	}
+
+	res, err := run(g, in, opts)
 	if err != nil {
 		return err
 	}
@@ -103,6 +118,33 @@ func run() error {
 			fmt.Printf("  history %2d: %v\n", id, res.Histories[id])
 		}
 	}
+	return nil
+}
+
+// runSeedSweep executes the chosen protocol across consecutive seeds on a
+// worker pool and prints one line per seed plus an aggregate.
+func runSeedSweep(run repro.RunFunc, g *repro.Graph, in []float64, opts repro.Options,
+	algo string, seeds, workers int) error {
+	results, err := repro.RunSeeds(run, g, in, opts, seeds, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %s, algo: %s, f=%d, eps=%g, seeds=%d..%d, workers=%d\n",
+		g, algo, opts.F, opts.Eps, opts.Seed, opts.Seed+int64(seeds)-1, workers)
+	converged, maxSpread, totalMsgs := 0, 0.0, 0
+	for i, res := range results {
+		if res.Converged {
+			converged++
+		}
+		if res.Spread > maxSpread {
+			maxSpread = res.Spread
+		}
+		totalMsgs += res.MessagesSent
+		fmt.Printf("  seed %-6d converged=%-5v spread=%-10.6g validity=%-5v sends=%d\n",
+			opts.Seed+int64(i), res.Converged, res.Spread, res.ValidityOK, res.MessagesSent)
+	}
+	fmt.Printf("converged: %d/%d, max spread: %.6g, total sends: %d\n",
+		converged, seeds, maxSpread, totalMsgs)
 	return nil
 }
 

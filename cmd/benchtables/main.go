@@ -7,18 +7,23 @@
 //
 // Usage:
 //
-//	benchtables              # run everything
-//	benchtables table1 fig1b # run selected experiments
-//	benchtables -list        # list experiment names
+//	benchtables                     # run everything
+//	benchtables table1 fig1b        # run selected experiments
+//	benchtables -list               # list experiment names
+//	benchtables -workers 4          # fan experiments across 4 workers
+//	benchtables -engine goroutine   # run protocols on the goroutine engine
+//	benchtables -json BENCH_0.json  # also record timings as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/par"
 )
 
 type experiment struct {
@@ -97,8 +102,11 @@ func main() {
 
 func run() error {
 	var (
-		list = flag.Bool("list", false, "list experiments and exit")
-		seed = flag.Int64("seed", 1, "base seed for all randomized pieces")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		seed     = flag.Int64("seed", 1, "base seed for all randomized pieces")
+		engine   = flag.String("engine", "", "execution engine for protocol runs: inline (default) | goroutine")
+		workers  = flag.Int("workers", 1, "run experiments on this many workers (0 = one per CPU); output order is fixed")
+		jsonPath = flag.String("json", "", "also write per-experiment timings to this JSON file")
 	)
 	flag.Parse()
 
@@ -126,14 +134,70 @@ func run() error {
 		}
 	}
 
-	for _, e := range selected {
+	// Reports stay deterministic whatever the engine or fan-out; only the
+	// wall-clock changes. -workers is one concurrency budget, not two
+	// multiplying levels: with several experiments selected it fans the
+	// experiments and the sweeps inside each stay sequential; with a single
+	// experiment selected it goes to that experiment's internal fan-out.
+	// Set once, before any driver runs.
+	inner := 1
+	if len(selected) == 1 {
+		inner = *workers
+	}
+	experiments.DefaultExec = experiments.Exec{Engine: *engine, Workers: inner}
+
+	type timing struct {
+		Name string  `json:"name"`
+		Ms   float64 `json:"ms"`
+	}
+	type outcome struct {
+		text   string
+		timing timing
+	}
+	// Experiments only share the read-only DefaultExec, so they fan across
+	// the pool freely; par.Map returns them in catalog order, keeping the
+	// printed report identical at any worker count.
+	results, err := par.Map(*workers, len(selected), func(i int) (outcome, error) {
+		e := selected[i]
 		start := time.Now()
 		out, err := e.run(*seed)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
+			return outcome{}, fmt.Errorf("%s: %w", e.name, err)
 		}
-		fmt.Println(out)
-		fmt.Printf("  [%s took %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		return outcome{
+			text:   fmt.Sprintf("%s\n  [%s took %v]\n", out, e.name, elapsed.Round(time.Millisecond)),
+			timing: timing{Name: e.name, Ms: float64(elapsed.Microseconds()) / 1000},
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Println(r.text)
+	}
+
+	if *jsonPath != "" {
+		report := struct {
+			Engine      string   `json:"engine"`
+			Workers     int      `json:"workers"`
+			Seed        int64    `json:"seed"`
+			Experiments []timing `json:"experiments"`
+		}{Engine: experiments.DefaultExec.Engine, Workers: *workers, Seed: *seed}
+		if report.Engine == "" {
+			report.Engine = "inline"
+		}
+		for _, r := range results {
+			report.Experiments = append(report.Experiments, r.timing)
+		}
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	return nil
 }

@@ -1,0 +1,119 @@
+// Cross-engine equivalence and schedule-determinism regression tests: the
+// inline and goroutine engines must replay byte-identical delivery traces
+// and produce identical outputs for the same (seed, policy, graph) tuple,
+// and repeated runs of one tuple must never drift. These tests pin the
+// guarantee the Engine abstraction is built on (see internal/sim).
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/bw"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// TestCrossEngineEquivalenceBW runs the full BW protocol with a Byzantine
+// fault on both engines and demands identical traces, outputs and message
+// accounting.
+func TestCrossEngineEquivalenceBW(t *testing.T) {
+	g := repro.Fig1a()
+	inputs := []float64{0, 4, 1, 3, 2}
+	for _, seed := range []int64{1, 5, 23} {
+		run := func(engine string) *repro.Result {
+			res, err := repro.RunBW(g, inputs, repro.Options{
+				F: 1, K: 4, Eps: 0.25, Seed: seed,
+				Engine: engine, RecordTrace: true,
+				Faults: map[int]repro.Fault{1: {Type: repro.FaultTamper, Param: 50}},
+			})
+			if err != nil {
+				t.Fatalf("engine %q seed %d: %v", engine, seed, err)
+			}
+			return res
+		}
+		inline, goroutine := run("inline"), run("goroutine")
+		if inline.Trace == "" {
+			t.Fatal("no trace recorded")
+		}
+		if inline.Trace != goroutine.Trace {
+			t.Fatalf("seed %d: delivery traces differ between engines", seed)
+		}
+		if inline.Steps != goroutine.Steps || inline.MessagesSent != goroutine.MessagesSent {
+			t.Fatalf("seed %d: accounting differs: %d/%d steps, %d/%d sends",
+				seed, inline.Steps, goroutine.Steps, inline.MessagesSent, goroutine.MessagesSent)
+		}
+		for id, x := range inline.Outputs {
+			if goroutine.Outputs[id] != x {
+				t.Fatalf("seed %d node %d: %v vs %v", seed, id, x, goroutine.Outputs[id])
+			}
+		}
+	}
+}
+
+// bwTrace runs honest BW on g under the given policy and engine and returns
+// the delivery trace plus a rendering of the outputs.
+func bwTrace(t *testing.T, g *graph.Graph, policy transport.Policy, engine sim.Engine) (string, string) {
+	t.Helper()
+	proto, err := bw.NewProto(g, 1, 4, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlers := make([]sim.Handler, g.N())
+	for i := 0; i < g.N(); i++ {
+		m, err := bw.NewMachine(proto, i, float64((i*3)%5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i] = m
+	}
+	r, err := sim.New(sim.Config{Graph: g, Policy: policy, Engine: engine, RecordTrace: true}, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	outs, all := r.Outputs(g.Nodes())
+	return r.TraceString(), fmt.Sprintf("%v %v", outs, all)
+}
+
+// TestScheduleDeterminismRegression fixes (seed, policy, graph) and demands
+// a byte-identical delivery trace across repeated runs and across both
+// engines, for every asynchrony policy. This is the regression fence for
+// the transport determinism contract (pending order is a pure function of
+// the Add/Take/ReleaseHeld sequence).
+func TestScheduleDeterminismRegression(t *testing.T) {
+	g := graph.Clique(4)
+	policies := []struct {
+		name string
+		make func() transport.Policy
+	}{
+		{"random", func() transport.Policy { return transport.NewRandomPolicy(77) }},
+		{"fifo", func() transport.Policy { return transport.FIFOPolicy{} }},
+		{"lifo", func() transport.Policy { return transport.LIFOPolicy{} }},
+		{"bounded", func() transport.Policy { return transport.NewBoundedDelayPolicy(5, 77) }},
+	}
+	for _, pc := range policies {
+		t.Run(pc.name, func(t *testing.T) {
+			baseTrace, baseOut := bwTrace(t, g, pc.make(), sim.Inline())
+			if baseTrace == "" {
+				t.Fatal("empty trace")
+			}
+			for run := 0; run < 2; run++ {
+				for _, eng := range []sim.Engine{sim.Inline(), sim.Goroutine()} {
+					trace, out := bwTrace(t, g, pc.make(), eng)
+					if trace != baseTrace {
+						t.Fatalf("engine %s run %d: trace drifted", eng.Name(), run)
+					}
+					if out != baseOut {
+						t.Fatalf("engine %s run %d: outputs drifted: %s vs %s",
+							eng.Name(), run, out, baseOut)
+					}
+				}
+			}
+		})
+	}
+}

@@ -27,10 +27,22 @@ type runOutcome struct {
 	Histories [][]float64 // honest nodes' per-round values
 }
 
-// runHandlers executes prepared handlers and summarizes the honest outputs.
+// runHandlers executes prepared handlers under DefaultExec and summarizes
+// the honest outputs.
 func runHandlers(g *graph.Graph, handlers []sim.Handler, honest graph.Set,
 	inputs []float64, eps float64, seed int64) (runOutcome, error) {
-	r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(seed)}, handlers)
+	return runHandlersExec(DefaultExec, g, handlers, honest, inputs, eps, seed)
+}
+
+// runHandlersExec executes prepared handlers on the configured engine and
+// summarizes the honest outputs.
+func runHandlersExec(exec Exec, g *graph.Graph, handlers []sim.Handler, honest graph.Set,
+	inputs []float64, eps float64, seed int64) (runOutcome, error) {
+	eng, err := exec.engine()
+	if err != nil {
+		return runOutcome{}, err
+	}
+	r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(seed), Engine: eng}, handlers)
 	if err != nil {
 		return runOutcome{}, err
 	}

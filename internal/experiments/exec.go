@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"repro/internal/sim"
+)
+
+// Exec selects how experiment executions run: which sim engine invokes the
+// protocol handlers, and how many workers fan out the independent runs of a
+// sweep. The zero value — inline engine, one worker per CPU for sweeps — is
+// the fast default.
+type Exec struct {
+	// Engine names a sim engine ("inline", "goroutine"); "" selects inline.
+	Engine string
+	// Workers bounds the sweep fan-out: < 1 means one worker per CPU,
+	// 1 runs sequentially. Single executions ignore it.
+	Workers int
+}
+
+// DefaultExec is the process-wide execution configuration used by the
+// drivers that take no explicit Exec. Commands may set it once at startup
+// before running any driver; it must not be mutated afterwards (sweep
+// workers read it concurrently).
+var DefaultExec Exec
+
+func (e Exec) engine() (sim.Engine, error) {
+	return sim.EngineByName(e.Engine)
+}

@@ -1,8 +1,11 @@
 // Package experiments implements the reproduction harness: one driver per
-// table/figure/claim of the paper (see DESIGN.md's experiment index). Each
-// driver returns a structured report with a text rendering; cmd/benchtables
-// prints them and the top-level benchmarks re-run them, so EXPERIMENTS.md
-// numbers are regenerable with one command.
+// table/figure/claim of the paper (see EXPERIMENTS.md's experiment index).
+// Each driver returns a structured report with a text rendering;
+// cmd/benchtables prints them and the top-level benchmarks re-run them, so
+// EXPERIMENTS.md numbers are regenerable with one command. Drivers execute
+// on the engine and worker pool configured by Exec (DefaultExec for the
+// no-argument entry points); reports are deterministic for a fixed seed
+// whatever the engine or fan-out.
 package experiments
 
 import (

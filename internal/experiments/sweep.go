@@ -8,6 +8,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/cond"
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/sim"
 )
 
@@ -57,32 +58,45 @@ func (r SweepReport) Render() string {
 	return b.String()
 }
 
-// RunSweep generates random digraphs, keeps those satisfying 3-reach within
-// the path budget, and runs BW on each with a pseudo-randomly chosen
-// Byzantine behavior at a pseudo-random node.
-func RunSweep(count int, seed int64) (SweepReport, error) {
-	var rep SweepReport
-	rng := rand.New(rand.NewSource(seed))
-	behaviors := []struct {
-		name string
-		wrap func(inner sim.Handler, r *rand.Rand) sim.Handler
-	}{
-		{"silent", func(sim.Handler, *rand.Rand) sim.Handler { return nil }}, // filled below
-		{"extreme", func(inner sim.Handler, r *rand.Rand) sim.Handler {
-			return &adversary.Mutant{Inner: inner, Rng: r,
-				Mutators: []adversary.Mutator{adversary.ExtremeInput(1e7)}}
-		}},
-		{"tamper", func(inner sim.Handler, r *rand.Rand) sim.Handler {
-			return &adversary.Mutant{Inner: inner, Rng: r,
-				Mutators: []adversary.Mutator{adversary.TamperRelays(func(x float64) float64 { return -3 * x })}}
-		}},
-		{"noise", func(inner sim.Handler, r *rand.Rand) sim.Handler {
-			return &adversary.Mutant{Inner: inner, Rng: r,
-				Mutators: []adversary.Mutator{adversary.RandomNoise(25)}}
-		}},
-	}
+// sweepCase is one prepared independent (graph, seed, fault-pattern) run:
+// everything the expensive execution phase needs, generated up front by the
+// single-threaded candidate phase so the shared rng stream is consumed in a
+// fixed order no matter how the runs are later scheduled.
+type sweepCase struct {
+	seed     int64
+	g        *graph.Graph
+	behavior int // index into sweepBehaviors
+	inputs   []float64
+	badNode  int
+}
 
-	for len(rep.Rows) < count && rep.Candidates < 50*count {
+// sweepBehaviors are the Byzantine behaviors the sweep samples from.
+var sweepBehaviors = []struct {
+	name string
+	wrap func(inner sim.Handler, r *rand.Rand) sim.Handler
+}{
+	{"silent", func(sim.Handler, *rand.Rand) sim.Handler { return nil }}, // special-cased: adversary.Silent
+	{"extreme", func(inner sim.Handler, r *rand.Rand) sim.Handler {
+		return &adversary.Mutant{Inner: inner, Rng: r,
+			Mutators: []adversary.Mutator{adversary.ExtremeInput(1e7)}}
+	}},
+	{"tamper", func(inner sim.Handler, r *rand.Rand) sim.Handler {
+		return &adversary.Mutant{Inner: inner, Rng: r,
+			Mutators: []adversary.Mutator{adversary.TamperRelays(func(x float64) float64 { return -3 * x })}}
+	}},
+	{"noise", func(inner sim.Handler, r *rand.Rand) sim.Handler {
+		return &adversary.Mutant{Inner: inner, Rng: r,
+			Mutators: []adversary.Mutator{adversary.RandomNoise(25)}}
+	}},
+}
+
+// generateSweepCases is the sequential phase: it draws random digraphs,
+// keeps those satisfying 3-reach within the path budget, and attaches a
+// pseudo-randomly chosen Byzantine behavior at a pseudo-random node.
+func generateSweepCases(count int, seed int64, rep *SweepReport) []sweepCase {
+	rng := rand.New(rand.NewSource(seed))
+	var cases []sweepCase
+	for len(cases) < count && rep.Candidates < 50*count {
 		rep.Candidates++
 		gseed := seed + int64(rep.Candidates)
 		n := 5 + rng.Intn(2)
@@ -101,30 +115,65 @@ func RunSweep(count int, seed int64) (SweepReport, error) {
 		for i := range inputs {
 			inputs[i] = rng.Float64() * 4
 		}
+		// The draw order (inputs, badNode, behavior) is part of the sweep's
+		// seeded identity — do not reorder.
 		badNode := rng.Intn(n)
-		behavior := behaviors[rng.Intn(len(behaviors))]
-		faults := map[int]func(sim.Handler) sim.Handler{
-			badNode: func(inner sim.Handler) sim.Handler {
-				if behavior.name == "silent" {
-					return &adversary.Silent{NodeID: badNode}
-				}
-				return behavior.wrap(inner, rand.New(rand.NewSource(gseed)))
-			},
-		}
-		handlers, honest, err := bwHandlers(g, 1, inputs, 4, 0.25, faults)
-		if err != nil {
-			return rep, err
-		}
-		out, err := runHandlers(g, handlers, honest, inputs, 0.25, gseed)
-		if err != nil {
-			return rep, err
-		}
-		rep.Rows = append(rep.Rows, SweepRow{
-			Seed: gseed, N: n, M: g.M(),
-			Adversary: behavior.name,
-			Converged: out.Converged, Validity: out.Validity,
-			Spread: out.Spread, Messages: out.Messages,
+		behavior := rng.Intn(len(sweepBehaviors))
+		cases = append(cases, sweepCase{
+			seed: gseed, g: g, behavior: behavior, inputs: inputs, badNode: badNode,
 		})
 	}
+	return cases
+}
+
+// runSweepCase is the execution phase for one case; cases are independent,
+// so these run in parallel.
+func runSweepCase(c sweepCase, exec Exec) (SweepRow, error) {
+	behavior := sweepBehaviors[c.behavior]
+	faults := map[int]func(sim.Handler) sim.Handler{
+		c.badNode: func(inner sim.Handler) sim.Handler {
+			if behavior.name == "silent" {
+				return &adversary.Silent{NodeID: c.badNode}
+			}
+			return behavior.wrap(inner, rand.New(rand.NewSource(c.seed)))
+		},
+	}
+	handlers, honest, err := bwHandlers(c.g, 1, c.inputs, 4, 0.25, faults)
+	if err != nil {
+		return SweepRow{}, err
+	}
+	out, err := runHandlersExec(exec, c.g, handlers, honest, c.inputs, 0.25, c.seed)
+	if err != nil {
+		return SweepRow{}, err
+	}
+	return SweepRow{
+		Seed: c.seed, N: c.g.N(), M: c.g.M(),
+		Adversary: behavior.name,
+		Converged: out.Converged, Validity: out.Validity,
+		Spread: out.Spread, Messages: out.Messages,
+	}, nil
+}
+
+// RunSweep runs the generality sweep under DefaultExec.
+func RunSweep(count int, seed int64) (SweepReport, error) {
+	return RunSweepExec(count, seed, DefaultExec)
+}
+
+// RunSweepExec runs the generality sweep on the configured engine with the
+// configured worker fan-out. Candidate generation is sequential (so the rng
+// stream, and therefore the chosen graphs, inputs and fault patterns, are
+// identical whatever the worker count); the independent BW executions fan
+// across the worker pool; rows are reported in candidate order. The report
+// is byte-identical for every Workers setting and every engine.
+func RunSweepExec(count int, seed int64, exec Exec) (SweepReport, error) {
+	var rep SweepReport
+	cases := generateSweepCases(count, seed, &rep)
+	rows, err := par.Map(exec.Workers, len(cases), func(i int) (SweepRow, error) {
+		return runSweepCase(cases[i], exec)
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Rows = rows
 	return rep, nil
 }

@@ -23,3 +23,35 @@ func TestRandomSweep(t *testing.T) {
 		t.Fatalf("sweep failures:\n%s", rep.Render())
 	}
 }
+
+// TestSweepDeterministicAcrossWorkersAndEngines pins the parallel runner's
+// core guarantee: the report is byte-identical whatever the worker count
+// and whichever engine executes the runs.
+func TestSweepDeterministicAcrossWorkersAndEngines(t *testing.T) {
+	count := 4
+	if testing.Short() {
+		count = 2
+	}
+	base, err := experiments.RunSweepExec(count, 99, experiments.Exec{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Rows) < count {
+		t.Fatalf("only %d of %d runs completed", len(base.Rows), count)
+	}
+	for _, exec := range []experiments.Exec{
+		{Workers: 4},
+		{Workers: 0}, // one worker per CPU
+		{Workers: 4, Engine: "goroutine"},
+		{Workers: 1, Engine: "goroutine"},
+	} {
+		rep, err := experiments.RunSweepExec(count, 99, exec)
+		if err != nil {
+			t.Fatalf("%+v: %v", exec, err)
+		}
+		if rep.Render() != base.Render() {
+			t.Fatalf("%+v diverged from sequential inline run:\n%s\nvs\n%s",
+				exec, rep.Render(), base.Render())
+		}
+	}
+}

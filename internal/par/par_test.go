@@ -1,0 +1,58 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		got, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, x := range got {
+			if x != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d", workers, i, x)
+			}
+		}
+	}
+}
+
+func TestMapLowestIndexError(t *testing.T) {
+	boom := func(i int) (int, error) {
+		if i%10 == 3 {
+			return 0, fmt.Errorf("job %d failed", i)
+		}
+		return i, nil
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 40, boom)
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want job 3 failed", workers, err)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty map: %v %v", got, err)
+	}
+}
+
+func TestWorkersNormalization(t *testing.T) {
+	if Workers(5, 3) != 3 {
+		t.Error("workers not capped at job count")
+	}
+	if Workers(0, 100) < 1 {
+		t.Error("auto workers below 1")
+	}
+	if Workers(-2, 0) != 1 {
+		t.Error("zero jobs should still yield 1 worker")
+	}
+}

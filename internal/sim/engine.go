@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/transport"
+)
+
+// Engine abstracts where handler code executes. The delivery loop itself —
+// policy picks, hold releases, stop conditions, pool bookkeeping — lives in
+// Runner and is engine-independent, so two engines given the same graph,
+// seed and policy produce byte-identical delivery traces and outputs;
+// engines differ only in how a Start/Deliver invocation reaches the
+// handler.
+//
+// Engines are stateless and safe to share across concurrent runs; all
+// per-run state lives in the Invoker returned by Bind.
+type Engine interface {
+	// Name identifies the engine ("inline", "goroutine").
+	Name() string
+	// Bind prepares one execution over the given handlers. The returned
+	// invoker is single-run and not goroutine-safe; Close must be called
+	// when the run ends.
+	Bind(handlers []Handler, g *graph.Graph, stats *transport.Stats) Invoker
+}
+
+// Invoker dispatches handler invocations for one execution and returns the
+// messages each invocation sent.
+type Invoker interface {
+	Start(node int) []transport.Message
+	Deliver(node int, m transport.Message) []transport.Message
+	Close()
+}
+
+// inlineEngine invokes handlers directly on the runner's goroutine: no
+// channels, no context switches. It is the default engine — roughly an
+// order of magnitude cheaper per delivery than the goroutine engine (see
+// the engine-comparison benchmarks) with identical semantics for handlers
+// that, like all protocol machines here, do not block in Deliver.
+type inlineEngine struct{}
+
+// Inline returns the single-threaded direct-call engine (the default).
+func Inline() Engine { return inlineEngine{} }
+
+func (inlineEngine) Name() string { return "inline" }
+
+func (inlineEngine) Bind(handlers []Handler, g *graph.Graph, stats *transport.Stats) Invoker {
+	v := &inlineInvoker{handlers: handlers, g: g, stats: stats}
+	v.out.g = g
+	v.out.stats = stats
+	return v
+}
+
+type inlineInvoker struct {
+	handlers []Handler
+	g        *graph.Graph
+	stats    *transport.Stats
+	// out is reused across invocations: the runner drains the returned
+	// message slice into the pool (copying each Message) before the next
+	// invocation, and no handler retains the Outbox past its invocation —
+	// the contract stated on Handler.
+	out Outbox
+}
+
+func (v *inlineInvoker) reset(node int) *Outbox {
+	v.out.from = v.handlers[node].ID()
+	v.out.msgs = v.out.msgs[:0]
+	return &v.out
+}
+
+func (v *inlineInvoker) Start(node int) []transport.Message {
+	out := v.reset(node)
+	v.handlers[node].Start(out)
+	return out.msgs
+}
+
+func (v *inlineInvoker) Deliver(node int, m transport.Message) []transport.Message {
+	out := v.reset(node)
+	v.handlers[node].Deliver(m, out)
+	return out.msgs
+}
+
+func (v *inlineInvoker) Close() {}
+
+// goroutineEngine runs each handler on its own goroutine with channel-based
+// dispatch — the message-passing-process execution model the simulator
+// started with. It is kept both as the semantic reference for the
+// cross-engine equivalence tests and for handlers that want real goroutine
+// isolation.
+type goroutineEngine struct{}
+
+// Goroutine returns the goroutine-per-node engine.
+func Goroutine() Engine { return goroutineEngine{} }
+
+func (goroutineEngine) Name() string { return "goroutine" }
+
+func (goroutineEngine) Bind(handlers []Handler, g *graph.Graph, stats *transport.Stats) Invoker {
+	v := &goroutineInvoker{procs: make([]*proc, len(handlers))}
+	for i, h := range handlers {
+		v.procs[i] = startProc(h, g, stats)
+	}
+	return v
+}
+
+type goroutineInvoker struct {
+	procs []*proc
+}
+
+func (v *goroutineInvoker) Start(node int) []transport.Message {
+	return v.procs[node].invoke(procReq{start: true})
+}
+
+func (v *goroutineInvoker) Deliver(node int, m transport.Message) []transport.Message {
+	return v.procs[node].invoke(procReq{msg: m})
+}
+
+func (v *goroutineInvoker) Close() {
+	for _, p := range v.procs {
+		p.stop()
+	}
+}
+
+type procReq struct {
+	start bool
+	msg   transport.Message
+	reply chan []transport.Message
+}
+
+type proc struct {
+	h     Handler
+	in    chan procReq
+	done  chan struct{}
+	reply chan []transport.Message
+}
+
+func startProc(h Handler, g *graph.Graph, stats *transport.Stats) *proc {
+	p := &proc{
+		h:     h,
+		in:    make(chan procReq),
+		done:  make(chan struct{}),
+		reply: make(chan []transport.Message, 1),
+	}
+	go func() {
+		defer close(p.done)
+		for req := range p.in {
+			out := &Outbox{from: h.ID(), g: g, stats: stats}
+			if req.start {
+				h.Start(out)
+			} else {
+				h.Deliver(req.msg, out)
+			}
+			req.reply <- out.msgs
+		}
+	}()
+	return p
+}
+
+func (p *proc) invoke(req procReq) []transport.Message {
+	req.reply = p.reply
+	p.in <- req
+	return <-req.reply
+}
+
+func (p *proc) stop() {
+	close(p.in)
+	<-p.done
+}
+
+var engines = map[string]Engine{
+	"inline":    Inline(),
+	"goroutine": Goroutine(),
+}
+
+// EngineByName resolves an engine by name; the empty string selects the
+// default inline engine.
+func EngineByName(name string) (Engine, error) {
+	if name == "" {
+		return Inline(), nil
+	}
+	e, ok := engines[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown engine %q (have %v)", name, EngineNames())
+	}
+	return e, nil
+}
+
+// EngineNames lists the registered engines, sorted.
+func EngineNames() []string {
+	names := make([]string, 0, len(engines))
+	for name := range engines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

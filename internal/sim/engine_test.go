@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/transport"
+)
+
+// runEcho executes the echo workload on the given engine and returns the
+// trace, steps and per-node outputs.
+func runEcho(t *testing.T, e Engine, seed int64) (string, int, map[int]float64) {
+	t.Helper()
+	g := graph.Clique(4)
+	r, err := New(Config{
+		Graph:       g,
+		Policy:      transport.NewRandomPolicy(seed),
+		Engine:      e,
+		RecordTrace: true,
+	}, newEchoHandlers(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	outs, all := r.Outputs(g.Nodes())
+	if !all {
+		t.Fatal("echo nodes undecided")
+	}
+	return r.TraceString(), r.Steps(), outs
+}
+
+// TestEngineEquivalence is the sim-level half of the cross-engine
+// equivalence guarantee: for the same seed and policy, the inline and
+// goroutine engines must produce byte-identical delivery traces and
+// identical outputs.
+func TestEngineEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		inTrace, inSteps, inOuts := runEcho(t, Inline(), seed)
+		goTrace, goSteps, goOuts := runEcho(t, Goroutine(), seed)
+		if inTrace != goTrace {
+			t.Fatalf("seed %d: engines diverged:\ninline:\n%s\ngoroutine:\n%s", seed, inTrace, goTrace)
+		}
+		if inSteps != goSteps {
+			t.Fatalf("seed %d: steps %d vs %d", seed, inSteps, goSteps)
+		}
+		for id, x := range inOuts {
+			if goOuts[id] != x {
+				t.Fatalf("seed %d: node %d output %v vs %v", seed, id, x, goOuts[id])
+			}
+		}
+	}
+}
+
+// TestEngineDefaultIsInline pins the default: a nil Config.Engine must
+// resolve to the inline engine and still match the goroutine engine.
+func TestEngineDefaultIsInline(t *testing.T) {
+	g := graph.DirectedCycle(3)
+	r, err := New(Config{Graph: g, Policy: transport.FIFOPolicy{}, RecordTrace: true},
+		newEchoHandlers(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.cfg.Engine.Name(); got != "inline" {
+		t.Fatalf("default engine = %q, want inline", got)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Steps() != 6 {
+		t.Errorf("steps = %d, want 6", r.Steps())
+	}
+}
+
+func TestEngineByName(t *testing.T) {
+	for _, tc := range []struct{ name, want string }{
+		{"", "inline"},
+		{"inline", "inline"},
+		{"goroutine", "goroutine"},
+	} {
+		e, err := EngineByName(tc.name)
+		if err != nil || e.Name() != tc.want {
+			t.Errorf("EngineByName(%q) = %v, %v", tc.name, e, err)
+		}
+	}
+	if _, err := EngineByName("warp-drive"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	names := EngineNames()
+	if len(names) != 2 || names[0] != "goroutine" || names[1] != "inline" {
+		t.Errorf("EngineNames() = %v", names)
+	}
+}
+
+// TestTraceRecording checks that traces are recorded only on request and
+// that repeated runs of the same seed yield the same trace bytes.
+func TestTraceRecording(t *testing.T) {
+	g := graph.Clique(3)
+	r, err := New(Config{Graph: g, Policy: transport.FIFOPolicy{}}, newEchoHandlers(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trace()) != 0 || r.TraceString() != "" {
+		t.Error("trace recorded without RecordTrace")
+	}
+
+	a, _, _ := runEcho(t, Inline(), 11)
+	b, _, _ := runEcho(t, Inline(), 11)
+	if a == "" || a != b {
+		t.Error("same-seed traces differ (or empty)")
+	}
+}

@@ -1,14 +1,18 @@
-// Package sim runs protocol handlers as message-passing goroutines over the
-// transport pool. Each node's handler executes on its own goroutine with
-// channel-based delivery, while a central loop picks the next in-flight
-// message according to the configured asynchrony policy. Any serialization
-// of deliveries chosen this way is a legal asynchronous schedule, so seeded
-// executions are both adversarially reorderable and exactly reproducible.
+// Package sim executes protocol handlers over the transport pool: a central
+// loop picks the next in-flight message according to the configured
+// asynchrony policy and hands it to the receiving handler through a
+// pluggable execution Engine — by default a direct-call inline event loop,
+// optionally a goroutine-per-node message-passing arrangement. Any
+// serialization of deliveries chosen this way is a legal asynchronous
+// schedule, so seeded executions are both adversarially reorderable and
+// exactly reproducible; the schedule is engine-independent (see Engine), so
+// the same seed yields the same delivery trace on every engine.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/graph"
 	"repro/internal/transport"
@@ -17,8 +21,10 @@ import (
 // Handler is a protocol endpoint for one node. Start is invoked once before
 // any delivery; Deliver is invoked once per received message. Handlers send
 // by calling Outbox methods; sends are collected per invocation and injected
-// into the network atomically afterwards. Output reports the node's
-// consensus output once available.
+// into the network atomically afterwards. The Outbox is only valid for the
+// duration of the invocation — engines may reuse it, so handlers must not
+// retain it (or slices obtained from it) once Start/Deliver returns. Output
+// reports the node's consensus output once available.
 type Handler interface {
 	ID() int
 	Start(out *Outbox)
@@ -70,56 +76,12 @@ func (o *Outbox) Broadcast(p transport.Payload) {
 // assumes).
 func (o *Outbox) Graph() *graph.Graph { return o.g }
 
-type procReq struct {
-	start bool
-	msg   transport.Message
-	reply chan []transport.Message
-}
-
-type proc struct {
-	h     Handler
-	in    chan procReq
-	done  chan struct{}
-	reply chan []transport.Message
-}
-
-func startProc(h Handler, g *graph.Graph, stats *transport.Stats) *proc {
-	p := &proc{
-		h:     h,
-		in:    make(chan procReq),
-		done:  make(chan struct{}),
-		reply: make(chan []transport.Message, 1),
-	}
-	go func() {
-		defer close(p.done)
-		for req := range p.in {
-			out := &Outbox{from: h.ID(), g: g, stats: stats}
-			if req.start {
-				h.Start(out)
-			} else {
-				h.Deliver(req.msg, out)
-			}
-			req.reply <- out.msgs
-		}
-	}()
-	return p
-}
-
-func (p *proc) invoke(req procReq) []transport.Message {
-	req.reply = p.reply
-	p.in <- req
-	return <-req.reply
-}
-
-func (p *proc) stop() {
-	close(p.in)
-	<-p.done
-}
-
 // Config parameterizes an execution.
 type Config struct {
 	Graph  *graph.Graph
 	Policy transport.Policy
+	// Engine selects the execution engine; nil means the inline engine.
+	Engine Engine
 	// Hold withholds matching messages until ReleaseWhen fires (or until the
 	// rest of the network quiesces — delays are finite). Optional.
 	Hold *transport.HoldRule
@@ -131,6 +93,9 @@ type Config struct {
 	StopWhen func(r *Runner) bool
 	// MaxSteps caps deliveries as a livelock guard. 0 means the default cap.
 	MaxSteps int
+	// RecordTrace keeps the full delivery trace (one Message per delivery,
+	// in delivery order) for the equivalence and determinism tests.
+	RecordTrace bool
 }
 
 // DefaultMaxSteps is the delivery cap when Config.MaxSteps is zero.
@@ -146,6 +111,7 @@ type Runner struct {
 	pool     *transport.Pool
 	stats    *transport.Stats
 	steps    int
+	trace    []transport.Message
 }
 
 // New builds a runner. Handlers must be indexed by node ID (handler i has
@@ -165,6 +131,9 @@ func New(cfg Config, handlers []Handler) (*Runner, error) {
 	if cfg.Policy == nil {
 		cfg.Policy = transport.NewRandomPolicy(1)
 	}
+	if cfg.Engine == nil {
+		cfg.Engine = Inline()
+	}
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = DefaultMaxSteps
 	}
@@ -177,20 +146,16 @@ func New(cfg Config, handlers []Handler) (*Runner, error) {
 	}, nil
 }
 
-// Run executes until quiescence, early stop, or the delivery cap.
+// Run executes until quiescence, early stop, or the delivery cap. The loop
+// is engine-independent: every pool mutation and policy pick happens here,
+// in the same order regardless of engine, which is what makes delivery
+// traces comparable across engines.
 func (r *Runner) Run() error {
-	procs := make([]*proc, len(r.handlers))
-	for i, h := range r.handlers {
-		procs[i] = startProc(h, r.cfg.Graph, r.stats)
-	}
-	defer func() {
-		for _, p := range procs {
-			p.stop()
-		}
-	}()
+	inv := r.cfg.Engine.Bind(r.handlers, r.cfg.Graph, r.stats)
+	defer inv.Close()
 
-	for _, p := range procs {
-		for _, m := range p.invoke(procReq{start: true}) {
+	for i := range r.handlers {
+		for _, m := range inv.Start(i) {
 			r.pool.Add(m)
 		}
 	}
@@ -215,9 +180,12 @@ func (r *Runner) Run() error {
 			return fmt.Errorf("%w: %d deliveries", ErrLivelock, r.steps)
 		}
 		r.steps++
-		idx := r.cfg.Policy.Pick(r.pool.Pending())
+		idx := r.cfg.Policy.Pick(r.pool.View())
 		m := r.pool.Take(idx)
-		for _, out := range procs[m.To].invoke(procReq{msg: m}) {
+		if r.cfg.RecordTrace {
+			r.trace = append(r.trace, m)
+		}
+		for _, out := range inv.Deliver(m.To, m) {
 			r.pool.Add(out)
 		}
 	}
@@ -228,6 +196,21 @@ func (r *Runner) Steps() int { return r.steps }
 
 // Stats returns the execution's message statistics.
 func (r *Runner) Stats() *transport.Stats { return r.stats }
+
+// Trace returns the recorded delivery trace (empty unless
+// Config.RecordTrace was set).
+func (r *Runner) Trace() []transport.Message { return r.trace }
+
+// TraceString renders the recorded trace one delivery per line — the byte
+// format the determinism and cross-engine equivalence tests compare.
+func (r *Runner) TraceString() string {
+	var b strings.Builder
+	for _, m := range r.trace {
+		b.WriteString(m.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
 
 // Handler returns the handler for node id.
 func (r *Runner) Handler(id int) Handler { return r.handlers[id] }

@@ -6,6 +6,17 @@
 // selected edges' messages undeliverable until a predicate fires — the
 // bounded-but-arbitrary delays used by the Theorem 18 indistinguishability
 // construction.
+//
+// # Determinism contract
+//
+// The pool's pending order is a pure function of the Add/Take/ReleaseHeld
+// call sequence: Add appends, Take swap-removes (the last pending message
+// fills the vacated slot), and ReleaseHeld appends the held messages in
+// their original send order. No map iteration, goroutine interleaving or
+// other nondeterminism ever influences the order, so an index-based policy
+// such as RandomPolicy replays the exact same schedule for the same seed —
+// on any execution engine. Changing any of these three behaviors is a
+// schedule-breaking change and must be flagged as such.
 package transport
 
 import (
@@ -31,15 +42,40 @@ func (m Message) String() string {
 	return fmt.Sprintf("#%d %d->%d %s", m.Seq, m.From, m.To, m.Payload.Kind())
 }
 
+// PendingView is a read-only window onto a pool's deliverable messages.
+// Policies receive a view instead of the backing slice, so they cannot
+// perturb the pool's determinism-bearing order (see the package contract).
+// The view also exposes the pool's Seq-ordered index, letting order-based
+// policies find the oldest/newest pending message in O(log n) amortized
+// instead of scanning.
+type PendingView struct {
+	p *Pool
+}
+
+// Len returns the number of deliverable messages.
+func (v PendingView) Len() int { return len(v.p.pending) }
+
+// At returns the pending message at index i (0 <= i < Len).
+func (v PendingView) At(i int) Message { return v.p.pending[i] }
+
+// OldestIndex returns the index of the pending message with the smallest
+// Seq (the oldest send). Panics on an empty view.
+func (v PendingView) OldestIndex() int { return v.p.oldestIndex() }
+
+// NewestIndex returns the index of the pending message with the largest
+// Seq (the most recent send). Panics on an empty view.
+func (v PendingView) NewestIndex() int { return v.p.newestIndex() }
+
 // Policy selects which pending message is delivered next.
 type Policy interface {
-	// Pick returns an index into pending (len(pending) > 0).
-	Pick(pending []Message) int
+	// Pick returns an index into the view (view.Len() > 0).
+	Pick(pending PendingView) int
 }
 
 // RandomPolicy delivers a uniformly random pending message; with a fixed
-// seed the whole execution is deterministic. This is the default model of
-// asynchrony for the experiments.
+// seed the whole execution is deterministic (the pool's pending order is
+// itself deterministic — see the package contract). This is the default
+// model of asynchrony for the experiments.
 type RandomPolicy struct {
 	rng *rand.Rand
 }
@@ -50,8 +86,8 @@ func NewRandomPolicy(seed int64) *RandomPolicy {
 }
 
 // Pick implements Policy.
-func (p *RandomPolicy) Pick(pending []Message) int {
-	return p.rng.Intn(len(pending))
+func (p *RandomPolicy) Pick(pending PendingView) int {
+	return p.rng.Intn(pending.Len())
 }
 
 // FIFOPolicy delivers messages in global send order (the most synchronous
@@ -59,14 +95,8 @@ func (p *RandomPolicy) Pick(pending []Message) int {
 type FIFOPolicy struct{}
 
 // Pick implements Policy.
-func (FIFOPolicy) Pick(pending []Message) int {
-	best := 0
-	for i := 1; i < len(pending); i++ {
-		if pending[i].Seq < pending[best].Seq {
-			best = i
-		}
-	}
-	return best
+func (FIFOPolicy) Pick(pending PendingView) int {
+	return pending.OldestIndex()
 }
 
 // LIFOPolicy delivers the most recently sent message first — a pathological
@@ -74,14 +104,8 @@ func (FIFOPolicy) Pick(pending []Message) int {
 type LIFOPolicy struct{}
 
 // Pick implements Policy.
-func (LIFOPolicy) Pick(pending []Message) int {
-	best := 0
-	for i := 1; i < len(pending); i++ {
-		if pending[i].Seq > pending[best].Seq {
-			best = i
-		}
-	}
-	return best
+func (LIFOPolicy) Pick(pending PendingView) int {
+	return pending.NewestIndex()
 }
 
 // BoundedDelayPolicy models partial synchrony: deliveries are random, but no
@@ -103,18 +127,13 @@ func NewBoundedDelayPolicy(bound uint64, seed int64) *BoundedDelayPolicy {
 }
 
 // Pick implements Policy.
-func (p *BoundedDelayPolicy) Pick(pending []Message) int {
-	oldest := 0
-	for i := 1; i < len(pending); i++ {
-		if pending[i].Seq < pending[oldest].Seq {
-			oldest = i
-		}
-	}
+func (p *BoundedDelayPolicy) Pick(pending PendingView) int {
+	oldest := pending.OldestIndex()
 	p.delivered++
-	if p.delivered > pending[oldest].Seq+p.Bound {
+	if p.delivered > pending.At(oldest).Seq+p.Bound {
 		return oldest
 	}
-	return p.rng.Intn(len(pending))
+	return p.rng.Intn(pending.Len())
 }
 
 // HoldRule withholds matching messages from delivery until Release is
@@ -174,18 +193,94 @@ func (s *Stats) RecordDrop() { s.Dropped++ }
 
 func (s *Stats) recordDelivery() { s.Delivered++ }
 
-// Pool is the multiset of in-flight messages plus held messages.
+// seqHeap is a binary heap of Seq values; less flips it between a min-heap
+// (oldest first) and a max-heap (newest first). Entries are removed lazily:
+// a popped Seq that is no longer pending is simply skipped.
+type seqHeap struct {
+	seqs []uint64
+	less func(a, b uint64) bool
+}
+
+func (h *seqHeap) push(s uint64) {
+	h.seqs = append(h.seqs, s)
+	i := len(h.seqs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.seqs[i], h.seqs[parent]) {
+			break
+		}
+		h.seqs[i], h.seqs[parent] = h.seqs[parent], h.seqs[i]
+		i = parent
+	}
+}
+
+// top returns the extremal Seq for which live reports true, lazily
+// discarding stale entries.
+func (h *seqHeap) top(live func(uint64) bool) uint64 {
+	for len(h.seqs) > 0 && !live(h.seqs[0]) {
+		last := len(h.seqs) - 1
+		h.seqs[0] = h.seqs[last]
+		h.seqs = h.seqs[:last]
+		// Sift down.
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			next := i
+			if l < len(h.seqs) && h.less(h.seqs[l], h.seqs[next]) {
+				next = l
+			}
+			if r < len(h.seqs) && h.less(h.seqs[r], h.seqs[next]) {
+				next = r
+			}
+			if next == i {
+				break
+			}
+			h.seqs[i], h.seqs[next] = h.seqs[next], h.seqs[i]
+			i = next
+		}
+	}
+	if len(h.seqs) == 0 {
+		panic("transport: empty pending pool")
+	}
+	return h.seqs[0]
+}
+
+// Pool is the multiset of in-flight messages plus held messages. Alongside
+// the pending slice it keeps a Seq index (position map plus min/max heaps)
+// so order-based policies avoid O(n) scans per pick while Take stays an
+// O(1) swap-remove. The index is built lazily on the first ordered query
+// and maintained incrementally afterwards, so index-free policies such as
+// RandomPolicy pay nothing for it.
 type Pool struct {
 	pending []Message
 	held    []Message
 	hold    *HoldRule
 	nextSeq uint64
 	stats   *Stats
+
+	indexed bool           // Seq index built?
+	pos     map[uint64]int // Seq -> index in pending
+	oldest  seqHeap        // min-heap over pending Seqs (lazy deletion)
+	newest  seqHeap        // max-heap over pending Seqs (lazy deletion)
 }
 
 // NewPool returns an empty pool. hold may be nil.
 func NewPool(hold *HoldRule, stats *Stats) *Pool {
 	return &Pool{hold: hold, stats: stats}
+}
+
+// buildIndex constructs the Seq index from the current pending set; called
+// on the first ordered query, after which append/Take maintain it.
+func (p *Pool) buildIndex() {
+	p.indexed = true
+	p.pos = make(map[uint64]int, len(p.pending))
+	p.oldest = seqHeap{less: func(a, b uint64) bool { return a < b }}
+	p.newest = seqHeap{less: func(a, b uint64) bool { return a > b }}
+	for i, m := range p.pending {
+		p.pos[m.Seq] = i
+		p.oldest.push(m.Seq)
+		p.newest.push(m.Seq)
+	}
 }
 
 // Add inserts a newly sent message.
@@ -197,32 +292,83 @@ func (p *Pool) Add(m Message) {
 		p.held = append(p.held, m)
 		return
 	}
+	p.append(m)
+}
+
+func (p *Pool) append(m Message) {
+	if p.indexed {
+		p.pos[m.Seq] = len(p.pending)
+		p.oldest.push(m.Seq)
+		p.newest.push(m.Seq)
+	}
 	p.pending = append(p.pending, m)
 }
 
-// Pending returns the deliverable messages (callers must not modify).
-func (p *Pool) Pending() []Message { return p.pending }
+// View returns a read-only view of the deliverable messages, the form in
+// which policies observe the pool.
+func (p *Pool) View() PendingView { return PendingView{p: p} }
+
+// Pending returns a copy of the deliverable messages, in pool order. It is
+// a diagnostic accessor: the copy protects the pool's determinism-bearing
+// internal order from callers. The hot path uses View instead.
+func (p *Pool) Pending() []Message {
+	out := make([]Message, len(p.pending))
+	copy(out, p.pending)
+	return out
+}
 
 // HeldCount returns the number of withheld messages.
 func (p *Pool) HeldCount() int { return len(p.held) }
 
-// Take removes and returns the pending message at index i.
+// Take removes and returns the pending message at index i: an O(1)
+// swap-remove, with the last pending message filling the vacated slot (part
+// of the package determinism contract).
 func (p *Pool) Take(i int) Message {
 	m := p.pending[i]
 	last := len(p.pending) - 1
-	p.pending[i] = p.pending[last]
+	if p.indexed {
+		delete(p.pos, m.Seq)
+		if i != last {
+			p.pos[p.pending[last].Seq] = i
+		}
+	}
+	if i != last {
+		p.pending[i] = p.pending[last]
+	}
 	p.pending = p.pending[:last]
 	p.stats.recordDelivery()
 	return m
 }
 
-// ReleaseHeld moves all held messages into the pending pool (called after
-// the hold rule's release condition fires).
+func (p *Pool) live(seq uint64) bool {
+	_, ok := p.pos[seq]
+	return ok
+}
+
+func (p *Pool) oldestIndex() int {
+	if !p.indexed {
+		p.buildIndex()
+	}
+	return p.pos[p.oldest.top(p.live)]
+}
+
+func (p *Pool) newestIndex() int {
+	if !p.indexed {
+		p.buildIndex()
+	}
+	return p.pos[p.newest.top(p.live)]
+}
+
+// ReleaseHeld moves all held messages into the pending pool in their
+// original send order (called after the hold rule's release condition
+// fires).
 func (p *Pool) ReleaseHeld() {
 	if p.hold != nil {
 		p.hold.Release()
 	}
-	p.pending = append(p.pending, p.held...)
+	for _, m := range p.held {
+		p.append(m)
+	}
 	p.held = nil
 }
 
@@ -231,3 +377,6 @@ func (p *Pool) Empty() bool { return len(p.pending) == 0 && len(p.held) == 0 }
 
 // PendingEmpty reports whether no message is deliverable right now.
 func (p *Pool) PendingEmpty() bool { return len(p.pending) == 0 }
+
+// PendingLen returns the number of deliverable messages.
+func (p *Pool) PendingLen() int { return len(p.pending) }

@@ -17,7 +17,7 @@ func TestPoolAddTake(t *testing.T) {
 	p := NewPool(nil, stats)
 	p.Add(msg(0, 1, "a"))
 	p.Add(msg(1, 2, "b"))
-	if len(p.Pending()) != 2 || p.Empty() {
+	if p.PendingLen() != 2 || p.Empty() {
 		t.Fatal("pool bookkeeping wrong")
 	}
 	m := p.Take(0)
@@ -41,6 +41,66 @@ func TestPoolSeqAssignment(t *testing.T) {
 	}
 }
 
+// TestPendingReturnsCopy pins the fix for policies (or any caller) mutating
+// the pool through the Pending slice: the accessor must hand out a copy.
+func TestPendingReturnsCopy(t *testing.T) {
+	p := NewPool(nil, NewStats())
+	p.Add(msg(0, 1, "a"))
+	p.Add(msg(2, 3, "b"))
+	leak := p.Pending()
+	leak[0] = msg(9, 9, "mutated")
+	leak[0].Seq = 999
+	if got := p.View().At(0); got.From != 0 || got.To != 1 || got.Seq != 0 {
+		t.Fatalf("mutating Pending() result reached the pool: %v", got)
+	}
+}
+
+// TestSeqIndex exercises the oldest/newest index through adds, swap-removes
+// and a hold release, cross-checking against a linear scan.
+func TestSeqIndex(t *testing.T) {
+	hold := HoldEdges(map[[2]int]bool{{5, 6}: true})
+	p := NewPool(hold, NewStats())
+	check := func() {
+		if p.PendingEmpty() {
+			return
+		}
+		v := p.View()
+		minI, maxI := 0, 0
+		for i := 1; i < v.Len(); i++ {
+			if v.At(i).Seq < v.At(minI).Seq {
+				minI = i
+			}
+			if v.At(i).Seq > v.At(maxI).Seq {
+				maxI = i
+			}
+		}
+		if got := v.OldestIndex(); got != minI {
+			t.Fatalf("OldestIndex = %d, scan says %d", got, minI)
+		}
+		if got := v.NewestIndex(); got != maxI {
+			t.Fatalf("NewestIndex = %d, scan says %d", got, maxI)
+		}
+	}
+	// Interleave adds (some held, so released seqs are out of order later),
+	// index checks and takes from varying positions.
+	for i := 0; i < 8; i++ {
+		p.Add(msg(5, 6, "held")) // seqs 0,2,4,... withheld
+		p.Add(msg(0, 1, "free"))
+		check()
+	}
+	p.Take(p.View().OldestIndex())
+	check()
+	p.Take(p.View().NewestIndex())
+	check()
+	p.ReleaseHeld() // re-injects seqs older than everything pending
+	check()
+	for !p.PendingEmpty() {
+		idx := int(p.View().At(0).Seq) % p.PendingLen()
+		p.Take(idx)
+		check()
+	}
+}
+
 func TestFIFOPolicy(t *testing.T) {
 	p := NewPool(nil, NewStats())
 	for _, k := range []string{"first", "second", "third"} {
@@ -49,7 +109,7 @@ func TestFIFOPolicy(t *testing.T) {
 	var policy FIFOPolicy
 	var got []string
 	for !p.PendingEmpty() {
-		got = append(got, p.Take(policy.Pick(p.Pending())).Payload.Kind())
+		got = append(got, p.Take(policy.Pick(p.View())).Payload.Kind())
 	}
 	want := []string{"first", "second", "third"}
 	for i := range want {
@@ -65,23 +125,23 @@ func TestLIFOPolicy(t *testing.T) {
 		p.Add(msg(0, 1, k))
 	}
 	var policy LIFOPolicy
-	if got := p.Take(policy.Pick(p.Pending())).Payload.Kind(); got != "third" {
+	if got := p.Take(policy.Pick(p.View())).Payload.Kind(); got != "third" {
 		t.Fatalf("LIFO picked %q", got)
 	}
 }
 
 func TestRandomPolicyDeterminism(t *testing.T) {
-	mkPending := func() []Message {
-		var out []Message
+	mkPool := func() *Pool {
+		p := NewPool(nil, NewStats())
 		for i := 0; i < 10; i++ {
-			out = append(out, msg(0, 1, "x"))
+			p.Add(msg(0, 1, "x"))
 		}
-		return out
+		return p
 	}
 	a, b := NewRandomPolicy(7), NewRandomPolicy(7)
-	pending := mkPending()
+	pa, pb := mkPool(), mkPool()
 	for i := 0; i < 20; i++ {
-		if a.Pick(pending) != b.Pick(pending) {
+		if a.Pick(pa.View()) != b.Pick(pb.View()) {
 			t.Fatal("same seed diverged")
 		}
 	}
@@ -96,17 +156,17 @@ func TestBoundedDelayPolicy(t *testing.T) {
 	// Deliver 10 messages; the oldest pending seq can never lag the
 	// delivery count by more than the bound.
 	for i := 0; i < 10; i++ {
-		pending := pool.Pending()
+		pending := pool.View()
 		idx := p.Pick(pending)
-		oldest := pending[0].Seq
-		for _, m := range pending {
-			if m.Seq < oldest {
-				oldest = m.Seq
+		oldest := pending.At(0).Seq
+		for j := 1; j < pending.Len(); j++ {
+			if pending.At(j).Seq < oldest {
+				oldest = pending.At(j).Seq
 			}
 		}
-		if uint64(i+1) > oldest+3 && pending[idx].Seq != oldest {
+		if uint64(i+1) > oldest+3 && pending.At(idx).Seq != oldest {
 			t.Fatalf("delivery %d: overtaking bound violated (oldest=%d picked=%d)",
-				i, oldest, pending[idx].Seq)
+				i, oldest, pending.At(idx).Seq)
 		}
 		pool.Take(idx)
 	}
@@ -120,7 +180,7 @@ func TestBoundedDelayZeroIsFIFO(t *testing.T) {
 	}
 	var got []string
 	for !pool.PendingEmpty() {
-		got = append(got, pool.Take(p.Pick(pool.Pending())).Payload.Kind())
+		got = append(got, pool.Take(p.Pick(pool.View())).Payload.Kind())
 	}
 	for i, want := range []string{"a", "b", "c"} {
 		if got[i] != want {
@@ -135,14 +195,14 @@ func TestHoldRule(t *testing.T) {
 	p := NewPool(hold, stats)
 	p.Add(msg(0, 1, "held"))
 	p.Add(msg(1, 0, "free"))
-	if len(p.Pending()) != 1 || p.HeldCount() != 1 {
-		t.Fatalf("pending=%d held=%d", len(p.Pending()), p.HeldCount())
+	if p.PendingLen() != 1 || p.HeldCount() != 1 {
+		t.Fatalf("pending=%d held=%d", p.PendingLen(), p.HeldCount())
 	}
 	if p.Empty() {
 		t.Error("pool with held messages is not empty")
 	}
 	p.ReleaseHeld()
-	if len(p.Pending()) != 2 || p.HeldCount() != 0 {
+	if p.PendingLen() != 2 || p.HeldCount() != 0 {
 		t.Error("release did not move messages")
 	}
 	// After release the rule no longer captures new sends.

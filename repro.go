@@ -9,8 +9,10 @@
 //   - protocol execution: the paper's BW algorithm (Byzantine,
 //     asynchronous, directed — Theorem 4), the Abraham–Amit–Dolev clique
 //     baseline, the crash-fault 2-reach algorithm and the local iterative
-//     baseline, all over a deterministic goroutine message-passing
-//     simulator with pluggable fault injection,
+//     baseline, all over a deterministic simulator with pluggable fault
+//     injection and pluggable execution engines (a direct-call inline
+//     event loop by default, a goroutine-per-node arrangement on request —
+//     both replay the identical delivery schedule for a given seed),
 //   - the Theorem 18 necessity construction, which exhibits a convergence
 //     violation on any graph that fails 3-reach.
 //
@@ -31,6 +33,7 @@ import (
 	"repro/internal/crashapprox"
 	"repro/internal/graph"
 	"repro/internal/iterative"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -167,6 +170,13 @@ type Options struct {
 	Eps float64
 	// Seed drives both the asynchrony schedule and randomized faults.
 	Seed int64
+	// Engine selects the execution engine: "inline" (default, a
+	// single-threaded direct-call event loop) or "goroutine" (one goroutine
+	// per node). Both produce identical schedules and outputs for the same
+	// seed; see EngineNames.
+	Engine string
+	// RecordTrace captures the full delivery schedule into Result.Trace.
+	RecordTrace bool
 	// PathBudget caps per-node path enumeration (default 250000).
 	PathBudget int
 	// Faults maps node IDs to fault behaviors.
@@ -214,6 +224,10 @@ type Result struct {
 	// Histories holds per-round state values of honest nodes where the
 	// protocol records them.
 	Histories map[int][]float64
+	// Trace is the delivery schedule, one message per line, recorded only
+	// when Options.RecordTrace is set. Identical seeds yield identical
+	// traces, on every engine.
+	Trace string
 }
 
 func buildFaulty(id int, fl Fault, inner sim.Handler, seed int64) sim.Handler {
@@ -264,7 +278,16 @@ func runProtocol(g *Graph, inputs []float64, opts Options,
 			honest = honest.Add(i)
 		}
 	}
-	runner, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(opts.Seed)}, handlers)
+	engine, err := sim.EngineByName(opts.Engine)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := sim.New(sim.Config{
+		Graph:       g,
+		Policy:      transport.NewRandomPolicy(opts.Seed),
+		Engine:      engine,
+		RecordTrace: opts.RecordTrace,
+	}, handlers)
 	if err != nil {
 		return nil, err
 	}
@@ -277,6 +300,7 @@ func runProtocol(g *Graph, inputs []float64, opts Options,
 		MessagesSent: runner.Stats().Sent,
 		ByKind:       runner.Stats().ByKind,
 		Histories:    make(map[int][]float64),
+		Trace:        runner.TraceString(),
 	}
 	res.Outputs, res.Decided = runner.Outputs(honest)
 	lo, hi := math.Inf(1), math.Inf(-1)
@@ -358,3 +382,23 @@ func RunNecessity(g *Graph, f int, k, eps float64, seed int64) (*NecessityResult
 
 // BWRounds exposes the paper's termination bound r > log2(K/eps).
 func BWRounds(k, eps float64) int { return bw.RoundsFor(k, eps) }
+
+// EngineNames lists the available execution engines for Options.Engine.
+func EngineNames() []string { return sim.EngineNames() }
+
+// RunFunc is the shared signature of the Run* protocol entry points
+// (RunBW, RunAAD, RunCrashApprox, RunIterative).
+type RunFunc func(g *Graph, inputs []float64, opts Options) (*Result, error)
+
+// RunSeeds executes run across n consecutive seeds starting at opts.Seed,
+// fanning the independent executions over a worker pool (workers < 1 means
+// one per CPU, 1 runs sequentially). Results come back in seed order and
+// are identical to n sequential calls — the runs share no mutable state, so
+// parallelism cannot perturb the seeded schedules.
+func RunSeeds(run RunFunc, g *Graph, inputs []float64, opts Options, n, workers int) ([]*Result, error) {
+	return par.Map(workers, n, func(i int) (*Result, error) {
+		o := opts
+		o.Seed = opts.Seed + int64(i)
+		return run(g, inputs, o)
+	})
+}
