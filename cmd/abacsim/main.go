@@ -1,16 +1,24 @@
 // Command abacsim runs one of the repository's consensus protocols on a
-// chosen graph under a chosen adversary and reports outputs, agreement
-// spread, validity and message accounting.
+// chosen graph under a chosen adversary and schedule, and reports outputs,
+// agreement spread, validity and message accounting. Flag runs and scenario
+// files share one engine: the flags are compiled into a repro.Scenario, so
+// everything the CLI can do, a JSON scenario can express — and replay.
 //
 // Usage:
 //
 //	abacsim -graph fig1a -algo bw -f 1 -eps 0.25 -inputs 0,4,1,3,2 -fault 2:silent
 //	abacsim -graph clique:4 -algo aad -inputs 0,1,2,3
-//	abacsim -graph circulant:5:1,2 -algo crash -fault 4:crash:10
+//	abacsim -graph circulant:5:1,2 -algo crashapprox -fault 4:crash:10
 //	abacsim -graph fig1b-analog -algo iterative -inputs 0,0,0,0,1,1,1,1
 //	abacsim -graph clique:3 -algo necessity -f 1
 //	abacsim -graph fig1a -algo bw -seeds 32 -workers 8   # parallel seed sweep
 //	abacsim -graph fig1a -algo bw -engine goroutine      # alternate engine
+//	abacsim -graph fig1a -algo bw -policy lifo           # adversarial schedule
+//	abacsim -graph fig1a -algo bw -policy bounded:bound=8
+//	abacsim -scenario run.json                           # declarative run spec
+//	abacsim -scenario run.json -save                     # print canonical JSON
+//	abacsim -graph fig1a -algo bw -emit jsonl            # stream events as JSONL
+//	abacsim -list                                        # registered names
 package main
 
 import (
@@ -33,74 +41,254 @@ func main() {
 
 func run() error {
 	var (
-		spec    = flag.String("graph", "fig1a", "graph spec (see graphcheck)")
-		algo    = flag.String("algo", "bw", "protocol: bw | aad | crash | iterative | necessity")
-		f       = flag.Int("f", 1, "fault bound")
-		k       = flag.Float64("k", 0, "a-priori input range bound (default: max input)")
-		eps     = flag.Float64("eps", 0.1, "agreement parameter")
-		seed    = flag.Int64("seed", 1, "asynchrony schedule seed")
-		inputs  = flag.String("inputs", "", "comma-separated inputs (default: i mod 4)")
-		faults  = flag.String("fault", "", "semicolon-separated faults: node:kind[:param], kinds: silent,crash,extreme,equivocate,tamper,noise")
-		rounds  = flag.Int("rounds", 0, "round override for the iterative baseline")
-		history = flag.Bool("history", false, "print per-round value histories")
-		engine  = flag.String("engine", "", "execution engine: inline (default) | goroutine")
-		seeds   = flag.Int("seeds", 1, "run this many consecutive seeds (a seed sweep when > 1)")
-		workers = flag.Int("workers", 0, "worker pool size for -seeds > 1 (0 = one per CPU, 1 = sequential)")
+		spec     = flag.String("graph", "fig1a", "graph spec (see -list)")
+		algo     = flag.String("algo", "bw", "protocol (see -list) or: necessity")
+		f        = flag.Int("f", 1, "fault bound")
+		k        = flag.Float64("k", 0, "a-priori input range bound (default: max |input|)")
+		eps      = flag.Float64("eps", 0.1, "agreement parameter")
+		seed     = flag.Int64("seed", 1, "asynchrony schedule seed")
+		inputs   = flag.String("inputs", "", "comma-separated inputs (default: i mod 4)")
+		faults   = flag.String("fault", "", "semicolon-separated faults: node:kind[:param] (kinds: see -list)")
+		rounds   = flag.Int("rounds", 0, "round override for the iterative baseline")
+		history  = flag.Bool("history", false, "print per-round value histories")
+		engine   = flag.String("engine", "", "execution engine (see -list)")
+		policy   = flag.String("policy", "", "delivery policy name[:key=val,...], e.g. lifo or bounded:bound=8 (see -list)")
+		seeds    = flag.Int("seeds", 0, "run this many consecutive seeds (a seed sweep when > 1)")
+		workers  = flag.Int("workers", 0, "worker pool size for seed sweeps (0 = one per CPU, 1 = sequential)")
+		scenario = flag.String("scenario", "", "run a JSON scenario file instead of assembling one from flags")
+		save     = flag.Bool("save", false, "print the run's canonical scenario JSON instead of executing it")
+		emit     = flag.String("emit", "", "stream execution events to stdout: jsonl")
+		list     = flag.Bool("list", false, "list registered protocols, policies, engines, fault kinds and graph specs")
 	)
 	flag.Parse()
 
-	g, err := repro.NamedGraph(*spec)
-	if err != nil {
-		return err
+	if *list {
+		printCatalog()
+		return nil
+	}
+	if *emit != "" && *emit != "jsonl" {
+		return fmt.Errorf("unknown -emit format %q (valid values are: [jsonl])", *emit)
 	}
 
-	if *algo == "necessity" {
-		if *seeds > 1 || *engine != "" {
-			return fmt.Errorf("-seeds and -engine do not apply to -algo necessity")
-		}
-		res, err := repro.RunNecessity(g, *f, maxf(*k, 1), *eps, *seed)
+	var s *repro.Scenario
+	if *scenario != "" {
+		data, err := os.ReadFile(*scenario)
 		if err != nil {
 			return err
 		}
-		fmt.Println(res)
+		if s, err = repro.ParseScenario(data); err != nil {
+			return err
+		}
+		if err := applyOverrides(s, *seed, *seeds, *engine); err != nil {
+			return err
+		}
+	} else {
+		if *algo == "necessity" {
+			if *seeds > 1 || *engine != "" || *policy != "" || *emit != "" {
+				return fmt.Errorf("-seeds, -engine, -policy and -emit do not apply to -algo necessity")
+			}
+			g, err := repro.NamedGraph(*spec)
+			if err != nil {
+				return err
+			}
+			res, err := repro.RunNecessity(g, *f, maxf(*k, 1), *eps, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return nil
+		}
+		var err error
+		if s, err = buildScenario(*spec, *algo, *f, *k, *eps, *seed, *seeds,
+			*inputs, *faults, *rounds, *engine, *policy); err != nil {
+			return err
+		}
+	}
+
+	if *save {
+		data, err := s.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
 		return nil
 	}
+	if s.Seeds > 1 {
+		if *emit != "" {
+			return fmt.Errorf("-emit applies to single runs, not seed sweeps")
+		}
+		return runSeedSweep(*s, *workers)
+	}
+	return runSingle(*s, *emit == "jsonl", *history)
+}
 
-	in, err := parseInputs(*inputs, g.N())
+// applyOverrides lets explicitly passed -seed/-seeds/-engine flags override
+// the corresponding scenario-file fields, so one file serves many seeds and
+// engines. Any other run-shaping flag passed alongside -scenario is an
+// error: silently ignoring, say, -policy would replay the wrong schedule.
+func applyOverrides(s *repro.Scenario, seed int64, seeds int, engine string) error {
+	var clash []string
+	flag.Visit(func(fl *flag.Flag) {
+		switch fl.Name {
+		case "seed":
+			s.Seed = seed
+		case "seeds":
+			s.Seeds = seeds
+		case "engine":
+			s.Engine = engine
+		case "graph", "algo", "f", "k", "eps", "inputs", "fault", "rounds", "policy":
+			clash = append(clash, "-"+fl.Name)
+		}
+	})
+	if len(clash) > 0 {
+		return fmt.Errorf("%s cannot be combined with -scenario: edit the file instead (only -seed, -seeds and -engine override it)",
+			strings.Join(clash, ", "))
+	}
+	return nil
+}
+
+// buildScenario compiles the imperative flags into a declarative Scenario.
+// The closing Validate checks every name eagerly — protocol, engine, graph,
+// policy, fault kinds — so errors carry the valid values instead of
+// surfacing from deep inside the simulator.
+func buildScenario(spec, algo string, f int, k, eps float64, seed int64, seeds int,
+	inputs, faults string, rounds int, engine, policy string) (*repro.Scenario, error) {
+	if algo == "crash" {
+		algo = "crashapprox" // legacy alias from earlier releases
+	}
+	s := &repro.Scenario{
+		Graph: spec, Protocol: algo,
+		F: f, K: k, Eps: eps, Seed: seed, Seeds: seeds,
+		Engine: engine, Rounds: rounds,
+	}
+	var err error
+	if s.Policy, err = parsePolicy(policy); err != nil {
+		return nil, err
+	}
+	if inputs != "" {
+		g, err := repro.NamedGraph(spec)
+		if err != nil {
+			return nil, err
+		}
+		if s.Inputs, err = parseInputs(inputs, g.N()); err != nil {
+			return nil, err
+		}
+	}
+	fl, err := parseFaults(faults)
+	if err != nil {
+		return nil, err
+	}
+	s.Faults = faultSpecs(fl)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func validateName(what, name string, valid []string) error {
+	for _, v := range valid {
+		if name == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown %s %q (valid values are: %v)", what, name, valid)
+}
+
+// parsePolicy parses "name" or "name:key=val,key=val" into a PolicySpec,
+// validating the name and params against the registry.
+func parsePolicy(s string) (*repro.PolicySpec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	name, rest, hasParams := strings.Cut(s, ":")
+	if err := validateName("policy", name, repro.Policies()); err != nil {
+		return nil, err
+	}
+	spec := &repro.PolicySpec{Name: name}
+	if hasParams {
+		spec.Params = map[string]float64{}
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("policy param %q: want key=value", kv)
+			}
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("policy param %q: bad value: %w", kv, err)
+			}
+			spec.Params[strings.TrimSpace(key)] = x
+		}
+	}
+	return spec, nil
+}
+
+// faultSpecs converts the parsed fault map to the scenario list form, in
+// node order.
+func faultSpecs(fl map[int]repro.Fault) []repro.FaultSpec {
+	if len(fl) == 0 {
+		return nil
+	}
+	nodes := make([]int, 0, len(fl))
+	for node := range fl {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	out := make([]repro.FaultSpec, 0, len(fl))
+	for _, node := range nodes {
+		out = append(out, repro.FaultSpec{Node: node, Kind: fl[node].Type.String(), Param: fl[node].Param})
+	}
+	return out
+}
+
+func printCatalog() {
+	fmt.Println("protocols:")
+	for _, name := range repro.Protocols() {
+		fmt.Printf("  %s\n", name)
+	}
+	fmt.Println("policies:")
+	for _, name := range repro.Policies() {
+		fmt.Printf("  %s\n", name)
+	}
+	fmt.Println("engines:")
+	for _, name := range repro.EngineNames() {
+		fmt.Printf("  %s\n", name)
+	}
+	fmt.Println("fault kinds:")
+	for _, name := range repro.FaultKinds() {
+		fmt.Printf("  %s\n", name)
+	}
+	fmt.Println("graphs:")
+	for _, form := range repro.NamedGraphSpecs() {
+		fmt.Printf("  %s\n", form)
+	}
+}
+
+// runSingle executes one scenario, optionally streaming events as JSONL
+// before the summary.
+func runSingle(s repro.Scenario, jsonl, history bool) error {
+	g, in, err := s.Materialize()
 	if err != nil {
 		return err
 	}
-	fl, err := parseFaults(*faults)
-	if err != nil {
-		return err
-	}
-	opts := repro.Options{F: *f, K: *k, Eps: *eps, Seed: *seed, Faults: fl, Rounds: *rounds,
-		Engine: *engine}
-
-	var run repro.RunFunc
-	switch *algo {
-	case "bw":
-		run = repro.RunBW
-	case "aad":
-		run = repro.RunAAD
-	case "crash":
-		run = repro.RunCrashApprox
-	case "iterative":
-		run = repro.RunIterative
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
-	}
-
-	if *seeds > 1 {
-		return runSeedSweep(run, g, in, opts, *algo, *seeds, *workers)
-	}
-
-	res, err := run(g, in, opts)
-	if err != nil {
+	var res *repro.Result
+	if jsonl {
+		obs, flushErr := repro.JSONLObserver(os.Stdout)
+		if res, err = s.RunObserved(obs); err != nil {
+			return err
+		}
+		if err := flushErr(); err != nil {
+			return err
+		}
+	} else if res, err = s.Run(); err != nil {
 		return err
 	}
 
-	fmt.Printf("graph: %s, algo: %s, f=%d, eps=%g, seed=%d\n", g, *algo, *f, *eps, *seed)
+	policy := "random"
+	if s.Policy != nil {
+		policy = s.Policy.Name
+	}
+	fmt.Printf("graph: %s, algo: %s, f=%d, eps=%g, seed=%d, policy=%s\n",
+		g, s.Protocol, orDefault(s.F, 1), orDefaultF(s.Eps, 0.1), s.Seed, policy)
 	fmt.Printf("inputs: %v\n", in)
 	ids := make([]int, 0, len(res.Outputs))
 	for id := range res.Outputs {
@@ -111,9 +299,9 @@ func run() error {
 		fmt.Printf("  node %2d -> %.6g\n", id, res.Outputs[id])
 	}
 	fmt.Printf("decided: %v, spread: %.6g, converged(<%g): %v, validity: %v\n",
-		res.Decided, res.Spread, *eps, res.Converged, res.ValidityOK)
+		res.Decided, res.Spread, orDefaultF(s.Eps, 0.1), res.Converged, res.ValidityOK)
 	fmt.Printf("deliveries: %d, sends: %d, by kind: %v\n", res.Steps, res.MessagesSent, res.ByKind)
-	if *history {
+	if history {
 		for _, id := range ids {
 			fmt.Printf("  history %2d: %v\n", id, res.Histories[id])
 		}
@@ -121,16 +309,16 @@ func run() error {
 	return nil
 }
 
-// runSeedSweep executes the chosen protocol across consecutive seeds on a
+// runSeedSweep executes the scenario across its consecutive seeds on a
 // worker pool and prints one line per seed plus an aggregate.
-func runSeedSweep(run repro.RunFunc, g *repro.Graph, in []float64, opts repro.Options,
-	algo string, seeds, workers int) error {
-	results, err := repro.RunSeeds(run, g, in, opts, seeds, workers)
+func runSeedSweep(s repro.Scenario, workers int) error {
+	results, err := s.RunBatch(workers)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %s, algo: %s, f=%d, eps=%g, seeds=%d..%d, workers=%d\n",
-		g, algo, opts.F, opts.Eps, opts.Seed, opts.Seed+int64(seeds)-1, workers)
+		s.Graph, s.Protocol, orDefault(s.F, 1), orDefaultF(s.Eps, 0.1),
+		s.Seed, s.Seed+int64(s.Seeds)-1, workers)
 	converged, maxSpread, totalMsgs := 0, 0.0, 0
 	for i, res := range results {
 		if res.Converged {
@@ -141,11 +329,25 @@ func runSeedSweep(run repro.RunFunc, g *repro.Graph, in []float64, opts repro.Op
 		}
 		totalMsgs += res.MessagesSent
 		fmt.Printf("  seed %-6d converged=%-5v spread=%-10.6g validity=%-5v sends=%d\n",
-			opts.Seed+int64(i), res.Converged, res.Spread, res.ValidityOK, res.MessagesSent)
+			s.Seed+int64(i), res.Converged, res.Spread, res.ValidityOK, res.MessagesSent)
 	}
 	fmt.Printf("converged: %d/%d, max spread: %.6g, total sends: %d\n",
-		converged, seeds, maxSpread, totalMsgs)
+		converged, s.Seeds, maxSpread, totalMsgs)
 	return nil
+}
+
+func orDefault(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+func orDefaultF(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
 }
 
 func parseInputs(s string, n int) ([]float64, error) {
@@ -170,15 +372,6 @@ func parseInputs(s string, n int) ([]float64, error) {
 	return out, nil
 }
 
-var faultKinds = map[string]repro.FaultType{
-	"silent":     repro.FaultSilent,
-	"crash":      repro.FaultCrash,
-	"extreme":    repro.FaultExtreme,
-	"equivocate": repro.FaultEquivocate,
-	"tamper":     repro.FaultTamper,
-	"noise":      repro.FaultNoise,
-}
-
 func parseFaults(s string) (map[int]repro.Fault, error) {
 	if s == "" {
 		return nil, nil
@@ -193,9 +386,9 @@ func parseFaults(s string) (map[int]repro.Fault, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fault %q: bad node: %w", item, err)
 		}
-		kind, ok := faultKinds[parts[1]]
-		if !ok {
-			return nil, fmt.Errorf("fault %q: unknown kind %q", item, parts[1])
+		kind, err := repro.FaultTypeByName(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("fault %q: %w", item, err)
 		}
 		fl := repro.Fault{Type: kind, Param: defaultParam(kind)}
 		if len(parts) > 2 {

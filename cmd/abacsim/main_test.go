@@ -2,6 +2,7 @@ package main
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro"
@@ -50,6 +51,112 @@ func TestParseFaults(t *testing.T) {
 	}
 	if got, err := parseFaults(""); err != nil || got != nil {
 		t.Errorf("empty spec: %v %v", got, err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if p, err := parsePolicy(""); err != nil || p != nil {
+		t.Errorf("empty policy: %v %v", p, err)
+	}
+	p, err := parsePolicy("lifo")
+	if err != nil || p.Name != "lifo" || p.Params != nil {
+		t.Errorf("lifo: %+v %v", p, err)
+	}
+	p, err = parsePolicy("bounded:bound=8")
+	if err != nil || p.Name != "bounded" || p.Params["bound"] != 8 {
+		t.Errorf("bounded: %+v %v", p, err)
+	}
+	for _, bad := range []string{"warp", "bounded:bound", "bounded:bound=x"} {
+		if _, err := parsePolicy(bad); err == nil {
+			t.Errorf("parsePolicy(%q) should fail", bad)
+		}
+	}
+	// Unknown names must mention the valid values.
+	if _, err := parsePolicy("warp"); err == nil || !strings.Contains(err.Error(), "valid values are") {
+		t.Errorf("unfriendly policy error: %v", err)
+	}
+}
+
+func TestBuildScenarioValidatesEagerly(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func() (*repro.Scenario, error)
+		errHas string
+	}{
+		{"bad protocol", func() (*repro.Scenario, error) {
+			return buildScenario("fig1a", "paxos", 1, 0, 0.1, 1, 0, "", "", 0, "", "")
+		}, "valid values are"},
+		{"bad engine", func() (*repro.Scenario, error) {
+			return buildScenario("fig1a", "bw", 1, 0, 0.1, 1, 0, "", "", 0, "quantum", "")
+		}, "valid values are"},
+		{"bad graph", func() (*repro.Scenario, error) {
+			return buildScenario("torus:4", "bw", 1, 0, 0.1, 1, 0, "", "", 0, "", "")
+		}, "unknown spec"},
+		{"bad fault node", func() (*repro.Scenario, error) {
+			return buildScenario("fig1a", "bw", 1, 0, 0.1, 1, 0, "", "9:silent", 0, "", "")
+		}, "outside graph order"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.build(); err == nil {
+				t.Fatal("accepted")
+			} else if !strings.Contains(err.Error(), tc.errHas) {
+				t.Errorf("error %q missing %q", err, tc.errHas)
+			}
+		})
+	}
+}
+
+func TestBuildScenarioCompilesFlags(t *testing.T) {
+	s, err := buildScenario("clique:4", "crash", 1, 3, 0.2, 9, 4,
+		"0,1,2,3", "2:silent", 0, "inline", "bounded:bound=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Protocol != "crashapprox" { // legacy alias resolved
+		t.Errorf("protocol = %q", s.Protocol)
+	}
+	if s.Seeds != 4 || s.Seed != 9 || s.Engine != "inline" {
+		t.Errorf("scenario = %+v", s)
+	}
+	if s.Policy == nil || s.Policy.Name != "bounded" || s.Policy.Params["bound"] != 5 {
+		t.Errorf("policy = %+v", s.Policy)
+	}
+	if len(s.Faults) != 1 || s.Faults[0] != (repro.FaultSpec{Node: 2, Kind: "silent"}) {
+		t.Errorf("faults = %+v", s.Faults)
+	}
+	if !reflect.DeepEqual(s.Inputs, []float64{0, 1, 2, 3}) {
+		t.Errorf("inputs = %v", s.Inputs)
+	}
+	// The compiled scenario round-trips through its canonical JSON.
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := repro.ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, s) {
+		t.Errorf("round-trip drifted:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+func TestFaultSpecsSortedByNode(t *testing.T) {
+	fl := map[int]repro.Fault{
+		3: {Type: repro.FaultNoise, Param: 2},
+		0: {Type: repro.FaultSilent},
+	}
+	specs := faultSpecs(fl)
+	want := []repro.FaultSpec{
+		{Node: 0, Kind: "silent"},
+		{Node: 3, Kind: "noise", Param: 2},
+	}
+	if !reflect.DeepEqual(specs, want) {
+		t.Errorf("faultSpecs = %+v", specs)
+	}
+	if faultSpecs(nil) != nil {
+		t.Error("empty map should give nil")
 	}
 }
 

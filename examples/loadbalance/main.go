@@ -2,7 +2,11 @@
 // hold different queue lengths and agree on the common per-node load target
 // via approximate consensus. Workers may crash mid-protocol; the directed
 // 2-reach algorithm (Table 2's crash/asynchronous cell) handles that
-// without any Byzantine machinery.
+// without any Byzantine machinery. The run is declared as a Scenario with
+// an explicit schedule policy: a bounded-delay network (partial synchrony),
+// the regime real dispatch fabrics actually run in — crash algorithms must
+// of course keep working there, since it is a subset of the asynchronous
+// schedules.
 package main
 
 import (
@@ -17,18 +21,25 @@ func main() {
 		f   = 1
 		eps = 0.5 // agree on the target within half a task
 	)
-	// Work dispatch topology: each worker can push work to the next two.
-	g := repro.Circulant(5, 1, 2)
 
 	queueLens := []float64{12, 3, 27, 8, 15}
 	fmt.Printf("initial queue lengths: %v\n", queueLens)
 
-	res, err := repro.RunCrashApprox(g, queueLens, repro.Options{
-		F: f, K: 30, Eps: eps, Seed: 17,
-		Faults: map[int]repro.Fault{
-			2: {Type: repro.FaultCrash, Param: 15}, // worker 2 dies mid-run
-		},
-	})
+	scenario := repro.Scenario{
+		Name: "load-balance",
+		// Work dispatch topology: each worker can push work to the next two.
+		Graph:    "circulant:5:1,2",
+		Protocol: "crashapprox",
+		Inputs:   queueLens,
+		F:        f, K: 30, Eps: eps,
+		Seed: 17,
+		// Deliveries are random but no message is overtaken by more than 8
+		// younger ones — a partially synchronous dispatch network.
+		Policy: &repro.PolicySpec{Name: "bounded", Params: map[string]float64{"bound": 8}},
+		Faults: []repro.FaultSpec{{Node: 2, Kind: "crash", Param: 15}}, // worker 2 dies mid-run
+	}
+
+	res, err := scenario.Run()
 	if err != nil {
 		log.Fatal(err)
 	}

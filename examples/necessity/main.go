@@ -3,7 +3,8 @@
 // nodes to output values eps apart — no algorithm can achieve approximate
 // consensus there. The demo machine-checks the stitching preconditions and
 // runs the two crash executions whose outputs the stitched execution
-// inherits.
+// inherits. As a contrast, the same inputs on one more node (K4, where
+// 3-reach holds) are run as a declarative Scenario and converge.
 package main
 
 import (
@@ -34,8 +35,24 @@ func main() {
 	fmt.Printf("  stitched e3 therefore has spread %g >= eps %g: violation=%v\n",
 		res.Spread, res.Eps, res.Violated())
 
-	// Contrast: one more node makes it feasible.
-	g4 := repro.Clique(4)
-	ok4, _ := repro.Check3Reach(g4, 1)
+	// Contrast: one more node makes it feasible — and the feasible side is
+	// an ordinary scenario run, crash fault included.
+	ok4, _ := repro.Check3Reach(repro.Clique(4), 1)
 	fmt.Printf("\nadding one node (K4): 3-reach = %v — consensus is possible again\n", ok4)
+
+	feasible := repro.Scenario{
+		Name:     "necessity-contrast",
+		Graph:    "clique:4",
+		Protocol: "bw",
+		Inputs:   []float64{0, 1, 0, 1},
+		F:        1, K: 1, Eps: 0.25,
+		Seed:   2024,
+		Faults: []repro.FaultSpec{{Node: 2, Kind: "crash", Param: 10}},
+	}
+	run, err := feasible.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BW on K4 with one crash: spread %.4g < eps %g: %v (validity %v)\n",
+		run.Spread, feasible.Eps, run.Converged, run.ValidityOK)
 }

@@ -2,7 +2,10 @@
 // opinions in [0, 10] and interact over a directed influence network; a
 // manipulator equivocates, telling every neighbor something different.
 // Algorithm BW still drives honest opinions together, halving disagreement
-// every asynchronous round (Lemma 15) — this demo prints the series.
+// every asynchronous round (Lemma 15). This demo watches that contraction
+// happen *live*: a streaming Observer receives each agent's per-round value
+// the moment the round completes, instead of reading histories after the
+// fact.
 package main
 
 import (
@@ -20,40 +23,49 @@ func main() {
 		k   = 10.0
 		eps = 0.05
 	)
-	g := repro.Fig1a() // influence network: hub + rim
 
 	opinions := []float64{0.5, 9.5, 5.0, 2.0, 8.0}
 	fmt.Printf("initial opinions: %v\n", opinions)
 	fmt.Printf("rounds needed (first r > log2(K/eps)): %d\n", repro.BWRounds(k, eps))
 
-	res, err := repro.RunBW(g, opinions, repro.Options{
-		F: f, K: k, Eps: eps, Seed: 8,
-		Faults: map[int]repro.Fault{
-			1: {Type: repro.FaultEquivocate, Param: 1.5},
-		},
-	})
+	scenario := repro.Scenario{
+		Name:     "opinion-dynamics",
+		Graph:    "fig1a", // influence network: hub + rim
+		Protocol: "bw",
+		Inputs:   opinions,
+		F:        f, K: k, Eps: eps,
+		Seed:   8,
+		Faults: []repro.FaultSpec{{Node: 1, Kind: "equivocate", Param: 1.5}},
+	}
+
+	// Stream per-round opinions as they are recorded: byRound[r] collects
+	// each honest agent's value for round r+1, and deliveries are counted to
+	// show how much asynchronous traffic each round absorbs.
+	var byRound [][]float64
+	roundSteps := map[int]int{}
+	res, err := scenario.RunObserved(repro.ObserverFunc(func(e repro.Event) {
+		if e.Type != repro.EventRound {
+			return
+		}
+		for len(byRound) < e.Round {
+			byRound = append(byRound, nil)
+		}
+		byRound[e.Round-1] = append(byRound[e.Round-1], e.Value)
+		roundSteps[e.Round] = e.Step // last delivery that completed this round
+	}))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Per-round disagreement across honest agents.
-	rounds := 0
-	for _, h := range res.Histories {
-		if len(h) > rounds {
-			rounds = len(h)
-		}
-	}
-	fmt.Println("\nround   disagreement   bound K/2^r")
+	fmt.Println("\nround   disagreement   bound K/2^r   (by delivery)")
 	bound := k
-	for r := 0; r < rounds; r++ {
+	for r, vals := range byRound {
 		min, max := math.Inf(1), math.Inf(-1)
-		for _, h := range res.Histories {
-			if r < len(h) {
-				min, max = math.Min(min, h[r]), math.Max(max, h[r])
-			}
+		for _, v := range vals {
+			min, max = math.Min(min, v), math.Max(max, v)
 		}
 		bound /= 2
-		fmt.Printf("%5d   %12.5f   %11.5f\n", r+1, max-min, bound)
+		fmt.Printf("%5d   %12.5f   %11.5f   %12d\n", r+1, max-min, bound, roundSteps[r+1])
 	}
 
 	ids := make([]int, 0, len(res.Outputs))

@@ -1,5 +1,7 @@
-// Quickstart: build a directed network, check the paper's tight condition
-// (3-reach), and run the BW algorithm with one Byzantine node.
+// Quickstart: check the paper's tight condition (3-reach) on a directed
+// network, then describe a complete run — graph, protocol, adversary,
+// schedule — as one declarative repro.Scenario, print its canonical JSON
+// (the exact document `abacsim -scenario` accepts), and execute it.
 package main
 
 import (
@@ -21,25 +23,37 @@ func main() {
 		log.Fatalf("no algorithm can exist here (witness: %s)", witness)
 	}
 
-	// 2. Run algorithm BW. Node 2 is Byzantine and floods an extreme value;
+	// 2. Declare the run. Node 2 is Byzantine and floods an extreme value;
 	//    Filter-and-Average must trim it.
-	inputs := []float64{0.0, 4.0, 1.0, 3.0, 2.0}
-	res, err := repro.RunBW(g, inputs, repro.Options{
-		F:    1,
-		K:    4,    // inputs lie in [0, K], known a priori (paper Section 4.6)
-		Eps:  0.25, // agreement parameter
-		Seed: 42,
-		Faults: map[int]repro.Fault{
-			2: {Type: repro.FaultExtreme, Param: 1e9},
-		},
-	})
+	scenario := repro.Scenario{
+		Name:     "quickstart",
+		Graph:    "fig1a",
+		Protocol: "bw",
+		Inputs:   []float64{0.0, 4.0, 1.0, 3.0, 2.0},
+		F:        1,
+		K:        4,    // inputs lie in [0, K], known a priori (paper Section 4.6)
+		Eps:      0.25, // agreement parameter
+		Seed:     42,
+		Faults:   []repro.FaultSpec{{Node: 2, Kind: "extreme", Param: 1e9}},
+	}
+
+	// The scenario is fully serializable: this JSON replays the identical
+	// execution via `abacsim -scenario quickstart.json`.
+	doc, err := scenario.JSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscenario file:\n%s\n\n", doc)
+
+	// 3. Run it.
+	res, err := scenario.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("honest outputs: %v\n", res.Outputs)
 	fmt.Printf("spread %.4g < eps %.4g: %v, within honest input range: %v\n",
-		res.Spread, 0.25, res.Converged, res.ValidityOK)
+		res.Spread, scenario.Eps, res.Converged, res.ValidityOK)
 	fmt.Printf("rounds: %d, messages: %d (%v)\n",
-		repro.BWRounds(4, 0.25), res.MessagesSent, res.ByKind)
+		repro.BWRounds(scenario.K, scenario.Eps), res.MessagesSent, res.ByKind)
 }

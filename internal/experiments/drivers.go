@@ -3,99 +3,32 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"strings"
 
-	"repro/internal/aad"
-	"repro/internal/adversary"
+	"repro"
 	"repro/internal/bw"
 	"repro/internal/cond"
-	"repro/internal/crashapprox"
 	"repro/internal/graph"
-	"repro/internal/iterative"
-	"repro/internal/sim"
-	"repro/internal/transport"
 )
 
-// runOutcome summarizes one protocol execution.
-type runOutcome struct {
-	Spread    float64
-	Converged bool
-	Validity  bool
-	Messages  int
-	Steps     int
-	Histories [][]float64 // honest nodes' per-round values
+// runScenario executes one declarative scenario on the engine configured by
+// exec. Every driver below goes through this: each experiment cell IS a
+// (graph, adversary, schedule) triple in the Scenario sense, so the tables
+// are assembled from the same replayable specs the CLIs accept.
+func runScenario(s repro.Scenario, exec Exec) (*repro.Result, error) {
+	s.Engine = exec.Engine
+	return s.Run()
 }
 
-// runHandlers executes prepared handlers under DefaultExec and summarizes
-// the honest outputs.
-func runHandlers(g *graph.Graph, handlers []sim.Handler, honest graph.Set,
-	inputs []float64, eps float64, seed int64) (runOutcome, error) {
-	return runHandlersExec(DefaultExec, g, handlers, honest, inputs, eps, seed)
-}
-
-// runHandlersExec executes prepared handlers on the configured engine and
-// summarizes the honest outputs.
-func runHandlersExec(exec Exec, g *graph.Graph, handlers []sim.Handler, honest graph.Set,
-	inputs []float64, eps float64, seed int64) (runOutcome, error) {
-	eng, err := exec.engine()
-	if err != nil {
-		return runOutcome{}, err
-	}
-	r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(seed), Engine: eng}, handlers)
-	if err != nil {
-		return runOutcome{}, err
-	}
-	if err := r.Run(); err != nil {
-		return runOutcome{}, err
-	}
-	outs, all := r.Outputs(honest)
-	out := runOutcome{Messages: r.Stats().Sent, Steps: r.Steps()}
-	if !all {
-		return out, fmt.Errorf("experiments: honest nodes undecided (%d/%d)", len(outs), honest.Count())
-	}
-	lo, hi := math.Inf(1), math.Inf(-1)
-	honest.ForEach(func(v int) bool {
-		lo, hi = math.Min(lo, inputs[v]), math.Max(hi, inputs[v])
-		if hp, ok := r.Handler(v).(interface{ History() []float64 }); ok {
-			out.Histories = append(out.Histories, hp.History())
-		} else if m, ok := r.Handler(v).(*bw.Machine); ok {
-			out.Histories = append(out.Histories, m.Snapshot().History)
-		}
-		return true
-	})
-	omin, omax := math.Inf(1), math.Inf(-1)
-	for _, x := range outs {
-		omin, omax = math.Min(omin, x), math.Max(omax, x)
-	}
-	out.Spread = omax - omin
-	out.Converged = out.Spread < eps
-	out.Validity = omin >= lo && omax <= hi
-	return out, nil
-}
-
-// bwHandlers builds BW machines with the given fault wrappers.
-func bwHandlers(g *graph.Graph, f int, inputs []float64, k, eps float64,
-	faults map[int]func(sim.Handler) sim.Handler) ([]sim.Handler, graph.Set, error) {
-	proto, err := bw.NewProto(g, f, k, eps, 0)
-	if err != nil {
-		return nil, 0, err
-	}
-	honest := graph.EmptySet
-	handlers := make([]sim.Handler, g.N())
-	for i := 0; i < g.N(); i++ {
-		m, err := bw.NewMachine(proto, i, inputs[i])
-		if err != nil {
-			return nil, 0, err
-		}
-		if wrap, bad := faults[i]; bad {
-			handlers[i] = wrap(m)
-		} else {
-			handlers[i] = m
-			honest = honest.Add(i)
+// spreadOf computes max-min over a round's recorded values.
+func spreadOf(histories map[int][]float64, round int) float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, h := range histories {
+		if round < len(h) {
+			min, max = math.Min(min, h[round]), math.Max(max, h[round])
 		}
 	}
-	return handlers, honest, nil
+	return max - min
 }
 
 // RunFig1a produces the E3 report.
@@ -117,23 +50,18 @@ func RunFig1a(seed int64) (Fig1aReport, error) {
 		}
 	}
 
-	inputs := []float64{0, 4, 1, 3, 2}
-	handlers, honest, err := bwHandlers(g, 1, inputs, 4, 0.25, map[int]func(sim.Handler) sim.Handler{
-		1: func(inner sim.Handler) sim.Handler {
-			return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-				Mutators: []adversary.Mutator{adversary.ExtremeInput(1e6)}}
-		},
-	})
+	out, err := runScenario(repro.Scenario{
+		Name: "fig1a-bw", Graph: "fig1a", Protocol: "bw",
+		Inputs: []float64{0, 4, 1, 3, 2},
+		F:      1, K: 4, Eps: 0.25, Seed: seed,
+		Faults: []repro.FaultSpec{{Node: 1, Kind: "extreme", Param: 1e6}},
+	}, DefaultExec)
 	if err != nil {
 		return rep, err
 	}
-	out, err := runHandlers(g, handlers, honest, inputs, 0.25, seed)
-	if err != nil {
-		return rep, err
-	}
-	rep.BWConverged = out.Converged && out.Validity
+	rep.BWConverged = out.Converged && out.ValidityOK
 	rep.BWSpread = out.Spread
-	rep.BWMessages = out.Messages
+	rep.BWMessages = out.MessagesSent
 	return rep, nil
 }
 
@@ -154,19 +82,17 @@ func RunFig1b(seed int64) (Fig1bReport, error) {
 	ok, _ := cond.Check3Reach(broken, 2)
 	rep.BridgeBreak = !ok
 
-	analog := graph.Fig1bAnalog()
-	inputs := []float64{0, 0.5, 1, 0.25, 0.75, 1, 0, 0.5}
-	handlers, honest, err := bwHandlers(analog, 1, inputs, 1, 0.25, nil)
+	out, err := runScenario(repro.Scenario{
+		Name: "fig1b-analog-bw", Graph: "fig1b-analog", Protocol: "bw",
+		Inputs: []float64{0, 0.5, 1, 0.25, 0.75, 1, 0, 0.5},
+		F:      1, K: 1, Eps: 0.25, Seed: seed,
+	}, DefaultExec)
 	if err != nil {
 		return rep, err
 	}
-	out, err := runHandlers(analog, handlers, honest, inputs, 0.25, seed)
-	if err != nil {
-		return rep, err
-	}
-	rep.AnalogConverged = out.Converged && out.Validity
+	rep.AnalogConverged = out.Converged && out.ValidityOK
 	rep.AnalogSpread = out.Spread
-	rep.AnalogMessages = out.Messages
+	rep.AnalogMessages = out.MessagesSent
 	return rep, nil
 }
 
@@ -210,63 +136,56 @@ func (r SufficiencyReport) Render() string {
 	return b.String()
 }
 
+// sufficiencyAdversaries are the E5 fault columns: node 1 exhibits each
+// registered fault behavior (the empty kind is the honest control).
+var sufficiencyAdversaries = []struct {
+	name  string
+	kind  string
+	param float64
+}{
+	{"honest", "", 0},
+	{"silent", "silent", 0},
+	{"crash", "crash", 25},
+	{"extreme", "extreme", -1e9},
+	{"equivocate", "equivocate", 0.9},
+	{"tamper", "tamper", 11},
+	{"noise", "noise", 50},
+}
+
 // RunSufficiency produces the E5 report.
 func RunSufficiency(seed int64) (SufficiencyReport, error) {
-	graphs := []*graph.Graph{graph.Clique(4), graph.Clique(5), graph.Fig1a()}
-	adversaries := map[string]func(inner sim.Handler) sim.Handler{
-		"honest": nil,
-		"silent": func(sim.Handler) sim.Handler { return &adversary.Silent{NodeID: 1} },
-		"crash": func(inner sim.Handler) sim.Handler {
-			return &adversary.Crash{Inner: inner, AfterDeliveries: 25, FinalSends: 1}
-		},
-		"extreme": func(inner sim.Handler) sim.Handler {
-			return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-				Mutators: []adversary.Mutator{adversary.ExtremeInput(-1e9)}}
-		},
-		"equivocate": func(inner sim.Handler) sim.Handler {
-			return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-				Mutators: []adversary.Mutator{adversary.EquivocateInput(0.9)}}
-		},
-		"tamper": func(inner sim.Handler) sim.Handler {
-			return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-				Mutators: []adversary.Mutator{
-					adversary.TamperRelays(func(x float64) float64 { return 2*x + 11 }),
-					adversary.ForgeCompletes(3),
-				}}
-		},
-		"noise": func(inner sim.Handler) sim.Handler {
-			return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-				Mutators: []adversary.Mutator{adversary.RandomNoise(50)}}
-		},
-	}
-	order := []string{"honest", "silent", "crash", "extreme", "equivocate", "tamper", "noise"}
+	graphSpecs := []string{"clique:4", "clique:5", "fig1a"}
 
 	var rep SufficiencyReport
-	for _, g := range graphs {
+	for _, spec := range graphSpecs {
+		g, err := graph.Named(spec)
+		if err != nil {
+			return rep, err
+		}
 		inputs := make([]float64, g.N())
 		for i := range inputs {
 			inputs[i] = float64((i * 7) % 5)
 		}
-		for _, name := range order {
-			var faults map[int]func(sim.Handler) sim.Handler
-			if wrap := adversaries[name]; wrap != nil {
-				faults = map[int]func(sim.Handler) sim.Handler{1: wrap}
+		for _, adv := range sufficiencyAdversaries {
+			s := repro.Scenario{
+				Name: spec + "-" + adv.name, Graph: spec, Protocol: "bw",
+				Inputs: inputs,
+				F:      1, K: 4, Eps: 0.25, Seed: seed + int64(len(rep.Cases)),
 			}
-			handlers, honest, err := bwHandlers(g, 1, inputs, 4, 0.25, faults)
-			if err != nil {
-				return rep, err
+			if adv.kind != "" {
+				s.Faults = []repro.FaultSpec{{Node: 1, Kind: adv.kind, Param: adv.param}}
 			}
-			out, err := runHandlers(g, handlers, honest, inputs, 0.25, seed+int64(len(rep.Cases)))
+			out, err := runScenario(s, DefaultExec)
 			if err != nil {
 				return rep, err
 			}
 			rep.Cases = append(rep.Cases, SufficiencyCase{
 				Graph:     g.Name(),
-				Adversary: name,
+				Adversary: adv.name,
 				Converged: out.Converged,
-				Validity:  out.Validity,
+				Validity:  out.ValidityOK,
 				Spread:    out.Spread,
-				Messages:  out.Messages,
+				Messages:  out.MessagesSent,
 			})
 		}
 	}
@@ -300,35 +219,23 @@ func (r ConvergenceReport) Render() string {
 // RunConvergence produces the E6 report on the Figure 1(a) graph with a
 // Byzantine extreme-value injector.
 func RunConvergence(seed int64) (ConvergenceReport, error) {
-	g := graph.Fig1a()
 	k, eps := 8.0, 0.2
-	inputs := []float64{0, 8, 4, 6, 2}
-	rep := ConvergenceReport{Graph: g.Name(), K: k, Eps: eps, Rounds: bw.RoundsFor(k, eps)}
-	handlers, honest, err := bwHandlers(g, 1, inputs, k, eps, map[int]func(sim.Handler) sim.Handler{
-		3: func(inner sim.Handler) sim.Handler {
-			return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-				Mutators: []adversary.Mutator{adversary.ExtremeInput(1e9)}}
-		},
-	})
-	if err != nil {
-		return rep, err
-	}
-	out, err := runHandlers(g, handlers, honest, inputs, eps, seed)
+	rep := ConvergenceReport{Graph: "fig1a", K: k, Eps: eps, Rounds: bw.RoundsFor(k, eps)}
+	out, err := runScenario(repro.Scenario{
+		Name: "fig1a-contraction", Graph: "fig1a", Protocol: "bw",
+		Inputs: []float64{0, 8, 4, 6, 2},
+		F:      1, K: k, Eps: eps, Seed: seed,
+		Faults: []repro.FaultSpec{{Node: 3, Kind: "extreme", Param: 1e9}},
+	}, DefaultExec)
 	if err != nil {
 		return rep, err
 	}
 	bound := k
 	for r := 0; r < rep.Rounds; r++ {
 		bound /= 2
-		min, max := math.Inf(1), math.Inf(-1)
-		for _, h := range out.Histories {
-			if r < len(h) {
-				min, max = math.Min(min, h[r]), math.Max(max, h[r])
-			}
-		}
-		rep.Spreads = append(rep.Spreads, max-min)
+		rep.Spreads = append(rep.Spreads, spreadOf(out.Histories, r))
 		rep.Bound = append(rep.Bound, bound)
-		if max-min > bound+1e-9 {
+		if rep.Spreads[r] > bound+1e-9 {
 			rep.Violations++
 		}
 	}
@@ -364,53 +271,40 @@ func (r AADReport) Render() string {
 	return b.String()
 }
 
-// RunAADComparison produces the E8 report.
+// RunAADComparison produces the E8 report: the same clique, inputs,
+// adversary and seed, run under both protocols by switching the scenario's
+// Protocol name.
 func RunAADComparison(seed int64) (AADReport, error) {
 	var rep AADReport
 	k, eps := 3.0, 0.2
 	for _, n := range []int{4, 5} {
-		g := graph.Clique(n)
 		inputs := make([]float64, n)
 		for i := range inputs {
 			inputs[i] = float64((i * 3) % 4)
 		}
-		rounds := bw.RoundsFor(k, eps)
-
-		honest := graph.EmptySet
-		aadHandlers := make([]sim.Handler, n)
-		for i := 0; i < n; i++ {
-			m, err := aad.NewMachine(n, 1, i, rounds, inputs[i])
-			if err != nil {
-				return rep, err
-			}
-			if i == 1 {
-				aadHandlers[i] = &adversary.Silent{NodeID: i}
-			} else {
-				aadHandlers[i] = m
-				honest = honest.Add(i)
-			}
+		base := repro.Scenario{
+			Graph:  fmt.Sprintf("clique:%d", n),
+			Inputs: inputs,
+			F:      1, K: k, Eps: eps, Seed: seed,
+			Faults: []repro.FaultSpec{{Node: 1, Kind: "silent"}},
 		}
-		aadOut, err := runHandlers(g, aadHandlers, honest, inputs, eps, seed)
+		aadRun := base
+		aadRun.Protocol = "aad"
+		aadOut, err := runScenario(aadRun, DefaultExec)
 		if err != nil {
 			return rep, err
 		}
-
-		bwHs, bwHonest, err := bwHandlers(g, 1, inputs, k, eps, map[int]func(sim.Handler) sim.Handler{
-			1: func(sim.Handler) sim.Handler { return &adversary.Silent{NodeID: 1} },
-		})
+		bwRun := base
+		bwRun.Protocol = "bw"
+		bwOut, err := runScenario(bwRun, DefaultExec)
 		if err != nil {
 			return rep, err
 		}
-		bwOut, err := runHandlers(g, bwHs, bwHonest, inputs, eps, seed)
-		if err != nil {
-			return rep, err
-		}
-
 		rep.Rows = append(rep.Rows, AADComparison{
 			N: n, F: 1,
-			AADMessages: aadOut.Messages, BWMessages: bwOut.Messages,
+			AADMessages: aadOut.MessagesSent, BWMessages: bwOut.MessagesSent,
 			AADSpread: aadOut.Spread, BWSpread: bwOut.Spread,
-			BothOK: aadOut.Converged && aadOut.Validity && bwOut.Converged && bwOut.Validity,
+			BothOK: aadOut.Converged && aadOut.ValidityOK && bwOut.Converged && bwOut.ValidityOK,
 		})
 	}
 	return rep, nil
@@ -447,18 +341,12 @@ func (r IterativeReport) Render() string {
 func RunIterativeAblation(seed int64) (IterativeReport, error) {
 	var rep IterativeReport
 	// Clique: iterative works.
-	k5 := graph.Clique(5)
-	rep.CliqueRobust, _ = cond.CheckRobustness(k5, 2, 2)
-	inputs5 := []float64{0, 1, 2, 3, 4}
-	handlers := make([]sim.Handler, 5)
-	for i := 0; i < 5; i++ {
-		m, err := iterative.NewMachine(k5, 1, i, 30, inputs5[i])
-		if err != nil {
-			return rep, err
-		}
-		handlers[i] = m
-	}
-	out, err := runHandlers(k5, handlers, k5.Nodes(), inputs5, 0.01, seed)
+	rep.CliqueRobust, _ = cond.CheckRobustness(graph.Clique(5), 2, 2)
+	out, err := runScenario(repro.Scenario{
+		Name: "k5-iterative", Graph: "clique:5", Protocol: "iterative",
+		Inputs: []float64{0, 1, 2, 3, 4},
+		F:      1, Eps: 0.01, Rounds: 30, Seed: seed,
+	}, DefaultExec)
 	if err != nil {
 		return rep, err
 	}
@@ -470,31 +358,27 @@ func RunIterativeAblation(seed int64) (IterativeReport, error) {
 	rep.TwoClique3Reach, _ = cond.Check3Reach(g, 1)
 	rep.TwoCliqueRobust, _ = cond.CheckRobustness(g, 2, 2)
 	inputs := []float64{0, 0, 0, 0, 1, 1, 1, 1}
-	handlers = make([]sim.Handler, 8)
-	for i := 0; i < 8; i++ {
-		m, err := iterative.NewMachine(g, 1, i, 30, inputs[i])
-		if err != nil {
-			return rep, err
-		}
-		handlers[i] = m
-	}
-	out, err = runHandlers(g, handlers, g.Nodes(), inputs, 0.5, seed)
+	out, err = runScenario(repro.Scenario{
+		Name: "two-clique-iterative", Graph: "fig1b-analog", Protocol: "iterative",
+		Inputs: inputs,
+		F:      1, Eps: 0.5, Rounds: 30, Seed: seed,
+	}, DefaultExec)
 	if err != nil {
 		return rep, err
 	}
 	rep.TwoCliqueSpread = out.Spread
 	rep.TwoCliqueStalled = out.Spread >= 0.5
 
-	bwHs, honest, err := bwHandlers(g, 1, inputs, 1, 0.25, nil)
-	if err != nil {
-		return rep, err
-	}
-	bwOut, err := runHandlers(g, bwHs, honest, inputs, 0.25, seed)
+	bwOut, err := runScenario(repro.Scenario{
+		Name: "two-clique-bw", Graph: "fig1b-analog", Protocol: "bw",
+		Inputs: inputs,
+		F:      1, K: 1, Eps: 0.25, Seed: seed,
+	}, DefaultExec)
 	if err != nil {
 		return rep, err
 	}
 	rep.BWTwoCliqueSpread = bwOut.Spread
-	rep.BWConverged = bwOut.Converged && bwOut.Validity
+	rep.BWConverged = bwOut.Converged && bwOut.ValidityOK
 	return rep, nil
 }
 
@@ -523,32 +407,18 @@ func RunCrashCell(seed int64) (CrashReport, error) {
 	g := graph.Circulant(5, 1, 2)
 	rep := CrashReport{Graph: g.Name()}
 	rep.TwoReach, _ = cond.Check2Reach(g, 1)
-	proto, err := crashapprox.NewProto(g, 1, 4, 0.2, 0)
-	if err != nil {
-		return rep, err
-	}
-	inputs := []float64{0, 1, 2, 3, 4}
-	honest := graph.EmptySet
-	handlers := make([]sim.Handler, 5)
-	for i := 0; i < 5; i++ {
-		m, err := crashapprox.NewMachine(proto, i, inputs[i])
-		if err != nil {
-			return rep, err
-		}
-		if i == 2 {
-			handlers[i] = &adversary.Crash{Inner: m, AfterDeliveries: 12, FinalSends: 1}
-		} else {
-			handlers[i] = m
-			honest = honest.Add(i)
-		}
-	}
-	out, err := runHandlers(g, handlers, honest, inputs, 0.2, seed)
+	out, err := runScenario(repro.Scenario{
+		Name: "crash-cell", Graph: "circulant:5:1,2", Protocol: "crashapprox",
+		Inputs: []float64{0, 1, 2, 3, 4},
+		F:      1, K: 4, Eps: 0.2, Seed: seed,
+		Faults: []repro.FaultSpec{{Node: 2, Kind: "crash", Param: 12}},
+	}, DefaultExec)
 	if err != nil {
 		return rep, err
 	}
 	rep.Converged = out.Converged
-	rep.Validity = out.Validity
+	rep.Validity = out.ValidityOK
 	rep.Spread = out.Spread
-	rep.Messages = out.Messages
+	rep.Messages = out.MessagesSent
 	return rep, nil
 }

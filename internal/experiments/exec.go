@@ -1,13 +1,9 @@
 package experiments
 
-import (
-	"repro/internal/sim"
-)
-
 // Exec selects how experiment executions run: which sim engine invokes the
-// protocol handlers, and how many workers fan out the independent runs of a
-// sweep. The zero value — inline engine, one worker per CPU for sweeps — is
-// the fast default.
+// protocol handlers (via each driver's Scenario.Engine), and how many
+// workers fan out the independent runs of a sweep. The zero value — inline
+// engine, one worker per CPU for sweeps — is the fast default.
 type Exec struct {
 	// Engine names a sim engine ("inline", "goroutine"); "" selects inline.
 	Engine string
@@ -21,7 +17,3 @@ type Exec struct {
 // before running any driver; it must not be mutated afterwards (sweep
 // workers read it concurrently).
 var DefaultExec Exec
-
-func (e Exec) engine() (sim.Engine, error) {
-	return sim.EngineByName(e.Engine)
-}

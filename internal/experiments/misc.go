@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro"
 	"repro/internal/adversary"
 	"repro/internal/cond"
 	"repro/internal/graph"
@@ -233,15 +234,12 @@ func RunScaling(seed int64) (ScalingReport, error) {
 		if err != nil {
 			return rep, err
 		}
-		inputs := make([]float64, n)
-		for i := range inputs {
-			inputs[i] = float64(i % 3)
-		}
-		handlers, honest, err := bwHandlers(g, 1, inputs, 2, 0.25, nil)
-		if err != nil {
-			return rep, err
-		}
-		out, err := runHandlers(g, handlers, honest, inputs, 0.25, seed)
+		out, err := runScenario(repro.Scenario{
+			Name:  fmt.Sprintf("scaling-n%d", n),
+			Graph: fmt.Sprintf("circulant:%d:1,2,3", n), Protocol: "bw",
+			InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 3},
+			F:        1, K: 2, Eps: 0.25, Seed: seed,
+		}, DefaultExec)
 		if err != nil {
 			return rep, err
 		}
@@ -249,8 +247,8 @@ func RunScaling(seed int64) (ScalingReport, error) {
 			Graph: g.Name(), N: n, F: 1,
 			Threads:   graph.CountSubsets(n-1, 1),
 			Redundant: red,
-			Messages:  out.Messages,
-			Converged: out.Converged && out.Validity,
+			Messages:  out.MessagesSent,
+			Converged: out.Converged && out.ValidityOK,
 		})
 	}
 	return rep, nil

@@ -3,13 +3,13 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
-	"repro/internal/adversary"
+	"repro"
 	"repro/internal/cond"
 	"repro/internal/graph"
 	"repro/internal/par"
-	"repro/internal/sim"
 )
 
 // SweepRow is one random-graph row of the generality sweep.
@@ -58,36 +58,29 @@ func (r SweepReport) Render() string {
 	return b.String()
 }
 
-// sweepCase is one prepared independent (graph, seed, fault-pattern) run:
-// everything the expensive execution phase needs, generated up front by the
-// single-threaded candidate phase so the shared rng stream is consumed in a
-// fixed order no matter how the runs are later scheduled.
+// sweepCase is one prepared independent run: the declarative scenario plus
+// the row metadata, generated up front by the single-threaded candidate
+// phase so the shared rng stream is consumed in a fixed order no matter how
+// the runs are later scheduled. The scenario's graph is carried as a
+// "random:<n>:<p>:<seed>" spec, so every sweep cell is individually
+// serializable and replayable via `abacsim -scenario`.
 type sweepCase struct {
-	seed     int64
-	g        *graph.Graph
-	behavior int // index into sweepBehaviors
-	inputs   []float64
-	badNode  int
+	scenario  repro.Scenario
+	adversary string
+	n, m      int
 }
 
-// sweepBehaviors are the Byzantine behaviors the sweep samples from.
+// sweepBehaviors are the Byzantine behaviors the sweep samples from, as
+// declarative fault kinds.
 var sweepBehaviors = []struct {
-	name string
-	wrap func(inner sim.Handler, r *rand.Rand) sim.Handler
+	name  string
+	kind  string
+	param float64
 }{
-	{"silent", func(sim.Handler, *rand.Rand) sim.Handler { return nil }}, // special-cased: adversary.Silent
-	{"extreme", func(inner sim.Handler, r *rand.Rand) sim.Handler {
-		return &adversary.Mutant{Inner: inner, Rng: r,
-			Mutators: []adversary.Mutator{adversary.ExtremeInput(1e7)}}
-	}},
-	{"tamper", func(inner sim.Handler, r *rand.Rand) sim.Handler {
-		return &adversary.Mutant{Inner: inner, Rng: r,
-			Mutators: []adversary.Mutator{adversary.TamperRelays(func(x float64) float64 { return -3 * x })}}
-	}},
-	{"noise", func(inner sim.Handler, r *rand.Rand) sim.Handler {
-		return &adversary.Mutant{Inner: inner, Rng: r,
-			Mutators: []adversary.Mutator{adversary.RandomNoise(25)}}
-	}},
+	{"silent", "silent", 0},
+	{"extreme", "extreme", 1e7},
+	{"tamper", "tamper", 3},
+	{"noise", "noise", 25},
 }
 
 // generateSweepCases is the sequential phase: it draws random digraphs,
@@ -100,7 +93,8 @@ func generateSweepCases(count int, seed int64, rep *SweepReport) []sweepCase {
 		rep.Candidates++
 		gseed := seed + int64(rep.Candidates)
 		n := 5 + rng.Intn(2)
-		g := graph.RandomDigraph(n, 0.55+0.1*rng.Float64(), gseed)
+		p := 0.55 + 0.1*rng.Float64()
+		g := graph.RandomDigraph(n, p, gseed)
 		if ok, _ := cond.Check3Reach(g, 1); !ok {
 			continue
 		}
@@ -118,9 +112,19 @@ func generateSweepCases(count int, seed int64, rep *SweepReport) []sweepCase {
 		// The draw order (inputs, badNode, behavior) is part of the sweep's
 		// seeded identity — do not reorder.
 		badNode := rng.Intn(n)
-		behavior := rng.Intn(len(sweepBehaviors))
+		behavior := sweepBehaviors[rng.Intn(len(sweepBehaviors))]
 		cases = append(cases, sweepCase{
-			seed: gseed, g: g, behavior: behavior, inputs: inputs, badNode: badNode,
+			scenario: repro.Scenario{
+				Name: fmt.Sprintf("sweep-%d", gseed),
+				Graph: "random:" + strconv.Itoa(n) + ":" +
+					strconv.FormatFloat(p, 'g', -1, 64) + ":" + strconv.FormatInt(gseed, 10),
+				Protocol: "bw",
+				Inputs:   inputs,
+				F:        1, K: 4, Eps: 0.25, Seed: gseed,
+				Faults: []repro.FaultSpec{{Node: badNode, Kind: behavior.kind, Param: behavior.param}},
+			},
+			adversary: behavior.name,
+			n:         n, m: g.M(),
 		})
 	}
 	return cases
@@ -129,28 +133,15 @@ func generateSweepCases(count int, seed int64, rep *SweepReport) []sweepCase {
 // runSweepCase is the execution phase for one case; cases are independent,
 // so these run in parallel.
 func runSweepCase(c sweepCase, exec Exec) (SweepRow, error) {
-	behavior := sweepBehaviors[c.behavior]
-	faults := map[int]func(sim.Handler) sim.Handler{
-		c.badNode: func(inner sim.Handler) sim.Handler {
-			if behavior.name == "silent" {
-				return &adversary.Silent{NodeID: c.badNode}
-			}
-			return behavior.wrap(inner, rand.New(rand.NewSource(c.seed)))
-		},
-	}
-	handlers, honest, err := bwHandlers(c.g, 1, c.inputs, 4, 0.25, faults)
-	if err != nil {
-		return SweepRow{}, err
-	}
-	out, err := runHandlersExec(exec, c.g, handlers, honest, c.inputs, 0.25, c.seed)
+	out, err := runScenario(c.scenario, exec)
 	if err != nil {
 		return SweepRow{}, err
 	}
 	return SweepRow{
-		Seed: c.seed, N: c.g.N(), M: c.g.M(),
-		Adversary: behavior.name,
-		Converged: out.Converged, Validity: out.Validity,
-		Spread: out.Spread, Messages: out.Messages,
+		Seed: c.scenario.Seed, N: c.n, M: c.m,
+		Adversary: c.adversary,
+		Converged: out.Converged, Validity: out.ValidityOK,
+		Spread: out.Spread, Messages: out.MessagesSent,
 	}, nil
 }
 

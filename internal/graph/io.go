@@ -116,8 +116,23 @@ func (g *Graph) DOT() string {
 	return b.String()
 }
 
+// NamedSpecs lists the spec grammar Named accepts, one form per line — the
+// single source the CLIs print and the doc comment mirrors.
+func NamedSpecs() []string {
+	return []string{
+		"clique:<n>                 complete digraph",
+		"cycle:<n>                  directed cycle",
+		"wheel:<k>                  bidirected wheel (k >= 2 rim nodes)",
+		"fig1a                      the paper's Figure 1(a) stand-in (W4)",
+		"fig1b                      the paper's Figure 1(b) graph (two K7 + 8 bridges)",
+		"fig1b-analog               the scaled Figure 1(b) analog (two K4 + 4 bridges)",
+		"circulant:<n>:<d1,d2,...>  circulant digraph",
+		"random:<n>:<p>:<seed>      random digraph",
+	}
+}
+
 // Named constructs one of the built-in graphs from a spec string, for the
-// CLIs:
+// CLIs and scenario files (the forms NamedSpecs lists):
 //
 //	clique:<n>       complete digraph
 //	cycle:<n>        directed cycle
@@ -127,46 +142,79 @@ func (g *Graph) DOT() string {
 //	fig1b-analog     the scaled Figure 1(b) analog (two K4 + 4 bridges)
 //	circulant:<n>:<d1,d2,...>  circulant digraph
 //	random:<n>:<p>:<seed>      random digraph
+//
+// Every argument is validated — orders outside [1, MaxNodes], probabilities
+// outside [0, 1], and surplus arguments are errors, never panics — so specs
+// arriving from CLI flags or scenario JSON fail with a message instead of
+// crashing the process.
 func Named(spec string) (*Graph, error) {
 	parts := strings.Split(spec, ":")
-	arg := func(i int) (int, error) {
-		if i >= len(parts) {
-			return 0, fmt.Errorf("graph: spec %q: missing argument %d", spec, i)
+	arity := func(n int) error {
+		if len(parts) != n {
+			return fmt.Errorf("graph: spec %q: want %d arguments, have %d", spec, n-1, len(parts)-1)
 		}
-		return strconv.Atoi(parts[i])
+		return nil
+	}
+	order := func(i int) (int, error) {
+		n, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return 0, fmt.Errorf("graph: spec %q: bad order %q", spec, parts[i])
+		}
+		if n < 1 || n > MaxNodes {
+			return 0, fmt.Errorf("graph: spec %q: order %d outside [1,%d]", spec, n, MaxNodes)
+		}
+		return n, nil
 	}
 	switch parts[0] {
 	case "clique":
-		n, err := arg(1)
+		if err := arity(2); err != nil {
+			return nil, err
+		}
+		n, err := order(1)
 		if err != nil {
 			return nil, err
 		}
 		return Clique(n), nil
 	case "cycle":
-		n, err := arg(1)
+		if err := arity(2); err != nil {
+			return nil, err
+		}
+		n, err := order(1)
 		if err != nil {
 			return nil, err
 		}
 		return DirectedCycle(n), nil
 	case "wheel":
-		k, err := arg(1)
-		if err != nil {
+		if err := arity(2); err != nil {
 			return nil, err
+		}
+		k, err := strconv.Atoi(parts[1])
+		if err != nil || k < 2 || k+1 > MaxNodes {
+			return nil, fmt.Errorf("graph: spec %q: rim size must be in [2,%d]", spec, MaxNodes-1)
 		}
 		return Wheel(k), nil
 	case "fig1a":
-		return Fig1a(), nil
-	case "fig1b":
-		return Fig1b(), nil
-	case "fig1b-analog":
-		return Fig1bAnalog(), nil
-	case "circulant":
-		n, err := arg(1)
-		if err != nil {
+		if err := arity(1); err != nil {
 			return nil, err
 		}
-		if len(parts) < 3 {
-			return nil, fmt.Errorf("graph: spec %q: missing offsets", spec)
+		return Fig1a(), nil
+	case "fig1b":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return Fig1b(), nil
+	case "fig1b-analog":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return Fig1bAnalog(), nil
+	case "circulant":
+		if err := arity(3); err != nil {
+			return nil, err
+		}
+		n, err := order(1)
+		if err != nil {
+			return nil, err
 		}
 		var offsets []int
 		for _, s := range strings.Split(parts[2], ",") {
@@ -178,16 +226,17 @@ func Named(spec string) (*Graph, error) {
 		}
 		return Circulant(n, offsets...), nil
 	case "random":
-		n, err := arg(1)
+		if err := arity(4); err != nil {
+			return nil, err
+		}
+		n, err := order(1)
 		if err != nil {
 			return nil, err
 		}
-		if len(parts) < 4 {
-			return nil, fmt.Errorf("graph: spec %q: want random:<n>:<p>:<seed>", spec)
-		}
 		p, err := strconv.ParseFloat(parts[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("graph: spec %q: bad probability", spec)
+		// Written as !(0 <= p <= 1) so NaN is rejected too.
+		if err != nil || !(p >= 0 && p <= 1) {
+			return nil, fmt.Errorf("graph: spec %q: probability %q outside [0,1]", spec, parts[2])
 		}
 		seed, err := strconv.ParseInt(parts[3], 10, 64)
 		if err != nil {
@@ -195,7 +244,7 @@ func Named(spec string) (*Graph, error) {
 		}
 		return RandomDigraph(n, p, seed), nil
 	default:
-		return nil, fmt.Errorf("graph: unknown spec %q", spec)
+		return nil, fmt.Errorf("graph: unknown spec %q (known forms: clique:<n>, cycle:<n>, wheel:<k>, fig1a, fig1b, fig1b-analog, circulant:<n>:<offsets>, random:<n>:<p>:<seed>)", spec)
 	}
 }
 

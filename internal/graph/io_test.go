@@ -93,10 +93,30 @@ func TestNamedSpecs(t *testing.T) {
 			t.Errorf("Named(%q).N() = %d, want %d", spec, g.N(), n)
 		}
 	}
-	bad := []string{"", "nope", "clique", "clique:x", "circulant:5", "circulant:5:a", "random:5", "random:5:x:1", "random:5:0.5:x"}
+	bad := []string{"", "nope", "clique", "clique:x", "circulant:5", "circulant:5:a", "random:5", "random:5:x:1", "random:5:0.5:x",
+		// Bounds and arity hardening: these must error, never panic or
+		// attempt a giant allocation.
+		"clique:0", "clique:-3", "clique:65", "clique:999999999", "cycle:0",
+		"wheel:1", "wheel:0", "wheel:64", "fig1a:2", "clique:5:9",
+		"circulant:0:1", "circulant:5:1,2:3", "random:5:1.5:1", "random:5:-0.1:1", "random:5:NaN:1", "random:5:0.5:1:extra"}
 	for _, spec := range bad {
 		if _, err := Named(spec); err == nil {
 			t.Errorf("Named(%q) should fail", spec)
+		}
+	}
+}
+
+func TestNamedSpecsCatalog(t *testing.T) {
+	specs := NamedSpecs()
+	if len(specs) != 8 {
+		t.Fatalf("NamedSpecs() lists %d forms, want 8", len(specs))
+	}
+	// Every catalog line's head must be a real spec form.
+	for _, line := range specs {
+		head := strings.Fields(line)[0]
+		head = strings.NewReplacer("<n>", "5", "<k>", "4", "<d1,d2,...>", "1,2", "<p>", "0.5", "<seed>", "1").Replace(head)
+		if _, err := Named(head); err != nil {
+			t.Errorf("catalog form %q does not parse (as %q): %v", line, head, err)
 		}
 	}
 }

@@ -181,7 +181,7 @@ func EngineByName(name string) (Engine, error) {
 	}
 	e, ok := engines[name]
 	if !ok {
-		return nil, fmt.Errorf("sim: unknown engine %q (have %v)", name, EngineNames())
+		return nil, fmt.Errorf("sim: unknown engine %q (valid values are: %v)", name, EngineNames())
 	}
 	return e, nil
 }

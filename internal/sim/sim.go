@@ -96,6 +96,10 @@ type Config struct {
 	// RecordTrace keeps the full delivery trace (one Message per delivery,
 	// in delivery order) for the equivalence and determinism tests.
 	RecordTrace bool
+	// Observer, when non-nil, receives streaming events (deliveries, holds,
+	// releases, per-round value snapshots) as the run progresses. Observers
+	// only watch: the delivery schedule is identical with or without one.
+	Observer Observer
 }
 
 // DefaultMaxSteps is the delivery cap when Config.MaxSteps is zero.
@@ -154,9 +158,17 @@ func (r *Runner) Run() error {
 	inv := r.cfg.Engine.Bind(r.handlers, r.cfg.Graph, r.stats)
 	defer inv.Close()
 
+	var rounds *roundWatch
+	if r.cfg.Observer != nil {
+		rounds = newRoundWatch(len(r.handlers))
+	}
+
 	for i := range r.handlers {
 		for _, m := range inv.Start(i) {
-			r.pool.Add(m)
+			r.inject(m)
+		}
+		if rounds != nil {
+			rounds.emit(i, r.handlers[i], r.steps, r.cfg.Observer)
 		}
 	}
 
@@ -165,13 +177,13 @@ func (r *Runner) Run() error {
 			return nil
 		}
 		if r.cfg.ReleaseWhen != nil && r.cfg.Hold != nil && !r.cfg.Hold.Released() && r.cfg.ReleaseWhen(r) {
-			r.pool.ReleaseHeld()
+			r.releaseHeld()
 		}
 		if r.pool.PendingEmpty() {
 			if r.pool.HeldCount() > 0 {
 				// Finite delays: once everything else has quiesced the
 				// withheld messages must eventually arrive.
-				r.pool.ReleaseHeld()
+				r.releaseHeld()
 				continue
 			}
 			return nil
@@ -185,10 +197,36 @@ func (r *Runner) Run() error {
 		if r.cfg.RecordTrace {
 			r.trace = append(r.trace, m)
 		}
+		if r.cfg.Observer != nil {
+			r.cfg.Observer.Observe(Event{Type: EventDeliver, Step: r.steps, Message: m})
+		}
 		for _, out := range inv.Deliver(m.To, m) {
-			r.pool.Add(out)
+			r.inject(out)
+		}
+		if rounds != nil {
+			rounds.emit(m.To, r.handlers[m.To], r.steps, r.cfg.Observer)
 		}
 	}
+}
+
+// inject adds a freshly sent message to the pool, reporting it to the
+// observer when the hold rule withholds it. The held outcome comes from the
+// pool itself — the hold rule's match function is never re-evaluated, so an
+// observer cannot perturb stateful rules (part of the observer-passivity
+// guarantee).
+func (r *Runner) inject(m transport.Message) {
+	stamped, held := r.pool.Add(m)
+	if held && r.cfg.Observer != nil {
+		r.cfg.Observer.Observe(Event{Type: EventHold, Step: r.steps, Message: stamped})
+	}
+}
+
+// releaseHeld re-injects withheld messages, reporting the release.
+func (r *Runner) releaseHeld() {
+	if held := r.pool.HeldCount(); held > 0 && r.cfg.Observer != nil {
+		r.cfg.Observer.Observe(Event{Type: EventRelease, Step: r.steps, Count: held})
+	}
+	r.pool.ReleaseHeld()
 }
 
 // Steps returns the number of deliveries so far.

@@ -283,16 +283,20 @@ func (p *Pool) buildIndex() {
 	}
 }
 
-// Add inserts a newly sent message.
-func (p *Pool) Add(m Message) {
+// Add inserts a newly sent message. It returns the message with its
+// assigned Seq plus whether the hold rule withheld it, so callers can
+// observe the outcome without re-evaluating the rule's (possibly stateful)
+// match function.
+func (p *Pool) Add(m Message) (stamped Message, held bool) {
 	m.Seq = p.nextSeq
 	p.nextSeq++
 	p.stats.recordSend(m)
 	if p.hold != nil && p.hold.Holds(m) {
 		p.held = append(p.held, m)
-		return
+		return m, true
 	}
 	p.append(m)
+	return m, false
 }
 
 func (p *Pool) append(m Message) {

@@ -1,0 +1,158 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// The protocol registry maps serialized protocol names to their Run*
+// entry points, so scenario files, CLIs and sweeps can select protocols
+// declaratively — and external packages can plug in new ones with Register
+// without touching any call site.
+
+var (
+	protocolMu sync.RWMutex
+	protocols  = map[string]RunFunc{}
+)
+
+// Register adds a protocol under a unique, non-empty name. Re-registration
+// panics: two packages claiming one name is a programming error, not a
+// runtime condition. The built-in protocols "bw", "aad", "crashapprox" and
+// "iterative" are pre-registered.
+func Register(name string, run RunFunc) {
+	protocolMu.Lock()
+	defer protocolMu.Unlock()
+	if name == "" || run == nil {
+		panic("repro: Register with empty name or nil RunFunc")
+	}
+	if _, dup := protocols[name]; dup {
+		panic(fmt.Sprintf("repro: protocol %q registered twice", name))
+	}
+	protocols[name] = run
+}
+
+// Protocols lists the registered protocol names, sorted.
+func Protocols() []string {
+	protocolMu.RLock()
+	defer protocolMu.RUnlock()
+	names := make([]string, 0, len(protocols))
+	for name := range protocols {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ProtocolByName resolves a registered protocol.
+func ProtocolByName(name string) (RunFunc, error) {
+	protocolMu.RLock()
+	run := protocols[name]
+	protocolMu.RUnlock()
+	if run == nil {
+		return nil, fmt.Errorf("repro: unknown protocol %q (valid values are: %v)", name, Protocols())
+	}
+	return run, nil
+}
+
+func init() {
+	Register("bw", RunBW)
+	Register("aad", RunAAD)
+	Register("crashapprox", RunCrashApprox)
+	Register("iterative", RunIterative)
+}
+
+// Policies lists the registered asynchrony schedule policies for
+// Options.Policy / PolicySpec.Name ("random", "fifo", "lifo", "bounded",
+// plus anything registered via transport.RegisterPolicy).
+func Policies() []string { return transport.PolicyNames() }
+
+// Observer receives streaming events from a running execution; see
+// Options.Observer and Scenario.RunObserved. Implementations are called
+// synchronously from the delivery loop and must not block.
+type Observer = sim.Observer
+
+// Event is one streamed observation: a delivery, a hold, a release, or a
+// per-round value snapshot.
+type Event = sim.Event
+
+// EventType discriminates streamed events.
+type EventType = sim.EventType
+
+// Event types.
+const (
+	EventDeliver = sim.EventDeliver
+	EventHold    = sim.EventHold
+	EventRelease = sim.EventRelease
+	EventRound   = sim.EventRound
+)
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc = sim.ObserverFunc
+
+// MultiObserver fans events out to several observers.
+type MultiObserver = sim.MultiObserver
+
+// JSONLObserver returns an Observer that streams one compact JSON object
+// per event to w (JSON Lines). Records carry a "type" discriminator:
+//
+//	{"type":"deliver","step":12,"from":0,"to":3,"kind":"VAL","seq":41}
+//	{"type":"hold","step":0,"from":1,"to":2,"kind":"VAL","seq":3}
+//	{"type":"release","step":40,"count":3}
+//	{"type":"round","step":57,"node":2,"round":3,"value":1.875}
+//
+// Write errors are sticky and reported by the returned error function;
+// events after an error are dropped. The observer is goroutine-safe, so one
+// instance may be shared across the parallel runs of RunSeeds/RunBatch
+// (lines from concurrent runs interleave whole, never mid-record).
+func JSONLObserver(w io.Writer) (Observer, func() error) {
+	enc := json.NewEncoder(w)
+	var mu sync.Mutex
+	var sticky error
+	obs := ObserverFunc(func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		if sticky != nil {
+			return
+		}
+		var rec any
+		switch e.Type {
+		case EventDeliver, EventHold:
+			rec = struct {
+				Type string `json:"type"`
+				Step int    `json:"step"`
+				From int    `json:"from"`
+				To   int    `json:"to"`
+				Kind string `json:"kind"`
+				Seq  uint64 `json:"seq"`
+			}{e.Type.String(), e.Step, e.Message.From, e.Message.To, e.Message.Payload.Kind(), e.Message.Seq}
+		case EventRelease:
+			rec = struct {
+				Type  string `json:"type"`
+				Step  int    `json:"step"`
+				Count int    `json:"count"`
+			}{e.Type.String(), e.Step, e.Count}
+		case EventRound:
+			rec = struct {
+				Type  string  `json:"type"`
+				Step  int     `json:"step"`
+				Node  int     `json:"node"`
+				Round int     `json:"round"`
+				Value float64 `json:"value"`
+			}{e.Type.String(), e.Step, e.Node, e.Round, e.Value}
+		default:
+			return
+		}
+		sticky = enc.Encode(rec)
+	})
+	return obs, func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return sticky
+	}
+}

@@ -61,6 +61,10 @@ func NewGraph(n int) *Graph { return graph.New(n) }
 // grammar.
 func NamedGraph(spec string) (*Graph, error) { return graph.Named(spec) }
 
+// NamedGraphSpecs lists the spec grammar NamedGraph accepts, one annotated
+// form per line (for CLI help and catalogs).
+func NamedGraphSpecs() []string { return graph.NamedSpecs() }
+
 // Builders for the graphs used throughout the paper and the experiments.
 var (
 	Clique        = graph.Clique
@@ -154,6 +158,50 @@ const (
 	FaultNoise
 )
 
+// faultNames maps fault types to their serialized names, in declaration
+// order (the same names the CLIs and Scenario files use).
+var faultNames = []struct {
+	t    FaultType
+	name string
+}{
+	{FaultSilent, "silent"},
+	{FaultCrash, "crash"},
+	{FaultExtreme, "extreme"},
+	{FaultEquivocate, "equivocate"},
+	{FaultTamper, "tamper"},
+	{FaultNoise, "noise"},
+}
+
+// String returns the fault type's serialized name.
+func (t FaultType) String() string {
+	for _, fn := range faultNames {
+		if fn.t == t {
+			return fn.name
+		}
+	}
+	return fmt.Sprintf("FaultType(%d)", int(t))
+}
+
+// FaultTypeByName resolves a serialized fault kind ("silent", "crash",
+// "extreme", "equivocate", "tamper", "noise").
+func FaultTypeByName(name string) (FaultType, error) {
+	for _, fn := range faultNames {
+		if fn.name == name {
+			return fn.t, nil
+		}
+	}
+	return 0, fmt.Errorf("repro: unknown fault kind %q (valid values are: %v)", name, FaultKinds())
+}
+
+// FaultKinds lists the serialized fault kind names.
+func FaultKinds() []string {
+	out := make([]string, len(faultNames))
+	for i, fn := range faultNames {
+		out[i] = fn.name
+	}
+	return out
+}
+
 // Fault configures one faulty node.
 type Fault struct {
 	Type  FaultType
@@ -164,7 +212,8 @@ type Fault struct {
 type Options struct {
 	// F is the resilience parameter (default 1).
 	F int
-	// K is the a-priori input range bound; defaults to max(inputs).
+	// K is the a-priori input range bound; defaults to max(|input|) so that
+	// the honest input spread is covered whatever the signs.
 	K float64
 	// Eps is the agreement parameter (default 0.1).
 	Eps float64
@@ -175,6 +224,20 @@ type Options struct {
 	// per node). Both produce identical schedules and outputs for the same
 	// seed; see EngineNames.
 	Engine string
+	// Policy names the asynchrony schedule policy deciding which in-flight
+	// message is delivered next: "random" (default), "fifo", "lifo" or
+	// "bounded"; see Policies. Stateful policies are seeded with Seed.
+	Policy string
+	// PolicyParams carries the policy's named numeric knobs (e.g.
+	// {"bound": 8} for "bounded"). Unknown names are rejected.
+	PolicyParams map[string]float64
+	// Observer, when non-nil, streams execution events (deliveries, holds,
+	// releases, per-round value snapshots) as the run progresses; see
+	// Observer. It never perturbs the schedule. When the Options are fanned
+	// across parallel runs (RunSeeds), the one Observer is shared by every
+	// run and is invoked from concurrent worker goroutines — it must be
+	// goroutine-safe there (JSONLObserver is).
+	Observer Observer
 	// RecordTrace captures the full delivery schedule into Result.Trace.
 	RecordTrace bool
 	// PathBudget caps per-node path enumeration (default 250000).
@@ -194,8 +257,12 @@ func (o *Options) normalize(inputs []float64) {
 		o.Eps = 0.1
 	}
 	if o.K == 0 {
+		// max(|x|), not max(x): with all-negative inputs the latter collapses
+		// to the floor of 1, violating the a-priori range bound the round
+		// count log2(K/eps) is derived from. For non-negative inputs the two
+		// coincide.
 		for _, x := range inputs {
-			o.K = math.Max(o.K, x)
+			o.K = math.Max(o.K, math.Abs(x))
 		}
 		if o.K == 0 {
 			o.K = 1
@@ -282,11 +349,16 @@ func runProtocol(g *Graph, inputs []float64, opts Options,
 	if err != nil {
 		return nil, err
 	}
+	policy, err := transport.NewPolicy(opts.Policy, opts.PolicyParams, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
 	runner, err := sim.New(sim.Config{
 		Graph:       g,
-		Policy:      transport.NewRandomPolicy(opts.Seed),
+		Policy:      policy,
 		Engine:      engine,
 		RecordTrace: opts.RecordTrace,
+		Observer:    opts.Observer,
 	}, handlers)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,342 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Scenario is a declarative, JSON-round-trippable run specification: one
+// (graph, protocol, adversary, schedule) tuple plus execution knobs. It is
+// the unit the experiment matrices are made of — serialize a Scenario,
+// archive it next to the numbers it produced, decode and Run it again and
+// the delivery trace is byte-identical on every engine.
+//
+// The zero values defer to the same defaults as Options: F=1, Eps=0.1,
+// K=max(|input|), random delivery policy, inline engine. Inputs and
+// InputGen are mutually exclusive; with neither, nodes get input i mod 4
+// (the CLI default).
+type Scenario struct {
+	// Name is an optional label for reports and sweep rows.
+	Name string `json:"name,omitempty"`
+	// Graph is a named graph spec, e.g. "fig1a", "clique:5",
+	// "circulant:7:1,2,3" or "random:6:0.6:13"; see NamedGraph.
+	Graph string `json:"graph"`
+	// Protocol names a registered protocol: "bw", "aad", "crashapprox",
+	// "iterative", or anything added via Register.
+	Protocol string `json:"protocol"`
+	// Inputs are explicit per-node inputs (length must match the graph
+	// order). Mutually exclusive with InputGen.
+	Inputs []float64 `json:"inputs,omitempty"`
+	// InputGen derives the inputs from the graph order instead of listing
+	// them, keeping large scenarios compact.
+	InputGen *InputGenSpec `json:"inputGen,omitempty"`
+	// F is the resilience parameter (default 1).
+	F int `json:"f,omitempty"`
+	// K is the a-priori input range bound (default max(|input|)).
+	K float64 `json:"k,omitempty"`
+	// Eps is the agreement parameter (default 0.1).
+	Eps float64 `json:"eps,omitempty"`
+	// Rounds overrides the log2(K/Eps) round bound where supported.
+	Rounds int `json:"rounds,omitempty"`
+	// Seed drives the asynchrony schedule and randomized faults.
+	Seed int64 `json:"seed,omitempty"`
+	// Seeds is the batch width for RunBatch: consecutive seeds starting at
+	// Seed. 0 and 1 both mean a single run.
+	Seeds int `json:"seeds,omitempty"`
+	// Engine selects the execution engine ("inline", "goroutine").
+	Engine string `json:"engine,omitempty"`
+	// Policy selects the asynchrony schedule policy (default random).
+	Policy *PolicySpec `json:"policy,omitempty"`
+	// Faults lists the faulty nodes and their behaviors.
+	Faults []FaultSpec `json:"faults,omitempty"`
+	// RecordTrace captures the delivery schedule into Result.Trace.
+	RecordTrace bool `json:"recordTrace,omitempty"`
+}
+
+// PolicySpec names a registered delivery policy plus its numeric knobs.
+type PolicySpec struct {
+	// Name is a registered policy: "random", "fifo", "lifo", "bounded".
+	Name string `json:"name"`
+	// Params carries named knobs, e.g. {"bound": 8} for "bounded".
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// FaultSpec assigns one node a named fault behavior.
+type FaultSpec struct {
+	Node int `json:"node"`
+	// Kind is a fault name: "silent", "crash", "extreme", "equivocate",
+	// "tamper" or "noise" (see FaultKinds).
+	Kind  string  `json:"kind"`
+	Param float64 `json:"param,omitempty"`
+}
+
+// InputGenSpec derives per-node inputs from the graph order:
+//
+//	{"kind":"mod","mod":4}                  input i = i mod 4
+//	{"kind":"linear","scale":2,"offset":1}  input i = scale*i + offset
+//	{"kind":"const","value":3.5}            all inputs equal
+//	{"kind":"uniform","lo":0,"hi":4,"seed":7}  i.i.d. uniform draws
+type InputGenSpec struct {
+	Kind   string  `json:"kind"`
+	Mod    int     `json:"mod,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	Offset float64 `json:"offset,omitempty"`
+	Value  float64 `json:"value,omitempty"`
+	Lo     float64 `json:"lo,omitempty"`
+	Hi     float64 `json:"hi,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+}
+
+// generate produces the inputs for a graph of order n.
+func (g *InputGenSpec) generate(n int) ([]float64, error) {
+	out := make([]float64, n)
+	switch g.Kind {
+	case "mod":
+		for i := range out {
+			out[i] = float64(i % g.Mod)
+		}
+	case "linear":
+		scale := g.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		for i := range out {
+			out[i] = scale*float64(i) + g.Offset
+		}
+	case "const":
+		for i := range out {
+			out[i] = g.Value
+		}
+	case "uniform":
+		rng := rand.New(rand.NewSource(g.Seed))
+		for i := range out {
+			out[i] = g.Lo + (g.Hi-g.Lo)*rng.Float64()
+		}
+	default:
+		return nil, fmt.Errorf("repro: unknown inputGen kind %q (valid values are: [mod linear const uniform])", g.Kind)
+	}
+	return out, nil
+}
+
+// validate checks the generator spec without a graph at hand.
+func (g *InputGenSpec) validate() error {
+	switch g.Kind {
+	case "mod":
+		if g.Mod < 1 {
+			return fmt.Errorf("repro: inputGen mod: %d must be >= 1", g.Mod)
+		}
+	case "linear", "const":
+		// No constraints.
+	case "uniform":
+		if g.Hi < g.Lo {
+			return fmt.Errorf("repro: inputGen uniform: hi %g < lo %g", g.Hi, g.Lo)
+		}
+	default:
+		return fmt.Errorf("repro: unknown inputGen kind %q (valid values are: [mod linear const uniform])", g.Kind)
+	}
+	return nil
+}
+
+// defaultInputGen is applied when a scenario specifies neither Inputs nor
+// InputGen — the same i mod 4 assignment the CLI defaults to.
+var defaultInputGen = InputGenSpec{Kind: "mod", Mod: 4}
+
+// Validate checks every name and cross-reference in the scenario eagerly —
+// graph spec, protocol, engine, policy and params, fault kinds and node
+// ranges, input arity — so a bad scenario file fails at decode time with a
+// message naming the valid values, not mid-run from deep inside the
+// simulator.
+func (s Scenario) Validate() error {
+	_, _, err := s.Materialize()
+	return err
+}
+
+// Materialize validates the scenario and builds its concrete graph and
+// input vector.
+func (s Scenario) Materialize() (*Graph, []float64, error) {
+	if s.Graph == "" {
+		return nil, nil, fmt.Errorf("repro: scenario: missing graph spec")
+	}
+	g, err := graph.Named(s.Graph)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repro: scenario: %w", err)
+	}
+	if s.Protocol == "" {
+		return nil, nil, fmt.Errorf("repro: scenario: missing protocol (valid values are: %v)", Protocols())
+	}
+	if _, err := ProtocolByName(s.Protocol); err != nil {
+		return nil, nil, fmt.Errorf("scenario: %w", err)
+	}
+	if s.F < 0 || s.K < 0 || s.Eps < 0 || s.Rounds < 0 || s.Seeds < 0 {
+		return nil, nil, fmt.Errorf("repro: scenario: f, k, eps, rounds and seeds must be non-negative")
+	}
+	if _, err := sim.EngineByName(s.Engine); err != nil {
+		return nil, nil, fmt.Errorf("repro: scenario: %w", err)
+	}
+	if s.Policy != nil {
+		if err := transport.ValidatePolicy(s.Policy.Name, s.Policy.Params); err != nil {
+			return nil, nil, fmt.Errorf("repro: scenario: %w", err)
+		}
+	}
+	seen := make(map[int]bool, len(s.Faults))
+	for _, fl := range s.Faults {
+		if _, err := FaultTypeByName(fl.Kind); err != nil {
+			return nil, nil, fmt.Errorf("scenario: %w", err)
+		}
+		if fl.Node < 0 || fl.Node >= g.N() {
+			return nil, nil, fmt.Errorf("repro: scenario: fault node %d outside graph order %d", fl.Node, g.N())
+		}
+		if seen[fl.Node] {
+			return nil, nil, fmt.Errorf("repro: scenario: node %d has two fault entries", fl.Node)
+		}
+		seen[fl.Node] = true
+	}
+
+	var inputs []float64
+	switch {
+	case s.Inputs != nil && s.InputGen != nil:
+		return nil, nil, fmt.Errorf("repro: scenario: inputs and inputGen are mutually exclusive")
+	case s.Inputs != nil:
+		if len(s.Inputs) != g.N() {
+			return nil, nil, fmt.Errorf("repro: scenario: %d inputs for %d nodes", len(s.Inputs), g.N())
+		}
+		inputs = append([]float64(nil), s.Inputs...)
+	default:
+		gen := s.InputGen
+		if gen == nil {
+			gen = &defaultInputGen
+		}
+		if err := gen.validate(); err != nil {
+			return nil, nil, err
+		}
+		if inputs, err = gen.generate(g.N()); err != nil {
+			return nil, nil, err
+		}
+	}
+	return g, inputs, nil
+}
+
+// options translates the scenario into the imperative Options form.
+func (s Scenario) options() Options {
+	opts := Options{
+		F: s.F, K: s.K, Eps: s.Eps, Seed: s.Seed,
+		Engine: s.Engine, Rounds: s.Rounds, RecordTrace: s.RecordTrace,
+	}
+	if s.Policy != nil {
+		opts.Policy = s.Policy.Name
+		opts.PolicyParams = s.Policy.Params
+	}
+	if len(s.Faults) > 0 {
+		opts.Faults = make(map[int]Fault, len(s.Faults))
+		for _, fl := range s.Faults {
+			t, _ := fl.faultType() // validated in Materialize
+			opts.Faults[fl.Node] = Fault{Type: t, Param: fl.Param}
+		}
+	}
+	return opts
+}
+
+func (fl FaultSpec) faultType() (FaultType, error) { return FaultTypeByName(fl.Kind) }
+
+// Run validates the scenario and executes it once with its Seed.
+func (s Scenario) Run() (*Result, error) { return s.RunObserved(nil) }
+
+// RunObserved is Run with a streaming observer attached: obs receives
+// per-delivery, hold/release and per-round events live (see Observer). A
+// nil obs is allowed and costs nothing.
+func (s Scenario) RunObserved(obs Observer) (*Result, error) {
+	g, inputs, err := s.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	run, err := ProtocolByName(s.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	opts := s.options()
+	opts.Observer = obs
+	return run(g, inputs, opts)
+}
+
+// RunBatch executes the scenario across Seeds consecutive seeds starting at
+// Seed (a single run when Seeds <= 1), fanning the independent executions
+// over a worker pool (workers < 1 means one per CPU, 1 runs sequentially).
+// Results come back in seed order and are identical to sequential calls:
+// every run rebuilds its policy and handlers from the spec, so no mutable
+// state crosses runs. RunBatch subsumes RunSeeds for scenario callers.
+func (s Scenario) RunBatch(workers int) ([]*Result, error) {
+	// Materialize once: Graph is immutable after construction and the runs
+	// only read the inputs, so the whole batch shares them safely instead of
+	// rebuilding per seed.
+	g, inputs, err := s.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	run, err := ProtocolByName(s.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	n := s.Seeds
+	if n < 1 {
+		n = 1
+	}
+	return RunSeeds(run, g, inputs, s.options(), n, workers)
+}
+
+// RunScenarios executes an arbitrary scenario list over a worker pool,
+// returning results in list order — the building block for experiment
+// matrices where each cell is its own (graph, adversary, schedule) triple.
+func RunScenarios(scenarios []Scenario, workers int) ([]*Result, error) {
+	for i := range scenarios {
+		if err := scenarios[i].Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %d: %w", i, err)
+		}
+	}
+	return par.Map(workers, len(scenarios), func(i int) (*Result, error) {
+		return scenarios[i].Run()
+	})
+}
+
+// ParseScenario decodes and validates a JSON scenario. Unknown fields are
+// rejected — a typoed knob must not silently fall back to a default.
+func ParseScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("repro: scenario: %w", err)
+	}
+	// Anything but clean EOF after the object — valid JSON or garbage — is
+	// trailing data (e.g. a botched merge leaving a stray brace).
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("repro: scenario: trailing data after JSON object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// JSON renders the scenario as validated, stable, indented JSON with the
+// fault list in node order — the canonical serialized form, which
+// ParseScenario round-trips.
+func (s Scenario) JSON() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Faults) > 1 {
+		faults := append([]FaultSpec(nil), s.Faults...)
+		sort.Slice(faults, func(i, j int) bool { return faults[i].Node < faults[j].Node })
+		s.Faults = faults
+	}
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,442 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestScenarioJSONGolden pins the canonical serialized form: encode must
+// produce exactly this document, and decoding it must reproduce the value.
+func TestScenarioJSONGolden(t *testing.T) {
+	s := repro.Scenario{
+		Name:     "fig1a-bw-tamper",
+		Graph:    "fig1a",
+		Protocol: "bw",
+		Inputs:   []float64{0, 4, 1, 3, 2},
+		F:        1,
+		K:        4,
+		Eps:      0.25,
+		Seed:     42,
+		Engine:   "inline",
+		Policy:   &repro.PolicySpec{Name: "bounded", Params: map[string]float64{"bound": 8}},
+		Faults: []repro.FaultSpec{
+			{Node: 2, Kind: "tamper", Param: 50},
+			{Node: 1, Kind: "silent"},
+		},
+		RecordTrace: true,
+	}
+	got, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{
+  "name": "fig1a-bw-tamper",
+  "graph": "fig1a",
+  "protocol": "bw",
+  "inputs": [
+    0,
+    4,
+    1,
+    3,
+    2
+  ],
+  "f": 1,
+  "k": 4,
+  "eps": 0.25,
+  "seed": 42,
+  "engine": "inline",
+  "policy": {
+    "name": "bounded",
+    "params": {
+      "bound": 8
+    }
+  },
+  "faults": [
+    {
+      "node": 1,
+      "kind": "silent"
+    },
+    {
+      "node": 2,
+      "kind": "tamper",
+      "param": 50
+    }
+  ],
+  "recordTrace": true
+}`
+	if string(got) != golden {
+		t.Errorf("canonical JSON drifted:\n%s\nwant:\n%s", got, golden)
+	}
+
+	back, err := repro.ParseScenario(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JSON() canonicalizes fault order; compare against the sorted form.
+	want := s
+	want.Faults = []repro.FaultSpec{
+		{Node: 1, Kind: "silent"},
+		{Node: 2, Kind: "tamper", Param: 50},
+	}
+	if !reflect.DeepEqual(*back, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", *back, want)
+	}
+}
+
+func TestParseScenarioRejectsBadDocuments(t *testing.T) {
+	cases := []struct {
+		name   string
+		doc    string
+		errHas string
+	}{
+		{"unknown field", `{"graph":"fig1a","protocol":"bw","budget":9}`, "budget"},
+		{"trailing data", `{"graph":"fig1a","protocol":"bw"} {"x":1}`, "trailing"},
+		{"trailing brace", `{"graph":"fig1a","protocol":"bw"} }`, "trailing"},
+		{"trailing garbage", `{"graph":"fig1a","protocol":"bw"} not-json`, "trailing"},
+		{"missing graph", `{"protocol":"bw"}`, "missing graph"},
+		{"bad graph", `{"graph":"hypercube:4","protocol":"bw"}`, "unknown spec"},
+		{"missing protocol", `{"graph":"fig1a"}`, "missing protocol"},
+		{"bad protocol", `{"graph":"fig1a","protocol":"paxos"}`, "unknown protocol"},
+		{"bad engine", `{"graph":"fig1a","protocol":"bw","engine":"quantum"}`, "unknown engine"},
+		{"bad policy", `{"graph":"fig1a","protocol":"bw","policy":{"name":"warp"}}`, "unknown policy"},
+		{"bad policy param", `{"graph":"fig1a","protocol":"bw","policy":{"name":"fifo","params":{"bound":3}}}`, "unknown param"},
+		{"missing policy param", `{"graph":"fig1a","protocol":"bw","policy":{"name":"bounded"}}`, `missing param "bound"`},
+		{"bad fault kind", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"gaslight"}]}`, "unknown fault kind"},
+		{"fault node range", `{"graph":"fig1a","protocol":"bw","faults":[{"node":5,"kind":"silent"}]}`, "outside graph order"},
+		{"duplicate fault", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"silent"},{"node":1,"kind":"noise"}]}`, "two fault entries"},
+		{"inputs arity", `{"graph":"fig1a","protocol":"bw","inputs":[1,2]}`, "2 inputs for 5 nodes"},
+		{"inputs and gen", `{"graph":"fig1a","protocol":"bw","inputs":[0,1,2,3,4],"inputGen":{"kind":"const"}}`, "mutually exclusive"},
+		{"bad gen kind", `{"graph":"fig1a","protocol":"bw","inputGen":{"kind":"zipf"}}`, "unknown inputGen kind"},
+		{"bad gen mod", `{"graph":"fig1a","protocol":"bw","inputGen":{"kind":"mod"}}`, "must be >= 1"},
+		{"bad gen range", `{"graph":"fig1a","protocol":"bw","inputGen":{"kind":"uniform","lo":2,"hi":1}}`, "hi 1 < lo 2"},
+		{"negative knob", `{"graph":"fig1a","protocol":"bw","f":-1}`, "non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := repro.ParseScenario([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("accepted: %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.errHas) {
+				t.Errorf("error %q does not mention %q", err, tc.errHas)
+			}
+		})
+	}
+}
+
+// TestScenarioRoundTripTraceIdentical is the API's reproducibility
+// guarantee: a scenario serialized to JSON, decoded, and re-run produces a
+// byte-identical Result.Trace — on both engines and under every registered
+// policy.
+func TestScenarioRoundTripTraceIdentical(t *testing.T) {
+	policies := []*repro.PolicySpec{
+		nil, // default random
+		{Name: "random"},
+		{Name: "fifo"},
+		{Name: "lifo"},
+		{Name: "bounded", Params: map[string]float64{"bound": 6}},
+	}
+	for _, engine := range repro.EngineNames() {
+		for _, pol := range policies {
+			name := engine + "/default"
+			if pol != nil {
+				name = engine + "/" + pol.Name
+			}
+			t.Run(name, func(t *testing.T) {
+				s := repro.Scenario{
+					Graph:    "fig1a",
+					Protocol: "bw",
+					Inputs:   []float64{0, 4, 1, 3, 2},
+					F:        1, K: 4, Eps: 0.25, Seed: 23,
+					Engine:      engine,
+					Policy:      pol,
+					Faults:      []repro.FaultSpec{{Node: 1, Kind: "tamper", Param: 50}},
+					RecordTrace: true,
+				}
+				direct, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if direct.Trace == "" {
+					t.Fatal("no trace recorded")
+				}
+				data, err := s.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				decoded, err := repro.ParseScenario(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rerun, err := decoded.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rerun.Trace != direct.Trace {
+					t.Error("trace not byte-identical after JSON round-trip")
+				}
+				if !reflect.DeepEqual(rerun.Outputs, direct.Outputs) {
+					t.Errorf("outputs drifted: %v vs %v", rerun.Outputs, direct.Outputs)
+				}
+			})
+		}
+	}
+}
+
+// TestScenarioPolicyChangesSchedule sanity-checks that the policy knob is
+// real: different registered policies yield different delivery schedules on
+// the same scenario.
+func TestScenarioPolicyChangesSchedule(t *testing.T) {
+	traces := map[string]string{}
+	for _, name := range []string{"random", "fifo", "lifo"} {
+		s := repro.Scenario{
+			Graph: "clique:4", Protocol: "bw",
+			Inputs: []float64{0, 1, 2, 3},
+			F:      1, K: 3, Eps: 0.25, Seed: 9,
+			Policy:      &repro.PolicySpec{Name: name},
+			RecordTrace: true,
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Converged || !res.ValidityOK {
+			t.Errorf("%s: BW failed to converge: %+v", name, res)
+		}
+		traces[name] = res.Trace
+	}
+	if traces["fifo"] == traces["lifo"] || traces["random"] == traces["fifo"] {
+		t.Error("distinct policies produced identical schedules")
+	}
+}
+
+func TestScenarioRunBatch(t *testing.T) {
+	s := repro.Scenario{
+		Graph: "fig1a", Protocol: "bw",
+		InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 4},
+		F:        1, K: 4, Eps: 0.25, Seed: 100, Seeds: 4,
+	}
+	parallel, err := s.RunBatch(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != 4 {
+		t.Fatalf("batch returned %d results", len(parallel))
+	}
+	sequential, err := s.RunBatch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range parallel {
+		if !parallel[i].Converged {
+			t.Errorf("seed %d did not converge", 100+i)
+		}
+		if !reflect.DeepEqual(parallel[i].Outputs, sequential[i].Outputs) {
+			t.Errorf("seed %d: parallel and sequential outputs differ", 100+i)
+		}
+	}
+	// Seeds <= 1 means one run.
+	single := s
+	single.Seeds = 0
+	if res, err := single.RunBatch(0); err != nil || len(res) != 1 {
+		t.Errorf("Seeds=0 batch: %d results, err %v", len(res), err)
+	}
+}
+
+func TestRunScenariosList(t *testing.T) {
+	list := []repro.Scenario{
+		{Graph: "clique:4", Protocol: "aad", Inputs: []float64{0, 1, 2, 3}, F: 1, K: 3, Eps: 0.2, Seed: 2},
+		{Graph: "circulant:5:1,2", Protocol: "crashapprox", Inputs: []float64{0, 1, 2, 3, 4},
+			F: 1, K: 4, Eps: 0.2, Seed: 3, Faults: []repro.FaultSpec{{Node: 4, Kind: "crash", Param: 10}}},
+		{Graph: "clique:5", Protocol: "iterative", Inputs: []float64{0, 1, 2, 3, 4}, F: 1, K: 4, Eps: 0.1, Seed: 4, Rounds: 25},
+	}
+	results, err := repro.RunScenarios(list, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(list) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, res := range results {
+		if !res.Converged {
+			t.Errorf("scenario %d (%s) did not converge: %+v", i, list[i].Protocol, res)
+		}
+	}
+	// A bad entry fails the whole list eagerly, naming the index.
+	list[1].Protocol = "paxos"
+	if _, err := repro.RunScenarios(list, 0); err == nil || !strings.Contains(err.Error(), "scenario 1") {
+		t.Errorf("bad list entry: %v", err)
+	}
+}
+
+func TestScenarioObserver(t *testing.T) {
+	s := repro.Scenario{
+		Graph: "fig1a", Protocol: "bw",
+		Inputs: []float64{0, 4, 1, 3, 2},
+		F:      1, K: 4, Eps: 0.25, Seed: 7,
+	}
+	var delivers, rounds int
+	res, err := s.RunObserved(repro.ObserverFunc(func(e repro.Event) {
+		switch e.Type {
+		case repro.EventDeliver:
+			delivers++
+		case repro.EventRound:
+			rounds++
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivers != res.Steps {
+		t.Errorf("observed %d deliveries, result says %d", delivers, res.Steps)
+	}
+	if rounds == 0 {
+		t.Error("no per-round snapshots streamed")
+	}
+	// The observer must not perturb the run.
+	bare, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare.Outputs, res.Outputs) || bare.Steps != res.Steps {
+		t.Error("observer perturbed the execution")
+	}
+}
+
+func TestJSONLObserver(t *testing.T) {
+	var sb strings.Builder
+	obs, flushErr := repro.JSONLObserver(&sb)
+	s := repro.Scenario{
+		Graph: "clique:4", Protocol: "bw",
+		Inputs: []float64{0, 1, 2, 3}, F: 1, K: 3, Eps: 0.25, Seed: 5,
+	}
+	res, err := s.RunObserved(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flushErr(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < res.Steps {
+		t.Fatalf("%d JSONL lines for %d deliveries", len(lines), res.Steps)
+	}
+	sawRound := false
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		switch rec["type"] {
+		case "deliver":
+			if _, ok := rec["kind"].(string); !ok {
+				t.Fatalf("deliver record missing kind: %s", line)
+			}
+		case "round":
+			sawRound = true
+			if _, ok := rec["value"].(float64); !ok {
+				t.Fatalf("round record missing value: %s", line)
+			}
+		}
+	}
+	if !sawRound {
+		t.Error("no round records in JSONL stream")
+	}
+}
+
+// TestJSONLObserverSharedAcrossSeeds pins the observer's goroutine-safety:
+// one JSONLObserver fanned across parallel RunSeeds runs must neither race
+// (the CI -race run) nor interleave mid-record.
+func TestJSONLObserverSharedAcrossSeeds(t *testing.T) {
+	var sb strings.Builder
+	obs, flushErr := repro.JSONLObserver(&sb)
+	opts := repro.Options{F: 1, K: 4, Eps: 0.25, Seed: 1, Observer: obs}
+	results, err := repro.RunSeeds(repro.RunBW, repro.Fig1a(), []float64{0, 4, 1, 3, 2}, opts, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flushErr(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, res := range results {
+		total += res.Steps
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) < total {
+		t.Fatalf("%d JSONL lines for %d total deliveries", len(lines), total)
+	}
+	for i, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("line %d corrupted by interleaving: %q", i, line)
+		}
+	}
+}
+
+// TestOptionsNormalizeNegativeInputs is the regression test for the K
+// default: with all-negative inputs, K must cover the input magnitudes
+// (max |x|), not collapse to the floor of 1 via max(x).
+func TestOptionsNormalizeNegativeInputs(t *testing.T) {
+	g := repro.Fig1a()
+	inputs := []float64{-8, -2, -6, -4, -7}
+	res, err := repro.RunBW(g, inputs, repro.Options{F: 1, Eps: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || !res.ValidityOK {
+		t.Errorf("all-negative inputs with defaulted K: %+v", res)
+	}
+	for _, x := range res.Outputs {
+		if x < -8 || x > -2 {
+			t.Errorf("output %g outside honest range [-8,-2]", x)
+		}
+	}
+}
+
+func TestProtocolRegistry(t *testing.T) {
+	names := repro.Protocols()
+	for _, want := range []string{"aad", "bw", "crashapprox", "iterative"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Protocols() = %v, missing %q", names, want)
+		}
+	}
+	if _, err := repro.ProtocolByName("bw"); err != nil {
+		t.Error(err)
+	}
+	if _, err := repro.ProtocolByName("nope"); err == nil ||
+		!strings.Contains(err.Error(), "valid values are") {
+		t.Errorf("unknown protocol error unhelpful: %v", err)
+	}
+	if len(repro.Policies()) < 4 {
+		t.Errorf("Policies() = %v", repro.Policies())
+	}
+}
+
+func TestFaultKindNames(t *testing.T) {
+	kinds := repro.FaultKinds()
+	if len(kinds) != 6 {
+		t.Fatalf("FaultKinds() = %v", kinds)
+	}
+	for _, name := range kinds {
+		ft, err := repro.FaultTypeByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ft.String() != name {
+			t.Errorf("FaultType %d renders %q, want %q", ft, ft.String(), name)
+		}
+	}
+	if _, err := repro.FaultTypeByName("gremlin"); err == nil {
+		t.Error("bad fault kind accepted")
+	}
+}
