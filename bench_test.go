@@ -5,6 +5,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -258,7 +259,7 @@ func BenchmarkSweepWorkers(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := experiments.RunSweepExec(6, 1234, experiments.Exec{Workers: workers})
+				rep, err := experiments.RunSweepExec(context.Background(), 6, 1234, experiments.Exec{Workers: workers})
 				if err != nil || !rep.AllPassed() {
 					b.Fatalf("sweep failed: %v", err)
 				}
@@ -285,5 +286,40 @@ func BenchmarkScalability(b *testing.B) {
 				b.ReportMetric(float64(res.MessagesSent), "msgs/run")
 			}
 		})
+	}
+}
+
+// BenchmarkRuntimes compares the deterministic inline simulator against the
+// live loopback cluster on the fig1a (BW, silent Byzantine node) and
+// table1-style clique (AAD) scenarios — the same pairs cmd/benchruntimes
+// snapshots into BENCH_1.json. The gap is the price of real concurrency:
+// goroutine scheduling plus a full wire encode/decode per message.
+func BenchmarkRuntimes(b *testing.B) {
+	scenarios := []repro.Scenario{
+		{
+			Name: "fig1a-bw", Graph: "fig1a", Protocol: "bw",
+			Inputs: []float64{0, 4, 1, 3, 2}, F: 1, K: 4, Eps: 0.25, Seed: 1,
+			Faults: []repro.FaultSpec{{Node: 1, Kind: "silent"}},
+		},
+		{
+			Name: "table1-clique8-aad", Graph: "clique:8", Protocol: "aad",
+			F: 2, Eps: 0.25, Seed: 1,
+			Faults: []repro.FaultSpec{{Node: 7, Kind: "silent"}},
+		},
+	}
+	for _, s := range scenarios {
+		for _, runtime := range []string{repro.RuntimeSim, repro.RuntimeLoopback} {
+			b.Run(s.Name+"/"+runtime, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := s.RunOn(context.Background(), runtime)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Converged || !res.ValidityOK {
+						b.Fatalf("%s on %s: %+v", s.Name, runtime, res)
+					}
+				}
+			})
+		}
 	}
 }

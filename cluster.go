@@ -1,0 +1,250 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+
+	"repro/internal/cluster"
+)
+
+// This file is the public face of the live node runtime: the same
+// Scenario that drives the deterministic simulator can execute as a
+// cluster of real nodes — per-vertex event loops exchanging wire-encoded
+// frames over an in-process loopback medium or TCP sockets — and come back
+// as the same Result type, judged by the same validity and ε-agreement
+// criteria. The cross-runtime conformance tests pin exactly that: for
+// every registered protocol, a Scenario that passes the checks on the
+// simulator passes them on the loopback cluster too.
+
+// RuntimeSim names the in-process deterministic simulator runtime (the
+// default); RuntimeLoopback and RuntimeTCP name the live cluster runtimes.
+const (
+	RuntimeSim      = "sim"
+	RuntimeLoopback = "loopback"
+	RuntimeTCP      = "tcp"
+)
+
+// RuntimeNames lists every execution runtime a Scenario can run on,
+// sorted: the cluster transports plus the simulator.
+func RuntimeNames() []string {
+	names := append(cluster.Runtimes(), RuntimeSim)
+	sort.Strings(names)
+	return names
+}
+
+// RunOn executes the scenario once on the named runtime: "sim" (or "") is
+// Scenario.Run on the deterministic simulator; "loopback" and "tcp"
+// materialize the scenario as live nodes — one event loop per vertex,
+// faulty vertices wrapped by their adversaries, protocol messages
+// round-tripping through the wire codec — over in-process channels or real
+// sockets respectively.
+//
+// Cluster runs honor ctx cancellation and deadlines (a deadline-less ctx
+// gets a 60s default timeout); the simulator runtime checks ctx only at
+// the start. A cluster run that times out before every honest vertex
+// decides returns Decided false, mirroring undecided simulator quiescence.
+func (s Scenario) RunOn(ctx context.Context, runtime string) (*Result, error) {
+	return s.RunOnObserved(ctx, runtime, nil)
+}
+
+// RunOnObserved is RunOn with a streaming observer attached. On cluster
+// runtimes the observer is invoked concurrently from every node's event
+// loop and must be goroutine-safe (JSONLObserver is); Event.Step is then
+// the node-local delivery count.
+func (s Scenario) RunOnObserved(ctx context.Context, runtime string, obs Observer) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	switch runtime {
+	case "", RuntimeSim:
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return s.RunObserved(obs)
+	}
+	run, err := cluster.ByName(runtime)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	inputs, opts, spec, err := s.clusterSpec()
+	if err != nil {
+		return nil, err
+	}
+	spec.Observer = obs
+	outcome, err := run(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Outputs:      outcome.Outputs,
+		Honest:       spec.Honest,
+		Decided:      outcome.Decided,
+		Steps:        outcome.Deliveries,
+		MessagesSent: outcome.Sent,
+		ByKind:       outcome.ByKind,
+		Histories:    outcome.Histories,
+	}
+	res.finish(inputs, opts.Eps)
+	return res, nil
+}
+
+// RunCluster is the package-level spelling of Scenario.RunOn for cluster
+// runtimes ("loopback" or "tcp").
+func RunCluster(ctx context.Context, s Scenario, runtime string) (*Result, error) {
+	return s.RunOn(ctx, runtime)
+}
+
+// clusterSpec validates the scenario for live execution and materializes
+// its inputs, normalized options and handler set.
+func (s Scenario) clusterSpec() ([]float64, Options, cluster.Spec, error) {
+	var zero cluster.Spec
+	if err := s.validateForCluster(); err != nil {
+		return nil, Options{}, zero, err
+	}
+	g, inputs, err := s.Materialize()
+	if err != nil {
+		return nil, Options{}, zero, err
+	}
+	build, err := ProtocolBuilder(s.Protocol)
+	if err != nil {
+		return nil, Options{}, zero, err
+	}
+	opts := s.options()
+	opts.normalize(inputs)
+	factory, err := build(g, inputs, opts)
+	if err != nil {
+		return nil, Options{}, zero, err
+	}
+	handlers, honest, err := buildHandlers(g, inputs, opts, factory)
+	if err != nil {
+		return nil, Options{}, zero, err
+	}
+	return inputs, opts, cluster.Spec{Graph: g, Handlers: handlers, Honest: honest}, nil
+}
+
+// validateForCluster rejects, eagerly and by name, the scenario knobs that
+// only mean something on the central simulator: engines, delivery
+// policies, and trace recording all manipulate the simulator's message
+// pool, which a live cluster does not have. Silently ignoring them would
+// replay the wrong experiment.
+func (s Scenario) validateForCluster() error {
+	if s.Engine != "" {
+		return fmt.Errorf("repro: scenario engine %q applies to the sim runtime only (a cluster has no central engine)", s.Engine)
+	}
+	if s.Policy != nil {
+		return fmt.Errorf("repro: scenario policy %q applies to the sim runtime only (a cluster's schedule is the network's)", s.Policy.Name)
+	}
+	if s.RecordTrace {
+		return fmt.Errorf("repro: recordTrace applies to the sim runtime only (a cluster has no global delivery order to record)")
+	}
+	if s.Seeds > 1 {
+		return fmt.Errorf("repro: seed batches run on the sim runtime (RunBatch); cluster runtimes execute one run")
+	}
+	return nil
+}
+
+// JoinSpec describes one vertex joining a multi-process TCP cluster: the
+// shared scenario file plus this process's identity and addressing.
+type JoinSpec struct {
+	// Scenario is the run specification every member process shares.
+	Scenario Scenario
+	// ID is this process's vertex.
+	ID int
+	// Listener, when non-nil, is used as-is for inbound links (embedders
+	// and tests bind it up front so peer addresses are known before any
+	// node starts). Otherwise Listen is the bind address (defaults to
+	// 127.0.0.1:0); when its port is taken, up to ListenAttempts
+	// consecutive ports are tried.
+	Listener       net.Listener
+	Listen         string
+	ListenAttempts int
+	// Peers maps vertex ids to dial addresses; it must cover every
+	// out-neighbor of ID.
+	Peers map[int]string
+	// Observer streams this node's runtime events; OnDecide fires once
+	// when the vertex decides; OnListen reports the bound address before
+	// dialing starts.
+	Observer Observer
+	OnDecide func(output float64)
+	OnListen func(addr string)
+}
+
+// NodeReport is one vertex's outcome from JoinCluster.
+type NodeReport struct {
+	ID        int
+	Output    float64
+	Decided   bool
+	Addr      string
+	Delivered int
+	Sent      int
+}
+
+// JoinCluster runs one vertex of the scenario as a live TCP node until ctx
+// ends — the library form of the abacnode daemon. The vertex's machine is
+// built from the scenario (adversary-wrapped if the scenario marks it
+// faulty); deciding does not stop the node, because in the asynchronous
+// model honest nodes keep relaying for their peers — the caller chooses
+// when to leave by cancelling ctx (abacnode lingers a grace period after
+// deciding).
+func JoinCluster(ctx context.Context, spec JoinSpec) (*NodeReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := spec.Scenario.validateForCluster(); err != nil {
+		return nil, err
+	}
+	g, inputs, err := spec.Scenario.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	if spec.ID < 0 || spec.ID >= g.N() {
+		return nil, fmt.Errorf("repro: join id %d outside graph order %d", spec.ID, g.N())
+	}
+	for _, v := range g.Out(spec.ID) {
+		if _, ok := spec.Peers[v]; !ok {
+			return nil, fmt.Errorf("repro: join: no peer address for out-neighbor %d of vertex %d", v, spec.ID)
+		}
+	}
+	build, err := ProtocolBuilder(spec.Scenario.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	opts := spec.Scenario.options()
+	opts.normalize(inputs)
+	factory, err := build(g, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	handler, err := factory(spec.ID)
+	if err != nil {
+		return nil, err
+	}
+	if fl, bad := opts.Faults[spec.ID]; bad {
+		handler = buildFaulty(spec.ID, fl, handler, opts.Seed+int64(spec.ID))
+	}
+	var onDecide func(int, float64)
+	if spec.OnDecide != nil {
+		onDecide = func(_ int, x float64) { spec.OnDecide(x) }
+	}
+	out, err := cluster.JoinTCP(ctx, cluster.JoinConfig{
+		ID:             spec.ID,
+		Graph:          g,
+		Handler:        handler,
+		Listener:       spec.Listener,
+		Listen:         spec.Listen,
+		ListenAttempts: spec.ListenAttempts,
+		Peers:          spec.Peers,
+		Observer:       spec.Observer,
+		OnDecide:       onDecide,
+		OnListen:       spec.OnListen,
+	})
+	if out == nil {
+		return nil, err
+	}
+	return &NodeReport{
+		ID: out.ID, Output: out.Output, Decided: out.Decided, Addr: out.Addr,
+		Delivered: out.Stats.Delivered, Sent: out.Stats.Sent,
+	}, err
+}

@@ -1,0 +1,294 @@
+package repro_test
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// conformanceScenarios maps every registered protocol to a scenario whose
+// simulator run is known to decide, converge and respect validity. The
+// cross-runtime conformance test requires an entry for each registered
+// protocol: adding a protocol without one fails the test, which is the
+// point — a protocol is not done until it runs on the live runtime.
+func conformanceScenarios() map[string]repro.Scenario {
+	return map[string]repro.Scenario{
+		"bw": {
+			Name: "conformance-bw", Graph: "fig1a", Protocol: "bw",
+			Inputs: []float64{0, 4, 1, 3, 2}, F: 1, K: 4, Eps: 0.25, Seed: 7,
+			Faults: []repro.FaultSpec{{Node: 1, Kind: "silent"}},
+		},
+		"aad": {
+			Name: "conformance-aad", Graph: "clique:4", Protocol: "aad",
+			Inputs: []float64{0, 3, 1, 2}, F: 1, K: 3, Eps: 0.25, Seed: 7,
+			Faults: []repro.FaultSpec{{Node: 3, Kind: "silent"}},
+		},
+		"crashapprox": {
+			Name: "conformance-crash", Graph: "fig1a", Protocol: "crashapprox",
+			Inputs: []float64{0, 4, 1, 3, 2}, F: 1, K: 4, Eps: 0.25, Seed: 7,
+			Faults: []repro.FaultSpec{{Node: 1, Kind: "silent"}},
+		},
+		"iterative": {
+			Name: "conformance-iter", Graph: "clique:5", Protocol: "iterative",
+			Inputs: []float64{0, 3, 1, 2, 2}, F: 1, K: 3, Eps: 0.25, Seed: 7,
+			Faults: []repro.FaultSpec{{Node: 4, Kind: "silent"}},
+		},
+	}
+}
+
+// assertGuarantees applies the protocol acceptance criteria shared by both
+// runtimes: termination, validity and ε-agreement.
+func assertGuarantees(t *testing.T, label string, res *repro.Result, eps float64) {
+	t.Helper()
+	if !res.Decided {
+		t.Fatalf("%s: honest nodes did not all decide", label)
+	}
+	if !res.ValidityOK {
+		t.Fatalf("%s: outputs %v violate validity", label, res.Outputs)
+	}
+	if !res.Converged {
+		t.Fatalf("%s: spread %g >= eps %g", label, res.Spread, eps)
+	}
+	if len(res.Outputs) != res.Honest.Count() {
+		t.Fatalf("%s: %d outputs for %d honest nodes", label, len(res.Outputs), res.Honest.Count())
+	}
+}
+
+// TestClusterConformance is the headline invariant of the live runtime:
+// for every registered protocol, a Scenario run on the loopback cluster
+// passes the same validity and ε-agreement assertions as its simulator
+// run. The schedules differ — the simulator replays a seeded adversarial
+// order, the cluster delivers whatever the transport produces — but both
+// are legal asynchronous executions, so the guarantees must hold on both.
+func TestClusterConformance(t *testing.T) {
+	scenarios := conformanceScenarios()
+	for _, proto := range repro.Protocols() {
+		s, ok := scenarios[proto]
+		if !ok {
+			t.Fatalf("registered protocol %q has no conformance scenario; add one to conformanceScenarios", proto)
+		}
+		t.Run(proto, func(t *testing.T) {
+			t.Parallel()
+			simRes, err := s.RunOn(context.Background(), repro.RuntimeSim)
+			if err != nil {
+				t.Fatalf("sim run: %v", err)
+			}
+			assertGuarantees(t, "sim", simRes, s.Eps)
+
+			clusterRes, err := s.RunOn(context.Background(), repro.RuntimeLoopback)
+			if err != nil {
+				t.Fatalf("loopback run: %v", err)
+			}
+			assertGuarantees(t, "loopback", clusterRes, s.Eps)
+
+			if clusterRes.Steps == 0 || clusterRes.MessagesSent == 0 {
+				t.Fatalf("loopback run reported no traffic: %+v", clusterRes)
+			}
+		})
+	}
+}
+
+// TestClusterTCPConformance runs one full scenario (BW on Figure 1(a) with
+// a silent Byzantine node) over real TCP sockets.
+func TestClusterTCPConformance(t *testing.T) {
+	s := conformanceScenarios()["bw"]
+	res, err := repro.RunCluster(context.Background(), s, repro.RuntimeTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGuarantees(t, "tcp", res, s.Eps)
+}
+
+func TestRunOnRejectsSimOnlyKnobs(t *testing.T) {
+	base := conformanceScenarios()["iterative"]
+	cases := []struct {
+		mutate func(*repro.Scenario)
+		want   string
+	}{
+		{func(s *repro.Scenario) { s.Engine = "goroutine" }, "engine"},
+		{func(s *repro.Scenario) { s.Policy = &repro.PolicySpec{Name: "lifo"} }, "policy"},
+		{func(s *repro.Scenario) { s.RecordTrace = true }, "recordTrace"},
+		{func(s *repro.Scenario) { s.Seeds = 4 }, "seed batches"},
+	}
+	for _, tc := range cases {
+		s := base
+		tc.mutate(&s)
+		if _, err := s.RunOn(context.Background(), repro.RuntimeLoopback); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("want error containing %q, got %v", tc.want, err)
+		}
+	}
+	if _, err := base.RunOn(context.Background(), "warp"); err == nil || !strings.Contains(err.Error(), "unknown runtime") {
+		t.Errorf("unknown runtime: got %v", err)
+	}
+}
+
+func TestRunOnSimDefault(t *testing.T) {
+	s := conformanceScenarios()["iterative"]
+	viaEmpty, err := s.RunOn(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRun, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaEmpty.Spread != viaRun.Spread || viaEmpty.Steps != viaRun.Steps {
+		t.Fatalf("RunOn(\"\") diverged from Run(): %+v vs %+v", viaEmpty, viaRun)
+	}
+}
+
+func TestRuntimeNames(t *testing.T) {
+	names := repro.RuntimeNames()
+	for _, want := range []string{"loopback", "sim", "tcp"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("RuntimeNames() = %v, missing %q", names, want)
+		}
+	}
+}
+
+// TestProtocolBuilderErrors pins the error surface of the builder
+// registry: unknown protocols and protocols registered without a builder
+// both name the problem.
+func TestProtocolBuilderErrors(t *testing.T) {
+	if _, err := repro.ProtocolBuilder("nope"); err == nil || !strings.Contains(err.Error(), "unknown protocol") {
+		t.Fatalf("unknown protocol: got %v", err)
+	}
+	repro.Register("zz-conformance-sim-only", repro.RunIterative)
+	if _, err := repro.ProtocolBuilder("zz-conformance-sim-only"); err == nil ||
+		!strings.Contains(err.Error(), "no live-runtime builder") {
+		t.Fatalf("builderless protocol: got %v", err)
+	}
+	s := repro.Scenario{Graph: "clique:3", Protocol: "zz-conformance-sim-only", F: 0}
+	if _, err := s.RunOn(context.Background(), repro.RuntimeLoopback); err == nil ||
+		!strings.Contains(err.Error(), "no live-runtime builder") {
+		t.Fatalf("RunOn without builder: got %v", err)
+	}
+}
+
+// TestJoinClusterMultiNode exercises the public daemon path (the library
+// form of abacnode): four goroutines, one per vertex, each joining the
+// same AAD scenario over TCP with explicit peer addressing. AAD cannot
+// progress without collecting n−f values per round, so deciding proves
+// genuine protocol traffic crossed the sockets.
+func TestJoinClusterMultiNode(t *testing.T) {
+	const n = 4
+	inputs := []float64{0, 3, 1, 2}
+	s := repro.Scenario{
+		Graph: "clique:4", Protocol: "aad",
+		Inputs: inputs, F: 1, K: 3, Eps: 0.25,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	runCtx, stopNodes := context.WithCancel(ctx)
+	defer stopNodes()
+
+	// Listeners are bound up front (as an operator assigns ports in a
+	// config), so every peer address is known before any node starts.
+	listeners := make([]net.Listener, n)
+	addrs := make(map[int]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+
+	decided := make(chan struct{}, n)
+	reports := make([]*repro.NodeReport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			peers := make(map[int]string, n-1)
+			for j, a := range addrs {
+				if j != i {
+					peers[j] = a
+				}
+			}
+			reports[i], errs[i] = repro.JoinCluster(runCtx, repro.JoinSpec{
+				Scenario: s, ID: i,
+				Listener: listeners[i],
+				Peers:    peers,
+				OnDecide: func(float64) { decided <- struct{}{} },
+			})
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-decided:
+		case <-ctx.Done():
+			t.Fatal("vertices never decided")
+		}
+	}
+	stopNodes()
+	wg.Wait()
+
+	lo, hi := inputs[0], inputs[0]
+	for _, x := range inputs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	omin, omax := reports[0].Output, reports[0].Output
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("join %d: %v", i, errs[i])
+		}
+		r := reports[i]
+		if !r.Decided {
+			t.Fatalf("join %d did not decide: %+v", i, r)
+		}
+		if r.Output < lo || r.Output > hi {
+			t.Fatalf("join %d output %g violates validity [%g, %g]", i, r.Output, lo, hi)
+		}
+		if r.Delivered == 0 || r.Sent == 0 {
+			t.Fatalf("join %d reports no traffic: %+v", i, r)
+		}
+		if r.Output < omin {
+			omin = r.Output
+		}
+		if r.Output > omax {
+			omax = r.Output
+		}
+	}
+	if omax-omin >= s.Eps {
+		t.Fatalf("spread %g >= eps %g across joined nodes", omax-omin, s.Eps)
+	}
+}
+
+// TestJoinClusterValidation pins the eager error paths of JoinCluster.
+func TestJoinClusterValidation(t *testing.T) {
+	s := repro.Scenario{Graph: "clique:2", Protocol: "iterative", F: 0}
+	cases := []struct {
+		spec repro.JoinSpec
+		want string
+	}{
+		{repro.JoinSpec{Scenario: s, ID: 9}, "outside graph order"},
+		{repro.JoinSpec{Scenario: s, ID: 0}, "no peer address"},
+		{repro.JoinSpec{Scenario: repro.Scenario{Graph: "clique:2"}, ID: 0}, "missing protocol"},
+	}
+	for _, tc := range cases {
+		if _, err := repro.JoinCluster(context.Background(), tc.spec); err == nil ||
+			!strings.Contains(err.Error(), tc.want) {
+			t.Errorf("want error containing %q, got %v", tc.want, err)
+		}
+	}
+}

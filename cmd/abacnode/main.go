@@ -1,0 +1,217 @@
+// Command abacnode runs ONE vertex of a scenario as a live TCP node — the
+// genuinely multi-process form of the cluster runtime. Every participating
+// process loads the same scenario file, is told which vertex it is and
+// where its peers listen, and the cluster executes the same protocol
+// machines the simulator runs, over real sockets.
+//
+// A two-terminal run of a 2-clique (see README for the full walkthrough):
+//
+//	terminal A$ abacnode -scenario pair.json -id 0 \
+//	              -peers "0=127.0.0.1:7000,1=127.0.0.1:7001"
+//	terminal B$ abacnode -scenario pair.json -id 1 \
+//	              -peers "0=127.0.0.1:7000,1=127.0.0.1:7001"
+//
+// Each process listens on its own entry of -peers (override with -listen),
+// dials its out-neighbors — retrying until the peer is up, so start order
+// does not matter — prints a JSON line when its vertex decides, keeps
+// relaying for -linger afterwards (honest nodes serve their peers, not
+// just themselves), then exits. Interrupt or -timeout ends it early.
+//
+// Usage:
+//
+//	abacnode -scenario run.json -id 0 -peers "0=host:port,1=host:port,..."
+//	abacnode ... -listen 0.0.0.0:7000       # bind override (NAT, all-interfaces)
+//	abacnode ... -listen-attempts 8         # port-collision fallback
+//	abacnode ... -linger 10s -timeout 2m    # lifecycle knobs
+//	abacnode ... -emit jsonl                # stream runtime events to stdout
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "abacnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenarioPath = flag.String("scenario", "", "JSON scenario file shared by every member process (required)")
+		id           = flag.Int("id", -1, "this process's vertex id (required)")
+		peersFlag    = flag.String("peers", "", `comma-separated vertex addresses: "0=host:port,1=host:port,..." (required)`)
+		listen       = flag.String("listen", "", "bind address override (default: this vertex's -peers entry)")
+		attempts     = flag.Int("listen-attempts", 1, "consecutive ports to try when the listen port is taken")
+		linger       = flag.Duration("linger", 3*time.Second, "keep relaying this long after deciding, then exit")
+		timeout      = flag.Duration("timeout", 0, "overall deadline (0 = run until decided+linger or interrupt)")
+		emit         = flag.String("emit", "", "stream runtime events to stdout: jsonl")
+	)
+	flag.Parse()
+
+	if *scenarioPath == "" {
+		return fmt.Errorf("-scenario is required")
+	}
+	if *id < 0 {
+		return fmt.Errorf("-id is required (this process's vertex)")
+	}
+	if *emit != "" && *emit != "jsonl" {
+		return fmt.Errorf("unknown -emit format %q (valid values are: [jsonl])", *emit)
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		return err
+	}
+	if len(peers) == 0 {
+		return fmt.Errorf("-peers is required")
+	}
+	data, err := os.ReadFile(*scenarioPath)
+	if err != nil {
+		return err
+	}
+	s, err := repro.ParseScenario(data)
+	if err != nil {
+		return err
+	}
+
+	bind := *listen
+	if bind == "" {
+		var ok bool
+		if bind, ok = peers[*id]; !ok {
+			return fmt.Errorf("no -peers entry for own id %d and no -listen override", *id)
+		}
+	}
+
+	// A vertex the scenario marks faulty runs its adversary wrapper and —
+	// depending on the kind — may legitimately never decide (silent, crash).
+	// Such a process serves until -timeout or interrupt and exits cleanly.
+	faultKind := ""
+	for _, fl := range s.Faults {
+		if fl.Node == *id {
+			faultKind = fl.Kind
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var obs repro.Observer
+	flushErr := func() error { return nil }
+	if *emit == "jsonl" {
+		obs, flushErr = repro.JSONLObserver(os.Stdout)
+	}
+
+	spec := repro.JoinSpec{
+		Scenario:       *s,
+		ID:             *id,
+		Listen:         bind,
+		ListenAttempts: *attempts,
+		Peers:          peers,
+		Observer:       obs,
+		OnListen: func(addr string) {
+			fmt.Fprintf(os.Stderr, "abacnode: vertex %d listening on %s (graph %s, protocol %s, peers %s)\n",
+				*id, addr, s.Graph, s.Protocol, renderPeers(peers, *id))
+			if faultKind != "" {
+				fmt.Fprintf(os.Stderr, "abacnode: vertex %d runs the scenario's %q adversary; it serves until -timeout or interrupt (faulty vertices need not decide)\n",
+					*id, faultKind)
+			}
+		},
+		OnDecide: func(x float64) {
+			fmt.Fprintf(os.Stderr, "abacnode: vertex %d decided %g; relaying for %s more\n", *id, x, *linger)
+			// Deciding is not done: peers may still need our relays. Serve a
+			// grace period, then leave.
+			time.AfterFunc(*linger, cancel)
+		},
+	}
+
+	report, err := repro.JoinCluster(runCtx, spec)
+	if err != nil {
+		return err
+	}
+	if err := flushErr(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(report)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(line))
+	if !report.Decided && faultKind == "" {
+		return fmt.Errorf("vertex %d exited undecided (interrupted or timed out before the protocol finished)", *id)
+	}
+	return nil
+}
+
+// parsePeers parses "0=host:port,1=host:port,..." into a vertex->address
+// map, rejecting duplicates and malformed entries eagerly.
+func parsePeers(s string) (map[int]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[int]string)
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		idStr, addr, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("peer %q: want id=host:port", item)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil {
+			return nil, fmt.Errorf("peer %q: bad vertex id: %w", item, err)
+		}
+		if id < 0 {
+			return nil, fmt.Errorf("peer %q: vertex id must be non-negative", item)
+		}
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			return nil, fmt.Errorf("peer %q: empty address", item)
+		}
+		if _, dup := out[id]; dup {
+			return nil, fmt.Errorf("peer %q: vertex %d listed twice", item, id)
+		}
+		out[id] = addr
+	}
+	return out, nil
+}
+
+// renderPeers formats the peer map compactly for the startup log line.
+func renderPeers(peers map[int]string, self int) string {
+	ids := make([]int, 0, len(peers))
+	for id := range peers {
+		if id != self {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		parts = append(parts, fmt.Sprintf("%d@%s", id, peers[id]))
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, " ")
+}

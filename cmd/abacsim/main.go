@@ -15,6 +15,8 @@
 //	abacsim -graph fig1a -algo bw -engine goroutine      # alternate engine
 //	abacsim -graph fig1a -algo bw -policy lifo           # adversarial schedule
 //	abacsim -graph fig1a -algo bw -policy bounded:bound=8
+//	abacsim -graph fig1a -algo bw -runtime loopback      # live node cluster, in-process
+//	abacsim -graph fig1a -algo bw -runtime tcp           # live node cluster, real sockets
 //	abacsim -scenario run.json                           # declarative run spec
 //	abacsim -scenario run.json -save                     # print canonical JSON
 //	abacsim -graph fig1a -algo bw -emit jsonl            # stream events as JSONL
@@ -22,9 +24,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,7 +62,8 @@ func run() error {
 		scenario = flag.String("scenario", "", "run a JSON scenario file instead of assembling one from flags")
 		save     = flag.Bool("save", false, "print the run's canonical scenario JSON instead of executing it")
 		emit     = flag.String("emit", "", "stream execution events to stdout: jsonl")
-		list     = flag.Bool("list", false, "list registered protocols, policies, engines, fault kinds and graph specs")
+		runtime  = flag.String("runtime", "", "execution runtime: sim (default, deterministic simulator) | loopback | tcp (live node cluster; see -list)")
+		list     = flag.Bool("list", false, "list registered protocols, policies, engines, runtimes, fault kinds and graph specs")
 	)
 	flag.Parse()
 
@@ -69,6 +74,16 @@ func run() error {
 	if *emit != "" && *emit != "jsonl" {
 		return fmt.Errorf("unknown -emit format %q (valid values are: [jsonl])", *emit)
 	}
+	if *runtime != "" {
+		if err := validateName("runtime", *runtime, repro.RuntimeNames()); err != nil {
+			return err
+		}
+	}
+
+	// An interrupt cancels cluster runs immediately and seed sweeps between
+	// runs, instead of leaving them unkillable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var s *repro.Scenario
 	if *scenario != "" {
@@ -84,8 +99,8 @@ func run() error {
 		}
 	} else {
 		if *algo == "necessity" {
-			if *seeds > 1 || *engine != "" || *policy != "" || *emit != "" {
-				return fmt.Errorf("-seeds, -engine, -policy and -emit do not apply to -algo necessity")
+			if *seeds > 1 || *engine != "" || *policy != "" || *emit != "" || *runtime != "" {
+				return fmt.Errorf("-seeds, -engine, -policy, -emit and -runtime do not apply to -algo necessity")
 			}
 			g, err := repro.NamedGraph(*spec)
 			if err != nil {
@@ -117,9 +132,12 @@ func run() error {
 		if *emit != "" {
 			return fmt.Errorf("-emit applies to single runs, not seed sweeps")
 		}
-		return runSeedSweep(*s, *workers)
+		if *runtime != "" && *runtime != repro.RuntimeSim {
+			return fmt.Errorf("-runtime %s executes single runs; seed sweeps run on the simulator (drop -seeds or -runtime)", *runtime)
+		}
+		return runSeedSweep(ctx, *s, *workers)
 	}
-	return runSingle(*s, *emit == "jsonl", *history)
+	return runSingle(ctx, *s, *runtime, *emit == "jsonl", *history)
 }
 
 // applyOverrides lets explicitly passed -seed/-seeds/-engine flags override
@@ -253,6 +271,10 @@ func printCatalog() {
 	for _, name := range repro.EngineNames() {
 		fmt.Printf("  %s\n", name)
 	}
+	fmt.Println("runtimes:")
+	for _, name := range repro.RuntimeNames() {
+		fmt.Printf("  %s\n", name)
+	}
 	fmt.Println("fault kinds:")
 	for _, name := range repro.FaultKinds() {
 		fmt.Printf("  %s\n", name)
@@ -263,23 +285,23 @@ func printCatalog() {
 	}
 }
 
-// runSingle executes one scenario, optionally streaming events as JSONL
-// before the summary.
-func runSingle(s repro.Scenario, jsonl, history bool) error {
+// runSingle executes one scenario on the selected runtime, optionally
+// streaming events as JSONL before the summary.
+func runSingle(ctx context.Context, s repro.Scenario, runtime string, jsonl, history bool) error {
 	g, in, err := s.Materialize()
 	if err != nil {
 		return err
 	}
 	var res *repro.Result
+	var obs repro.Observer
+	flushErr := func() error { return nil }
 	if jsonl {
-		obs, flushErr := repro.JSONLObserver(os.Stdout)
-		if res, err = s.RunObserved(obs); err != nil {
-			return err
-		}
-		if err := flushErr(); err != nil {
-			return err
-		}
-	} else if res, err = s.Run(); err != nil {
+		obs, flushErr = repro.JSONLObserver(os.Stdout)
+	}
+	if res, err = s.RunOnObserved(ctx, runtime, obs); err != nil {
+		return err
+	}
+	if err := flushErr(); err != nil {
 		return err
 	}
 
@@ -287,8 +309,11 @@ func runSingle(s repro.Scenario, jsonl, history bool) error {
 	if s.Policy != nil {
 		policy = s.Policy.Name
 	}
-	fmt.Printf("graph: %s, algo: %s, f=%d, eps=%g, seed=%d, policy=%s\n",
-		g, s.Protocol, orDefault(s.F, 1), orDefaultF(s.Eps, 0.1), s.Seed, policy)
+	if runtime == "" {
+		runtime = repro.RuntimeSim
+	}
+	fmt.Printf("graph: %s, algo: %s, f=%d, eps=%g, seed=%d, policy=%s, runtime=%s\n",
+		g, s.Protocol, orDefault(s.F, 1), orDefaultF(s.Eps, 0.1), s.Seed, policy, runtime)
 	fmt.Printf("inputs: %v\n", in)
 	ids := make([]int, 0, len(res.Outputs))
 	for id := range res.Outputs {
@@ -311,8 +336,8 @@ func runSingle(s repro.Scenario, jsonl, history bool) error {
 
 // runSeedSweep executes the scenario across its consecutive seeds on a
 // worker pool and prints one line per seed plus an aggregate.
-func runSeedSweep(s repro.Scenario, workers int) error {
-	results, err := s.RunBatch(workers)
+func runSeedSweep(ctx context.Context, s repro.Scenario, workers int) error {
+	results, err := s.RunBatch(ctx, workers)
 	if err != nil {
 		return err
 	}

@@ -172,3 +172,18 @@ func TestDefaultParams(t *testing.T) {
 		}
 	}
 }
+
+func TestRuntimeFlagValidatesEagerly(t *testing.T) {
+	// Every listed runtime is accepted; anything else fails by name with
+	// the valid values — the same eager UX as -engine and -policy.
+	for _, name := range repro.RuntimeNames() {
+		if err := validateName("runtime", name, repro.RuntimeNames()); err != nil {
+			t.Errorf("runtime %q rejected: %v", name, err)
+		}
+	}
+	err := validateName("runtime", "warp", repro.RuntimeNames())
+	if err == nil || !strings.Contains(err.Error(), "unknown runtime") ||
+		!strings.Contains(err.Error(), "loopback") {
+		t.Fatalf("want unknown-runtime error naming the valid values, got %v", err)
+	}
+}

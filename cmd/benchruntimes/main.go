@@ -1,0 +1,148 @@
+// Command benchruntimes measures the execution runtimes against each other:
+// the same scenarios (the fig1a BW run and the table1-style clique AAD run,
+// both with a silent Byzantine node) execute on the deterministic inline
+// simulator and on the live loopback cluster, and the best-of-N wall times
+// land in a JSON report. BENCH_1.json in the repository root is this
+// command's committed snapshot — the start of the runtime-performance
+// trajectory next to BENCH_0.json's engine baseline.
+//
+// Usage:
+//
+//	benchruntimes                      # print the comparison
+//	benchruntimes -json BENCH_1.json   # also write the JSON report
+//	benchruntimes -reps 5 -seed 7      # more repetitions, other seed
+//	benchruntimes -runtimes sim,loopback,tcp
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// scenarios are the benchmarked pairs; keep in sync with the root
+// BenchmarkRuntimes benchmark.
+func scenarios(seed int64) []repro.Scenario {
+	return []repro.Scenario{
+		{
+			Name: "fig1a-bw", Graph: "fig1a", Protocol: "bw",
+			Inputs: []float64{0, 4, 1, 3, 2}, F: 1, K: 4, Eps: 0.25, Seed: seed,
+			Faults: []repro.FaultSpec{{Node: 1, Kind: "silent"}},
+		},
+		{
+			Name: "table1-clique8-aad", Graph: "clique:8", Protocol: "aad",
+			F: 2, Eps: 0.25, Seed: seed,
+			Faults: []repro.FaultSpec{{Node: 7, Kind: "silent"}},
+		},
+	}
+}
+
+type runRecord struct {
+	Name    string  `json:"name"`
+	Runtime string  `json:"runtime"`
+	Ms      float64 `json:"ms"` // best-of-reps wall time
+	Steps   int     `json:"steps"`
+	Sends   int     `json:"sends"`
+}
+
+type report struct {
+	Seed int64       `json:"seed"`
+	Reps int         `json:"reps"`
+	Runs []runRecord `json:"runs"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchruntimes:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed     = flag.Int64("seed", 1, "scenario seed")
+		reps     = flag.Int("reps", 3, "repetitions per cell (best time wins)")
+		names    = flag.String("runtimes", "sim,loopback", "comma-separated runtimes to compare (see abacsim -list)")
+		jsonPath = flag.String("json", "", "also write the report to this JSON file")
+	)
+	flag.Parse()
+	if *reps < 1 {
+		*reps = 1
+	}
+	var runtimes []string
+	for _, r := range strings.Split(*names, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		ok := false
+		for _, known := range repro.RuntimeNames() {
+			if r == known {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("unknown runtime %q (valid values are: %v)", r, repro.RuntimeNames())
+		}
+		runtimes = append(runtimes, r)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep := report{Seed: *seed, Reps: *reps}
+	fmt.Printf("%-22s %-10s %12s %10s %10s\n", "scenario", "runtime", "best ms", "steps", "sends")
+	for _, s := range scenarios(*seed) {
+		base := -1.0
+		for _, runtime := range runtimes {
+			rec := runRecord{Name: s.Name, Runtime: runtime, Ms: -1}
+			for i := 0; i < *reps; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				start := time.Now()
+				res, err := s.RunOn(ctx, runtime)
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", s.Name, runtime, err)
+				}
+				if !res.Converged || !res.ValidityOK {
+					return fmt.Errorf("%s on %s: run failed its own acceptance (spread %g, validity %v)",
+						s.Name, runtime, res.Spread, res.ValidityOK)
+				}
+				ms := float64(time.Since(start).Microseconds()) / 1000
+				if rec.Ms < 0 || ms < rec.Ms {
+					rec.Ms = ms
+				}
+				rec.Steps, rec.Sends = res.Steps, res.MessagesSent
+			}
+			rep.Runs = append(rep.Runs, rec)
+			suffix := ""
+			if base < 0 {
+				base = rec.Ms
+			} else if base > 0 {
+				suffix = fmt.Sprintf("  (%.2fx vs %s)", rec.Ms/base, runtimes[0])
+			}
+			fmt.Printf("%-22s %-10s %12.3f %10d %10d%s\n",
+				s.Name, runtime, rec.Ms, rec.Steps, rec.Sends, suffix)
+		}
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	return nil
+}

@@ -16,10 +16,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/experiments"
@@ -154,10 +156,15 @@ func run() error {
 		text   string
 		timing timing
 	}
+	// An interrupt stops the run between experiments instead of leaving a
+	// long matrix unkillable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// Experiments only share the read-only DefaultExec, so they fan across
 	// the pool freely; par.Map returns them in catalog order, keeping the
 	// printed report identical at any worker count.
-	results, err := par.Map(*workers, len(selected), func(i int) (outcome, error) {
+	results, err := par.Map(ctx, *workers, len(selected), func(i int) (outcome, error) {
 		e := selected[i]
 		start := time.Now()
 		out, err := e.run(*seed)

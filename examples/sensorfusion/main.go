@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -52,7 +53,7 @@ func main() {
 		Faults: []repro.FaultSpec{{Node: byzSensor, Kind: "noise", Param: 500}},
 	}
 
-	results, err := scenario.RunBatch(0)
+	results, err := scenario.RunBatch(context.Background(), 0)
 	if err != nil {
 		log.Fatal(err)
 	}

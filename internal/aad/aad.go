@@ -26,19 +26,21 @@ import (
 	"repro/internal/transport"
 )
 
-// numContent is a reliably broadcast state value.
-type numContent float64
+// Num is a reliably broadcast state value. It is exported so the wire
+// codec can serialize AAD's RBC traffic for the live node runtime.
+type Num float64
 
 // RBCKey implements rbc.Content.
-func (v numContent) RBCKey() string {
+func (v Num) RBCKey() string {
 	return strconv.FormatUint(math.Float64bits(float64(v)), 16)
 }
 
-// reportContent is a reliably broadcast report: origin -> value.
-type reportContent map[int]float64
+// Report is a reliably broadcast report: origin -> value. Exported for the
+// wire codec, like Num.
+type Report map[int]float64
 
 // RBCKey implements rbc.Content.
-func (r reportContent) RBCKey() string {
+func (r Report) RBCKey() string {
 	keys := make([]int, 0, len(r))
 	for k := range r {
 		keys = append(keys, k)
@@ -53,9 +55,9 @@ func (r reportContent) RBCKey() string {
 
 // roundState tracks one asynchronous round.
 type roundState struct {
-	values    map[int]float64       // accepted state values by origin
-	reports   map[int]reportContent // accepted reports by origin
-	reported  bool                  // own report broadcast yet?
+	values    map[int]float64 // accepted state values by origin
+	reports   map[int]Report  // accepted reports by origin
+	reported  bool            // own report broadcast yet?
 	witnesses graph.Set
 	advanced  bool
 }
@@ -63,7 +65,7 @@ type roundState struct {
 func newRound() *roundState {
 	return &roundState{
 		values:  make(map[int]float64),
-		reports: make(map[int]reportContent),
+		reports: make(map[int]Report),
 	}
 }
 
@@ -140,7 +142,7 @@ func (m *Machine) round(r int) *roundState {
 
 func (m *Machine) beginRound(out *sim.Outbox) {
 	tag := "r" + strconv.Itoa(m.cur) + "/value"
-	for _, d := range m.bcast.Broadcast(tag, numContent(m.x), out) {
+	for _, d := range m.bcast.Broadcast(tag, Num(m.x), out) {
 		m.onDelivery(d, out)
 	}
 	m.maybeAdvance(out)
@@ -155,13 +157,13 @@ func (m *Machine) onDelivery(d rbc.Delivery, out *sim.Outbox) {
 	rs := m.round(r)
 	switch kind {
 	case "value":
-		if v, ok := d.Content.(numContent); ok {
+		if v, ok := d.Content.(Num); ok {
 			if _, dup := rs.values[d.Origin]; !dup {
 				rs.values[d.Origin] = float64(v)
 			}
 		}
 	case "report":
-		if rep, ok := d.Content.(reportContent); ok {
+		if rep, ok := d.Content.(Report); ok {
 			if _, dup := rs.reports[d.Origin]; !dup && len(rep) >= m.n-m.f {
 				rs.reports[d.Origin] = rep
 			}
@@ -171,7 +173,7 @@ func (m *Machine) onDelivery(d rbc.Delivery, out *sim.Outbox) {
 	// are actually in; later rounds report when we reach them).
 	if r == m.cur && !rs.reported && len(rs.values) >= m.n-m.f {
 		rs.reported = true
-		snapshot := make(reportContent, len(rs.values))
+		snapshot := make(Report, len(rs.values))
 		for o, v := range rs.values {
 			snapshot[o] = v
 		}
@@ -213,7 +215,7 @@ func (m *Machine) maybeAdvance(out *sim.Outbox) {
 			// arrived before this round began.
 			if len(rs.values) >= m.n-m.f {
 				rs.reported = true
-				snapshot := make(reportContent, len(rs.values))
+				snapshot := make(Report, len(rs.values))
 				for o, v := range rs.values {
 					snapshot[o] = v
 				}

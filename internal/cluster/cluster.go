@@ -1,0 +1,284 @@
+// Package cluster materializes a whole protocol run as live nodes over a
+// real transport: one node.Node per graph vertex (faulty vertices carry
+// their adversary-wrapped handlers), connected either by the in-process
+// loopback transport (reliable per-edge FIFO channels through the wire
+// codec — what the tests use) or by TCP sockets on localhost or a real
+// network. It is the execution tier next to internal/sim: the same
+// machines, the same topology rules, but actual concurrency and actual
+// serialization instead of a centrally scheduled message pool.
+//
+// The harness launches every node, waits until every honest vertex has
+// decided (or the context ends), then shuts the runtime down and collects
+// outputs and traffic statistics. Any schedule the transports produce is a
+// legal asynchronous execution, so the protocol guarantees checked by the
+// simulator — validity and ε-agreement — must hold here too; the
+// cross-runtime conformance tests in the root package assert exactly that.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// Spec describes one materialized cluster run.
+type Spec struct {
+	// Graph is the topology; Handlers[i] is vertex i's machine (honest or
+	// adversary-wrapped), exactly as sim.New takes them.
+	Graph    *graph.Graph
+	Handlers []sim.Handler
+	// Honest is the set of vertices whose outputs the run waits for.
+	Honest graph.Set
+	// Observer, when non-nil, receives every node's runtime events. It is
+	// shared across concurrent node loops and must be goroutine-safe.
+	Observer sim.Observer
+	// Timeout bounds the run when ctx carries no deadline (default 60s). A
+	// run that times out returns the partial outcome with Decided false.
+	Timeout time.Duration
+}
+
+// DefaultTimeout caps a run whose context has no deadline.
+const DefaultTimeout = 60 * time.Second
+
+// Outcome reports a cluster run.
+type Outcome struct {
+	// Outputs holds the decisions of the honest vertices that decided;
+	// Decided reports whether all of them did before shutdown.
+	Outputs map[int]float64
+	Decided bool
+	// Deliveries and Sent aggregate the per-node counters; ByKind breaks
+	// sends down per payload kind.
+	Deliveries int
+	Sent       int
+	ByKind     map[string]int
+	// Histories holds per-round values of honest nodes whose machines
+	// record them.
+	Histories map[int][]float64
+	// Runtime names the transport that executed the run.
+	Runtime string
+}
+
+// Transport wires a set of nodes together. Start is called with every node
+// already constructed (so inboxes exist); it launches whatever pumps or
+// sockets the medium needs and returns a stop function that tears them
+// down. The links passed to node construction come from Link.
+type transportDriver interface {
+	name() string
+	// link returns the Outbound for vertex id.
+	link(id int) node.Outbound
+	// start launches the medium's goroutines feeding the given inboxes.
+	start(ctx context.Context, nodes []*node.Node) error
+	// stop tears the medium down; it must unblock any pump still pushing.
+	stop()
+}
+
+// RunLoopback executes the spec over the in-process loopback transport.
+func RunLoopback(ctx context.Context, spec Spec) (*Outcome, error) {
+	lb, err := newLoopback(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return run(ctx, spec, lb)
+}
+
+// RunTCP executes the spec over localhost TCP sockets: every vertex gets
+// its own listener on an ephemeral port, ports are discovered in-process,
+// and each directed edge becomes one TCP connection dialed by the sender.
+func RunTCP(ctx context.Context, spec Spec) (*Outcome, error) {
+	tn, err := newTCPNetwork(spec.Graph)
+	if err != nil {
+		return nil, err
+	}
+	return run(ctx, spec, tn)
+}
+
+// Runtimes lists the available cluster transports.
+func Runtimes() []string { return []string{"loopback", "tcp"} }
+
+// ByName resolves a cluster transport runner.
+func ByName(name string) (func(context.Context, Spec) (*Outcome, error), error) {
+	switch name {
+	case "loopback":
+		return RunLoopback, nil
+	case "tcp":
+		return RunTCP, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown runtime %q (valid values are: %v)", name, Runtimes())
+	}
+}
+
+func (s Spec) validate() error {
+	if s.Graph == nil {
+		return errors.New("cluster: spec needs a graph")
+	}
+	if len(s.Handlers) != s.Graph.N() {
+		return fmt.Errorf("cluster: %d handlers for %d nodes", len(s.Handlers), s.Graph.N())
+	}
+	for i, h := range s.Handlers {
+		if h == nil {
+			return fmt.Errorf("cluster: handler %d is nil", i)
+		}
+		if h.ID() != i {
+			return fmt.Errorf("cluster: handler at index %d has ID %d", i, h.ID())
+		}
+	}
+	return nil
+}
+
+type decision struct {
+	id    int
+	value float64
+}
+
+// run is the shared harness: build nodes over the driver's links, start
+// the medium, run every node loop, wait for the honest set to decide (or
+// the context to end), then tear everything down and aggregate.
+func run(ctx context.Context, spec Spec, driver transportDriver) (*Outcome, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		timeout := spec.Timeout
+		if timeout <= 0 {
+			timeout = DefaultTimeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	n := spec.Graph.N()
+	decisions := make(chan decision, n)
+	nodes := make([]*node.Node, n)
+	for i := 0; i < n; i++ {
+		nd, err := node.New(node.Config{
+			ID:       i,
+			Graph:    spec.Graph,
+			Handler:  spec.Handlers[i],
+			Out:      driver.link(i),
+			Observer: spec.Observer,
+			OnDecide: func(id int, x float64) { decisions <- decision{id, x} },
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = nd
+	}
+	if err := driver.start(runCtx, nodes); err != nil {
+		return nil, err
+	}
+	defer driver.stop()
+
+	var wg sync.WaitGroup
+	runErrs := make([]error, n)
+	wg.Add(n)
+	for i, nd := range nodes {
+		go func(i int, nd *node.Node) {
+			defer wg.Done()
+			runErrs[i] = nd.Run(runCtx)
+		}(i, nd)
+	}
+
+	// Wait for every honest vertex to decide. Faulty vertices may never
+	// decide (Silent, Crash) — they are not waited for, matching the
+	// simulator's semantics.
+	outputs := make(map[int]float64, spec.Honest.Count())
+	want := spec.Honest.Count()
+	decided := 0
+	var ctxErr error
+collect:
+	for decided < want {
+		select {
+		case d := <-decisions:
+			if spec.Honest.Has(d.id) {
+				outputs[d.id] = d.value
+				decided++
+			}
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break collect
+		}
+	}
+
+	// Shut down: cancel the node loops and the medium, then join. The
+	// transports close their pumps with the same context, so no pump stays
+	// blocked into a dead inbox.
+	cancelRun()
+	wg.Wait()
+	driver.stop()
+
+	// A deadline can win the select race against a decision that already
+	// landed in the buffered channel. Every node loop has returned, so all
+	// OnDecide sends are complete (the channel's capacity is n): drain it
+	// and credit decisions that beat the deadline.
+	for drained := false; !drained; {
+		select {
+		case d := <-decisions:
+			if spec.Honest.Has(d.id) {
+				if _, dup := outputs[d.id]; !dup {
+					outputs[d.id] = d.value
+					decided++
+				}
+			}
+		default:
+			drained = true
+		}
+	}
+
+	out := &Outcome{
+		Outputs:   outputs,
+		Decided:   decided == want,
+		ByKind:    make(map[string]int),
+		Histories: make(map[int][]float64),
+		Runtime:   driver.name(),
+	}
+	for i, nd := range nodes {
+		st := nd.Stats()
+		out.Deliveries += st.Delivered
+		out.Sent += st.Sent
+		for k, c := range st.ByKind {
+			out.ByKind[k] += c
+		}
+		if spec.Honest.Has(i) {
+			if hp, ok := nd.Handler().(historyProvider); ok {
+				out.Histories[i] = hp.History()
+			}
+		}
+	}
+	for _, err := range runErrs {
+		if err != nil {
+			return out, fmt.Errorf("cluster (%s): %w", driver.name(), err)
+		}
+	}
+	// Cancellation (as opposed to an elapsed deadline) means the caller
+	// aborted the run: report it. A deadline with missing decisions is the
+	// livelock-analog of the simulator's undecided quiescence and comes
+	// back as a non-error outcome with Decided == false.
+	if ctxErr != nil && errors.Is(ctxErr, context.Canceled) {
+		return out, ctxErr
+	}
+	return out, nil
+}
+
+// historyProvider mirrors the simulator's per-round history hook.
+type historyProvider interface{ History() []float64 }
+
+// SortedIDs returns the outcome's decided vertex ids in order (a rendering
+// helper for CLIs).
+func (o *Outcome) SortedIDs() []int {
+	ids := make([]int, 0, len(o.Outputs))
+	for id := range o.Outputs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"context"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+)
+
+// queue is an unbounded FIFO connecting a producer that must never block (a
+// node's send path) to a consumer pump. Unboundedness mirrors the paper's
+// network model — arbitrarily many messages may be in flight — and is what
+// rules out send-side deadlock between two nodes flooding each other.
+type queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	closed bool
+}
+
+func newQueue[T any]() *queue[T] {
+	q := &queue[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends an item; it never blocks. Pushes after close are dropped
+// (the run is shutting down; in-flight messages may be lost, exactly like
+// messages still in the simulator's pool when a run stops early).
+func (q *queue[T]) push(v T) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// pop blocks for the next item; ok is false once the queue is closed and
+// drained-or-abandoned.
+func (q *queue[T]) pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// close wakes all poppers; pending items are abandoned (shutdown path).
+func (q *queue[T]) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// loopback is the in-process transport: one unbounded frame queue per
+// directed edge, one pump goroutine per edge moving frames into the
+// receiver's inbox. Per-edge order is FIFO (the reliable-link assumption);
+// the interleaving across edges is whatever the Go scheduler produces — a
+// legal asynchronous schedule, different from the simulator's seeded one.
+type loopback struct {
+	g      *graph.Graph
+	edges  map[[2]int]*queue[[]byte]
+	stopMu sync.Once
+	wg     sync.WaitGroup
+}
+
+func newLoopback(g *graph.Graph) (*loopback, error) {
+	if g == nil {
+		return nil, fmt.Errorf("cluster: loopback needs a graph")
+	}
+	lb := &loopback{g: g, edges: make(map[[2]int]*queue[[]byte], g.M())}
+	for _, e := range g.Edges() {
+		lb.edges[e] = newQueue[[]byte]()
+	}
+	return lb, nil
+}
+
+func (lb *loopback) name() string { return "loopback" }
+
+// loopLink is one vertex's outbound view of the loopback medium.
+type loopLink struct {
+	lb   *loopback
+	from int
+}
+
+func (l loopLink) Send(to int, frame []byte) error {
+	q, ok := l.lb.edges[[2]int{l.from, to}]
+	if !ok {
+		// Outboxes already drop non-edge sends; reaching here is a harness
+		// bug, not adversarial behavior.
+		return fmt.Errorf("cluster: loopback send over non-edge %d->%d", l.from, to)
+	}
+	q.push(frame)
+	return nil
+}
+
+func (lb *loopback) link(id int) node.Outbound { return loopLink{lb: lb, from: id} }
+
+func (lb *loopback) start(ctx context.Context, nodes []*node.Node) error {
+	for e, q := range lb.edges {
+		from, to := e[0], e[1]
+		inbox := nodes[to].Inbox()
+		done := nodes[to].Done()
+		lb.wg.Add(1)
+		go func(q *queue[[]byte], from int, inbox chan<- node.Inbound, done <-chan struct{}) {
+			defer lb.wg.Done()
+			for {
+				frame, ok := q.pop()
+				if !ok {
+					return
+				}
+				select {
+				case inbox <- node.Inbound{From: from, Frame: frame}:
+				case <-done:
+					return
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(q, from, inbox, done)
+	}
+	// Close the queues when the run context ends so pumps blocked in pop
+	// wake up.
+	go func() {
+		<-ctx.Done()
+		for _, q := range lb.edges {
+			q.close()
+		}
+	}()
+	return nil
+}
+
+func (lb *loopback) stop() {
+	lb.stopMu.Do(func() {
+		for _, q := range lb.edges {
+			q.close()
+		}
+		lb.wg.Wait()
+	})
+}

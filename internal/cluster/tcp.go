@@ -1,0 +1,448 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// The TCP medium maps each directed edge (u, v) to one TCP connection
+// dialed by the sender u. A connection opens with a fixed-size hello —
+// magic, codec version, sender vertex — after which it carries
+// length-prefixed wire frames, one per protocol message, in send order
+// (TCP gives the per-edge FIFO reliability the model assumes). Dialing
+// retries with backoff until the context ends, so the inevitable races of
+// multi-process startup — the peer's listener not up yet — resolve
+// themselves; a write failure mid-run redials the same way, keeping the
+// frame that failed.
+
+// helloMagic opens every connection; the byte after it is the wire codec
+// version, then the sender's vertex id.
+var helloMagic = [4]byte{'A', 'B', 'A', 'C'}
+
+const helloLen = 6
+
+// dialRetryFloor/Ceil bound the reconnect backoff.
+const (
+	dialRetryFloor = 5 * time.Millisecond
+	dialRetryCeil  = 250 * time.Millisecond
+)
+
+func writeHello(c net.Conn, id int) error {
+	if id < 0 || id > 255 {
+		return fmt.Errorf("cluster: vertex id %d does not fit the hello byte", id)
+	}
+	var buf [helloLen]byte
+	copy(buf[:], helloMagic[:])
+	buf[4] = wire.Version
+	buf[5] = byte(id)
+	_, err := c.Write(buf[:])
+	return err
+}
+
+func readHello(c net.Conn) (int, error) {
+	var buf [helloLen]byte
+	if _, err := io.ReadFull(c, buf[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(buf[:4]) != helloMagic {
+		return 0, fmt.Errorf("cluster: bad hello magic %q", buf[:4])
+	}
+	if buf[4] != wire.Version {
+		return 0, fmt.Errorf("cluster: peer speaks wire version %d, this build speaks %d", buf[4], wire.Version)
+	}
+	return int(buf[5]), nil
+}
+
+// Listen binds a TCP listener on addr. When the port is taken and non-zero,
+// it retries the next `attempts-1` consecutive ports — the port-collision
+// fallback multi-process runs on one host need. The bound address is
+// recoverable from the listener.
+func Listen(addr string, attempts int) (net.Listener, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen address %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen address %q: bad port: %w", addr, err)
+	}
+	if port == 0 {
+		attempts = 1 // the kernel picks; collisions cannot happen
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(port+i)))
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("cluster: no free port in %d attempts from %s: %w", attempts, addr, lastErr)
+}
+
+// tcpEndpoint is one vertex's TCP presence: a listener accepting its
+// in-edges, one dialer+writer per out-edge (fed by an unbounded queue so
+// the node's send path never blocks), and the reader goroutines feeding
+// the node's inbox.
+type tcpEndpoint struct {
+	id    int
+	g     *graph.Graph
+	ln    net.Listener
+	peers map[int]string // out-neighbor -> dial address
+
+	queues map[int]*queue[[]byte]
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+
+	stopOnce sync.Once
+}
+
+func newTCPEndpoint(id int, g *graph.Graph, ln net.Listener, peers map[int]string) (*tcpEndpoint, error) {
+	e := &tcpEndpoint{id: id, g: g, ln: ln, peers: peers, queues: make(map[int]*queue[[]byte])}
+	for _, v := range g.Out(id) {
+		if _, ok := peers[v]; !ok {
+			return nil, fmt.Errorf("cluster: vertex %d has edge to %d but no peer address for it", id, v)
+		}
+		e.queues[v] = newQueue[[]byte]()
+	}
+	return e, nil
+}
+
+// Send implements node.Outbound: enqueue toward the per-edge writer.
+func (e *tcpEndpoint) Send(to int, frame []byte) error {
+	q, ok := e.queues[to]
+	if !ok {
+		return fmt.Errorf("cluster: tcp send over non-edge %d->%d", e.id, to)
+	}
+	q.push(frame)
+	return nil
+}
+
+// track registers a connection for teardown; it returns false (and closes
+// the conn) when the endpoint is already stopped.
+func (e *tcpEndpoint) track(c net.Conn) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		c.Close()
+		return false
+	}
+	e.conns = append(e.conns, c)
+	return true
+}
+
+// start launches the accept loop and one dialer/writer per out-edge.
+func (e *tcpEndpoint) start(ctx context.Context, nd *node.Node) {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		e.acceptLoop(ctx, nd)
+	}()
+	for to, q := range e.queues {
+		e.wg.Add(1)
+		go func(to int, q *queue[[]byte]) {
+			defer e.wg.Done()
+			e.writeLoop(ctx, to, q)
+		}(to, q)
+	}
+	// Teardown watcher: when the run context ends, close the listener and
+	// every connection so blocked reads/writes/accepts return.
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		<-ctx.Done()
+		e.teardown()
+	}()
+}
+
+func (e *tcpEndpoint) teardown() {
+	e.mu.Lock()
+	conns := e.conns
+	e.conns = nil
+	e.closed = true
+	e.mu.Unlock()
+	e.ln.Close()
+	for _, q := range e.queues {
+		q.close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (e *tcpEndpoint) stop() { e.stopOnce.Do(func() { e.teardown(); e.wg.Wait() }) }
+
+// acceptLoop serves inbound edges: handshake, validate the claimed peer
+// against the topology, then pump frames into the node's inbox.
+func (e *tcpEndpoint) acceptLoop(ctx context.Context, nd *node.Node) {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed: shutdown
+		}
+		if !e.track(c) {
+			return
+		}
+		e.wg.Add(1)
+		go func(c net.Conn) {
+			defer e.wg.Done()
+			peer, err := readHello(c)
+			if err != nil || peer < 0 || peer >= e.g.N() || !e.g.HasEdge(peer, e.id) {
+				// Not a cluster member with an edge to us: refuse the link.
+				c.Close()
+				return
+			}
+			inbox := nd.Inbox()
+			done := nd.Done()
+			for {
+				frame, err := wire.ReadFrame(c)
+				if err != nil {
+					c.Close()
+					return
+				}
+				select {
+				case inbox <- node.Inbound{From: peer, Frame: frame}:
+				case <-done:
+					c.Close()
+					return
+				case <-ctx.Done():
+					c.Close()
+					return
+				}
+			}
+		}(c)
+	}
+}
+
+// dial connects to addr with retry/backoff until ctx ends — the
+// reconnect-on-dial-race behavior: whichever process starts first just
+// keeps knocking until the peer's listener is up.
+func (e *tcpEndpoint) dial(ctx context.Context, addr string) (net.Conn, error) {
+	backoff := dialRetryFloor
+	d := net.Dialer{}
+	for {
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			if err := writeHello(c, e.id); err == nil {
+				return c, nil
+			}
+			c.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > dialRetryCeil {
+			backoff = dialRetryCeil
+		}
+	}
+}
+
+// writeLoop drains the per-edge queue onto the connection, redialing on
+// failure with the unsent frame retained. Write failures back off before
+// the redial: a peer that accepts the TCP handshake but rejects the link
+// (mismatched peer maps, a different scenario file) would otherwise drive
+// a dial-ok/write-fail cycle at full speed — dial() alone only sleeps on
+// dial *errors*.
+func (e *tcpEndpoint) writeLoop(ctx context.Context, to int, q *queue[[]byte]) {
+	var c net.Conn
+	backoff := dialRetryFloor
+	for {
+		frame, ok := q.pop()
+		if !ok {
+			return
+		}
+		for {
+			if c == nil {
+				var err error
+				if c, err = e.dial(ctx, e.peers[to]); err != nil {
+					return // context ended while dialing: shutdown
+				}
+				if !e.track(c) {
+					return
+				}
+			}
+			if err := wire.WriteRawFrame(c, frame); err == nil {
+				backoff = dialRetryFloor
+				break
+			}
+			c.Close()
+			c = nil
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > dialRetryCeil {
+				backoff = dialRetryCeil
+			}
+		}
+	}
+}
+
+// tcpNetwork is the in-process harness form of the medium: one endpoint
+// per vertex, listeners bound up front on ephemeral ports so addresses are
+// discovered before anything dials.
+type tcpNetwork struct {
+	g         *graph.Graph
+	endpoints []*tcpEndpoint
+	stopOnce  sync.Once
+}
+
+func newTCPNetwork(g *graph.Graph) (*tcpNetwork, error) {
+	if g == nil {
+		return nil, fmt.Errorf("cluster: tcp needs a graph")
+	}
+	n := g.N()
+	listeners := make([]net.Listener, n)
+	addrs := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := Listen("127.0.0.1:0", 1)
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	tn := &tcpNetwork{g: g, endpoints: make([]*tcpEndpoint, n)}
+	for i := 0; i < n; i++ {
+		e, err := newTCPEndpoint(i, g, listeners[i], addrs)
+		if err != nil {
+			for _, l := range listeners {
+				l.Close()
+			}
+			return nil, err
+		}
+		tn.endpoints[i] = e
+	}
+	return tn, nil
+}
+
+func (tn *tcpNetwork) name() string { return "tcp" }
+
+func (tn *tcpNetwork) link(id int) node.Outbound { return tn.endpoints[id] }
+
+func (tn *tcpNetwork) start(ctx context.Context, nodes []*node.Node) error {
+	for i, e := range tn.endpoints {
+		e.start(ctx, nodes[i])
+	}
+	return nil
+}
+
+func (tn *tcpNetwork) stop() {
+	tn.stopOnce.Do(func() {
+		for _, e := range tn.endpoints {
+			e.stop()
+		}
+	})
+}
+
+// JoinConfig describes one vertex joining a (possibly multi-process) TCP
+// cluster: its own machine, where to listen for in-edges, and where to
+// find the vertices it has out-edges to.
+type JoinConfig struct {
+	ID      int
+	Graph   *graph.Graph
+	Handler sim.Handler
+	// Listener, when non-nil, is used as-is (the harness path). Otherwise
+	// Listen ("host:port"; empty means 127.0.0.1:0) is bound with
+	// ListenAttempts consecutive-port fallback.
+	Listener       net.Listener
+	Listen         string
+	ListenAttempts int
+	// Peers maps every out-neighbor of ID to its dial address.
+	Peers map[int]string
+	// Observer and OnDecide are passed to the node runtime.
+	Observer sim.Observer
+	OnDecide func(id int, output float64)
+	// OnListen, when non-nil, is invoked with the bound listen address
+	// before any dialing starts (operators log it; tests discover fallback
+	// ports through it).
+	OnListen func(addr string)
+}
+
+// NodeOutcome reports one vertex's run.
+type NodeOutcome struct {
+	ID      int
+	Output  float64
+	Decided bool
+	Addr    string
+	Stats   node.Stats
+}
+
+// JoinTCP runs one vertex of a TCP cluster until ctx ends (the caller
+// decides how long to keep serving after deciding — in the asynchronous
+// model honest nodes keep relaying for their peers). It returns the
+// vertex's outcome; cancellation is the normal exit and is not an error.
+func JoinTCP(ctx context.Context, cfg JoinConfig) (*NodeOutcome, error) {
+	if cfg.Graph == nil {
+		return nil, errors.New("cluster: join needs a graph")
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Graph.N() {
+		return nil, fmt.Errorf("cluster: join id %d outside graph order %d", cfg.ID, cfg.Graph.N())
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		addr := cfg.Listen
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var err error
+		if ln, err = Listen(addr, cfg.ListenAttempts); err != nil {
+			return nil, err
+		}
+	}
+	e, err := newTCPEndpoint(cfg.ID, cfg.Graph, ln, cfg.Peers)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if cfg.OnListen != nil {
+		cfg.OnListen(ln.Addr().String())
+	}
+	nd, err := node.New(node.Config{
+		ID:       cfg.ID,
+		Graph:    cfg.Graph,
+		Handler:  cfg.Handler,
+		Out:      e,
+		Observer: cfg.Observer,
+		OnDecide: cfg.OnDecide,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e.start(runCtx, nd)
+	runErr := nd.Run(runCtx)
+	cancel()
+	e.stop()
+	out := &NodeOutcome{ID: cfg.ID, Addr: ln.Addr().String(), Stats: nd.Stats()}
+	out.Output, out.Decided = nd.Output()
+	if runErr != nil {
+		return out, fmt.Errorf("cluster: join: %w", runErr)
+	}
+	return out, nil
+}

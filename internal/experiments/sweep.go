@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -147,7 +148,7 @@ func runSweepCase(c sweepCase, exec Exec) (SweepRow, error) {
 
 // RunSweep runs the generality sweep under DefaultExec.
 func RunSweep(count int, seed int64) (SweepReport, error) {
-	return RunSweepExec(count, seed, DefaultExec)
+	return RunSweepExec(context.Background(), count, seed, DefaultExec)
 }
 
 // RunSweepExec runs the generality sweep on the configured engine with the
@@ -155,11 +156,12 @@ func RunSweep(count int, seed int64) (SweepReport, error) {
 // stream, and therefore the chosen graphs, inputs and fault patterns, are
 // identical whatever the worker count); the independent BW executions fan
 // across the worker pool; rows are reported in candidate order. The report
-// is byte-identical for every Workers setting and every engine.
-func RunSweepExec(count int, seed int64, exec Exec) (SweepReport, error) {
+// is byte-identical for every Workers setting and every engine. Cancelling
+// ctx stops the sweep between runs and surfaces ctx.Err().
+func RunSweepExec(ctx context.Context, count int, seed int64, exec Exec) (SweepReport, error) {
 	var rep SweepReport
 	cases := generateSweepCases(count, seed, &rep)
-	rows, err := par.Map(exec.Workers, len(cases), func(i int) (SweepRow, error) {
+	rows, err := par.Map(ctx, exec.Workers, len(cases), func(i int) (SweepRow, error) {
 		return runSweepCase(cases[i], exec)
 	})
 	if err != nil {

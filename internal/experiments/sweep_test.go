@@ -1,6 +1,7 @@
 package experiments_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/experiments"
@@ -32,7 +33,7 @@ func TestSweepDeterministicAcrossWorkersAndEngines(t *testing.T) {
 	if testing.Short() {
 		count = 2
 	}
-	base, err := experiments.RunSweepExec(count, 99, experiments.Exec{Workers: 1})
+	base, err := experiments.RunSweepExec(context.Background(), count, 99, experiments.Exec{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestSweepDeterministicAcrossWorkersAndEngines(t *testing.T) {
 		{Workers: 4, Engine: "goroutine"},
 		{Workers: 1, Engine: "goroutine"},
 	} {
-		rep, err := experiments.RunSweepExec(count, 99, exec)
+		rep, err := experiments.RunSweepExec(context.Background(), count, 99, exec)
 		if err != nil {
 			t.Fatalf("%+v: %v", exec, err)
 		}

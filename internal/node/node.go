@@ -1,0 +1,249 @@
+// Package node is the live per-process runtime of the system: it wraps one
+// protocol machine (a sim.Handler — honest or adversary-wrapped) behind a
+// real inbox/outbox loop so the same state machines that run inside the
+// deterministic simulator run unchanged over network transports.
+//
+// A Node owns a single event-loop goroutine. Inbound frames arrive on the
+// inbox channel (pushed there by a transport's per-peer readers, which
+// preserves per-peer order — the FIFO links the protocols assume); the loop
+// decodes each frame with the wire codec, enforces the reliable-link model
+// (the claimed sender must match the link the frame arrived on, and the
+// edge must exist), invokes the handler, and transmits everything the
+// handler sent through the Outbound. Handlers therefore keep the exact
+// concurrency contract they have in the simulator: one invocation at a
+// time, on one goroutine, with sends collected per invocation.
+package node
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Inbound is one raw frame received from peer From. The From tag comes
+// from the transport layer (the connection the frame arrived on), not from
+// the frame contents; the node cross-checks the two.
+type Inbound struct {
+	From  int
+	Frame []byte
+}
+
+// Outbound transmits encoded frames toward a peer. Implementations must
+// not block indefinitely on a slow peer — the cluster transports enqueue
+// onto unbounded per-peer queues — because a blocked send path can deadlock
+// two nodes that are flooding each other.
+type Outbound interface {
+	Send(to int, frame []byte) error
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// ID is this node's vertex in the graph.
+	ID int
+	// Graph is the shared topology (all nodes know the network, as the
+	// paper assumes); it bounds which edges the node may use.
+	Graph *graph.Graph
+	// Handler is the protocol machine, possibly adversary-wrapped.
+	Handler sim.Handler
+	// Out transmits this node's traffic.
+	Out Outbound
+	// Observer, when non-nil, receives this node's runtime events
+	// (deliveries and per-round value snapshots). In a cluster one observer
+	// is typically shared by every node and is then invoked from concurrent
+	// node loops: it must be goroutine-safe (JSONLObserver is). Event.Step
+	// is the node-local delivery count.
+	Observer sim.Observer
+	// OnDecide, when non-nil, is invoked exactly once, from the node's
+	// loop, when the handler first reports an output.
+	OnDecide func(id int, output float64)
+	// InboxCap is the inbox channel's buffer (default 256). Transport
+	// pumps block when it fills, their upstream queues absorb the backlog.
+	InboxCap int
+}
+
+// Stats counts a node's runtime traffic.
+type Stats struct {
+	// Delivered is the number of frames decoded and handed to the handler.
+	Delivered int
+	// Sent is the number of frames transmitted.
+	Sent int
+	// Malformed counts inbound frames the codec rejected; Spoofed counts
+	// well-formed frames whose claimed sender or edge did not match the
+	// link they arrived on. Both are dropped.
+	Malformed int
+	Spoofed   int
+	// ByKind counts sent messages per payload kind, like the simulator's
+	// transport stats.
+	ByKind map[string]int
+}
+
+// Node runs one protocol endpoint over a live transport. Create with New,
+// feed via Inbox, drive with Run.
+type Node struct {
+	cfg     Config
+	inbox   chan Inbound
+	stats   Stats
+	steps   int
+	decided bool
+	seen    int // rounds already streamed to the observer
+	done    chan struct{}
+}
+
+// New validates the config and builds a node.
+func New(cfg Config) (*Node, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("node: config needs a graph")
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Graph.N() {
+		return nil, fmt.Errorf("node: id %d outside graph order %d", cfg.ID, cfg.Graph.N())
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("node: config needs a handler")
+	}
+	if cfg.Handler.ID() != cfg.ID {
+		return nil, fmt.Errorf("node: handler has id %d, config says %d", cfg.Handler.ID(), cfg.ID)
+	}
+	if cfg.Out == nil {
+		return nil, fmt.Errorf("node: config needs an outbound")
+	}
+	if cfg.InboxCap == 0 {
+		cfg.InboxCap = 256
+	}
+	return &Node{
+		cfg:   cfg,
+		inbox: make(chan Inbound, cfg.InboxCap),
+		stats: Stats{ByKind: make(map[string]int)},
+		done:  make(chan struct{}),
+	}, nil
+}
+
+// ID returns the node's vertex id.
+func (n *Node) ID() int { return n.cfg.ID }
+
+// Inbox is the channel transports push inbound frames into. Senders must
+// stop pushing (or tolerate blocking forever) once Run has returned;
+// cluster transports handle this by closing their pumps alongside the
+// node's context.
+func (n *Node) Inbox() chan<- Inbound { return n.inbox }
+
+// Done is closed when Run returns; transports use it to unblock pumps that
+// are mid-push into a full inbox.
+func (n *Node) Done() <-chan struct{} { return n.done }
+
+// Run executes the node's event loop: Start the handler, then deliver
+// inbound frames until ctx is cancelled. Cancellation is the normal
+// shutdown path and returns nil; Run only errors when the outbound
+// transport fails, which on reliable links means the run is unsalvageable.
+//
+// Run must be called exactly once. After it returns, Output and Stats are
+// safe to read from any goroutine.
+func (n *Node) Run(ctx context.Context) error {
+	defer close(n.done)
+	out := sim.NewCollector(n.cfg.ID, n.cfg.Graph)
+	n.cfg.Handler.Start(out)
+	if err := n.transmit(out.Messages()); err != nil {
+		return err
+	}
+	n.observeProgress()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case in := <-n.inbox:
+			if err := n.deliver(in); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// deliver decodes, validates and hands one frame to the handler, then
+// transmits the handler's response traffic.
+func (n *Node) deliver(in Inbound) error {
+	m, err := wire.DecodeMessage(in.Frame)
+	if err != nil {
+		n.stats.Malformed++
+		return nil
+	}
+	// Reliable-link model: the receiver learns the true sender. A frame
+	// claiming a different From than the connection it arrived on, a wrong
+	// destination, or a non-edge is forged and dropped — the same guarantee
+	// the simulator enforces by stamping From in the Outbox.
+	if m.From != in.From || m.To != n.cfg.ID || !n.cfg.Graph.HasEdge(m.From, m.To) {
+		n.stats.Spoofed++
+		return nil
+	}
+	n.steps++
+	n.stats.Delivered++
+	m.Seq = uint64(n.steps) // node-local delivery order, for observability
+	if n.cfg.Observer != nil {
+		n.cfg.Observer.Observe(sim.Event{Type: sim.EventDeliver, Step: n.steps, Message: m})
+	}
+	out := sim.NewCollector(n.cfg.ID, n.cfg.Graph)
+	n.cfg.Handler.Deliver(m, out)
+	if err := n.transmit(out.Messages()); err != nil {
+		return err
+	}
+	n.observeProgress()
+	return nil
+}
+
+// transmit encodes and sends a handler invocation's collected messages.
+func (n *Node) transmit(msgs []transport.Message) error {
+	for _, m := range msgs {
+		frame, err := wire.EncodeMessage(m)
+		if err != nil {
+			// A payload the codec cannot carry is a programming error in the
+			// protocol/codec pairing, not a runtime condition.
+			return fmt.Errorf("node %d: %w", n.cfg.ID, err)
+		}
+		if err := n.cfg.Out.Send(m.To, frame); err != nil {
+			return fmt.Errorf("node %d: send to %d: %w", n.cfg.ID, m.To, err)
+		}
+		n.stats.Sent++
+		n.stats.ByKind[m.Payload.Kind()]++
+	}
+	return nil
+}
+
+// historyProvider is implemented by machines that record per-round values.
+type historyProvider interface{ History() []float64 }
+
+// observeProgress streams newly completed rounds and fires OnDecide once.
+func (n *Node) observeProgress() {
+	if n.cfg.Observer != nil {
+		if hp, ok := n.cfg.Handler.(historyProvider); ok {
+			hist := hp.History()
+			for r := n.seen; r < len(hist); r++ {
+				n.cfg.Observer.Observe(sim.Event{
+					Type: sim.EventRound, Step: n.steps,
+					Node: n.cfg.ID, Round: r + 1, Value: hist[r],
+				})
+			}
+			n.seen = len(hist)
+		}
+	}
+	if !n.decided {
+		if x, ok := n.cfg.Handler.Output(); ok {
+			n.decided = true
+			if n.cfg.OnDecide != nil {
+				n.cfg.OnDecide(n.cfg.ID, x)
+			}
+		}
+	}
+}
+
+// Output reports the handler's decision. Only call after Run has returned
+// (handlers are not goroutine-safe while the loop is live).
+func (n *Node) Output() (float64, bool) { return n.cfg.Handler.Output() }
+
+// Handler exposes the wrapped protocol machine; same safety rule as Output.
+func (n *Node) Handler() sim.Handler { return n.cfg.Handler }
+
+// Stats returns the node's traffic counters; same safety rule as Output.
+func (n *Node) Stats() Stats { return n.stats }

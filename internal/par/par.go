@@ -1,10 +1,13 @@
 // Package par is the worker-pool primitive behind the parallel sweep
 // runners: it fans independent jobs across a bounded number of goroutines
 // while keeping results (and error selection) deterministic, so a parallel
-// sweep reports exactly what its sequential counterpart would.
+// sweep reports exactly what its sequential counterpart would. Sweeps are
+// cancellable: a context threads through Map and stops the fan-out between
+// jobs.
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -32,14 +35,25 @@ func Workers(workers, jobs int) int {
 // hit first (modulo early exit), keeping parallel runs report-identical to
 // sequential ones. workers < 1 selects one worker per CPU; workers == 1
 // runs inline with no goroutines.
-func Map[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
+//
+// Cancelling ctx stops the fan-out between jobs: running jobs finish,
+// remaining jobs never start, and Map returns ctx.Err() (job errors from
+// jobs that did run take precedence, preserving the sequential-equivalence
+// rule). A nil ctx means context.Background().
+func Map[T any](ctx context.Context, workers, n int, job func(i int) (T, error)) ([]T, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]T, n)
 	if n == 0 {
-		return results, nil
+		return results, ctx.Err()
 	}
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
 			r, err := job(i)
 			if err != nil {
 				return results, err
@@ -50,18 +64,19 @@ func Map[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
 	}
 
 	errs := make([]error, n)
-	var next atomic.Int64
+	var next, completed atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				results[i], errs[i] = job(i)
+				completed.Add(1)
 			}
 		}()
 	}
@@ -70,6 +85,12 @@ func Map[T any](workers, n int, job func(i int) (T, error)) ([]T, error) {
 		if err != nil {
 			return results, err
 		}
+	}
+	// Cancellation that arrives after the last job has finished skipped
+	// nothing: the results are complete, exactly as the sequential path
+	// would have returned them (parallel-identical-to-sequential rule).
+	if completed.Load() < int64(n) {
+		return results, ctx.Err()
 	}
 	return results, nil
 }

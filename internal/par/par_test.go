@@ -1,14 +1,16 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
 func TestMapOrderAndCompleteness(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 0} {
-		got, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		got, err := Map(context.Background(), workers, 50, func(i int) (int, error) { return i * i, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -31,7 +33,7 @@ func TestMapLowestIndexError(t *testing.T) {
 		return i, nil
 	}
 	for _, workers := range []int{1, 4} {
-		_, err := Map(workers, 40, boom)
+		_, err := Map(context.Background(), workers, 40, boom)
 		if err == nil || err.Error() != "job 3 failed" {
 			t.Fatalf("workers=%d: err = %v, want job 3 failed", workers, err)
 		}
@@ -39,9 +41,57 @@ func TestMapLowestIndexError(t *testing.T) {
 }
 
 func TestMapEmpty(t *testing.T) {
-	got, err := Map(4, 0, func(int) (int, error) { return 0, errors.New("never") })
+	got, err := Map(context.Background(), 4, 0, func(int) (int, error) { return 0, errors.New("never") })
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty map: %v %v", got, err)
+	}
+}
+
+// TestMapCancellation: a context cancelled mid-sweep stops the fan-out
+// between jobs and surfaces ctx.Err(), on both the sequential and the
+// parallel path. Jobs already running are never interrupted.
+func TestMapCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		_, err := Map(ctx, workers, 1000, func(i int) (int, error) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Fatalf("workers=%d: all %d jobs ran despite cancellation", workers, n)
+		}
+	}
+}
+
+// TestMapJobErrorBeatsCancellation: when a job fails and the sweep is also
+// cancelled, the job error wins (sequential-equivalence rule).
+func TestMapJobErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	_, err := Map(ctx, 4, 100, func(i int) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	cancel()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want job error to take precedence", err)
+	}
+}
+
+func TestMapNilContext(t *testing.T) {
+	got, err := Map(nil, 2, 3, func(i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 3 {
+		t.Fatalf("nil ctx: %v %v", got, err)
 	}
 }
 

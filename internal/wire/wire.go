@@ -1,0 +1,435 @@
+// Package wire is the versioned binary codec of the live node runtime: it
+// serializes every protocol message the repository's machines exchange —
+// BW's VAL and COMPLETE floods, the crash-fault and iterative value
+// payloads, and the RBC traffic (with AAD's numeric and report contents) —
+// into a deterministic, length-prefixed frame format suitable for real
+// network links.
+//
+// # Format
+//
+// A frame on a stream is a 4-byte big-endian body length followed by the
+// body. A body is:
+//
+//	byte    version (currently 1)
+//	uvarint from
+//	uvarint to
+//	byte    payload type (one of the type* constants)
+//	...     payload-specific fields
+//
+// Integers are unsigned varints, floats are IEEE-754 bits in big-endian
+// order, byte strings and paths are uvarint-length-prefixed. Map-valued
+// contents (AAD reports) are serialized in sorted key order, so encoding is
+// a pure function of the message value: equal messages produce equal bytes
+// on every node, and re-encoding a decoded message reproduces the input
+// bytes exactly (the canonical-form property the fuzz tests enforce).
+//
+// The simulator-assigned Message.Seq is a property of the central in-flight
+// pool, not of the message, and does not travel: frames decode with Seq 0
+// and the receiving runtime assigns its own local delivery order.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/aad"
+	"repro/internal/bw"
+	"repro/internal/crashapprox"
+	"repro/internal/graph"
+	"repro/internal/iterative"
+	"repro/internal/rbc"
+	"repro/internal/transport"
+)
+
+// Version is the codec version emitted and accepted by this build.
+const Version = 1
+
+// MaxFrame bounds a frame body; ReadFrame rejects larger length prefixes
+// before allocating, so a corrupt or hostile peer cannot trigger huge
+// allocations.
+const MaxFrame = 16 << 20
+
+// Sanity caps on decoded collection sizes. Propagation paths are redundant
+// paths (at most two simple paths, so < 2·MaxNodes nodes); entry sets and
+// report maps are bounded by what MaxFrame can carry, but an explicit count
+// cap fails fast on corrupt headers instead of over-allocating.
+const (
+	maxPathLen = 2 * graph.MaxNodes
+	maxEntries = 1 << 20
+	maxTagLen  = 1 << 12
+)
+
+// Payload type tags.
+const (
+	typeBWVal      = 1 // bw.ValPayload
+	typeBWComplete = 2 // bw.CompletePayload
+	typeCrashVal   = 3 // crashapprox.ValPayload
+	typeIterVal    = 4 // iterative.ValPayload
+	typeRBC        = 5 // rbc.Msg
+)
+
+// RBC content type tags.
+const (
+	contentNum    = 1 // aad.Num
+	contentReport = 2 // aad.Report
+)
+
+// EncodeMessage renders m as one frame body (without the stream length
+// prefix). It fails on payload types the codec does not know and on
+// messages with negative coordinates.
+func EncodeMessage(m transport.Message) ([]byte, error) {
+	return AppendMessage(nil, m)
+}
+
+// AppendMessage appends m's frame body to dst and returns the extended
+// slice.
+func AppendMessage(dst []byte, m transport.Message) ([]byte, error) {
+	if m.From < 0 || m.To < 0 {
+		return nil, fmt.Errorf("wire: negative node id in %d->%d", m.From, m.To)
+	}
+	dst = append(dst, Version)
+	dst = appendUint(dst, uint64(m.From))
+	dst = appendUint(dst, uint64(m.To))
+	switch p := m.Payload.(type) {
+	case bw.ValPayload:
+		dst = append(dst, typeBWVal)
+		dst = appendUint(dst, uint64(p.Round))
+		dst = appendFloat(dst, p.Value)
+		dst = appendPath(dst, p.Path)
+	case bw.CompletePayload:
+		dst = append(dst, typeBWComplete)
+		dst = appendUint(dst, uint64(p.Round))
+		dst = appendUint(dst, uint64(p.Origin))
+		dst = appendUint(dst, uint64(p.Seq))
+		dst = appendUint(dst, uint64(p.Tag))
+		dst = appendUint(dst, uint64(len(p.Entries)))
+		for _, e := range p.Entries {
+			dst = appendBytes(dst, []byte(e.PathKey))
+			dst = appendFloat(dst, e.Value)
+		}
+		dst = appendPath(dst, p.Path)
+	case crashapprox.ValPayload:
+		dst = append(dst, typeCrashVal)
+		dst = appendUint(dst, uint64(p.Round))
+		dst = appendFloat(dst, p.Value)
+		dst = appendPath(dst, p.Path)
+	case iterative.ValPayload:
+		dst = append(dst, typeIterVal)
+		dst = appendUint(dst, uint64(p.Round))
+		dst = appendFloat(dst, p.Value)
+	case rbc.Msg:
+		dst = append(dst, typeRBC)
+		if p.Phase < rbc.PhaseInit || p.Phase > rbc.PhaseReady {
+			return nil, fmt.Errorf("wire: rbc message with phase %v", p.Phase)
+		}
+		dst = append(dst, byte(p.Phase))
+		dst = appendUint(dst, uint64(p.Origin))
+		dst = appendBytes(dst, []byte(p.Tag))
+		var err error
+		if dst, err = appendContent(dst, p.Content); err != nil {
+			return nil, err
+		}
+	case nil:
+		return nil, fmt.Errorf("wire: message %d->%d has no payload", m.From, m.To)
+	default:
+		return nil, fmt.Errorf("wire: unencodable payload type %T (kind %q)", m.Payload, m.Payload.Kind())
+	}
+	return dst, nil
+}
+
+func appendContent(dst []byte, c rbc.Content) ([]byte, error) {
+	switch v := c.(type) {
+	case aad.Num:
+		dst = append(dst, contentNum)
+		return appendFloat(dst, float64(v)), nil
+	case aad.Report:
+		dst = append(dst, contentReport)
+		keys := make([]int, 0, len(v))
+		for k := range v {
+			if k < 0 {
+				return nil, fmt.Errorf("wire: report with negative origin %d", k)
+			}
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		dst = appendUint(dst, uint64(len(keys)))
+		for _, k := range keys {
+			dst = appendUint(dst, uint64(k))
+			dst = appendFloat(dst, v[k])
+		}
+		return dst, nil
+	case nil:
+		return nil, fmt.Errorf("wire: rbc message with nil content")
+	default:
+		return nil, fmt.Errorf("wire: unencodable rbc content type %T", c)
+	}
+}
+
+// DecodeMessage parses one frame body produced by EncodeMessage. Trailing
+// bytes after the payload are an error: a frame carries exactly one message.
+func DecodeMessage(data []byte) (transport.Message, error) {
+	d := decoder{buf: data}
+	var m transport.Message
+	version := d.byte()
+	if d.err == nil && version != Version {
+		return m, fmt.Errorf("wire: unsupported version %d (this build speaks %d)", version, Version)
+	}
+	m.From = d.intVal()
+	m.To = d.intVal()
+	kind := d.byte()
+	switch kind {
+	case typeBWVal:
+		m.Payload = bw.ValPayload{Round: d.intVal(), Value: d.float(), Path: d.path()}
+	case typeBWComplete:
+		p := bw.CompletePayload{
+			Round:  d.intVal(),
+			Origin: d.intVal(),
+			Seq:    d.intVal(),
+			Tag:    graph.Set(d.uint()),
+		}
+		n := d.count(maxEntries)
+		if n > 0 {
+			p.Entries = make([]bw.ValEntry, 0, min(n, 4096))
+			for i := 0; i < n && d.err == nil; i++ {
+				p.Entries = append(p.Entries, bw.ValEntry{PathKey: string(d.bytes(maxPathLen)), Value: d.float()})
+			}
+		}
+		p.Path = d.path()
+		m.Payload = p
+	case typeCrashVal:
+		m.Payload = crashapprox.ValPayload{Round: d.intVal(), Value: d.float(), Path: d.path()}
+	case typeIterVal:
+		m.Payload = iterative.ValPayload{Round: d.intVal(), Value: d.float()}
+	case typeRBC:
+		p := rbc.Msg{Phase: rbc.Phase(d.byte())}
+		if d.err == nil && (p.Phase < rbc.PhaseInit || p.Phase > rbc.PhaseReady) {
+			return m, fmt.Errorf("wire: rbc frame with phase %d", int(p.Phase))
+		}
+		p.Origin = d.intVal()
+		p.Tag = string(d.bytes(maxTagLen))
+		p.Content = d.content()
+		m.Payload = p
+	default:
+		if d.err == nil {
+			return m, fmt.Errorf("wire: unknown payload type %d", kind)
+		}
+	}
+	if d.err != nil {
+		return transport.Message{}, d.err
+	}
+	if len(d.buf) != d.off {
+		return transport.Message{}, fmt.Errorf("wire: %d trailing bytes after payload", len(d.buf)-d.off)
+	}
+	return m, nil
+}
+
+// WriteFrame encodes m and writes it to w as a length-prefixed frame.
+func WriteFrame(w io.Writer, m transport.Message) error {
+	body, err := EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	return WriteRawFrame(w, body)
+}
+
+// WriteRawFrame writes an already-encoded frame body with its length
+// prefix in a single Write call (one syscall per frame on a net.Conn, and
+// no interleaving hazard when callers serialize writes per connection).
+func WriteRawFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame %d", len(body), MaxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame body from r. io.EOF at a frame
+// boundary is returned as io.EOF; a stream cut mid-frame is
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}
+
+// ReadMessage reads and decodes one frame from r.
+func ReadMessage(r io.Reader) (transport.Message, error) {
+	body, err := ReadFrame(r)
+	if err != nil {
+		return transport.Message{}, err
+	}
+	return DecodeMessage(body)
+}
+
+func appendUint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+func appendFloat(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = appendUint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendPath(dst []byte, p graph.Path) []byte {
+	dst = appendUint(dst, uint64(len(p)))
+	for _, v := range p {
+		dst = appendUint(dst, uint64(v))
+	}
+	return dst
+}
+
+// decoder is a cursor over a frame body with sticky error handling: after
+// the first failure every accessor returns a zero value, so decode paths
+// read linearly and check d.err once.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("truncated frame (want byte at offset %d)", d.off)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) uint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// intVal decodes a uvarint that must fit a non-negative int.
+func (d *decoder) intVal() int {
+	v := d.uint()
+	if d.err == nil && v > math.MaxInt32 {
+		d.fail("integer %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+// count decodes a collection length bounded by cap.
+func (d *decoder) count(capacity int) int {
+	n := d.intVal()
+	if d.err == nil && n > capacity {
+		d.fail("collection length %d exceeds cap %d", n, capacity)
+		return 0
+	}
+	return n
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("truncated float at offset %d", d.off)
+		return 0
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// bytes decodes a length-prefixed byte string; empty decodes to nil so that
+// decoded payloads match their zero-valued originals exactly.
+func (d *decoder) bytes(capacity int) []byte {
+	n := d.count(capacity)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	if d.off+n > len(d.buf) {
+		d.fail("truncated byte string at offset %d", d.off)
+		return nil
+	}
+	b := d.buf[d.off : d.off+n : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) path() graph.Path {
+	n := d.count(maxPathLen)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	p := make(graph.Path, n)
+	for i := range p {
+		p[i] = d.intVal()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return p
+}
+
+func (d *decoder) content() rbc.Content {
+	switch kind := d.byte(); kind {
+	case contentNum:
+		return aad.Num(d.float())
+	case contentReport:
+		n := d.count(maxEntries)
+		// Pre-size by the graph bound, not the claimed count: a corrupt
+		// header must not buy a huge allocation before the first truncated
+		// field fails the decode (legitimate reports have one entry per
+		// node, so at most graph.MaxNodes).
+		rep := make(aad.Report, min(n, graph.MaxNodes))
+		for i := 0; i < n && d.err == nil; i++ {
+			k := d.intVal()
+			v := d.float()
+			if _, dup := rep[k]; dup {
+				d.fail("report with duplicate origin %d", k)
+				return nil
+			}
+			rep[k] = v
+		}
+		if d.err != nil {
+			return nil
+		}
+		return rep
+	default:
+		d.fail("unknown rbc content type %d", kind)
+		return nil
+	}
+}

@@ -1,0 +1,198 @@
+package wire_test
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/aad"
+	"repro/internal/bw"
+	"repro/internal/crashapprox"
+	"repro/internal/graph"
+	"repro/internal/iterative"
+	"repro/internal/rbc"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// sampleMessages covers every payload type and the boundary shapes the
+// codec must preserve: empty and long paths, NaN and infinite values,
+// multi-entry COMPLETE sets, all three RBC phases and both content types.
+func sampleMessages() []transport.Message {
+	return []transport.Message{
+		{From: 0, To: 1, Payload: bw.ValPayload{Round: 1, Value: 2.5, Path: graph.Path{0}}},
+		{From: 3, To: 7, Payload: bw.ValPayload{Round: 12, Value: math.Inf(-1), Path: graph.Path{3, 1, 4, 1, 5}}},
+		{From: 2, To: 0, Payload: bw.ValPayload{Round: 0, Value: math.NaN()}},
+		{From: 1, To: 2, Payload: bw.CompletePayload{
+			Round: 3, Origin: 1, Seq: 9, Tag: graph.SetOf(2, 5),
+			Entries: []bw.ValEntry{
+				{Value: -1.25, PathKey: graph.Path{0, 1}.Key()},
+				{Value: 7, PathKey: graph.Path{2}.Key()},
+			},
+			Path: graph.Path{1, 2},
+		}},
+		{From: 5, To: 4, Payload: bw.CompletePayload{Round: 1, Origin: 5, Tag: graph.EmptySet}},
+		{From: 0, To: 63, Payload: crashapprox.ValPayload{Round: 2, Value: 0.125, Path: graph.Path{0, 63}}},
+		{From: 9, To: 8, Payload: iterative.ValPayload{Round: 4, Value: -3}},
+		{From: 0, To: 1, Payload: rbc.Msg{Phase: rbc.PhaseInit, Origin: 0, Tag: "r1/value", Content: aad.Num(1.5)}},
+		{From: 1, To: 2, Payload: rbc.Msg{Phase: rbc.PhaseEcho, Origin: 0, Tag: "r2/report",
+			Content: aad.Report{0: 1, 3: -2.5, 2: math.Pi}}},
+		{From: 2, To: 3, Payload: rbc.Msg{Phase: rbc.PhaseReady, Origin: 2, Tag: "", Content: aad.Num(math.NaN())}},
+	}
+}
+
+// equalMessage compares messages with NaN-aware float semantics: the codec
+// must preserve NaN payloads (it round-trips bits), which reflect.DeepEqual
+// would reject.
+func equalMessage(a, b transport.Message) bool {
+	ab, errA := wire.EncodeMessage(a)
+	bb, errB := wire.EncodeMessage(b)
+	return errA == nil && errB == nil && bytes.Equal(ab, bb) &&
+		a.From == b.From && a.To == b.To && a.Seq == b.Seq
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		body, err := wire.EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode %v: %v", m, err)
+		}
+		got, err := wire.DecodeMessage(body)
+		if err != nil {
+			t.Fatalf("decode %v: %v", m, err)
+		}
+		if !equalMessage(m, got) {
+			t.Fatalf("round trip changed message:\n in: %#v\nout: %#v", m, got)
+		}
+		// Everything except NaN-carrying payloads must also round-trip under
+		// deep equality (structure, not just bytes).
+		if !hasNaN(m) && !reflect.DeepEqual(m, got) {
+			t.Fatalf("round trip not deep-equal:\n in: %#v\nout: %#v", m, got)
+		}
+	}
+}
+
+func hasNaN(m transport.Message) bool {
+	switch p := m.Payload.(type) {
+	case bw.ValPayload:
+		return math.IsNaN(p.Value)
+	case rbc.Msg:
+		n, ok := p.Content.(aad.Num)
+		return ok && math.IsNaN(float64(n))
+	default:
+		return false
+	}
+}
+
+func TestFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := wire.WriteFrame(&buf, m); err != nil {
+			t.Fatalf("write frame: %v", err)
+		}
+	}
+	r := bytes.NewReader(buf.Bytes())
+	for i, want := range msgs {
+		got, err := wire.ReadMessage(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !equalMessage(want, got) {
+			t.Fatalf("frame %d changed: in %#v out %#v", i, want, got)
+		}
+	}
+	if _, err := wire.ReadMessage(r); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestTruncatedFrameIsUnexpectedEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, sampleMessages()[0]); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	if _, err := wire.ReadMessage(bytes.NewReader(cut)); err != io.ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	valid, err := wire.EncodeMessage(sampleMessages()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated"},
+		{"bad version", append([]byte{99}, valid[1:]...), "unsupported version"},
+		{"unknown payload type", []byte{wire.Version, 0, 1, 200}, "unknown payload type"},
+		{"trailing bytes", append(append([]byte(nil), valid...), 0xAA), "trailing"},
+		{"truncated payload", valid[:len(valid)-3], "truncated"},
+	}
+	for _, tc := range cases {
+		if _, err := wire.DecodeMessage(tc.data); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+}
+
+func TestEncodeRejectsUnknownPayload(t *testing.T) {
+	if _, err := wire.EncodeMessage(transport.Message{Payload: fakePayload{}}); err == nil {
+		t.Fatal("want error for unknown payload type")
+	}
+	if _, err := wire.EncodeMessage(transport.Message{From: 0, To: 1}); err == nil {
+		t.Fatal("want error for nil payload")
+	}
+	if _, err := wire.EncodeMessage(transport.Message{From: -1, To: 1,
+		Payload: iterative.ValPayload{}}); err == nil {
+		t.Fatal("want error for negative node id")
+	}
+}
+
+type fakePayload struct{}
+
+func (fakePayload) Kind() string { return "FAKE" }
+
+// FuzzWireRoundTrip feeds arbitrary bytes to the decoder. Whatever decodes
+// must re-encode, and the re-encoded form must be canonical: decoding and
+// encoding it again reproduces the same bytes (idempotence). The seed
+// corpus is every sample message's real encoding, so the fuzzer starts on
+// the valid-format manifold instead of random headers.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, m := range sampleMessages() {
+		body, err := wire.EncodeMessage(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := wire.DecodeMessage(data)
+		if err != nil {
+			return // malformed input rejected: fine
+		}
+		canon, err := wire.EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("decoded message fails to encode: %v\nmessage: %#v", err, m)
+		}
+		m2, err := wire.DecodeMessage(canon)
+		if err != nil {
+			t.Fatalf("canonical form fails to decode: %v\nbytes: %x", err, canon)
+		}
+		canon2, err := wire.EncodeMessage(m2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(canon, canon2) {
+			t.Fatalf("encoding not canonical:\nfirst:  %x\nsecond: %x", canon, canon2)
+		}
+	})
+}

@@ -11,20 +11,29 @@ import (
 	"repro/internal/transport"
 )
 
-// The protocol registry maps serialized protocol names to their Run*
-// entry points, so scenario files, CLIs and sweeps can select protocols
+// The protocol registry maps serialized protocol names to their entry
+// points, so scenario files, CLIs and sweeps can select protocols
 // declaratively — and external packages can plug in new ones with Register
-// without touching any call site.
+// without touching any call site. A protocol has up to two faces: a
+// RunFunc (a complete simulator execution) and a BuilderFunc (a per-vertex
+// machine factory, which is what the live cluster runtimes consume). The
+// built-ins register both.
+
+type protocolEntry struct {
+	run   RunFunc
+	build BuilderFunc
+}
 
 var (
 	protocolMu sync.RWMutex
-	protocols  = map[string]RunFunc{}
+	protocols  = map[string]*protocolEntry{}
 )
 
 // Register adds a protocol under a unique, non-empty name. Re-registration
 // panics: two packages claiming one name is a programming error, not a
 // runtime condition. The built-in protocols "bw", "aad", "crashapprox" and
-// "iterative" are pre-registered.
+// "iterative" are pre-registered. A protocol registered this way runs on
+// the simulator only; add RegisterBuilder to run it on cluster runtimes.
 func Register(name string, run RunFunc) {
 	protocolMu.Lock()
 	defer protocolMu.Unlock()
@@ -34,7 +43,27 @@ func Register(name string, run RunFunc) {
 	if _, dup := protocols[name]; dup {
 		panic(fmt.Sprintf("repro: protocol %q registered twice", name))
 	}
-	protocols[name] = run
+	protocols[name] = &protocolEntry{run: run}
+}
+
+// RegisterBuilder attaches a live-runtime machine factory to an already
+// registered protocol, making it runnable on the cluster runtimes
+// (Scenario.RunOn, JoinCluster, abacnode). Unknown names and double
+// registration panic, like Register.
+func RegisterBuilder(name string, build BuilderFunc) {
+	protocolMu.Lock()
+	defer protocolMu.Unlock()
+	e, ok := protocols[name]
+	if !ok {
+		panic(fmt.Sprintf("repro: RegisterBuilder for unregistered protocol %q", name))
+	}
+	if build == nil {
+		panic("repro: RegisterBuilder with nil BuilderFunc")
+	}
+	if e.build != nil {
+		panic(fmt.Sprintf("repro: builder for protocol %q registered twice", name))
+	}
+	e.build = build
 }
 
 // Protocols lists the registered protocol names, sorted.
@@ -49,15 +78,31 @@ func Protocols() []string {
 	return names
 }
 
-// ProtocolByName resolves a registered protocol.
+// ProtocolByName resolves a registered protocol's simulator entry point.
 func ProtocolByName(name string) (RunFunc, error) {
 	protocolMu.RLock()
-	run := protocols[name]
+	e := protocols[name]
 	protocolMu.RUnlock()
-	if run == nil {
+	if e == nil {
 		return nil, fmt.Errorf("repro: unknown protocol %q (valid values are: %v)", name, Protocols())
 	}
-	return run, nil
+	return e.run, nil
+}
+
+// ProtocolBuilder resolves a registered protocol's live-runtime machine
+// factory; protocols registered without one (Register only) report a
+// dedicated error.
+func ProtocolBuilder(name string) (BuilderFunc, error) {
+	protocolMu.RLock()
+	e := protocols[name]
+	protocolMu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("repro: unknown protocol %q (valid values are: %v)", name, Protocols())
+	}
+	if e.build == nil {
+		return nil, fmt.Errorf("repro: protocol %q has no live-runtime builder (RegisterBuilder); it runs on the simulator only", name)
+	}
+	return e.build, nil
 }
 
 func init() {
@@ -65,6 +110,10 @@ func init() {
 	Register("aad", RunAAD)
 	Register("crashapprox", RunCrashApprox)
 	Register("iterative", RunIterative)
+	RegisterBuilder("bw", buildBW)
+	RegisterBuilder("aad", buildAAD)
+	RegisterBuilder("crashapprox", buildCrashApprox)
+	RegisterBuilder("iterative", buildIterative)
 }
 
 // Policies lists the registered asynchrony schedule policies for

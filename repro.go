@@ -2,7 +2,7 @@
 // "Asynchronous Byzantine Approximate Consensus in Directed Networks"
 // (Sakavalas, Tseng, Vaidya — PODC 2020).
 //
-// It exposes three layers:
+// It exposes four layers:
 //
 //   - graph construction and the paper's topological conditions
 //     (1-/2-/3-reach, the k-reach family, CCS/CCA/BCS, connectivity),
@@ -13,6 +13,12 @@
 //     injection and pluggable execution engines (a direct-call inline
 //     event loop by default, a goroutine-per-node arrangement on request —
 //     both replay the identical delivery schedule for a given seed),
+//   - a live node runtime: the same protocol machines as real networked
+//     nodes exchanging wire-encoded frames, in-process (Scenario.RunOn
+//     with "loopback"), over local TCP sockets ("tcp"), or as genuinely
+//     separate processes (JoinCluster / cmd/abacnode) — cross-runtime
+//     conformance tests pin that cluster runs satisfy the same validity
+//     and ε-agreement criteria as simulator runs,
 //   - the Theorem 18 necessity construction, which exhibits a convergence
 //     violation on any graph that fails 3-reach.
 //
@@ -21,6 +27,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -326,17 +333,34 @@ func buildFaulty(id int, fl Fault, inner sim.Handler, seed int64) sim.Handler {
 // historyProvider is implemented by machines that record per-round values.
 type historyProvider interface{ History() []float64 }
 
-func runProtocol(g *Graph, inputs []float64, opts Options,
-	build func(id int) (sim.Handler, error)) (*Result, error) {
+// Handler is one node's protocol endpoint — the machine interface both the
+// simulator and the live cluster runtimes execute (an alias of
+// sim.Handler, like Observer).
+type Handler = sim.Handler
+
+// HandlerFactory builds the protocol machine for one vertex of a run.
+type HandlerFactory = func(id int) (Handler, error)
+
+// BuilderFunc prepares one run's shared protocol context (path
+// enumerations, round bounds, structural validation) and returns the
+// per-vertex machine factory. It receives opts with F, K and Eps already
+// normalized. Builders are what the live cluster runtimes consume; see
+// RegisterBuilder.
+type BuilderFunc func(g *Graph, inputs []float64, opts Options) (HandlerFactory, error)
+
+// buildHandlers instantiates every vertex's machine, wrapping the vertices
+// named in opts.Faults with their adversaries; it is shared by the
+// simulator path (runProtocol) and the cluster runtimes.
+func buildHandlers(g *Graph, inputs []float64, opts Options, factory HandlerFactory) ([]sim.Handler, NodeSet, error) {
 	if len(inputs) != g.N() {
-		return nil, fmt.Errorf("repro: %d inputs for %d nodes", len(inputs), g.N())
+		return nil, 0, fmt.Errorf("repro: %d inputs for %d nodes", len(inputs), g.N())
 	}
 	honest := graph.EmptySet
 	handlers := make([]sim.Handler, g.N())
 	for i := 0; i < g.N(); i++ {
-		inner, err := build(i)
+		inner, err := factory(i)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		if fl, bad := opts.Faults[i]; bad {
 			handlers[i] = buildFaulty(i, fl, inner, opts.Seed+int64(i))
@@ -344,6 +368,35 @@ func runProtocol(g *Graph, inputs []float64, opts Options,
 			handlers[i] = inner
 			honest = honest.Add(i)
 		}
+	}
+	return handlers, honest, nil
+}
+
+// finish derives the agreement metrics — Spread, ValidityOK, Converged —
+// from the already-populated Outputs/Honest/Decided fields. Shared by the
+// simulator and cluster result paths so both runtimes are judged by
+// exactly the same criteria.
+func (r *Result) finish(inputs []float64, eps float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	r.Honest.ForEach(func(v int) bool {
+		lo, hi = math.Min(lo, inputs[v]), math.Max(hi, inputs[v])
+		return true
+	})
+	omin, omax := math.Inf(1), math.Inf(-1)
+	for _, x := range r.Outputs {
+		omin, omax = math.Min(omin, x), math.Max(omax, x)
+	}
+	if len(r.Outputs) > 0 {
+		r.Spread = omax - omin
+		r.ValidityOK = omin >= lo && omax <= hi
+	}
+	r.Converged = r.Decided && r.Spread < eps
+}
+
+func runProtocol(g *Graph, inputs []float64, opts Options, factory HandlerFactory) (*Result, error) {
+	handlers, honest, err := buildHandlers(g, inputs, opts, factory)
+	if err != nil {
+		return nil, err
 	}
 	engine, err := sim.EngineByName(opts.Engine)
 	if err != nil {
@@ -375,75 +428,101 @@ func runProtocol(g *Graph, inputs []float64, opts Options,
 		Trace:        runner.TraceString(),
 	}
 	res.Outputs, res.Decided = runner.Outputs(honest)
-	lo, hi := math.Inf(1), math.Inf(-1)
 	honest.ForEach(func(v int) bool {
-		lo, hi = math.Min(lo, inputs[v]), math.Max(hi, inputs[v])
 		if hp, ok := runner.Handler(v).(historyProvider); ok {
 			res.Histories[v] = hp.History()
 		}
 		return true
 	})
-	omin, omax := math.Inf(1), math.Inf(-1)
-	for _, x := range res.Outputs {
-		omin, omax = math.Min(omin, x), math.Max(omax, x)
-	}
-	if len(res.Outputs) > 0 {
-		res.Spread = omax - omin
-		res.ValidityOK = omin >= lo && omax <= hi
-	}
-	res.Converged = res.Decided && res.Spread < opts.Eps
+	res.finish(inputs, opts.Eps)
 	return res, nil
+}
+
+// buildBW is Algorithm BW's BuilderFunc.
+func buildBW(g *Graph, inputs []float64, opts Options) (HandlerFactory, error) {
+	proto, err := bw.NewProto(g, opts.F, opts.K, opts.Eps, opts.PathBudget)
+	if err != nil {
+		return nil, err
+	}
+	return func(id int) (Handler, error) {
+		return bw.NewMachine(proto, id, inputs[id])
+	}, nil
 }
 
 // RunBW executes the paper's Algorithm BW on g.
 func RunBW(g *Graph, inputs []float64, opts Options) (*Result, error) {
 	opts.normalize(inputs)
-	proto, err := bw.NewProto(g, opts.F, opts.K, opts.Eps, opts.PathBudget)
+	factory, err := buildBW(g, inputs, opts)
 	if err != nil {
 		return nil, err
 	}
-	return runProtocol(g, inputs, opts, func(id int) (sim.Handler, error) {
-		return bw.NewMachine(proto, id, inputs[id])
-	})
+	return runProtocol(g, inputs, opts, factory)
+}
+
+// buildAAD is the Abraham–Amit–Dolev baseline's BuilderFunc.
+func buildAAD(g *Graph, inputs []float64, opts Options) (HandlerFactory, error) {
+	if g.M() != g.N()*(g.N()-1) {
+		return nil, errors.New("repro: AAD requires a complete graph")
+	}
+	rounds := bw.RoundsFor(opts.K, opts.Eps)
+	return func(id int) (Handler, error) {
+		return aad.NewMachine(g.N(), opts.F, id, rounds, inputs[id])
+	}, nil
 }
 
 // RunAAD executes the Abraham–Amit–Dolev baseline; g must be a clique with
 // n > 3f.
 func RunAAD(g *Graph, inputs []float64, opts Options) (*Result, error) {
 	opts.normalize(inputs)
-	if g.M() != g.N()*(g.N()-1) {
-		return nil, errors.New("repro: AAD requires a complete graph")
+	factory, err := buildAAD(g, inputs, opts)
+	if err != nil {
+		return nil, err
 	}
-	rounds := bw.RoundsFor(opts.K, opts.Eps)
-	return runProtocol(g, inputs, opts, func(id int) (sim.Handler, error) {
-		return aad.NewMachine(g.N(), opts.F, id, rounds, inputs[id])
-	})
+	return runProtocol(g, inputs, opts, factory)
+}
+
+// buildCrashApprox is the 2-reach crash-fault algorithm's BuilderFunc.
+func buildCrashApprox(g *Graph, inputs []float64, opts Options) (HandlerFactory, error) {
+	proto, err := crashapprox.NewProto(g, opts.F, opts.K, opts.Eps, opts.PathBudget)
+	if err != nil {
+		return nil, err
+	}
+	return func(id int) (Handler, error) {
+		return crashapprox.NewMachine(proto, id, inputs[id])
+	}, nil
 }
 
 // RunCrashApprox executes the 2-reach crash-fault algorithm (Table 2's
 // crash/asynchronous cell).
 func RunCrashApprox(g *Graph, inputs []float64, opts Options) (*Result, error) {
 	opts.normalize(inputs)
-	proto, err := crashapprox.NewProto(g, opts.F, opts.K, opts.Eps, opts.PathBudget)
+	factory, err := buildCrashApprox(g, inputs, opts)
 	if err != nil {
 		return nil, err
 	}
-	return runProtocol(g, inputs, opts, func(id int) (sim.Handler, error) {
-		return crashapprox.NewMachine(proto, id, inputs[id])
-	})
+	return runProtocol(g, inputs, opts, factory)
+}
+
+// buildIterative is the local trimmed-mean baseline's BuilderFunc.
+func buildIterative(g *Graph, inputs []float64, opts Options) (HandlerFactory, error) {
+	rounds := opts.Rounds
+	if rounds == 0 {
+		rounds = bw.RoundsFor(opts.K, opts.Eps)
+	}
+	return func(id int) (Handler, error) {
+		return iterative.NewMachine(g, opts.F, id, rounds, inputs[id])
+	}, nil
 }
 
 // RunIterative executes the local trimmed-mean baseline for opts.Rounds
 // rounds (default: the log2(K/Eps) bound).
 func RunIterative(g *Graph, inputs []float64, opts Options) (*Result, error) {
 	opts.normalize(inputs)
-	rounds := opts.Rounds
-	if rounds == 0 {
-		rounds = bw.RoundsFor(opts.K, opts.Eps)
+	factory, err := buildIterative(g, inputs, opts)
+	if err != nil {
+		return nil, err
 	}
-	return runProtocol(g, inputs, opts, func(id int) (sim.Handler, error) {
-		return iterative.NewMachine(g, opts.F, id, rounds, inputs[id])
-	})
+	return runProtocol(g, inputs, opts, factory)
 }
 
 // RunNecessity executes the Theorem 18 construction on a graph violating
@@ -466,9 +545,11 @@ type RunFunc func(g *Graph, inputs []float64, opts Options) (*Result, error)
 // fanning the independent executions over a worker pool (workers < 1 means
 // one per CPU, 1 runs sequentially). Results come back in seed order and
 // are identical to n sequential calls — the runs share no mutable state, so
-// parallelism cannot perturb the seeded schedules.
-func RunSeeds(run RunFunc, g *Graph, inputs []float64, opts Options, n, workers int) ([]*Result, error) {
-	return par.Map(workers, n, func(i int) (*Result, error) {
+// parallelism cannot perturb the seeded schedules. Cancelling ctx stops the
+// sweep between runs (individual simulator executions are not interrupted
+// mid-run) and returns ctx.Err(); a nil ctx means context.Background().
+func RunSeeds(ctx context.Context, run RunFunc, g *Graph, inputs []float64, opts Options, n, workers int) ([]*Result, error) {
+	return par.Map(ctx, workers, n, func(i int) (*Result, error) {
 		o := opts
 		o.Seed = opts.Seed + int64(i)
 		return run(g, inputs, o)

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -273,7 +274,9 @@ func (s Scenario) RunObserved(obs Observer) (*Result, error) {
 // Results come back in seed order and are identical to sequential calls:
 // every run rebuilds its policy and handlers from the spec, so no mutable
 // state crosses runs. RunBatch subsumes RunSeeds for scenario callers.
-func (s Scenario) RunBatch(workers int) ([]*Result, error) {
+// Cancelling ctx stops the batch between runs and returns ctx.Err(); a nil
+// ctx means context.Background().
+func (s Scenario) RunBatch(ctx context.Context, workers int) ([]*Result, error) {
 	// Materialize once: Graph is immutable after construction and the runs
 	// only read the inputs, so the whole batch shares them safely instead of
 	// rebuilding per seed.
@@ -289,19 +292,21 @@ func (s Scenario) RunBatch(workers int) ([]*Result, error) {
 	if n < 1 {
 		n = 1
 	}
-	return RunSeeds(run, g, inputs, s.options(), n, workers)
+	return RunSeeds(ctx, run, g, inputs, s.options(), n, workers)
 }
 
 // RunScenarios executes an arbitrary scenario list over a worker pool,
 // returning results in list order — the building block for experiment
 // matrices where each cell is its own (graph, adversary, schedule) triple.
-func RunScenarios(scenarios []Scenario, workers int) ([]*Result, error) {
+// Cancelling ctx stops the matrix between runs and returns ctx.Err(); a
+// nil ctx means context.Background().
+func RunScenarios(ctx context.Context, scenarios []Scenario, workers int) ([]*Result, error) {
 	for i := range scenarios {
 		if err := scenarios[i].Validate(); err != nil {
 			return nil, fmt.Errorf("scenario %d: %w", i, err)
 		}
 	}
-	return par.Map(workers, len(scenarios), func(i int) (*Result, error) {
+	return par.Map(ctx, workers, len(scenarios), func(i int) (*Result, error) {
 		return scenarios[i].Run()
 	})
 }

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"strings"
@@ -220,14 +221,14 @@ func TestScenarioRunBatch(t *testing.T) {
 		InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 4},
 		F:        1, K: 4, Eps: 0.25, Seed: 100, Seeds: 4,
 	}
-	parallel, err := s.RunBatch(4)
+	parallel, err := s.RunBatch(context.Background(), 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(parallel) != 4 {
 		t.Fatalf("batch returned %d results", len(parallel))
 	}
-	sequential, err := s.RunBatch(1)
+	sequential, err := s.RunBatch(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestScenarioRunBatch(t *testing.T) {
 	// Seeds <= 1 means one run.
 	single := s
 	single.Seeds = 0
-	if res, err := single.RunBatch(0); err != nil || len(res) != 1 {
+	if res, err := single.RunBatch(context.Background(), 0); err != nil || len(res) != 1 {
 		t.Errorf("Seeds=0 batch: %d results, err %v", len(res), err)
 	}
 }
@@ -254,7 +255,7 @@ func TestRunScenariosList(t *testing.T) {
 			F: 1, K: 4, Eps: 0.2, Seed: 3, Faults: []repro.FaultSpec{{Node: 4, Kind: "crash", Param: 10}}},
 		{Graph: "clique:5", Protocol: "iterative", Inputs: []float64{0, 1, 2, 3, 4}, F: 1, K: 4, Eps: 0.1, Seed: 4, Rounds: 25},
 	}
-	results, err := repro.RunScenarios(list, 0)
+	results, err := repro.RunScenarios(context.Background(), list, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestRunScenariosList(t *testing.T) {
 	}
 	// A bad entry fails the whole list eagerly, naming the index.
 	list[1].Protocol = "paxos"
-	if _, err := repro.RunScenarios(list, 0); err == nil || !strings.Contains(err.Error(), "scenario 1") {
+	if _, err := repro.RunScenarios(context.Background(), list, 0); err == nil || !strings.Contains(err.Error(), "scenario 1") {
 		t.Errorf("bad list entry: %v", err)
 	}
 }
@@ -355,7 +356,7 @@ func TestJSONLObserverSharedAcrossSeeds(t *testing.T) {
 	var sb strings.Builder
 	obs, flushErr := repro.JSONLObserver(&sb)
 	opts := repro.Options{F: 1, K: 4, Eps: 0.25, Seed: 1, Observer: obs}
-	results, err := repro.RunSeeds(repro.RunBW, repro.Fig1a(), []float64{0, 4, 1, 3, 2}, opts, 4, 4)
+	results, err := repro.RunSeeds(context.Background(), repro.RunBW, repro.Fig1a(), []float64{0, 4, 1, 3, 2}, opts, 4, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
