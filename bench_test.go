@@ -80,7 +80,7 @@ func BenchmarkBWSufficiency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := repro.RunBW(g, inputs, repro.Options{
 			F: 1, K: 4, Eps: 0.5, Seed: int64(i),
-			Faults: map[int]repro.Fault{1: {Type: repro.FaultTamper, Param: 50}},
+			Faults: map[int]repro.Fault{1: {Kind: "tamper", Params: map[string]float64{"delta": 50}}},
 		})
 		if err != nil || !res.Converged || !res.ValidityOK {
 			b.Fatalf("run failed: %v %+v", err, res)
@@ -241,7 +241,7 @@ func BenchmarkBWEngines(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				res, err := repro.RunBW(g, inputs, repro.Options{
 					F: 1, K: 4, Eps: 0.25, Seed: int64(i), Engine: engine,
-					Faults: map[int]repro.Fault{1: {Type: repro.FaultTamper, Param: 50}},
+					Faults: map[int]repro.Fault{1: {Kind: "tamper", Params: map[string]float64{"delta": 50}}},
 				})
 				if err != nil || !res.Converged || !res.ValidityOK {
 					b.Fatalf("run failed: %v %+v", err, res)

@@ -6,6 +6,7 @@ import (
 	"net"
 	"sort"
 
+	"repro/internal/adversary"
 	"repro/internal/cluster"
 )
 
@@ -85,6 +86,7 @@ func (s Scenario) RunOnObserved(ctx context.Context, runtime string, obs Observe
 		MessagesSent: outcome.Sent,
 		ByKind:       outcome.ByKind,
 		Histories:    outcome.Histories,
+		LinkStats:    linkStats(spec.LinkFaults),
 	}
 	res.finish(inputs, opts.Eps)
 	return res, nil
@@ -121,7 +123,11 @@ func (s Scenario) clusterSpec() ([]float64, Options, cluster.Spec, error) {
 	if err != nil {
 		return nil, Options{}, zero, err
 	}
-	return inputs, opts, cluster.Spec{Graph: g, Handlers: handlers, Honest: honest}, nil
+	links, err := buildLinkFaults(g, opts)
+	if err != nil {
+		return nil, Options{}, zero, err
+	}
+	return inputs, opts, cluster.Spec{Graph: g, Handlers: handlers, Honest: honest, LinkFaults: links}, nil
 }
 
 // validateForCluster rejects, eagerly and by name, the scenario knobs that
@@ -222,7 +228,14 @@ func JoinCluster(ctx context.Context, spec JoinSpec) (*NodeReport, error) {
 		return nil, err
 	}
 	if fl, bad := opts.Faults[spec.ID]; bad {
-		handler = buildFaulty(spec.ID, fl, handler, opts.Seed+int64(spec.ID))
+		handler, err = adversary.BuildHandler(spec.ID, fl.spec(), handler, adversary.NodeSeed(opts.Seed, spec.ID))
+		if err != nil {
+			return nil, fmt.Errorf("repro: fault at node %d: %w", spec.ID, err)
+		}
+	}
+	links, err := buildLinkFaults(g, opts)
+	if err != nil {
+		return nil, err
 	}
 	var onDecide func(int, float64)
 	if spec.OnDecide != nil {
@@ -236,6 +249,7 @@ func JoinCluster(ctx context.Context, spec JoinSpec) (*NodeReport, error) {
 		Listen:         spec.Listen,
 		ListenAttempts: spec.ListenAttempts,
 		Peers:          spec.Peers,
+		LinkFaults:     links,
 		Observer:       spec.Observer,
 		OnDecide:       onDecide,
 		OnListen:       spec.OnListen,

@@ -9,6 +9,7 @@
 //	abacsim -graph fig1a -algo bw -f 1 -eps 0.25 -inputs 0,4,1,3,2 -fault 2:silent
 //	abacsim -graph clique:4 -algo aad -inputs 0,1,2,3
 //	abacsim -graph circulant:5:1,2 -algo crashapprox -fault 4:crash:10
+//	abacsim -graph fig1a -algo bw -fault "1:crash:after=8,finalSends=2+noise:amp=25"  # composed adversary
 //	abacsim -graph fig1b-analog -algo iterative -inputs 0,0,0,0,1,1,1,1
 //	abacsim -graph clique:3 -algo necessity -f 1
 //	abacsim -graph fig1a -algo bw -seeds 32 -workers 8   # parallel seed sweep
@@ -242,7 +243,7 @@ func parsePolicy(s string) (*repro.PolicySpec, error) {
 
 // faultSpecs converts the parsed fault map to the scenario list form, in
 // node order.
-func faultSpecs(fl map[int]repro.Fault) []repro.FaultSpec {
+func faultSpecs(fl map[int]repro.FaultSpec) []repro.FaultSpec {
 	if len(fl) == 0 {
 		return nil
 	}
@@ -253,7 +254,7 @@ func faultSpecs(fl map[int]repro.Fault) []repro.FaultSpec {
 	sort.Ints(nodes)
 	out := make([]repro.FaultSpec, 0, len(fl))
 	for _, node := range nodes {
-		out = append(out, repro.FaultSpec{Node: node, Kind: fl[node].Type.String(), Param: fl[node].Param})
+		out = append(out, fl[node])
 	}
 	return out
 }
@@ -275,14 +276,41 @@ func printCatalog() {
 	for _, name := range repro.RuntimeNames() {
 		fmt.Printf("  %s\n", name)
 	}
-	fmt.Println("fault kinds:")
+	fmt.Println("adversaries (fault kinds):")
 	for _, name := range repro.FaultKinds() {
-		fmt.Printf("  %s\n", name)
+		defs, _ := repro.FaultDefaults(name)
+		primary, doc, _ := repro.FaultPrimary(name)
+		fmt.Printf("  %-13s %s\n", name, doc)
+		if len(defs) > 0 {
+			fmt.Printf("  %13s params: %s (scalar sets %q)\n", "", renderParams(defs), primary)
+		}
+	}
+	fmt.Println("link fault kinds:")
+	for _, name := range repro.LinkFaultKinds() {
+		defs, doc, _ := repro.LinkFaultDefaults(name)
+		fmt.Printf("  %-13s %s\n", name, doc)
+		if len(defs) > 0 {
+			fmt.Printf("  %13s params: %s\n", "", renderParams(defs))
+		}
 	}
 	fmt.Println("graphs:")
 	for _, form := range repro.NamedGraphSpecs() {
 		fmt.Printf("  %s\n", form)
 	}
+}
+
+// renderParams formats a params map as sorted key=value pairs.
+func renderParams(defs map[string]float64) string {
+	keys := make([]string, 0, len(defs))
+	for k := range defs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%g", k, defs[k])
+	}
+	return strings.Join(parts, " ")
 }
 
 // runSingle executes one scenario on the selected runtime, optionally
@@ -326,6 +354,9 @@ func runSingle(ctx context.Context, s repro.Scenario, runtime string, jsonl, his
 	fmt.Printf("decided: %v, spread: %.6g, converged(<%g): %v, validity: %v\n",
 		res.Decided, res.Spread, orDefaultF(s.Eps, 0.1), res.Converged, res.ValidityOK)
 	fmt.Printf("deliveries: %d, sends: %d, by kind: %v\n", res.Steps, res.MessagesSent, res.ByKind)
+	if ls := res.LinkStats; ls != (repro.LinkFaultStats{}) {
+		fmt.Printf("link faults: dropped %d, duplicated %d, delayed %d\n", ls.Dropped, ls.Duplicated, ls.Delayed)
+	}
 	if history {
 		for _, id := range ids {
 			fmt.Printf("  history %2d: %v\n", id, res.Histories[id])
@@ -397,51 +428,106 @@ func parseInputs(s string, n int) ([]float64, error) {
 	return out, nil
 }
 
-func parseFaults(s string) (map[int]repro.Fault, error) {
+// parseFaults parses the -fault grammar: semicolon-separated items, each
+//
+//	node:kind                       registered defaults
+//	node:kind:3.5                   scalar sets the strategy's primary param
+//	node:kind:key=val,key=val       named params
+//	node:kind[:args]+kind[:args]    composed mutator layers
+//
+// Scalars are folded into the primary param immediately, so parsed specs
+// are already in the canonical (params-map) form.
+func parseFaults(s string) (map[int]repro.FaultSpec, error) {
 	if s == "" {
 		return nil, nil
 	}
-	out := make(map[int]repro.Fault)
+	out := make(map[int]repro.FaultSpec)
 	for _, item := range strings.Split(s, ";") {
-		parts := strings.Split(strings.TrimSpace(item), ":")
-		if len(parts) < 2 {
-			return nil, fmt.Errorf("fault %q: want node:kind[:param]", item)
+		layers := splitLayers(strings.TrimSpace(item))
+		head := strings.SplitN(layers[0], ":", 3)
+		if len(head) < 2 {
+			return nil, fmt.Errorf("fault %q: want node:kind[:param|:key=val,...][+kind[:...]]", item)
 		}
-		node, err := strconv.Atoi(parts[0])
+		node, err := strconv.Atoi(head[0])
 		if err != nil {
 			return nil, fmt.Errorf("fault %q: bad node: %w", item, err)
 		}
-		kind, err := repro.FaultTypeByName(parts[1])
-		if err != nil {
+		// Unknown kinds fail here, at flag-parse time, in every argument
+		// form — the same eager UX as -engine and -policy.
+		if _, err := repro.FaultDefaults(head[1]); err != nil {
 			return nil, fmt.Errorf("fault %q: %w", item, err)
 		}
-		fl := repro.Fault{Type: kind, Param: defaultParam(kind)}
-		if len(parts) > 2 {
-			fl.Param, err = strconv.ParseFloat(parts[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("fault %q: bad param: %w", item, err)
+		fl := repro.FaultSpec{Node: node, Kind: head[1]}
+		if len(head) > 2 {
+			if fl.Params, err = parseFaultParams(head[1], head[2]); err != nil {
+				return nil, fmt.Errorf("fault %q: %w", item, err)
 			}
+		}
+		for _, layer := range layers[1:] {
+			kind, args, hasArgs := strings.Cut(layer, ":")
+			if _, err := repro.FaultDefaults(kind); err != nil {
+				return nil, fmt.Errorf("fault %q: %w", item, err)
+			}
+			m := repro.MutationSpec{Kind: kind}
+			if hasArgs {
+				if m.Params, err = parseFaultParams(kind, args); err != nil {
+					return nil, fmt.Errorf("fault %q: %w", item, err)
+				}
+			}
+			fl.Compose = append(fl.Compose, m)
 		}
 		out[node] = fl
 	}
 	return out, nil
 }
 
-func defaultParam(kind repro.FaultType) float64 {
-	switch kind {
-	case repro.FaultCrash:
-		return 20
-	case repro.FaultExtreme:
-		return 1e9
-	case repro.FaultEquivocate:
-		return 0.5
-	case repro.FaultTamper:
-		return 100
-	case repro.FaultNoise:
-		return 10
-	default:
-		return 0
+// splitLayers splits one -fault item into its composed layers: a "+" only
+// separates layers when it introduces a strategy name (the next rune is a
+// letter), so exponent notation inside values — 1:extreme:1e+9,
+// amp=2.5e+3 — stays intact.
+func splitLayers(item string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(item); i++ {
+		if item[i] == '+' && i+1 < len(item) &&
+			(item[i+1] >= 'a' && item[i+1] <= 'z' || item[i+1] >= 'A' && item[i+1] <= 'Z') {
+			out = append(out, item[start:i])
+			start = i + 1
+		}
 	}
+	return append(out, item[start:])
+}
+
+// parseFaultParams parses one layer's args: either a bare scalar (folded
+// into the strategy's primary param) or a key=val list.
+func parseFaultParams(kind, args string) (map[string]float64, error) {
+	if !strings.Contains(args, "=") {
+		x, err := strconv.ParseFloat(args, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad param %q: %w", args, err)
+		}
+		primary, _, err := repro.FaultPrimary(kind)
+		if err != nil {
+			return nil, err
+		}
+		if primary == "" {
+			return nil, fmt.Errorf("fault kind %q takes no scalar param", kind)
+		}
+		return map[string]float64{primary: x}, nil
+	}
+	params := map[string]float64{}
+	for _, kv := range strings.Split(args, ",") {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault param %q: want key=value", kv)
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fault param %q: bad value: %w", kv, err)
+		}
+		params[strings.TrimSpace(key)] = x
+	}
+	return params, nil
 }
 
 func maxf(a, b float64) float64 {

@@ -33,18 +33,45 @@ func TestParseFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got[2].Type != repro.FaultSilent {
+	if got[2].Kind != "silent" || got[2].Params != nil {
 		t.Errorf("fault 2 = %+v", got[2])
 	}
-	if got[3].Type != repro.FaultExtreme || got[3].Param != 42 {
+	// The scalar folds into the strategy's primary param eagerly.
+	if got[3].Kind != "extreme" || got[3].Params["value"] != 42 {
 		t.Errorf("fault 3 = %+v", got[3])
 	}
-	// Defaults applied when param omitted.
+	// Omitted params defer to the registry defaults (no params emitted).
 	def, err := parseFaults("1:crash")
-	if err != nil || def[1].Param != 20 {
+	if err != nil || def[1].Params != nil {
 		t.Errorf("crash default: %+v %v", def, err)
 	}
-	for _, bad := range []string{"x:silent", "1", "1:nope", "1:crash:x"} {
+	// Named multi-params.
+	kv, err := parseFaults("1:crash:after=5,finalSends=2")
+	if err != nil || kv[1].Params["after"] != 5 || kv[1].Params["finalSends"] != 2 {
+		t.Errorf("kv params: %+v %v", kv, err)
+	}
+	// Composed layers.
+	comp, err := parseFaults("1:crash:after=8+noise:amp=25+replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []repro.MutationSpec{
+		{Kind: "noise", Params: map[string]float64{"amp": 25}},
+		{Kind: "replay"},
+	}
+	if !reflect.DeepEqual(comp[1].Compose, want) {
+		t.Errorf("compose = %+v", comp[1].Compose)
+	}
+	// Exponent notation with an explicit plus is a value, not a layer
+	// separator (regression: the compose splitter must not cut 1e+9).
+	exp, err := parseFaults("1:extreme:1e+9; 2:noise:amp=2.5e+3")
+	if err != nil || exp[1].Params["value"] != 1e9 || exp[2].Params["amp"] != 2.5e3 {
+		t.Errorf("exponent params: %+v %v", exp, err)
+	}
+	if len(exp[1].Compose) != 0 || len(exp[2].Compose) != 0 {
+		t.Errorf("exponent split into layers: %+v", exp)
+	}
+	for _, bad := range []string{"x:silent", "1", "1:nope", "1:nope:x=3", "1:crash:x", "1:silent:3", "1:crash:after", "1:crash+warp"} {
 		if _, err := parseFaults(bad); err == nil {
 			t.Errorf("parseFaults(%q) should fail", bad)
 		}
@@ -122,7 +149,7 @@ func TestBuildScenarioCompilesFlags(t *testing.T) {
 	if s.Policy == nil || s.Policy.Name != "bounded" || s.Policy.Params["bound"] != 5 {
 		t.Errorf("policy = %+v", s.Policy)
 	}
-	if len(s.Faults) != 1 || s.Faults[0] != (repro.FaultSpec{Node: 2, Kind: "silent"}) {
+	if len(s.Faults) != 1 || !reflect.DeepEqual(s.Faults[0], repro.FaultSpec{Node: 2, Kind: "silent"}) {
 		t.Errorf("faults = %+v", s.Faults)
 	}
 	if !reflect.DeepEqual(s.Inputs, []float64{0, 1, 2, 3}) {
@@ -143,14 +170,14 @@ func TestBuildScenarioCompilesFlags(t *testing.T) {
 }
 
 func TestFaultSpecsSortedByNode(t *testing.T) {
-	fl := map[int]repro.Fault{
-		3: {Type: repro.FaultNoise, Param: 2},
-		0: {Type: repro.FaultSilent},
+	fl := map[int]repro.FaultSpec{
+		3: {Node: 3, Kind: "noise", Params: map[string]float64{"amp": 2}},
+		0: {Node: 0, Kind: "silent"},
 	}
 	specs := faultSpecs(fl)
 	want := []repro.FaultSpec{
 		{Node: 0, Kind: "silent"},
-		{Node: 3, Kind: "noise", Param: 2},
+		{Node: 3, Kind: "noise", Params: map[string]float64{"amp": 2}},
 	}
 	if !reflect.DeepEqual(specs, want) {
 		t.Errorf("faultSpecs = %+v", specs)
@@ -160,15 +187,23 @@ func TestFaultSpecsSortedByNode(t *testing.T) {
 	}
 }
 
-func TestDefaultParams(t *testing.T) {
-	kinds := []repro.FaultType{
-		repro.FaultSilent, repro.FaultCrash, repro.FaultExtreme,
-		repro.FaultEquivocate, repro.FaultTamper, repro.FaultNoise,
-	}
-	for _, k := range kinds {
-		p := defaultParam(k)
-		if k != repro.FaultSilent && p == 0 {
-			t.Errorf("kind %d has zero default param", k)
+// TestCatalogDefaults pins that every registered adversary with parameters
+// has non-degenerate registry defaults (the old hand-maintained
+// defaultParam switch is gone; the registry is the single source).
+func TestCatalogDefaults(t *testing.T) {
+	for _, kind := range repro.FaultKinds() {
+		defs, err := repro.FaultDefaults(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind == "silent" {
+			if len(defs) != 0 {
+				t.Errorf("silent should have no params: %v", defs)
+			}
+			continue
+		}
+		if len(defs) == 0 {
+			t.Errorf("kind %q has no registered params", kind)
 		}
 	}
 }

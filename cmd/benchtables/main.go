@@ -92,6 +92,10 @@ func catalog() []experiment {
 			rep, err := experiments.RunScaling(seed)
 			return rep.Render(), err
 		}},
+		{"attackmatrix", "E13: protocol x adversary x graph attack matrix (registry-driven)", func(seed int64) (string, error) {
+			rep, err := experiments.RunAttackMatrix(seed)
+			return rep.Render(), err
+		}},
 	}
 }
 

@@ -27,7 +27,7 @@ func TestCrossEngineEquivalenceBW(t *testing.T) {
 			res, err := repro.RunBW(g, inputs, repro.Options{
 				F: 1, K: 4, Eps: 0.25, Seed: seed,
 				Engine: engine, RecordTrace: true,
-				Faults: map[int]repro.Fault{1: {Type: repro.FaultTamper, Param: 50}},
+				Faults: map[int]repro.Fault{1: {Kind: "tamper", Params: map[string]float64{"delta": 50}}},
 			})
 			if err != nil {
 				t.Fatalf("engine %q seed %d: %v", engine, seed, err)

@@ -36,7 +36,7 @@ func main() {
 		// Deliveries are random but no message is overtaken by more than 8
 		// younger ones — a partially synchronous dispatch network.
 		Policy: &repro.PolicySpec{Name: "bounded", Params: map[string]float64{"bound": 8}},
-		Faults: []repro.FaultSpec{{Node: 2, Kind: "crash", Param: 15}}, // worker 2 dies mid-run
+		Faults: []repro.FaultSpec{{Node: 2, Kind: "crash", Params: map[string]float64{"after": 15}}}, // worker 2 dies mid-run
 	}
 
 	res, err := scenario.Run()

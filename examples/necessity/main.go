@@ -47,7 +47,7 @@ func main() {
 		Inputs:   []float64{0, 1, 0, 1},
 		F:        1, K: 1, Eps: 0.25,
 		Seed:   2024,
-		Faults: []repro.FaultSpec{{Node: 2, Kind: "crash", Param: 10}},
+		Faults: []repro.FaultSpec{{Node: 2, Kind: "crash", Params: map[string]float64{"after": 10}}},
 	}
 	run, err := feasible.Run()
 	if err != nil {

@@ -35,7 +35,7 @@ func main() {
 		Inputs:   opinions,
 		F:        f, K: k, Eps: eps,
 		Seed:   8,
-		Faults: []repro.FaultSpec{{Node: 1, Kind: "equivocate", Param: 1.5}},
+		Faults: []repro.FaultSpec{{Node: 1, Kind: "equivocate", Params: map[string]float64{"step": 1.5}}},
 	}
 
 	// Stream per-round opinions as they are recorded: byRound[r] collects

@@ -34,7 +34,7 @@ func main() {
 		K:        4,    // inputs lie in [0, K], known a priori (paper Section 4.6)
 		Eps:      0.25, // agreement parameter
 		Seed:     42,
-		Faults:   []repro.FaultSpec{{Node: 2, Kind: "extreme", Param: 1e9}},
+		Faults:   []repro.FaultSpec{{Node: 2, Kind: "extreme", Params: map[string]float64{"value": 1e9}}},
 	}
 
 	// The scenario is fully serializable: this JSON replays the identical

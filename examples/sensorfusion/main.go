@@ -50,7 +50,7 @@ func main() {
 		Inputs:   readings,
 		F:        f, K: 25, Eps: eps,
 		Seed: 99, Seeds: 4, // four consecutive asynchrony schedules
-		Faults: []repro.FaultSpec{{Node: byzSensor, Kind: "noise", Param: 500}},
+		Faults: []repro.FaultSpec{{Node: byzSensor, Kind: "noise", Params: map[string]float64{"amp": 500}}},
 	}
 
 	results, err := scenario.RunBatch(context.Background(), 0)

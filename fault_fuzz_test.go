@@ -1,0 +1,66 @@
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro"
+)
+
+// FuzzFaultSpec fuzzes the FaultSpec decode path: arbitrary JSON documents
+// are decoded as a scenario fault entry and validated. Three properties
+// are pinned: validation never panics, whatever the bytes; a spec that
+// validates must canonicalize (Scenario.JSON); and the canonical form must
+// re-parse to a scenario that still validates — decode/encode is a closed
+// loop over the valid set.
+func FuzzFaultSpec(f *testing.F) {
+	for _, seed := range []string{
+		`{"node":1,"kind":"silent"}`,
+		`{"node":1,"kind":"crash","param":10}`,
+		`{"node":2,"kind":"crash","params":{"after":5,"finalSends":2}}`,
+		`{"node":3,"kind":"extreme","param":1e9}`,
+		`{"node":1,"kind":"tamper","params":{"delta":50},"compose":[{"kind":"noise","params":{"amp":3}}]}`,
+		`{"node":4,"kind":"split","params":{"lo":-1,"hi":1,"pivot":2}}`,
+		`{"node":1,"kind":"replay","param":0.5,"compose":[{"kind":"replay"}]}`,
+		`{"node":0,"kind":"gremlin"}`,
+		`{"node":-1,"kind":"silent"}`,
+		`{"node":1,"kind":"crash","param":1,"params":{"after":2}}`,
+		`{"kind":"noise"}`,
+		`{}`,
+		`[]`,
+		`{"node":1e99,"kind":"silent"}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var fs repro.FaultSpec
+		if err := dec.Decode(&fs); err != nil {
+			return // not a fault spec; nothing to check
+		}
+		s := repro.Scenario{
+			Graph:    "fig1a",
+			Protocol: "bw",
+			Faults:   []repro.FaultSpec{fs},
+		}
+		if err := s.Validate(); err != nil {
+			return // invalid specs must be rejected, not crash — done
+		}
+		canonical, err := s.JSON()
+		if err != nil {
+			t.Fatalf("valid spec failed to canonicalize: %+v: %v", fs, err)
+		}
+		back, err := repro.ParseScenario(canonical)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %s: %v", canonical, err)
+		}
+		if len(back.Faults) != 1 || back.Faults[0].Kind != fs.Kind {
+			t.Fatalf("canonical round-trip changed the fault: %+v vs %+v", back.Faults, fs)
+		}
+		if back.Faults[0].Param != nil {
+			t.Fatalf("canonical form still carries a legacy scalar: %+v", back.Faults[0])
+		}
+	})
+}

@@ -180,6 +180,68 @@ func ExtremeInput(x float64) Mutator {
 	}
 }
 
+// DelayedEquivocation behaves honestly for the first after originations,
+// then equivocates like EquivocateInput: base + step·(to+1). The delay
+// defeats auditors that only inspect a node's early traffic; the mutator
+// is stateful (one counter per faulty node, counting originated values
+// across all out-neighbors).
+func DelayedEquivocation(step float64, after int) Mutator {
+	sent := 0
+	return func(_ *rand.Rand, m transport.Message) []transport.Payload {
+		v, ok := m.Payload.(bw.ValPayload)
+		if !ok || len(v.Path) != 1 {
+			return []transport.Payload{m.Payload}
+		}
+		if sent++; sent <= after {
+			return []transport.Payload{m.Payload}
+		}
+		v.Value += step * float64(m.To+1)
+		return []transport.Payload{v}
+	}
+}
+
+// SplitInput is the targeted two-faced attack: originations to
+// out-neighbors with id <= pivot carry lo, the rest carry hi — the
+// adversary partitions its audience into two camps and tells each a
+// different story.
+func SplitInput(lo, hi float64, pivot int) Mutator {
+	return func(_ *rand.Rand, m transport.Message) []transport.Payload {
+		v, ok := m.Payload.(bw.ValPayload)
+		if !ok || len(v.Path) != 1 {
+			return []transport.Payload{m.Payload}
+		}
+		if m.To <= pivot {
+			v.Value = lo
+		} else {
+			v.Value = hi
+		}
+		return []transport.Payload{v}
+	}
+}
+
+// replayHistoryCap bounds the per-destination payload history Replay keeps,
+// so long runs do not accumulate unbounded attack state.
+const replayHistoryCap = 64
+
+// Replay records the node's outgoing payloads per destination and, with
+// probability prob per message, re-sends one previously sent payload
+// alongside the current one — duplicated and out-of-order traffic that is
+// protocol-shaped but stale.
+func Replay(prob float64) Mutator {
+	history := make(map[int][]transport.Payload)
+	return func(rng *rand.Rand, m transport.Message) []transport.Payload {
+		out := []transport.Payload{m.Payload}
+		old := history[m.To]
+		if len(old) > 0 && rng.Float64() < prob {
+			out = append(out, old[rng.Intn(len(old))])
+		}
+		if len(old) < replayHistoryCap {
+			history[m.To] = append(old, m.Payload)
+		}
+		return out
+	}
+}
+
 // ForgeCompletes corrupts the entry sets of all COMPLETE messages the node
 // originates or relays: entry values are shifted by delta, making the
 // reported message sets inconsistent with the genuine flood.

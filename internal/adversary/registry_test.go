@@ -1,0 +1,207 @@
+package adversary_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/bw"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func TestRegistryListsBuiltins(t *testing.T) {
+	names := adversary.Adversaries()
+	for _, want := range []string{
+		"silent", "crash", "extreme", "equivocate", "tamper", "noise",
+		"delayedequiv", "split", "replay",
+	} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Adversaries() = %v, missing %q", names, want)
+		}
+	}
+	for _, name := range names {
+		s, err := adversary.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name || s.Doc() == "" {
+			t.Errorf("strategy %q: name=%q doc=%q", name, s.Name(), s.Doc())
+		}
+		if p := s.Primary(); p != "" {
+			if _, ok := s.Defaults()[p]; !ok {
+				t.Errorf("strategy %q: primary %q not in defaults %v", name, p, s.Defaults())
+			}
+		}
+	}
+}
+
+func TestByNameUnknownIsError(t *testing.T) {
+	if _, err := adversary.ByName("gremlin"); err == nil ||
+		!strings.Contains(err.Error(), "valid values are") {
+		t.Errorf("unknown strategy error unhelpful: %v", err)
+	}
+}
+
+func TestSpecValidateRejectsEagerly(t *testing.T) {
+	cases := []struct {
+		name   string
+		spec   adversary.Spec
+		errHas string
+	}{
+		{"unknown kind", adversary.Spec{Kind: "gremlin"}, "unknown fault kind"},
+		{"unknown param", adversary.Spec{Kind: "crash", Params: adversary.Params{"fuel": 3}}, `unknown param "fuel"`},
+		{"unknown compose kind", adversary.Spec{Kind: "crash", Compose: []adversary.Layer{{Kind: "warp"}}}, "compose[0]"},
+		{"non-mutator compose", adversary.Spec{Kind: "noise", Compose: []adversary.Layer{{Kind: "crash"}}}, "cannot compose"},
+		{"compose under silent", adversary.Spec{Kind: "silent", Compose: []adversary.Layer{{Kind: "noise"}}}, "cannot carry composed mutators"},
+		{"prob out of range", adversary.Spec{Kind: "replay", Params: adversary.Params{"prob": 1.5}}, "outside [0, 1]"},
+		{"negative count", adversary.Spec{Kind: "crash", Params: adversary.Params{"finalSends": -3}}, "must be non-negative"},
+		{"negative amp in compose", adversary.Spec{Kind: "crash", Compose: []adversary.Layer{{Kind: "noise", Params: adversary.Params{"amp": -1}}}}, "must be non-negative"},
+		{"compose param", adversary.Spec{Kind: "crash", Compose: []adversary.Layer{{Kind: "noise", Params: adversary.Params{"vol": 1}}}}, `unknown param "vol"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.spec.Validate()
+			if err == nil {
+				t.Fatalf("accepted: %+v", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.errHas) {
+				t.Errorf("error %q does not mention %q", err, tc.errHas)
+			}
+		})
+	}
+	if err := (adversary.Spec{Kind: "crash", Params: adversary.Params{"after": 5, "finalSends": 2},
+		Compose: []adversary.Layer{{Kind: "noise", Params: adversary.Params{"amp": 2}}}}).Validate(); err != nil {
+		t.Errorf("valid composed spec rejected: %v", err)
+	}
+}
+
+// TestBuildHandlerUnknownKindHardError pins the satellite fix: unknown
+// fault construction errors instead of silently returning the honest
+// handler.
+func TestBuildHandlerUnknownKindHardError(t *testing.T) {
+	if _, err := adversary.BuildHandler(1, adversary.Spec{Kind: "gremlin"}, &adversary.Silent{NodeID: 1}, 1); err == nil {
+		t.Fatal("unknown kind built a handler")
+	}
+}
+
+// bwHandlers builds honest BW machines on g with inputs i mod 4.
+func bwHandlers(t *testing.T, g *graph.Graph) []sim.Handler {
+	t.Helper()
+	proto, err := bw.NewProto(g, 1, 4, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlers := make([]sim.Handler, g.N())
+	for i := range handlers {
+		m, err := bw.NewMachine(proto, i, float64(i%4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i] = m
+	}
+	return handlers
+}
+
+// TestComposedCrashNoise runs a crash-after-N node that sprays noise until
+// it dies: the wrapper encloses the composed Mutant and the honest nodes
+// still converge.
+func TestComposedCrashNoise(t *testing.T) {
+	g := graph.Fig1a()
+	handlers := bwHandlers(t, g)
+	spec := adversary.Spec{
+		Kind:    "crash",
+		Params:  adversary.Params{"after": 8, "finalSends": 2},
+		Compose: []adversary.Layer{{Kind: "noise", Params: adversary.Params{"amp": 50}}},
+	}
+	h, err := adversary.BuildHandler(1, spec, handlers[1], adversary.NodeSeed(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlers[1] = h
+	r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(3)}, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	honest := g.Nodes().Remove(1)
+	outs, all := r.Outputs(honest)
+	if !all {
+		t.Fatalf("honest nodes did not decide: %v", outs)
+	}
+	assertAgreementValidity(t, outs, 0.25, 0, 3)
+}
+
+// TestNewStrategiesTolerated runs each newly registered strategy as the
+// single Byzantine node of a fig1a BW execution: f=1 tolerates any
+// behavior, so the honest nodes must converge with validity.
+func TestNewStrategiesTolerated(t *testing.T) {
+	for _, kind := range []string{"delayedequiv", "split", "replay"} {
+		t.Run(kind, func(t *testing.T) {
+			g := graph.Fig1a()
+			handlers := bwHandlers(t, g)
+			h, err := adversary.BuildHandler(1, adversary.Spec{Kind: kind}, handlers[1], adversary.NodeSeed(9, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			handlers[1] = h
+			r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(9)}, handlers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+			honest := g.Nodes().Remove(1)
+			outs, all := r.Outputs(honest)
+			if !all {
+				t.Fatalf("honest nodes did not decide: %v", outs)
+			}
+			assertAgreementValidity(t, outs, 0.25, 0, 3)
+		})
+	}
+}
+
+// TestNodeSeedDecorrelatesNoiseStreams is the regression test for the
+// seed-derivation satellite: two adjacent faulty nodes running the same
+// noise strategy must perturb with distinct streams. Under the old
+// opts.Seed+i derivation adjacent sources handed out correlated values;
+// with the splitmix derivation the actual RandomNoise offset sequences of
+// nodes 1 and 2 must differ, for every probed base seed.
+func TestNodeSeedDecorrelatesNoiseStreams(t *testing.T) {
+	probe := transport.Message{From: 0, To: 1, Payload: bw.ValPayload{Round: 1, Value: 0, Path: graph.Path{0}}}
+	stream := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		mut := adversary.RandomNoise(1)
+		out := make([]float64, 8)
+		for i := range out {
+			p := mut(rng, probe)
+			out[i] = p[0].(bw.ValPayload).Value
+		}
+		return out
+	}
+	for base := int64(0); base < 50; base++ {
+		a := stream(adversary.NodeSeed(base, 1))
+		b := stream(adversary.NodeSeed(base, 2))
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("base seed %d: adjacent nodes drew identical noise streams %v", base, a)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/linkfault"
 	"repro/internal/node"
 	"repro/internal/sim"
 )
@@ -36,6 +37,11 @@ type Spec struct {
 	Handlers []sim.Handler
 	// Honest is the set of vertices whose outputs the run waits for.
 	Honest graph.Set
+	// LinkFaults, when non-nil, applies per-edge Byzantine link failures on
+	// every node's send path: frames may be dropped, duplicated, or delayed
+	// by Fate.Delay milliseconds before entering the transport — the same
+	// rule set the simulator enforces at its pool boundary.
+	LinkFaults *linkfault.Set
 	// Observer, when non-nil, receives every node's runtime events. It is
 	// shared across concurrent node loops and must be goroutine-safe.
 	Observer sim.Observer
@@ -164,7 +170,7 @@ func run(ctx context.Context, spec Spec, driver transportDriver) (*Outcome, erro
 			ID:       i,
 			Graph:    spec.Graph,
 			Handler:  spec.Handlers[i],
-			Out:      driver.link(i),
+			Out:      FaultyOutbound(driver.link(i), spec.LinkFaults, i),
 			Observer: spec.Observer,
 			OnDecide: func(id int, x float64) { decisions <- decision{id, x} },
 		})
@@ -271,6 +277,43 @@ collect:
 
 // historyProvider mirrors the simulator's per-round history hook.
 type historyProvider interface{ History() []float64 }
+
+// FaultyOutbound wraps vertex from's outbound with the link-fault rule
+// set: each frame's fate (drop, duplicate, delay in milliseconds) is drawn
+// from the set's seeded per-edge streams before the frame reaches the
+// transport. A nil set returns out unchanged. Exported so multi-process
+// members (JoinTCP callers) enforce the same rules as the in-process
+// harness.
+func FaultyOutbound(out node.Outbound, set *linkfault.Set, from int) node.Outbound {
+	if set == nil {
+		return out
+	}
+	return &faultyOutbound{inner: out, set: set, from: from}
+}
+
+type faultyOutbound struct {
+	inner node.Outbound
+	set   *linkfault.Set
+	from  int
+}
+
+func (o *faultyOutbound) Send(to int, frame []byte) error {
+	fate := o.set.Next(o.from, to)
+	for i := 0; i < fate.Copies; i++ {
+		if fate.Delay > 0 {
+			f := frame
+			// Fire-and-forget: a delayed frame that lands after shutdown is
+			// dropped by the closed transport queues, exactly like a message
+			// still in flight when a run ends.
+			time.AfterFunc(time.Duration(fate.Delay)*time.Millisecond, func() { _ = o.inner.Send(to, f) })
+			continue
+		}
+		if err := o.inner.Send(to, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // SortedIDs returns the outcome's decided vertex ids in order (a rendering
 // helper for CLIs).

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/linkfault"
+)
+
+// recordingOutbound captures frames per destination.
+type recordingOutbound struct {
+	mu    sync.Mutex
+	sends map[int]int
+}
+
+func (r *recordingOutbound) Send(to int, frame []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sends == nil {
+		r.sends = make(map[int]int)
+	}
+	r.sends[to]++
+	return nil
+}
+
+func (r *recordingOutbound) count(to int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sends[to]
+}
+
+// TestFaultyOutbound pins the cluster-side enforcement of the link-fault
+// rules: drops never reach the transport, duplicates reach it twice, and
+// delayed frames arrive after (not before) their delay elapses.
+func TestFaultyOutbound(t *testing.T) {
+	g := graph.Clique(4)
+	set, err := linkfault.New(g, []linkfault.Rule{
+		{Kind: linkfault.KindDrop, Edges: [][2]int{{0, 1}}},
+		{Kind: linkfault.KindDuplicate, Edges: [][2]int{{0, 2}}},
+		{Kind: linkfault.KindDelay, Edges: [][2]int{{0, 3}}, Params: map[string]float64{"amount": 30}},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingOutbound{}
+	out := FaultyOutbound(rec, set, 0)
+	frame := []byte{1, 2, 3}
+	for _, to := range []int{1, 2, 3} {
+		if err := out.Send(to, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rec.count(1); got != 0 {
+		t.Errorf("dropped edge delivered %d frames", got)
+	}
+	if got := rec.count(2); got != 2 {
+		t.Errorf("duplicated edge delivered %d frames, want 2", got)
+	}
+	if got := rec.count(3); got != 0 {
+		t.Errorf("delayed frame arrived immediately (%d frames)", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for rec.count(3) == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := rec.count(3); got != 1 {
+		t.Errorf("delayed edge delivered %d frames after the delay, want 1", got)
+	}
+	dropped, duplicated, delayed := set.Counts()
+	if dropped != 1 || duplicated != 1 || delayed != 1 {
+		t.Errorf("counts = %d/%d/%d", dropped, duplicated, delayed)
+	}
+}
+
+// TestFaultyOutboundNilSet pins the zero-cost path: no rules, no wrapper.
+func TestFaultyOutboundNilSet(t *testing.T) {
+	rec := &recordingOutbound{}
+	if out := FaultyOutbound(rec, nil, 0); out != rec {
+		t.Error("nil set should return the outbound unchanged")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/linkfault"
 	"repro/internal/node"
 	"repro/internal/sim"
 	"repro/internal/wire"
@@ -373,6 +374,12 @@ type JoinConfig struct {
 	ListenAttempts int
 	// Peers maps every out-neighbor of ID to its dial address.
 	Peers map[int]string
+	// LinkFaults, when non-nil, applies per-edge link failures to this
+	// vertex's outbound frames (see FaultyOutbound). Every member of a
+	// multi-process cluster compiles the same rule set from the shared
+	// scenario; each consults only its own out-edges, so the per-edge
+	// seeded streams agree across processes.
+	LinkFaults *linkfault.Set
 	// Observer and OnDecide are passed to the node runtime.
 	Observer sim.Observer
 	OnDecide func(id int, output float64)
@@ -425,7 +432,7 @@ func JoinTCP(ctx context.Context, cfg JoinConfig) (*NodeOutcome, error) {
 		ID:       cfg.ID,
 		Graph:    cfg.Graph,
 		Handler:  cfg.Handler,
-		Out:      e,
+		Out:      FaultyOutbound(e, cfg.LinkFaults, cfg.ID),
 		Observer: cfg.Observer,
 		OnDecide: cfg.OnDecide,
 	})

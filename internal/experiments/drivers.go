@@ -54,7 +54,7 @@ func RunFig1a(seed int64) (Fig1aReport, error) {
 		Name: "fig1a-bw", Graph: "fig1a", Protocol: "bw",
 		Inputs: []float64{0, 4, 1, 3, 2},
 		F:      1, K: 4, Eps: 0.25, Seed: seed,
-		Faults: []repro.FaultSpec{{Node: 1, Kind: "extreme", Param: 1e6}},
+		Faults: []repro.FaultSpec{{Node: 1, Kind: "extreme", Params: map[string]float64{"value": 1e6}}},
 	}, DefaultExec)
 	if err != nil {
 		return rep, err
@@ -137,19 +137,19 @@ func (r SufficiencyReport) Render() string {
 }
 
 // sufficiencyAdversaries are the E5 fault columns: node 1 exhibits each
-// registered fault behavior (the empty kind is the honest control).
+// classic fault behavior (the empty kind is the honest control).
 var sufficiencyAdversaries = []struct {
-	name  string
-	kind  string
-	param float64
+	name   string
+	kind   string
+	params map[string]float64
 }{
-	{"honest", "", 0},
-	{"silent", "silent", 0},
-	{"crash", "crash", 25},
-	{"extreme", "extreme", -1e9},
-	{"equivocate", "equivocate", 0.9},
-	{"tamper", "tamper", 11},
-	{"noise", "noise", 50},
+	{"honest", "", nil},
+	{"silent", "silent", nil},
+	{"crash", "crash", map[string]float64{"after": 25}},
+	{"extreme", "extreme", map[string]float64{"value": -1e9}},
+	{"equivocate", "equivocate", map[string]float64{"step": 0.9}},
+	{"tamper", "tamper", map[string]float64{"delta": 11}},
+	{"noise", "noise", map[string]float64{"amp": 50}},
 }
 
 // RunSufficiency produces the E5 report.
@@ -173,7 +173,7 @@ func RunSufficiency(seed int64) (SufficiencyReport, error) {
 				F:      1, K: 4, Eps: 0.25, Seed: seed + int64(len(rep.Cases)),
 			}
 			if adv.kind != "" {
-				s.Faults = []repro.FaultSpec{{Node: 1, Kind: adv.kind, Param: adv.param}}
+				s.Faults = []repro.FaultSpec{{Node: 1, Kind: adv.kind, Params: adv.params}}
 			}
 			out, err := runScenario(s, DefaultExec)
 			if err != nil {
@@ -225,7 +225,7 @@ func RunConvergence(seed int64) (ConvergenceReport, error) {
 		Name: "fig1a-contraction", Graph: "fig1a", Protocol: "bw",
 		Inputs: []float64{0, 8, 4, 6, 2},
 		F:      1, K: k, Eps: eps, Seed: seed,
-		Faults: []repro.FaultSpec{{Node: 3, Kind: "extreme", Param: 1e9}},
+		Faults: []repro.FaultSpec{{Node: 3, Kind: "extreme", Params: map[string]float64{"value": 1e9}}},
 	}, DefaultExec)
 	if err != nil {
 		return rep, err
@@ -411,7 +411,7 @@ func RunCrashCell(seed int64) (CrashReport, error) {
 		Name: "crash-cell", Graph: "circulant:5:1,2", Protocol: "crashapprox",
 		Inputs: []float64{0, 1, 2, 3, 4},
 		F:      1, K: 4, Eps: 0.2, Seed: seed,
-		Faults: []repro.FaultSpec{{Node: 2, Kind: "crash", Param: 12}},
+		Faults: []repro.FaultSpec{{Node: 2, Kind: "crash", Params: map[string]float64{"after": 12}}},
 	}, DefaultExec)
 	if err != nil {
 		return rep, err

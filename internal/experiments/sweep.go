@@ -72,16 +72,22 @@ type sweepCase struct {
 }
 
 // sweepBehaviors are the Byzantine behaviors the sweep samples from, as
-// declarative fault kinds.
+// declarative fault specs — including the registry's composable strategies
+// (delayed equivocation, targeted split values, replay, and a composed
+// crash+noise adversary).
 var sweepBehaviors = []struct {
 	name  string
-	kind  string
-	param float64
+	fault repro.FaultSpec
 }{
-	{"silent", "silent", 0},
-	{"extreme", "extreme", 1e7},
-	{"tamper", "tamper", 3},
-	{"noise", "noise", 25},
+	{"silent", repro.FaultSpec{Kind: "silent"}},
+	{"extreme", repro.FaultSpec{Kind: "extreme", Params: map[string]float64{"value": 1e7}}},
+	{"tamper", repro.FaultSpec{Kind: "tamper", Params: map[string]float64{"delta": 3}}},
+	{"noise", repro.FaultSpec{Kind: "noise", Params: map[string]float64{"amp": 25}}},
+	{"delayedequiv", repro.FaultSpec{Kind: "delayedequiv", Params: map[string]float64{"step": 1.5, "after": 4}}},
+	{"split", repro.FaultSpec{Kind: "split", Params: map[string]float64{"lo": -100, "hi": 100, "pivot": 2}}},
+	{"replay", repro.FaultSpec{Kind: "replay", Params: map[string]float64{"prob": 0.5}}},
+	{"crash+noise", repro.FaultSpec{Kind: "crash", Params: map[string]float64{"after": 15, "finalSends": 2},
+		Compose: []repro.MutationSpec{{Kind: "noise", Params: map[string]float64{"amp": 40}}}}},
 }
 
 // generateSweepCases is the sequential phase: it draws random digraphs,
@@ -114,6 +120,8 @@ func generateSweepCases(count int, seed int64, rep *SweepReport) []sweepCase {
 		// seeded identity — do not reorder.
 		badNode := rng.Intn(n)
 		behavior := sweepBehaviors[rng.Intn(len(sweepBehaviors))]
+		fault := behavior.fault
+		fault.Node = badNode
 		cases = append(cases, sweepCase{
 			scenario: repro.Scenario{
 				Name: fmt.Sprintf("sweep-%d", gseed),
@@ -122,7 +130,7 @@ func generateSweepCases(count int, seed int64, rep *SweepReport) []sweepCase {
 				Protocol: "bw",
 				Inputs:   inputs,
 				F:        1, K: 4, Eps: 0.25, Seed: gseed,
-				Faults: []repro.FaultSpec{{Node: badNode, Kind: behavior.kind, Param: behavior.param}},
+				Faults: []repro.FaultSpec{fault},
 			},
 			adversary: behavior.name,
 			n:         n, m: g.M(),

@@ -1,0 +1,28 @@
+// Package seedmix derives decorrelated pseudo-random seeds from a base
+// seed plus salts (node ids, rule indexes, edge endpoints). Adjacent salts
+// must yield statistically independent streams: naive derivations such as
+// seed+i hand adjacent consumers nearly identical rand.Source states, which
+// correlates, for example, two Byzantine nodes' noise streams. Mix runs
+// every input through a splitmix64-style finalizer, whose avalanche makes
+// any single-bit input change flip about half of the output bits.
+package seedmix
+
+// Mix folds the base seed and the salts into one well-mixed 64-bit seed.
+// It is pure and deterministic: the same inputs always produce the same
+// seed, on every platform.
+func Mix(seed int64, salts ...int64) int64 {
+	h := splitmix64(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	for _, s := range salts {
+		h = splitmix64(h ^ uint64(s))
+	}
+	return int64(h)
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood, OOPSLA'14):
+// an invertible avalanche permutation of the 64-bit state.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,31 @@
+package seedmix
+
+import "testing"
+
+func TestMixDeterministic(t *testing.T) {
+	if Mix(7, 1, 2) != Mix(7, 1, 2) {
+		t.Fatal("Mix is not deterministic")
+	}
+}
+
+func TestMixDecorrelatesAdjacentSalts(t *testing.T) {
+	// Adjacent salts (and adjacent base seeds) must land far apart: count
+	// differing bits instead of just inequality.
+	pairs := [][2]int64{{Mix(1, 0), Mix(1, 1)}, {Mix(1, 0), Mix(2, 0)}, {Mix(0), Mix(1)}}
+	for _, p := range pairs {
+		diff := p[0] ^ p[1]
+		bits := 0
+		for u := uint64(diff); u != 0; u &= u - 1 {
+			bits++
+		}
+		if bits < 16 {
+			t.Errorf("Mix outputs %#x and %#x differ in only %d bits", p[0], p[1], bits)
+		}
+	}
+}
+
+func TestMixSaltArityMatters(t *testing.T) {
+	if Mix(3) == Mix(3, 0) || Mix(3, 1) == Mix(3, 1, 1) {
+		t.Error("salt arity should change the output")
+	}
+}

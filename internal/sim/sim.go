@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/linkfault"
 	"repro/internal/transport"
 )
 
@@ -85,6 +86,13 @@ type Config struct {
 	// Hold withholds matching messages until ReleaseWhen fires (or until the
 	// rest of the network quiesces — delays are finite). Optional.
 	Hold *transport.HoldRule
+	// LinkFaults, when non-nil, applies per-edge Byzantine link failures at
+	// message injection — the simulator's transport boundary: a send may be
+	// dropped, duplicated, or delayed by Fate.Delay delivery steps before it
+	// enters the pool. Delays are finite: once the rest of the network
+	// quiesces, every delayed message is released. Decisions happen in the
+	// runner loop, so they are engine-independent and seed-deterministic.
+	LinkFaults *linkfault.Set
 	// ReleaseWhen, checked after every delivery, releases held messages when
 	// it returns true. Optional.
 	ReleaseWhen func(r *Runner) bool
@@ -116,6 +124,15 @@ type Runner struct {
 	stats    *transport.Stats
 	steps    int
 	trace    []transport.Message
+	// delayed holds link-fault-delayed messages until their release step.
+	delayed []delayedMessage
+}
+
+// delayedMessage is one send a link-fault delay rule is holding back; it
+// enters the pool once the runner reaches step at.
+type delayedMessage struct {
+	m  transport.Message
+	at int
 }
 
 // New builds a runner. Handlers must be indexed by node ID (handler i has
@@ -179,7 +196,14 @@ func (r *Runner) Run() error {
 		if r.cfg.ReleaseWhen != nil && r.cfg.Hold != nil && !r.cfg.Hold.Released() && r.cfg.ReleaseWhen(r) {
 			r.releaseHeld()
 		}
+		r.releaseDelayed(false)
 		if r.pool.PendingEmpty() {
+			if len(r.delayed) > 0 {
+				// Link-fault delays are finite: once everything else has
+				// quiesced the delayed messages must eventually arrive.
+				r.releaseDelayed(true)
+				continue
+			}
 			if r.pool.HeldCount() > 0 {
 				// Finite delays: once everything else has quiesced the
 				// withheld messages must eventually arrive.
@@ -209,16 +233,52 @@ func (r *Runner) Run() error {
 	}
 }
 
-// inject adds a freshly sent message to the pool, reporting it to the
-// observer when the hold rule withholds it. The held outcome comes from the
-// pool itself — the hold rule's match function is never re-evaluated, so an
-// observer cannot perturb stateful rules (part of the observer-passivity
-// guarantee).
+// inject routes a freshly sent message through the link-fault rules (drop,
+// duplicate, delay) and into the pool. The fate decision happens here, on
+// the runner's goroutine, in injection order — engine-independent and
+// therefore schedule-deterministic.
 func (r *Runner) inject(m transport.Message) {
+	if r.cfg.LinkFaults != nil {
+		fate := r.cfg.LinkFaults.Next(m.From, m.To)
+		for i := 0; i < fate.Copies; i++ {
+			if fate.Delay > 0 {
+				r.delayed = append(r.delayed, delayedMessage{m: m, at: r.steps + fate.Delay})
+			} else {
+				r.injectNow(m)
+			}
+		}
+		return
+	}
+	r.injectNow(m)
+}
+
+// injectNow adds a message to the pool, reporting it to the observer when
+// the hold rule withholds it. The held outcome comes from the pool itself —
+// the hold rule's match function is never re-evaluated, so an observer
+// cannot perturb stateful rules (part of the observer-passivity guarantee).
+func (r *Runner) injectNow(m transport.Message) {
 	stamped, held := r.pool.Add(m)
 	if held && r.cfg.Observer != nil {
 		r.cfg.Observer.Observe(Event{Type: EventHold, Step: r.steps, Message: stamped})
 	}
+}
+
+// releaseDelayed moves matured link-fault-delayed messages into the pool,
+// in their original injection order; force releases everything (the
+// finite-delay guarantee at quiescence).
+func (r *Runner) releaseDelayed(force bool) {
+	if len(r.delayed) == 0 {
+		return
+	}
+	keep := r.delayed[:0]
+	for _, d := range r.delayed {
+		if force || d.at <= r.steps {
+			r.injectNow(d.m)
+		} else {
+			keep = append(keep, d)
+		}
+	}
+	r.delayed = keep
 }
 
 // releaseHeld re-injects withheld messages, reporting the release.

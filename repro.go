@@ -9,10 +9,12 @@
 //   - protocol execution: the paper's BW algorithm (Byzantine,
 //     asynchronous, directed — Theorem 4), the Abraham–Amit–Dolev clique
 //     baseline, the crash-fault 2-reach algorithm and the local iterative
-//     baseline, all over a deterministic simulator with pluggable fault
-//     injection and pluggable execution engines (a direct-call inline
-//     event loop by default, a goroutine-per-node arrangement on request —
-//     both replay the identical delivery schedule for a given seed),
+//     baseline, all over a deterministic simulator with registry-backed,
+//     composable fault injection — named node adversaries (FaultKinds)
+//     plus per-edge Byzantine link failures (LinkFaultKinds) — and
+//     pluggable execution engines (a direct-call inline event loop by
+//     default, a goroutine-per-node arrangement on request — both replay
+//     the identical delivery schedule for a given seed),
 //   - a live node runtime: the same protocol machines as real networked
 //     nodes exchanging wire-encoded frames, in-process (Scenario.RunOn
 //     with "loopback"), over local TCP sockets ("tcp"), or as genuinely
@@ -31,7 +33,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/aad"
 	"repro/internal/adversary"
@@ -40,7 +41,9 @@ import (
 	"repro/internal/crashapprox"
 	"repro/internal/graph"
 	"repro/internal/iterative"
+	"repro/internal/linkfault"
 	"repro/internal/par"
+	"repro/internal/seedmix"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -143,76 +146,119 @@ func CheckRobustness(g *Graph, r, s int) bool {
 	return ok
 }
 
-// FaultType selects a built-in fault behavior for RunBW and friends.
-type FaultType int
-
-// Fault behaviors.
-const (
-	// FaultSilent never sends a message (crashed from the start).
-	FaultSilent FaultType = iota + 1
-	// FaultCrash behaves honestly, then crashes after Param deliveries
-	// with at most one escaping send.
-	FaultCrash
-	// FaultExtreme floods the extreme value Param instead of its input.
-	FaultExtreme
-	// FaultEquivocate reports input + Param·(neighbor+1) per neighbor.
-	FaultEquivocate
-	// FaultTamper negates and shifts every relayed value and corrupts
-	// relayed COMPLETE sets by Param.
-	FaultTamper
-	// FaultNoise perturbs every outgoing value by uniform noise in
-	// [-Param, Param].
-	FaultNoise
-)
-
-// faultNames maps fault types to their serialized names, in declaration
-// order (the same names the CLIs and Scenario files use).
-var faultNames = []struct {
-	t    FaultType
-	name string
-}{
-	{FaultSilent, "silent"},
-	{FaultCrash, "crash"},
-	{FaultExtreme, "extreme"},
-	{FaultEquivocate, "equivocate"},
-	{FaultTamper, "tamper"},
-	{FaultNoise, "noise"},
-}
-
-// String returns the fault type's serialized name.
-func (t FaultType) String() string {
-	for _, fn := range faultNames {
-		if fn.t == t {
-			return fn.name
-		}
-	}
-	return fmt.Sprintf("FaultType(%d)", int(t))
-}
-
-// FaultTypeByName resolves a serialized fault kind ("silent", "crash",
-// "extreme", "equivocate", "tamper", "noise").
-func FaultTypeByName(name string) (FaultType, error) {
-	for _, fn := range faultNames {
-		if fn.name == name {
-			return fn.t, nil
-		}
-	}
-	return 0, fmt.Errorf("repro: unknown fault kind %q (valid values are: %v)", name, FaultKinds())
-}
-
-// FaultKinds lists the serialized fault kind names.
-func FaultKinds() []string {
-	out := make([]string, len(faultNames))
-	for i, fn := range faultNames {
-		out[i] = fn.name
-	}
-	return out
-}
-
-// Fault configures one faulty node.
+// Fault configures one faulty node: a registered adversary strategy by
+// name, its named parameters, and optional composed mutator layers. It is
+// the imperative (Options) twin of the scenario-level FaultSpec. Strategy
+// names, parameter names and composition rules are validated when handlers
+// are built — an unknown kind or param is a hard error, never a silent
+// fall-back to honest behavior.
 type Fault struct {
-	Type  FaultType
-	Param float64
+	// Kind names a registered adversary strategy; see FaultKinds.
+	Kind string
+	// Params carries the strategy's named knobs (e.g. {"after": 12,
+	// "finalSends": 2} for "crash"). Omitted params take the registered
+	// defaults; unknown names are rejected.
+	Params map[string]float64
+	// Compose layers additional mutator strategies onto the base: when the
+	// base is itself a mutator strategy they share one traffic rewriter
+	// (base first); when the base is a wrapper such as "crash", the
+	// composed mutators corrupt the node's traffic until the wrapper kills
+	// it.
+	Compose []Mutation
+}
+
+// Mutation is one composed mutator layer of a Fault.
+type Mutation struct {
+	Kind   string
+	Params map[string]float64
+}
+
+// spec converts to the adversary package's resolved form.
+func (f Fault) spec() adversary.Spec {
+	s := adversary.Spec{Kind: f.Kind, Params: adversary.Params(f.Params)}
+	for _, m := range f.Compose {
+		s.Compose = append(s.Compose, adversary.Layer{Kind: m.Kind, Params: adversary.Params(m.Params)})
+	}
+	return s
+}
+
+// FaultKinds lists the registered adversary strategy names, sorted —
+// "silent", "crash", "extreme", "equivocate", "tamper", "noise",
+// "delayedequiv", "split", "replay", plus anything registered via
+// adversary.Register.
+func FaultKinds() []string { return adversary.Adversaries() }
+
+// FaultDefaults returns the named strategy's parameters with their default
+// values (for catalogs and CLIs).
+func FaultDefaults(kind string) (map[string]float64, error) {
+	s, err := adversary.ByName(kind)
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return s.Defaults(), nil
+}
+
+// FaultPrimary returns the parameter name the strategy's legacy scalar
+// "param" form maps to ("" when the strategy has none), and a one-line
+// description of the strategy.
+func FaultPrimary(kind string) (primary, doc string, err error) {
+	s, err := adversary.ByName(kind)
+	if err != nil {
+		return "", "", fmt.Errorf("repro: %w", err)
+	}
+	return s.Primary(), s.Doc(), nil
+}
+
+// LinkFault is one Byzantine link-failure rule, applied per directed edge
+// on every runtime: "drop", "duplicate" and "delay" match the listed
+// edges; "partition" matches every edge crossing the listed node set's
+// boundary. Params (see LinkFaultDefaults) tune probability, delay amount
+// (delivery steps on the simulator, milliseconds on a cluster) and
+// partition healing. Rules are seeded-deterministic per edge.
+type LinkFault struct {
+	Kind   string             `json:"kind"`
+	Edges  [][2]int           `json:"edges,omitempty"`
+	Nodes  []int              `json:"nodes,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// rule converts to the linkfault package's form.
+func (l LinkFault) rule() linkfault.Rule {
+	return linkfault.Rule{Kind: l.Kind, Edges: l.Edges, Nodes: l.Nodes, Params: l.Params}
+}
+
+// LinkFaultKinds lists the link-fault rule kinds, sorted.
+func LinkFaultKinds() []string { return linkfault.Kinds() }
+
+// LinkFaultDefaults returns the rule kind's parameters with their default
+// values, plus a one-line description.
+func LinkFaultDefaults(kind string) (params map[string]float64, doc string, err error) {
+	defs, err := linkfault.Defaults(kind)
+	if err != nil {
+		return nil, "", fmt.Errorf("repro: %w", err)
+	}
+	return defs, linkfault.Doc(kind), nil
+}
+
+// linkFaultSeedSalt decouples the link-fault streams from the schedule and
+// adversary streams derived from the same run seed.
+const linkFaultSeedSalt = 0x11f4
+
+// buildLinkFaults compiles the options' link-fault rules for g, seeded
+// from the run seed.
+func buildLinkFaults(g *Graph, opts Options) (*linkfault.Set, error) {
+	if len(opts.LinkFaults) == 0 {
+		return nil, nil
+	}
+	rules := make([]linkfault.Rule, len(opts.LinkFaults))
+	for i, l := range opts.LinkFaults {
+		rules[i] = l.rule()
+	}
+	set, err := linkfault.New(g, rules, seedmix.Mix(opts.Seed, linkFaultSeedSalt))
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return set, nil
 }
 
 // Options parameterizes a protocol run.
@@ -251,6 +297,10 @@ type Options struct {
 	PathBudget int
 	// Faults maps node IDs to fault behaviors.
 	Faults map[int]Fault
+	// LinkFaults lists Byzantine link-failure rules applied per directed
+	// edge, in order; see LinkFault. Enforced by every runtime: at the
+	// simulator's injection boundary and on cluster nodes' send paths.
+	LinkFaults []LinkFault
 	// Rounds overrides the log2(K/Eps) round bound for protocols that
 	// take an explicit round count (iterative baseline).
 	Rounds int
@@ -302,32 +352,21 @@ type Result struct {
 	// when Options.RecordTrace is set. Identical seeds yield identical
 	// traces, on every engine.
 	Trace string
+	// LinkStats counts link-fault interventions (zero when the run had no
+	// link-fault rules). Reported by the simulator and the cluster
+	// runtimes alike.
+	LinkStats LinkFaultStats
 }
 
-func buildFaulty(id int, fl Fault, inner sim.Handler, seed int64) sim.Handler {
-	switch fl.Type {
-	case FaultSilent:
-		return &adversary.Silent{NodeID: id}
-	case FaultCrash:
-		return &adversary.Crash{Inner: inner, AfterDeliveries: int(fl.Param), FinalSends: 1}
-	case FaultExtreme:
-		return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-			Mutators: []adversary.Mutator{adversary.ExtremeInput(fl.Param)}}
-	case FaultEquivocate:
-		return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-			Mutators: []adversary.Mutator{adversary.EquivocateInput(fl.Param)}}
-	case FaultTamper:
-		return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-			Mutators: []adversary.Mutator{
-				adversary.TamperRelays(func(x float64) float64 { return -x - fl.Param }),
-				adversary.ForgeCompletes(fl.Param),
-			}}
-	case FaultNoise:
-		return &adversary.Mutant{Inner: inner, Rng: rand.New(rand.NewSource(seed)),
-			Mutators: []adversary.Mutator{adversary.RandomNoise(fl.Param)}}
-	default:
-		return inner
-	}
+// LinkFaultStats counts a run's link-fault interventions: sends dropped,
+// extra copies fabricated, and copies delayed.
+type LinkFaultStats struct {
+	Dropped, Duplicated, Delayed int
+}
+
+func linkStats(set *linkfault.Set) LinkFaultStats {
+	d, du, de := set.Counts()
+	return LinkFaultStats{Dropped: d, Duplicated: du, Delayed: de}
 }
 
 // historyProvider is implemented by machines that record per-round values.
@@ -350,7 +389,11 @@ type BuilderFunc func(g *Graph, inputs []float64, opts Options) (HandlerFactory,
 
 // buildHandlers instantiates every vertex's machine, wrapping the vertices
 // named in opts.Faults with their adversaries; it is shared by the
-// simulator path (runProtocol) and the cluster runtimes.
+// simulator path (runProtocol) and the cluster runtimes. An unregistered
+// fault kind or unknown param is a hard error on every path — there is no
+// silent fall-back to the honest handler. Per-node adversary streams are
+// decorrelated with a splitmix-derived seed (adversary.NodeSeed), not
+// opts.Seed+i.
 func buildHandlers(g *Graph, inputs []float64, opts Options, factory HandlerFactory) ([]sim.Handler, NodeSet, error) {
 	if len(inputs) != g.N() {
 		return nil, 0, fmt.Errorf("repro: %d inputs for %d nodes", len(inputs), g.N())
@@ -363,7 +406,11 @@ func buildHandlers(g *Graph, inputs []float64, opts Options, factory HandlerFact
 			return nil, 0, err
 		}
 		if fl, bad := opts.Faults[i]; bad {
-			handlers[i] = buildFaulty(i, fl, inner, opts.Seed+int64(i))
+			h, err := adversary.BuildHandler(i, fl.spec(), inner, adversary.NodeSeed(opts.Seed, i))
+			if err != nil {
+				return nil, 0, fmt.Errorf("repro: fault at node %d: %w", i, err)
+			}
+			handlers[i] = h
 		} else {
 			handlers[i] = inner
 			honest = honest.Add(i)
@@ -406,10 +453,15 @@ func runProtocol(g *Graph, inputs []float64, opts Options, factory HandlerFactor
 	if err != nil {
 		return nil, err
 	}
+	links, err := buildLinkFaults(g, opts)
+	if err != nil {
+		return nil, err
+	}
 	runner, err := sim.New(sim.Config{
 		Graph:       g,
 		Policy:      policy,
 		Engine:      engine,
+		LinkFaults:  links,
 		RecordTrace: opts.RecordTrace,
 		Observer:    opts.Observer,
 	}, handlers)
@@ -426,6 +478,7 @@ func runProtocol(g *Graph, inputs []float64, opts Options, factory HandlerFactor
 		ByKind:       runner.Stats().ByKind,
 		Histories:    make(map[int][]float64),
 		Trace:        runner.TraceString(),
+		LinkStats:    linkStats(links),
 	}
 	res.Outputs, res.Decided = runner.Outputs(honest)
 	honest.ForEach(func(v int) bool {

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"strings"
 	"testing"
 
 	"repro"
@@ -42,7 +43,7 @@ func TestRunBWFacade(t *testing.T) {
 	g := repro.Fig1a()
 	res, err := repro.RunBW(g, []float64{0, 4, 1, 3, 2}, repro.Options{
 		F: 1, K: 4, Eps: 0.25, Seed: 5,
-		Faults: map[int]repro.Fault{2: {Type: repro.FaultSilent}},
+		Faults: map[int]repro.Fault{2: {Kind: "silent"}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +91,7 @@ func TestRunCrashApproxFacade(t *testing.T) {
 	g := repro.Circulant(5, 1, 2)
 	res, err := repro.RunCrashApprox(g, []float64{0, 1, 2, 3, 4}, repro.Options{
 		F: 1, K: 4, Eps: 0.2, Seed: 3,
-		Faults: map[int]repro.Fault{4: {Type: repro.FaultCrash, Param: 10}},
+		Faults: map[int]repro.Fault{4: {Kind: "crash", Params: map[string]float64{"after": 10}}},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -137,21 +138,80 @@ func TestBWRounds(t *testing.T) {
 	}
 }
 
-func TestFaultTypesAllRun(t *testing.T) {
+// TestFaultKindsAllRun runs every registered adversary strategy, with its
+// default params, as the single Byzantine node of a BW execution: f=1
+// tolerates any behavior, so the run must converge with validity whatever
+// the registry holds.
+func TestFaultKindsAllRun(t *testing.T) {
 	g := repro.Clique(4)
-	for _, ft := range []repro.FaultType{
-		repro.FaultSilent, repro.FaultCrash, repro.FaultExtreme,
-		repro.FaultEquivocate, repro.FaultTamper, repro.FaultNoise,
-	} {
+	for i, kind := range repro.FaultKinds() {
 		res, err := repro.RunBW(g, []float64{1, 0, 1.5, 2}, repro.Options{
-			F: 1, K: 2, Eps: 0.25, Seed: int64(ft),
-			Faults: map[int]repro.Fault{1: {Type: ft, Param: 3}},
+			F: 1, K: 2, Eps: 0.25, Seed: int64(i + 1),
+			Faults: map[int]repro.Fault{1: {Kind: kind}},
 		})
 		if err != nil {
-			t.Fatalf("fault %d: %v", ft, err)
+			t.Fatalf("fault %q: %v", kind, err)
 		}
 		if !res.Converged || !res.ValidityOK {
-			t.Errorf("fault %d: %+v", ft, res)
+			t.Errorf("fault %q: %+v", kind, res)
+		}
+	}
+}
+
+// TestUnknownFaultHardError pins the satellite fix: an unregistered fault
+// kind (or unknown param) must fail handler construction on the simulator
+// path — never silently run the honest machine.
+func TestUnknownFaultHardError(t *testing.T) {
+	g := repro.Clique(4)
+	inputs := []float64{0, 1, 2, 3}
+	if _, err := repro.RunBW(g, inputs, repro.Options{
+		Faults: map[int]repro.Fault{1: {Kind: "gremlin"}},
+	}); err == nil || !strings.Contains(err.Error(), "unknown fault kind") {
+		t.Errorf("unknown kind: got %v", err)
+	}
+	if _, err := repro.RunBW(g, inputs, repro.Options{
+		Faults: map[int]repro.Fault{1: {Kind: "crash", Params: map[string]float64{"fuel": 1}}},
+	}); err == nil || !strings.Contains(err.Error(), `unknown param "fuel"`) {
+		t.Errorf("unknown param: got %v", err)
+	}
+	if _, err := repro.RunBW(g, inputs, repro.Options{
+		Faults: map[int]repro.Fault{1: {Kind: ""}},
+	}); err == nil {
+		t.Error("empty kind accepted")
+	}
+}
+
+// TestFaultRegistryFacade pins the public catalog surface: kinds, defaults
+// and primary-param lookups.
+func TestFaultRegistryFacade(t *testing.T) {
+	kinds := repro.FaultKinds()
+	if len(kinds) < 9 {
+		t.Fatalf("FaultKinds() = %v", kinds)
+	}
+	for _, kind := range kinds {
+		defs, err := repro.FaultDefaults(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		primary, doc, err := repro.FaultPrimary(kind)
+		if err != nil || doc == "" {
+			t.Errorf("FaultPrimary(%q) = %q, %q, %v", kind, primary, doc, err)
+		}
+		if primary != "" {
+			if _, ok := defs[primary]; !ok {
+				t.Errorf("kind %q: primary %q missing from defaults %v", kind, primary, defs)
+			}
+		}
+	}
+	if _, err := repro.FaultDefaults("gremlin"); err == nil {
+		t.Error("unknown kind accepted by FaultDefaults")
+	}
+	if lk := repro.LinkFaultKinds(); len(lk) != 4 {
+		t.Errorf("LinkFaultKinds() = %v", lk)
+	}
+	for _, kind := range repro.LinkFaultKinds() {
+		if _, doc, err := repro.LinkFaultDefaults(kind); err != nil || doc == "" {
+			t.Errorf("LinkFaultDefaults(%q): %q, %v", kind, doc, err)
 		}
 	}
 }

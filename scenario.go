@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/linkfault"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -59,6 +60,10 @@ type Scenario struct {
 	Policy *PolicySpec `json:"policy,omitempty"`
 	// Faults lists the faulty nodes and their behaviors.
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// LinkFaults lists Byzantine link-failure rules, applied in order to
+	// every send crossing a matched directed edge — on the simulator and on
+	// the cluster runtimes alike; see LinkFault.
+	LinkFaults []LinkFault `json:"linkFaults,omitempty"`
 	// RecordTrace captures the delivery schedule into Result.Trace.
 	RecordTrace bool `json:"recordTrace,omitempty"`
 }
@@ -71,13 +76,90 @@ type PolicySpec struct {
 	Params map[string]float64 `json:"params,omitempty"`
 }
 
-// FaultSpec assigns one node a named fault behavior.
+// FaultSpec assigns one node a registered adversary strategy (see
+// FaultKinds) with named parameters and optional composed mutator layers.
+//
+// Param is the legacy single-scalar form: a present Param — including an
+// explicit 0, which is why the field is a pointer — sets the strategy's
+// primary parameter (e.g. "crash"'s after, "extreme"'s value), so
+// pre-registry scenario files decode unchanged. The canonical JSON form
+// (Scenario.JSON) always folds Param into Params.
 type FaultSpec struct {
 	Node int `json:"node"`
-	// Kind is a fault name: "silent", "crash", "extreme", "equivocate",
-	// "tamper" or "noise" (see FaultKinds).
-	Kind  string  `json:"kind"`
-	Param float64 `json:"param,omitempty"`
+	// Kind is a registered strategy name: "silent", "crash", "extreme",
+	// "equivocate", "tamper", "noise", "delayedequiv", "split", "replay",
+	// ... (see FaultKinds).
+	Kind    string             `json:"kind"`
+	Param   *float64           `json:"param,omitempty"`
+	Params  map[string]float64 `json:"params,omitempty"`
+	Compose []MutationSpec     `json:"compose,omitempty"`
+}
+
+// MutationSpec is one composed mutator layer of a FaultSpec; Param is the
+// same legacy scalar shorthand.
+type MutationSpec struct {
+	Kind   string             `json:"kind"`
+	Param  *float64           `json:"param,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+}
+
+// foldScalar folds the legacy scalar into the strategy's primary param,
+// returning the merged params map.
+func foldScalar(kind string, scalar *float64, params map[string]float64) (map[string]float64, error) {
+	if scalar == nil {
+		return params, nil
+	}
+	primary, _, err := FaultPrimary(kind)
+	if err != nil {
+		return nil, err
+	}
+	if primary == "" {
+		return nil, fmt.Errorf("repro: fault kind %q takes no scalar param; use the params map", kind)
+	}
+	if _, dup := params[primary]; dup {
+		return nil, fmt.Errorf("repro: fault kind %q: param and params[%q] both set", kind, primary)
+	}
+	merged := make(map[string]float64, len(params)+1)
+	for k, v := range params {
+		merged[k] = v
+	}
+	merged[primary] = *scalar
+	return merged, nil
+}
+
+// fault resolves the spec into the imperative Fault form, folding legacy
+// scalars, and validates every name and param against the registry.
+func (fl FaultSpec) fault() (Fault, error) {
+	params, err := foldScalar(fl.Kind, fl.Param, fl.Params)
+	if err != nil {
+		return Fault{}, err
+	}
+	f := Fault{Kind: fl.Kind, Params: params}
+	for _, m := range fl.Compose {
+		mp, err := foldScalar(m.Kind, m.Param, m.Params)
+		if err != nil {
+			return Fault{}, err
+		}
+		f.Compose = append(f.Compose, Mutation{Kind: m.Kind, Params: mp})
+	}
+	if err := f.spec().Validate(); err != nil {
+		return Fault{}, err
+	}
+	return f, nil
+}
+
+// normalize returns the spec in canonical form: legacy scalars folded into
+// the params map. Only valid on validated specs.
+func (fl FaultSpec) normalize() FaultSpec {
+	f, err := fl.fault()
+	if err != nil {
+		return fl
+	}
+	out := FaultSpec{Node: fl.Node, Kind: f.Kind, Params: f.Params}
+	for _, m := range f.Compose {
+		out.Compose = append(out.Compose, MutationSpec{Kind: m.Kind, Params: m.Params})
+	}
+	return out
 }
 
 // InputGenSpec derives per-node inputs from the graph order:
@@ -190,7 +272,7 @@ func (s Scenario) Materialize() (*Graph, []float64, error) {
 	}
 	seen := make(map[int]bool, len(s.Faults))
 	for _, fl := range s.Faults {
-		if _, err := FaultTypeByName(fl.Kind); err != nil {
+		if _, err := fl.fault(); err != nil {
 			return nil, nil, fmt.Errorf("scenario: %w", err)
 		}
 		if fl.Node < 0 || fl.Node >= g.N() {
@@ -200,6 +282,15 @@ func (s Scenario) Materialize() (*Graph, []float64, error) {
 			return nil, nil, fmt.Errorf("repro: scenario: node %d has two fault entries", fl.Node)
 		}
 		seen[fl.Node] = true
+	}
+	if len(s.LinkFaults) > 0 {
+		rules := make([]linkfault.Rule, len(s.LinkFaults))
+		for i, l := range s.LinkFaults {
+			rules[i] = l.rule()
+		}
+		if err := linkfault.Validate(g, rules); err != nil {
+			return nil, nil, fmt.Errorf("repro: scenario: %w", err)
+		}
 	}
 
 	var inputs []float64
@@ -239,14 +330,15 @@ func (s Scenario) options() Options {
 	if len(s.Faults) > 0 {
 		opts.Faults = make(map[int]Fault, len(s.Faults))
 		for _, fl := range s.Faults {
-			t, _ := fl.faultType() // validated in Materialize
-			opts.Faults[fl.Node] = Fault{Type: t, Param: fl.Param}
+			f, _ := fl.fault() // validated in Materialize
+			opts.Faults[fl.Node] = f
 		}
+	}
+	if len(s.LinkFaults) > 0 {
+		opts.LinkFaults = append([]LinkFault(nil), s.LinkFaults...)
 	}
 	return opts
 }
-
-func (fl FaultSpec) faultType() (FaultType, error) { return FaultTypeByName(fl.Kind) }
 
 // Run validates the scenario and executes it once with its Seed.
 func (s Scenario) Run() (*Result, error) { return s.RunObserved(nil) }
@@ -331,15 +423,20 @@ func ParseScenario(data []byte) (*Scenario, error) {
 	return &s, nil
 }
 
-// JSON renders the scenario as validated, stable, indented JSON with the
-// fault list in node order — the canonical serialized form, which
-// ParseScenario round-trips.
+// JSON renders the scenario as validated, stable, indented JSON — the
+// canonical serialized form, which ParseScenario round-trips: the fault
+// list is in node order and legacy scalar params are folded into the
+// params maps. Link-fault rules keep their listed order (rules apply in
+// order).
 func (s Scenario) JSON() ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if len(s.Faults) > 1 {
-		faults := append([]FaultSpec(nil), s.Faults...)
+	if len(s.Faults) > 0 {
+		faults := make([]FaultSpec, len(s.Faults))
+		for i, fl := range s.Faults {
+			faults[i] = fl.normalize()
+		}
 		sort.Slice(faults, func(i, j int) bool { return faults[i].Node < faults[j].Node })
 		s.Faults = faults
 	}

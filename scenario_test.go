@@ -13,6 +13,7 @@ import (
 // TestScenarioJSONGolden pins the canonical serialized form: encode must
 // produce exactly this document, and decoding it must reproduce the value.
 func TestScenarioJSONGolden(t *testing.T) {
+	legacy := 50.0
 	s := repro.Scenario{
 		Name:     "fig1a-bw-tamper",
 		Graph:    "fig1a",
@@ -25,8 +26,13 @@ func TestScenarioJSONGolden(t *testing.T) {
 		Engine:   "inline",
 		Policy:   &repro.PolicySpec{Name: "bounded", Params: map[string]float64{"bound": 8}},
 		Faults: []repro.FaultSpec{
-			{Node: 2, Kind: "tamper", Param: 50},
+			{Node: 2, Kind: "tamper", Param: &legacy,
+				Compose: []repro.MutationSpec{{Kind: "noise", Params: map[string]float64{"amp": 3}}}},
 			{Node: 1, Kind: "silent"},
+		},
+		LinkFaults: []repro.LinkFault{
+			{Kind: "duplicate", Edges: [][2]int{{0, 2}}, Params: map[string]float64{"prob": 0.5}},
+			{Kind: "partition", Nodes: []int{1, 2}, Params: map[string]float64{"heal": 4}},
 		},
 		RecordTrace: true,
 	}
@@ -64,7 +70,41 @@ func TestScenarioJSONGolden(t *testing.T) {
     {
       "node": 2,
       "kind": "tamper",
-      "param": 50
+      "params": {
+        "delta": 50
+      },
+      "compose": [
+        {
+          "kind": "noise",
+          "params": {
+            "amp": 3
+          }
+        }
+      ]
+    }
+  ],
+  "linkFaults": [
+    {
+      "kind": "duplicate",
+      "edges": [
+        [
+          0,
+          2
+        ]
+      ],
+      "params": {
+        "prob": 0.5
+      }
+    },
+    {
+      "kind": "partition",
+      "nodes": [
+        1,
+        2
+      ],
+      "params": {
+        "heal": 4
+      }
     }
   ],
   "recordTrace": true
@@ -77,11 +117,13 @@ func TestScenarioJSONGolden(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// JSON() canonicalizes fault order; compare against the sorted form.
+	// JSON() canonicalizes: faults in node order, legacy scalars folded
+	// into the params maps. Compare against the normalized form.
 	want := s
 	want.Faults = []repro.FaultSpec{
 		{Node: 1, Kind: "silent"},
-		{Node: 2, Kind: "tamper", Param: 50},
+		{Node: 2, Kind: "tamper", Params: map[string]float64{"delta": 50},
+			Compose: []repro.MutationSpec{{Kind: "noise", Params: map[string]float64{"amp": 3}}}},
 	}
 	if !reflect.DeepEqual(*back, want) {
 		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", *back, want)
@@ -107,7 +149,19 @@ func TestParseScenarioRejectsBadDocuments(t *testing.T) {
 		{"bad policy param", `{"graph":"fig1a","protocol":"bw","policy":{"name":"fifo","params":{"bound":3}}}`, "unknown param"},
 		{"missing policy param", `{"graph":"fig1a","protocol":"bw","policy":{"name":"bounded"}}`, `missing param "bound"`},
 		{"bad fault kind", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"gaslight"}]}`, "unknown fault kind"},
+		{"bad fault param", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"crash","params":{"fuel":3}}]}`, `unknown param "fuel"`},
+		{"scalar on paramless kind", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"silent","param":2}]}`, "takes no scalar param"},
+		{"scalar vs params conflict", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"extreme","param":2,"params":{"value":3}}]}`, "both set"},
+		{"bad compose kind", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"crash","compose":[{"kind":"warp"}]}]}`, "unknown fault kind"},
+		{"non-mutator compose", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"noise","compose":[{"kind":"silent"}]}]}`, "cannot compose"},
+		{"compose under silent", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"silent","compose":[{"kind":"noise"}]}]}`, "cannot carry composed mutators"},
+		{"fault param out of range", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"replay","params":{"prob":7}}]}`, "outside [0, 1]"},
 		{"fault node range", `{"graph":"fig1a","protocol":"bw","faults":[{"node":5,"kind":"silent"}]}`, "outside graph order"},
+		{"bad link kind", `{"graph":"fig1a","protocol":"bw","linkFaults":[{"kind":"sever","edges":[[0,1]]}]}`, "unknown link fault kind"},
+		{"link non-edge", `{"graph":"fig1a","protocol":"bw","linkFaults":[{"kind":"drop","edges":[[1,3]]}]}`, "not an edge"},
+		{"link bad param", `{"graph":"fig1a","protocol":"bw","linkFaults":[{"kind":"drop","edges":[[0,1]],"params":{"rate":1}}]}`, `unknown param "rate"`},
+		{"link no edges", `{"graph":"fig1a","protocol":"bw","linkFaults":[{"kind":"delay"}]}`, "at least one edge"},
+		{"partition with edges", `{"graph":"fig1a","protocol":"bw","linkFaults":[{"kind":"partition","edges":[[0,1]],"nodes":[0]}]}`, "takes nodes"},
 		{"duplicate fault", `{"graph":"fig1a","protocol":"bw","faults":[{"node":1,"kind":"silent"},{"node":1,"kind":"noise"}]}`, "two fault entries"},
 		{"inputs arity", `{"graph":"fig1a","protocol":"bw","inputs":[1,2]}`, "2 inputs for 5 nodes"},
 		{"inputs and gen", `{"graph":"fig1a","protocol":"bw","inputs":[0,1,2,3,4],"inputGen":{"kind":"const"}}`, "mutually exclusive"},
@@ -155,7 +209,7 @@ func TestScenarioRoundTripTraceIdentical(t *testing.T) {
 					F:        1, K: 4, Eps: 0.25, Seed: 23,
 					Engine:      engine,
 					Policy:      pol,
-					Faults:      []repro.FaultSpec{{Node: 1, Kind: "tamper", Param: 50}},
+					Faults:      []repro.FaultSpec{{Node: 1, Kind: "tamper", Params: map[string]float64{"delta": 50}}},
 					RecordTrace: true,
 				}
 				direct, err := s.Run()
@@ -252,7 +306,7 @@ func TestRunScenariosList(t *testing.T) {
 	list := []repro.Scenario{
 		{Graph: "clique:4", Protocol: "aad", Inputs: []float64{0, 1, 2, 3}, F: 1, K: 3, Eps: 0.2, Seed: 2},
 		{Graph: "circulant:5:1,2", Protocol: "crashapprox", Inputs: []float64{0, 1, 2, 3, 4},
-			F: 1, K: 4, Eps: 0.2, Seed: 3, Faults: []repro.FaultSpec{{Node: 4, Kind: "crash", Param: 10}}},
+			F: 1, K: 4, Eps: 0.2, Seed: 3, Faults: []repro.FaultSpec{{Node: 4, Kind: "crash", Params: map[string]float64{"after": 10}}}},
 		{Graph: "clique:5", Protocol: "iterative", Inputs: []float64{0, 1, 2, 3, 4}, F: 1, K: 4, Eps: 0.1, Seed: 4, Rounds: 25},
 	}
 	results, err := repro.RunScenarios(context.Background(), list, 0)
@@ -425,19 +479,83 @@ func TestProtocolRegistry(t *testing.T) {
 
 func TestFaultKindNames(t *testing.T) {
 	kinds := repro.FaultKinds()
-	if len(kinds) != 6 {
-		t.Fatalf("FaultKinds() = %v", kinds)
+	for _, want := range []string{
+		"silent", "crash", "extreme", "equivocate", "tamper", "noise",
+		"delayedequiv", "split", "replay",
+	} {
+		found := false
+		for _, n := range kinds {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("FaultKinds() = %v, missing %q", kinds, want)
+		}
 	}
+	// Every registered kind must decode in a scenario fault entry.
 	for _, name := range kinds {
-		ft, err := repro.FaultTypeByName(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ft.String() != name {
-			t.Errorf("FaultType %d renders %q, want %q", ft, ft.String(), name)
+		s := repro.Scenario{Graph: "fig1a", Protocol: "bw",
+			Faults: []repro.FaultSpec{{Node: 1, Kind: name}}}
+		if err := s.Validate(); err != nil {
+			t.Errorf("kind %q rejected: %v", name, err)
 		}
 	}
-	if _, err := repro.FaultTypeByName("gremlin"); err == nil {
-		t.Error("bad fault kind accepted")
+}
+
+// TestScenarioLegacyScalarDecodes pins backward compatibility: an archived
+// pre-registry scenario file using the scalar "param" form decodes, folds
+// into the primary param, and runs.
+func TestScenarioLegacyScalarDecodes(t *testing.T) {
+	doc := `{"graph":"fig1a","protocol":"bw","inputs":[0,4,1,3,2],"f":1,"k":4,"eps":0.25,"seed":7,
+		"faults":[{"node":1,"kind":"crash","param":10}]}`
+	s, err := repro.ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || !res.ValidityOK {
+		t.Errorf("legacy scenario run: %+v", res)
+	}
+	// The canonical re-encoding folds the scalar away.
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"param":`) {
+		t.Errorf("canonical JSON still carries legacy scalars:\n%s", data)
+	}
+	if !strings.Contains(string(data), `"after": 10`) {
+		t.Errorf("canonical JSON missing folded params:\n%s", data)
+	}
+}
+
+// TestScenarioExplicitZeroScalar pins that a legacy explicit "param": 0 is
+// a present value (the pointer field), not an absent one: crash with
+// param 0 must fold to after=0 — crash on the first delivery — rather than
+// silently reverting to the default of 20.
+func TestScenarioExplicitZeroScalar(t *testing.T) {
+	doc := `{"graph":"fig1a","protocol":"bw","inputs":[0,4,1,3,2],"f":1,"k":4,"eps":0.25,"seed":3,
+		"faults":[{"node":1,"kind":"crash","param":0}]}`
+	s, err := repro.ParseScenario([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"after": 0`) {
+		t.Errorf("explicit zero scalar lost in canonicalization:\n%s", data)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decided || !res.ValidityOK {
+		t.Errorf("crash-at-first-delivery run: %+v", res)
 	}
 }
