@@ -392,9 +392,14 @@ func runSeedSweep(ctx context.Context, s repro.Scenario, workers int) error {
 	return nil
 }
 
+// orDefault resolves the displayed fault bound: 0 means the default,
+// repro.FZero means an explicit zero.
 func orDefault(v, def int) int {
 	if v == 0 {
 		return def
+	}
+	if v == repro.FZero {
+		return 0
 	}
 	return v
 }

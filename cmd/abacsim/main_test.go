@@ -117,7 +117,7 @@ func TestBuildScenarioValidatesEagerly(t *testing.T) {
 			return buildScenario("fig1a", "bw", 1, 0, 0.1, 1, 0, "", "", 0, "quantum", "")
 		}, "valid values are"},
 		{"bad graph", func() (*repro.Scenario, error) {
-			return buildScenario("torus:4", "bw", 1, 0, 0.1, 1, 0, "", "", 0, "", "")
+			return buildScenario("mobius:4", "bw", 1, 0, 0.1, 1, 0, "", "", 0, "", "")
 		}, "unknown spec"},
 		{"bad fault node", func() (*repro.Scenario, error) {
 			return buildScenario("fig1a", "bw", 1, 0, 0.1, 1, 0, "", "9:silent", 0, "", "")

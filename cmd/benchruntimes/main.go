@@ -1,17 +1,24 @@
-// Command benchruntimes measures the execution runtimes against each other:
-// the same scenarios (the fig1a BW run and the table1-style clique AAD run,
-// both with a silent Byzantine node) execute on the deterministic inline
-// simulator and on the live loopback cluster, and the best-of-N wall times
-// land in a JSON report. BENCH_1.json in the repository root is this
-// command's committed snapshot — the start of the runtime-performance
-// trajectory next to BENCH_0.json's engine baseline.
+// Command benchruntimes measures the execution runtimes against each other.
+//
+// The default suite runs the fig1a BW and table1-style clique AAD scenarios
+// (both with a silent Byzantine node) on the deterministic inline simulator
+// and on the live loopback cluster; BENCH_1.json in the repository root is
+// its committed snapshot.
+//
+// The scale suite runs the E14 scale-out ladder — Algorithm BW on directed
+// cycles with an explicit zero fault bound and the iterative baseline on
+// torus/expander families, from n = 8 up to n = 1024 — and BENCH_2.json is
+// its committed snapshot: the scaling trajectory of the delivery core.
 //
 // Usage:
 //
-//	benchruntimes                      # print the comparison
-//	benchruntimes -json BENCH_1.json   # also write the JSON report
-//	benchruntimes -reps 5 -seed 7      # more repetitions, other seed
-//	benchruntimes -runtimes sim,loopback,tcp
+//	benchruntimes                            # default suite, print only
+//	benchruntimes -json BENCH_1.json         # also write the JSON report
+//	benchruntimes -suite scale -json BENCH_2.json
+//	benchruntimes -suite scale -maxn 128     # cap the ladder
+//	benchruntimes -reps 5 -seed 7            # more repetitions, other seed
+//	benchruntimes -runtimes sim,loopback,tcp # default suite runtime set
+//	benchruntimes -cpuprofile cpu.out        # stock pprof profiles
 package main
 
 import (
@@ -25,11 +32,13 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/experiments"
+	"repro/internal/prof"
 )
 
-// scenarios are the benchmarked pairs; keep in sync with the root
-// BenchmarkRuntimes benchmark.
-func scenarios(seed int64) []repro.Scenario {
+// defaultScenarios are the benchmarked pairs of the default suite; keep in
+// sync with the root BenchmarkRuntimes benchmark.
+func defaultScenarios(seed int64) []repro.Scenario {
 	return []repro.Scenario{
 		{
 			Name: "fig1a-bw", Graph: "fig1a", Protocol: "bw",
@@ -45,17 +54,27 @@ func scenarios(seed int64) []repro.Scenario {
 }
 
 type runRecord struct {
-	Name    string  `json:"name"`
-	Runtime string  `json:"runtime"`
-	Ms      float64 `json:"ms"` // best-of-reps wall time
-	Steps   int     `json:"steps"`
-	Sends   int     `json:"sends"`
+	Name      string  `json:"name"`
+	Runtime   string  `json:"runtime"`
+	Ms        float64 `json:"ms"` // best-of-reps wall time
+	Steps     int     `json:"steps"`
+	Sends     int     `json:"sends"`
+	Decided   bool    `json:"decided"`
+	Converged bool    `json:"converged"`
+	Valid     bool    `json:"valid"`
+	// Scale-suite columns (omitted by the default suite).
+	Protocol string `json:"protocol,omitempty"`
+	Family   string `json:"family,omitempty"`
+	N        int    `json:"n,omitempty"`
+	F        int    `json:"f,omitempty"`
 }
 
 type report struct {
-	Seed int64       `json:"seed"`
-	Reps int         `json:"reps"`
-	Runs []runRecord `json:"runs"`
+	Suite   string      `json:"suite"`
+	Seed    int64       `json:"seed"`
+	Reps    int         `json:"reps"`
+	Runs    []runRecord `json:"runs"`
+	Skipped []string    `json:"skipped,omitempty"`
 }
 
 func main() {
@@ -67,17 +86,49 @@ func main() {
 
 func run() error {
 	var (
-		seed     = flag.Int64("seed", 1, "scenario seed")
-		reps     = flag.Int("reps", 3, "repetitions per cell (best time wins)")
-		names    = flag.String("runtimes", "sim,loopback", "comma-separated runtimes to compare (see abacsim -list)")
-		jsonPath = flag.String("json", "", "also write the report to this JSON file")
+		suite      = flag.String("suite", "default", "benchmark suite: default | scale (the E14 ladder)")
+		seed       = flag.Int64("seed", 1, "scenario seed")
+		reps       = flag.Int("reps", 0, "repetitions per cell, best time wins (0 = 3 for the default suite, 1 for scale)")
+		maxN       = flag.Int("maxn", 0, "scale suite: largest graph order to run (0 = the full ladder to 1024)")
+		names      = flag.String("runtimes", "sim,loopback", "comma-separated runtimes for the default suite (see abacsim -list)")
+		jsonPath   = flag.String("json", "", "also write the report to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
-	if *reps < 1 {
-		*reps = 1
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
 	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchruntimes:", err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	switch *suite {
+	case "default":
+		if *reps == 0 {
+			*reps = 3
+		}
+		return runDefault(ctx, *seed, *reps, *names, *jsonPath)
+	case "scale":
+		if *reps == 0 {
+			*reps = 1
+		}
+		return runScale(ctx, *seed, *reps, *maxN, *jsonPath)
+	default:
+		return fmt.Errorf("unknown suite %q (valid values are: default, scale)", *suite)
+	}
+}
+
+func runDefault(ctx context.Context, seed int64, reps int, names, jsonPath string) error {
 	var runtimes []string
-	for _, r := range strings.Split(*names, ",") {
+	for _, r := range strings.Split(names, ",") {
 		r = strings.TrimSpace(r)
 		if r == "" {
 			continue
@@ -94,33 +145,18 @@ func run() error {
 		runtimes = append(runtimes, r)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
-	rep := report{Seed: *seed, Reps: *reps}
+	rep := report{Suite: "default", Seed: seed, Reps: reps}
 	fmt.Printf("%-22s %-10s %12s %10s %10s\n", "scenario", "runtime", "best ms", "steps", "sends")
-	for _, s := range scenarios(*seed) {
+	for _, s := range defaultScenarios(seed) {
 		base := -1.0
 		for _, runtime := range runtimes {
-			rec := runRecord{Name: s.Name, Runtime: runtime, Ms: -1}
-			for i := 0; i < *reps; i++ {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				start := time.Now()
-				res, err := s.RunOn(ctx, runtime)
-				if err != nil {
-					return fmt.Errorf("%s on %s: %w", s.Name, runtime, err)
-				}
-				if !res.Converged || !res.ValidityOK {
-					return fmt.Errorf("%s on %s: run failed its own acceptance (spread %g, validity %v)",
-						s.Name, runtime, res.Spread, res.ValidityOK)
-				}
-				ms := float64(time.Since(start).Microseconds()) / 1000
-				if rec.Ms < 0 || ms < rec.Ms {
-					rec.Ms = ms
-				}
-				rec.Steps, rec.Sends = res.Steps, res.MessagesSent
+			rec, err := measure(ctx, s, runtime, reps)
+			if err != nil {
+				return err
+			}
+			if !rec.Converged || !rec.Valid {
+				return fmt.Errorf("%s on %s: run failed its own acceptance (converged=%v validity=%v)",
+					s.Name, runtime, rec.Converged, rec.Valid)
 			}
 			rep.Runs = append(rep.Runs, rec)
 			suffix := ""
@@ -133,16 +169,74 @@ func run() error {
 				s.Name, runtime, rec.Ms, rec.Steps, rec.Sends, suffix)
 		}
 	}
+	return write(rep, jsonPath)
+}
 
-	if *jsonPath != "" {
-		blob, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
+func runScale(ctx context.Context, seed int64, reps, maxN int, jsonPath string) error {
+	rep := report{Suite: "scale", Seed: seed, Reps: reps}
+	fmt.Printf("%-10s %-9s %-5s %-3s %-9s %12s %10s %10s\n",
+		"protocol", "family", "n", "f", "runtime", "best ms", "steps", "sends")
+	for _, c := range experiments.ScaleCases(seed, maxN) {
+		for _, runtime := range c.Runtimes {
+			rec, err := measure(ctx, c.Scenario, runtime, reps)
+			if err != nil {
+				return err
+			}
+			rec.Protocol = c.Scenario.Protocol
+			rec.Family = c.Family
+			rec.N = c.N
+			rec.F = c.F
+			rep.Runs = append(rep.Runs, rec)
+			fmt.Printf("%-10s %-9s %-5d %-3d %-9s %12.1f %10d %10d\n",
+				rec.Protocol, rec.Family, rec.N, rec.F, runtime, rec.Ms, rec.Steps, rec.Sends)
 		}
-		if err := os.WriteFile(*jsonPath, append(blob, '\n'), 0o644); err != nil {
-			return err
+		if c.SkipNote != "" {
+			rep.Skipped = append(rep.Skipped, c.SkipNote)
 		}
-		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+	for _, s := range rep.Skipped {
+		fmt.Printf("skipped: %s\n", s)
+	}
+	return write(rep, jsonPath)
+}
+
+// measure runs one (scenario, runtime) cell reps times and keeps the best
+// wall time.
+func measure(ctx context.Context, s repro.Scenario, runtime string, reps int) (runRecord, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	rec := runRecord{Name: s.Name, Runtime: runtime, Ms: -1}
+	for i := 0; i < reps; i++ {
+		if err := ctx.Err(); err != nil {
+			return rec, err
+		}
+		start := time.Now()
+		res, err := s.RunOn(ctx, runtime)
+		if err != nil {
+			return rec, fmt.Errorf("%s on %s: %w", s.Name, runtime, err)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if rec.Ms < 0 || ms < rec.Ms {
+			rec.Ms = ms
+		}
+		rec.Steps, rec.Sends = res.Steps, res.MessagesSent
+		rec.Decided, rec.Converged, rec.Valid = res.Decided, res.Converged, res.ValidityOK
+	}
+	return rec, nil
+}
+
+func write(rep report, jsonPath string) error {
+	if jsonPath == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 	return nil
 }

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/par"
+	"repro/internal/prof"
 )
 
 type experiment struct {
@@ -96,6 +97,14 @@ func catalog() []experiment {
 			rep, err := experiments.RunAttackMatrix(seed)
 			return rep.Render(), err
 		}},
+		{"scale", "E14: scale-out study to n=128 (full n=1024 ladder: benchruntimes -suite scale)", func(seed int64) (string, error) {
+			// The default benchtables invocation runs every experiment, so
+			// this entry caps the ladder at a seconds-scale size; the full
+			// multi-minute, multi-GB run to n=1024 is regenerated explicitly
+			// via `benchruntimes -suite scale -json BENCH_2.json`.
+			rep, err := experiments.RunScaleExec(context.Background(), seed, experiments.DefaultExec, 128)
+			return rep.Render(), err
+		}},
 	}
 }
 
@@ -108,13 +117,25 @@ func main() {
 
 func run() error {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		seed     = flag.Int64("seed", 1, "base seed for all randomized pieces")
-		engine   = flag.String("engine", "", "execution engine for protocol runs: inline (default) | goroutine")
-		workers  = flag.Int("workers", 1, "run experiments on this many workers (0 = one per CPU); output order is fixed")
-		jsonPath = flag.String("json", "", "also write per-experiment timings to this JSON file")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		seed       = flag.Int64("seed", 1, "base seed for all randomized pieces")
+		engine     = flag.String("engine", "", "execution engine for protocol runs: inline (default) | goroutine")
+		workers    = flag.Int("workers", 1, "run experiments on this many workers (0 = one per CPU); output order is fixed")
+		jsonPath   = flag.String("json", "", "also write per-experiment timings to this JSON file")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtables:", err)
+		}
+	}()
 
 	all := catalog()
 	if *list {

@@ -44,6 +44,16 @@ func run() error {
 	fmt.Printf("graph: %s\n", g)
 	rep := repro.CheckConditions(g, *f)
 	fmt.Printf("f = %d\n", *f)
+	if !rep.Certified {
+		fmt.Printf("  %s\n", rep.Note)
+		if *dot {
+			fmt.Println(g.DOT())
+		}
+		return nil
+	}
+	if rep.Note != "" {
+		fmt.Printf("  note: %s\n", rep.Note)
+	}
 	fmt.Printf("  1-reach (CCS, crash sync exact):        %v (partition form: %v)\n", rep.OneReach, rep.CCS)
 	fmt.Printf("  2-reach (CCA, crash async approximate): %v (partition form: %v)\n", rep.TwoReach, rep.CCA)
 	fmt.Printf("  3-reach (BCS, Byzantine — Theorem 4):   %v (partition form: %v)\n", rep.ThreeReach, rep.BCS)

@@ -1,6 +1,7 @@
 package bw
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/graph"
@@ -107,8 +108,17 @@ func TestThreadPrecompute(t *testing.T) {
 		if th.fv.Has(0) {
 			t.Error("thread suspects its own node")
 		}
-		// Fullness sets must contain the trivial path <0>.
-		if _, ok := th.expected[(graph.Path{0}).Key()]; !ok {
+		// The fullness count must match the materialized enumeration —
+		// which contains the trivial path <0> and only redundant paths
+		// ending at 0 that avoid Fv (the enumeration's own tests pin that).
+		brute, err := g.RedundantPathsTo(0, th.fv, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if th.expectedCount != len(brute) {
+			t.Errorf("thread %s: expectedCount = %d, enumeration has %d", th.fv, th.expectedCount, len(brute))
+		}
+		if _, ok := brute[(graph.Path{0}).Key()]; !ok {
 			t.Errorf("thread %s misses the trivial path", th.fv)
 		}
 		// reach_v(Fv) contains v, and the FIFO requirement for v itself is
@@ -120,30 +130,29 @@ func TestThreadPrecompute(t *testing.T) {
 		if !ok || len(self) != 1 {
 			t.Errorf("thread %s: self FIFO requirement = %v", th.fv, self)
 		}
-		// Every expected path avoids Fv and terminates at 0.
-		for key := range th.expected {
-			path := graph.PathFromKey(key)
-			if path.Ter() != 0 || path.Set().Intersects(th.fv) {
-				t.Errorf("thread %s: bad expected path %v", th.fv, path)
-			}
-			if !path.IsRedundant() || !path.ValidIn(g) {
-				t.Errorf("thread %s: invalid path %v", th.fv, path)
-			}
+		if _, ok := self[digestPath(graph.Path{0})]; !ok {
+			t.Errorf("thread %s: self FIFO requirement is not the trivial path", th.fv)
 		}
-		// FIFO-required paths lie inside the reach set.
-		for c, paths := range th.requiredFIFO {
+		// FIFO requirements are exactly the simple (c,0)-paths inside the
+		// reach set, per origin, as digests.
+		outside := g.Nodes().Minus(th.reach)
+		simple, err := g.SimplePathsTo(0, outside, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFIFO := make(map[int]map[pathDigest]struct{})
+		for _, sp := range simple {
+			c := sp.Init()
 			if !th.reach.Has(c) {
-				t.Errorf("thread %s: origin %d outside reach", th.fv, c)
+				t.Errorf("thread %s: simple path origin %d outside reach", th.fv, c)
 			}
-			for key := range paths {
-				path := graph.PathFromKey(key)
-				if !path.IsSimple() || path.Init() != c || path.Ter() != 0 {
-					t.Errorf("thread %s: bad FIFO path %v", th.fv, path)
-				}
-				if !th.reach.Contains(path.Set()) {
-					t.Errorf("thread %s: FIFO path %v leaves the reach set", th.fv, path)
-				}
+			if wantFIFO[c] == nil {
+				wantFIFO[c] = make(map[pathDigest]struct{})
 			}
+			wantFIFO[c][digestPath(sp)] = struct{}{}
+		}
+		if !reflect.DeepEqual(th.requiredFIFO, wantFIFO) {
+			t.Errorf("thread %s: requiredFIFO mismatch", th.fv)
 		}
 	}
 }
@@ -170,13 +179,13 @@ func TestContentKeyCanonical(t *testing.T) {
 	}
 }
 
-func TestContentRecordConsistency(t *testing.T) {
+func TestFloodInfoConsistency(t *testing.T) {
 	p := &CompletePayload{Origin: 0, Entries: []ValEntry{
-		{Value: 1, PathKey: string([]byte{2, 0})},
-		{Value: 1, PathKey: string([]byte{2, 1, 0})},
-		{Value: 3, PathKey: string([]byte{4, 0})},
+		{Value: 1, PathKey: graph.Path{2, 0}.Key()},
+		{Value: 1, PathKey: graph.Path{2, 1, 0}.Key()},
+		{Value: 3, PathKey: graph.Path{4, 0}.Key()},
 	}}
-	rec := newContentRecord(p)
+	rec := newFloodInfo(p)
 	if !rec.consistent {
 		t.Error("consistent set flagged inconsistent")
 	}
@@ -184,14 +193,14 @@ func TestContentRecordConsistency(t *testing.T) {
 		t.Errorf("values = %v", rec.values)
 	}
 	p2 := &CompletePayload{Origin: 0, Entries: []ValEntry{
-		{Value: 1, PathKey: string([]byte{2, 0})},
-		{Value: 2, PathKey: string([]byte{2, 1, 0})}, // same init, different value
+		{Value: 1, PathKey: graph.Path{2, 0}.Key()},
+		{Value: 2, PathKey: graph.Path{2, 1, 0}.Key()}, // same init, different value
 	}}
-	if newContentRecord(p2).consistent {
+	if newFloodInfo(p2).consistent {
 		t.Error("inconsistent set not flagged")
 	}
 	p3 := &CompletePayload{Origin: 0, Entries: []ValEntry{{Value: 1, PathKey: ""}}}
-	if newContentRecord(p3).consistent {
+	if newFloodInfo(p3).consistent {
 		t.Error("empty path key accepted")
 	}
 }

@@ -23,7 +23,10 @@ type Machine struct {
 	x      float64
 	rounds map[int]*roundState
 
-	digests map[digestKey]string
+	// ext is the reusable redundant-extension scratch for deliverVal; the
+	// machine is single-threaded per the Handler contract, so one instance
+	// serves every delivery without reinitialization (epoch tagging).
+	ext redundantExt
 
 	output float64
 	done   bool
@@ -54,12 +57,11 @@ func NewMachine(p *Proto, id int, input float64) (*Machine, error) {
 		return nil, err
 	}
 	return &Machine{
-		proto:   p,
-		pre:     pre,
-		id:      id,
-		input:   input,
-		rounds:  make(map[int]*roundState),
-		digests: make(map[digestKey]string),
+		proto:  p,
+		pre:    pre,
+		id:     id,
+		input:  input,
+		rounds: make(map[int]*roundState),
 	}, nil
 }
 
@@ -137,8 +139,7 @@ func (m *Machine) deliverVal(p ValPayload, from int, out *sim.Outbox) {
 		return
 	}
 	storage := p.Path.Append(m.id)
-	ext, ok := analyzeRedundant(storage)
-	if !ok {
+	if !m.ext.analyze(storage) {
 		return // storage itself is not a redundant path
 	}
 
@@ -148,7 +149,7 @@ func (m *Machine) deliverVal(p ValPayload, from int, out *sim.Outbox) {
 		return // first message per path wins (Algorithm 4 line 3)
 	}
 	for _, w := range m.proto.G.Out(m.id) {
-		if ext.extendable(w) {
+		if m.ext.extendable(w) {
 			out.Send(w, ValPayload{Round: p.Round, Value: p.Value, Path: storage})
 		}
 	}
@@ -160,54 +161,86 @@ func (m *Machine) deliverVal(p ValPayload, from int, out *sim.Outbox) {
 // of the longest all-distinct suffix, a walk is redundant iff b <= a-1
 // (graph.Path.IsRedundant). Appending w moves a only when the walk was fully
 // distinct, and moves b to just past w's last occurrence.
+//
+// The scratch array is epoch-tagged rather than cleared: analyze costs
+// O(len(storage)) regardless of MaxNodes, which matters when the simulator
+// pushes millions of deliveries through a single machine. Entries store
+// epoch<<markShift | position+1; a mismatched epoch reads as "absent".
 type redundantExt struct {
-	n       int
-	a, b    int
-	lastIdx [graph.MaxNodes]int16
+	n     int
+	a, b  int
+	epoch uint64
+	mark  [graph.MaxNodes]uint64
 }
 
-// analyzeRedundant precomputes the extension test for storage; ok is false
-// when storage itself is not redundant (in which case no extension is
-// either, since prefixes of redundant walks are redundant).
-func analyzeRedundant(storage graph.Path) (redundantExt, bool) {
-	var ext redundantExt
-	ext.n = len(storage)
-	for i := range ext.lastIdx {
-		ext.lastIdx[i] = -1
+// markShift leaves room for positions up to 2*MaxNodes (redundant paths are
+// concatenations of two simple paths; longer walks are rejected up front).
+const markShift = 13
+
+// analyze precomputes the extension test for storage; it reports false when
+// storage itself is not redundant (in which case no extension is either,
+// since prefixes of redundant walks are redundant).
+func (e *redundantExt) analyze(storage graph.Path) bool {
+	if len(storage) > 2*graph.MaxNodes {
+		// No redundant path is longer than two simple paths; rejecting here
+		// also keeps positions within the mark word's low bits.
+		return false
 	}
-	ext.a = ext.n
-	var seen graph.Set
+	e.n = len(storage)
+
+	// Pass 1: a = length of the longest all-distinct prefix.
+	e.epoch++
+	tag := e.epoch << markShift
+	e.a = e.n
 	for i, v := range storage {
-		if seen.Has(v) {
-			ext.a = i
+		if e.mark[v]>>markShift == e.epoch {
+			e.a = i
 			break
 		}
-		seen = seen.Add(v)
+		e.mark[v] = tag
 	}
-	seen = graph.EmptySet
-	for i := ext.n - 1; i >= 0; i-- {
+	// Pass 2: b = start of the longest all-distinct suffix.
+	e.epoch++
+	tag = e.epoch << markShift
+	e.b = 0
+	for i := e.n - 1; i >= 0; i-- {
 		v := storage[i]
-		if seen.Has(v) {
-			ext.b = i + 1
+		if e.mark[v]>>markShift == e.epoch {
+			e.b = i + 1
 			break
 		}
-		seen = seen.Add(v)
+		e.mark[v] = tag
 	}
+	if e.b > e.a-1 {
+		return false
+	}
+	// Pass 3: last occurrence index of every node on the walk.
+	e.epoch++
+	tag = e.epoch << markShift
 	for i, v := range storage {
-		ext.lastIdx[v] = int16(i)
+		e.mark[v] = tag | uint64(i+1)
 	}
-	return ext, ext.b <= ext.a-1
+	return true
+}
+
+// lastIdx returns the last occurrence of w in the analyzed walk, or -1.
+func (e *redundantExt) lastIdx(w int) int {
+	if e.mark[w]>>markShift != e.epoch {
+		return -1
+	}
+	return int(e.mark[w]&(1<<markShift-1)) - 1
 }
 
 // extendable reports whether appending w keeps the walk redundant.
 func (e *redundantExt) extendable(w int) bool {
+	last := e.lastIdx(w)
 	a := e.a
-	if e.a == e.n && e.lastIdx[w] < 0 { // fully distinct walk, new node
+	if e.a == e.n && last < 0 { // fully distinct walk, new node
 		a = e.n + 1
 	}
 	b := e.b
-	if int(e.lastIdx[w])+1 > b {
-		b = int(e.lastIdx[w]) + 1
+	if last+1 > b {
+		b = last + 1
 	}
 	return b <= a-1
 }
@@ -294,9 +327,9 @@ func (m *Machine) deliverComplete(p CompletePayload, from int, out *sim.Outbox) 
 		return // FIFO floods use simple paths only (Appendix F)
 	}
 	rs := m.round(p.Round)
-	// The stream is keyed by (origin, path); the path key alone suffices
-	// because its first byte is the origin (validated above).
-	streamKey := storage.Key()
+	// The stream is keyed by (origin, path); the path digest alone suffices
+	// because the path begins at the origin (validated above).
+	streamKey := digestPath(storage)
 	st, ok := rs.streams[streamKey]
 	if !ok {
 		st = &fifoStream{next: 1, buf: make(map[int]*bufferedComplete)}
@@ -327,10 +360,11 @@ func (m *Machine) deliverComplete(p CompletePayload, from int, out *sim.Outbox) 
 }
 
 // digestKey identifies a COMPLETE payload's content by the identity of its
-// (immutable, relay-shared) entry slice, so the content digest is computed
-// once per distinct flood rather than once per delivered copy. Two payloads
-// share a digest cache entry only when they share the same backing array,
-// origin and tag — in which case their contents are byte-identical.
+// (immutable, relay-shared) entry slice, so the flood summary is computed
+// once per distinct flood rather than once per delivered copy — and, via
+// the Proto's shared cache, once per run rather than once per receiver.
+// Two payloads share a cache entry only when they share the same backing
+// array, origin and tag — in which case their contents are byte-identical.
 type digestKey struct {
 	origin int
 	tag    graph.Set
@@ -338,18 +372,24 @@ type digestKey struct {
 	n      int
 }
 
-func (m *Machine) contentDigest(p *CompletePayload) string {
+// floodInfo returns the shared summary of p's content, computing it on
+// first sight of the flood in this run.
+func (m *Machine) floodInfo(p *CompletePayload) *floodInfo {
 	var first *ValEntry
 	if len(p.Entries) > 0 {
 		first = &p.Entries[0]
 	}
 	dk := digestKey{origin: p.Origin, tag: p.Tag, first: first, n: len(p.Entries)}
-	if d, ok := m.digests[dk]; ok {
-		return d
+	if v, ok := m.proto.floods.Load(dk); ok {
+		return v.(*floodInfo)
 	}
-	d := p.contentKey()
-	m.digests[dk] = d
-	return d
+	info := newFloodInfo(p)
+	m.proto.floods.Store(dk, info)
+	return info
+}
+
+func (m *Machine) contentDigest(p *CompletePayload) string {
+	return m.floodInfo(p).key
 }
 
 // registerComplete processes one FIFO-delivered COMPLETE: it records the
@@ -358,14 +398,21 @@ func (m *Machine) contentDigest(p *CompletePayload) string {
 // the qualifying COMPLETE messages for verification (Algorithm 1 lines
 // 12-13 and the Section 4.3 snapshot semantics).
 func (m *Machine) registerComplete(rs *roundState, p *CompletePayload, storage graph.Path, out *sim.Outbox) {
-	key := m.contentDigest(p)
+	info := m.floodInfo(p)
+	key := info.key
 	rec, ok := rs.contents[key]
 	if !ok {
-		rec = newContentRecord(p)
+		rec = &contentRecord{
+			origin: p.Origin,
+			tag:    p.Tag,
+			info:   info,
+			via:    make(map[pathDigest]graph.Set),
+		}
 		rs.contents[key] = rec
 		rs.contentOrder = append(rs.contentOrder, key)
 	}
-	rec.via[storage.Key()] = storage.Set()
+	dig := digestPath(storage)
+	rec.via[dig] = storage.Set()
 
 	idx, ok := m.pre.byFv[p.Tag]
 	if !ok {
@@ -379,20 +426,20 @@ func (m *Machine) registerComplete(rs *roundState, p *CompletePayload, storage g
 	if !ok {
 		return // origin outside reach_v(F_v); not part of the condition
 	}
-	if _, need := required[storage.Key()]; !need {
+	if _, need := required[dig]; !need {
 		return
 	}
 	byContent, ok := t.perOrigin[p.Origin]
 	if !ok {
-		byContent = make(map[string]map[string]struct{})
+		byContent = make(map[string]map[pathDigest]struct{})
 		t.perOrigin[p.Origin] = byContent
 	}
 	paths, ok := byContent[key]
 	if !ok {
-		paths = make(map[string]struct{})
+		paths = make(map[pathDigest]struct{})
 		byContent[key] = paths
 	}
-	paths[storage.Key()] = struct{}{}
+	paths[dig] = struct{}{}
 	if len(paths) == len(required) && !t.satisfied[p.Origin] {
 		t.satisfied[p.Origin] = true
 		t.satCount++
@@ -413,7 +460,7 @@ func (m *Machine) buildSnapshot(rs *roundState, t *threadState) {
 	t.clauseDedup = make(map[sharedClauseKey]*clause)
 	for _, key := range rs.contentOrder {
 		rec := rs.contents[key]
-		if !rec.consistent {
+		if !rec.info.consistent {
 			continue
 		}
 		qualifies := false
@@ -443,7 +490,7 @@ func (m *Machine) buildSnapshot(rs *roundState, t *threadState) {
 					continue
 				}
 				seen[ck] = struct{}{}
-				want, okv := rec.values[q]
+				want, okv := rec.info.values[q]
 				if !okv {
 					pc.impossible = true
 					break

@@ -80,8 +80,10 @@ func (c CompletePayload) contentKey() string {
 			mix(byte(v >> (8 * i)))
 		}
 	}
-	mix(byte(c.Origin))
-	mix64(uint64(c.Tag))
+	mix64(uint64(c.Origin))
+	for _, w := range c.Tag {
+		mix64(w)
+	}
 	for _, e := range c.Entries {
 		for i := 0; i < len(e.PathKey); i++ {
 			mix(e.PathKey[i])
@@ -89,53 +91,60 @@ func (c CompletePayload) contentKey() string {
 		mix(0xff) // entry separator
 		mix64(math.Float64bits(e.Value))
 	}
-	var out [17]byte
-	out[0] = byte(c.Origin)
+	var out [18]byte
+	out[0] = byte(c.Origin >> 8)
+	out[1] = byte(c.Origin)
 	for i := 0; i < 8; i++ {
-		out[1+i] = byte(h1 >> (8 * i))
-		out[9+i] = byte(h2 >> (8 * i))
+		out[2+i] = byte(h1 >> (8 * i))
+		out[10+i] = byte(h2 >> (8 * i))
 	}
 	return string(out[:])
 }
 
-// contentRecord is the per-receiver digest of one distinct COMPLETE content:
-// its per-origin value map (well defined only when the entry set is
-// consistent in the sense of Definition 8) and the set of propagation paths
-// it has been FIFO-received through so far.
-type contentRecord struct {
+// floodInfo is the receiver-independent summary of one distinct COMPLETE
+// flood: its content key and per-origin value map with the Definition 8
+// consistency flag. It is computed once per flood and shared by every
+// receiver through the Proto's flood cache — both the content hash and the
+// value-map scan cost O(|entries|), which per receiver added up to the
+// dominant term of large-graph profiles.
+type floodInfo struct {
 	key        string
-	origin     int
-	tag        graph.Set
 	consistent bool
-	values     map[int]float64      // init node -> unique value (Definition 8)
-	via        map[string]graph.Set // delivered path key -> node set of that path
+	values     map[int]float64 // init node -> unique value (Definition 8)
 }
 
-func newContentRecord(p *CompletePayload) *contentRecord {
-	r := &contentRecord{
+func newFloodInfo(p *CompletePayload) *floodInfo {
+	info := &floodInfo{
 		key:        p.contentKey(),
-		origin:     p.Origin,
-		tag:        p.Tag,
 		consistent: true,
 		values:     make(map[int]float64),
-		via:        make(map[string]graph.Set),
 	}
 	for _, e := range p.Entries {
-		if len(e.PathKey) == 0 {
-			r.consistent = false
+		init := graph.KeyInit(e.PathKey)
+		if init < 0 {
+			info.consistent = false
 			continue
 		}
-		init := int(e.PathKey[0])
-		if prev, ok := r.values[init]; ok && prev != e.Value {
-			r.consistent = false
+		if prev, ok := info.values[init]; ok && prev != e.Value {
+			info.consistent = false
 		}
-		r.values[init] = e.Value
+		info.values[init] = e.Value
 	}
-	return r
+	return info
+}
+
+// contentRecord is the per-receiver state of one distinct COMPLETE content:
+// the shared flood summary plus the set of propagation paths it has been
+// FIFO-received through so far at this node.
+type contentRecord struct {
+	origin int
+	tag    graph.Set
+	info   *floodInfo
+	via    map[pathDigest]graph.Set // delivered path digest -> node set of that path
 }
 
 // String aids debugging.
 func (r *contentRecord) String() string {
 	return fmt.Sprintf("COMPLETE(origin=%d tag=%s consistent=%v |values|=%d)",
-		r.origin, r.tag, r.consistent, len(r.values))
+		r.origin, r.tag, r.info.consistent, len(r.info.values))
 }

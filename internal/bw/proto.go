@@ -3,6 +3,7 @@ package bw
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -33,6 +34,17 @@ type Proto struct {
 	// component S_{F1,F2} of Definition 6, which depends on F1, F2 only
 	// through their union.
 	srcComp map[graph.Set]graph.Set
+
+	// floods caches the content digest and per-origin value map of each
+	// distinct COMPLETE flood, keyed by the identity of its immutable,
+	// relay-shared entry slice (digestKey). The cache lives on the shared
+	// Proto rather than per machine: hashing a flood's content costs
+	// O(total key bytes), and with per-machine caches every receiver paid
+	// it again — an O(n^4)-byte bill that dominated large-graph profiles.
+	// sync.Map because cluster runtimes invoke machines from concurrent
+	// node loops; the deterministic simulator is single-threaded and pays
+	// only the map overhead.
+	floods sync.Map // digestKey -> *floodInfo
 }
 
 // DefaultPathBudget bounds per-node redundant path enumeration.
@@ -99,12 +111,40 @@ func (p *Proto) SourceComponent(f1, f2 graph.Set) graph.Set {
 type threadPre struct {
 	fv    graph.Set
 	reach graph.Set
-	// expected is the fullness set {p ∈ Pr_{V\Fv} : ter(p) = v} of
-	// Definition 9, as path keys.
-	expected map[string]struct{}
-	// requiredFIFO maps each c in reach_v(Fv) to the key set of all simple
-	// (c,v)-paths contained in reach_v(Fv) (Algorithm 1 line 12).
-	requiredFIFO map[int]map[string]struct{}
+	// expectedCount is the size of the fullness set
+	// {p ∈ Pr_{V\Fv} : ter(p) = v} of Definition 9. Only the count is
+	// needed at run time: every accepted entry is a redundant path of G
+	// ending at v, so it belongs to the set exactly when it avoids F_v —
+	// membership never has to be tested, and the paths are counted without
+	// being materialized (graph.CountRedundantPathsTo), which is what keeps
+	// the precomputation feasible on the scale experiments' graphs.
+	expectedCount int
+	// requiredFIFO maps each c in reach_v(Fv) to the digest set of all
+	// simple (c,v)-paths contained in reach_v(Fv) (Algorithm 1 line 12).
+	requiredFIFO map[int]map[pathDigest]struct{}
+}
+
+// pathDigest is a 128-bit FNV-1a pair over a path's node sequence. The
+// FIFO-requirement and stream tables are keyed by digest instead of the
+// materialized key string: at the scale experiments' graph orders the key
+// strings alone run to gigabytes, while a digest is 16 bytes per path. A
+// collision would require two distinct propagation paths hashing
+// identically under both variants — negligible at simulation scale (the
+// same argument contentKey already relies on).
+type pathDigest [2]uint64
+
+// digestPath hashes the path's Key byte encoding without building it.
+func digestPath(p graph.Path) pathDigest {
+	const prime64 = 1099511628211
+	h1 := uint64(14695981039346656037)
+	h2 := h1 ^ 0x9e3779b97f4a7c15
+	for _, v := range p {
+		for _, b := range [2]byte{byte(v >> 8), byte(v)} {
+			h1 = (h1 ^ uint64(b)) * prime64
+			h2 = (h2 ^ uint64(b^0xa5)) * prime64
+		}
+	}
+	return pathDigest{h1, h2}
 }
 
 // nodePre is the full static context of one node's machine.
@@ -123,12 +163,12 @@ func (p *Proto) precompute(v int) (*nodePre, error) {
 			continue
 		}
 		t := &threadPre{fv: fv, reach: p.G.ReachSet(v, fv)}
-		exp, err := p.G.RedundantPathsTo(v, fv, p.PathBudget)
+		count, err := p.G.CountRedundantPathsTo(v, fv, p.PathBudget)
 		if err != nil {
 			return nil, fmt.Errorf("bw: node %d, thread %s: %w", v, fv, err)
 		}
-		t.expected = exp
-		t.requiredFIFO = make(map[int]map[string]struct{})
+		t.expectedCount = count
+		t.requiredFIFO = make(map[int]map[pathDigest]struct{})
 		// All simple paths ending at v whose nodes lie inside the reach
 		// set; grouped by initial node they realize line 12's requirement.
 		outside := p.G.Nodes().Minus(t.reach)
@@ -140,10 +180,10 @@ func (p *Proto) precompute(v int) (*nodePre, error) {
 			c := sp.Init()
 			set, ok := t.requiredFIFO[c]
 			if !ok {
-				set = make(map[string]struct{})
+				set = make(map[pathDigest]struct{})
 				t.requiredFIFO[c] = set
 			}
-			set[sp.Key()] = struct{}{}
+			set[digestPath(sp)] = struct{}{}
 		}
 		pre.byFv[fv] = len(pre.threads)
 		pre.threads = append(pre.threads, t)

@@ -99,7 +99,7 @@ type threadState struct {
 
 	// FIFO-Receive-All condition (line 12).
 	fifoDone  bool
-	perOrigin map[int]map[string]map[string]struct{} // origin -> content -> delivered required paths
+	perOrigin map[int]map[string]map[pathDigest]struct{} // origin -> content -> delivered required paths
 	satisfied map[int]bool
 	satCount  int
 
@@ -123,9 +123,9 @@ type sharedClauseKey struct {
 func newThreadState(pre *threadPre) *threadState {
 	return &threadState{
 		pre:       pre,
-		missing:   len(pre.expected),
+		missing:   pre.expectedCount,
 		initVals:  make(map[int]float64),
-		perOrigin: make(map[int]map[string]map[string]struct{}),
+		perOrigin: make(map[int]map[string]map[pathDigest]struct{}),
 		satisfied: make(map[int]bool),
 	}
 }
@@ -163,7 +163,7 @@ type roundState struct {
 
 	threads []*threadState
 
-	streams      map[string]*fifoStream
+	streams      map[pathDigest]*fifoStream
 	contents     map[string]*contentRecord
 	contentOrder []string
 
@@ -176,7 +176,7 @@ func newRoundState(r int, pre *nodePre) *roundState {
 		round:    r,
 		byPath:   make(map[string]int),
 		byInit:   make(map[int][]int),
-		streams:  make(map[string]*fifoStream),
+		streams:  make(map[pathDigest]*fifoStream),
 		contents: make(map[string]*contentRecord),
 	}
 	rs.threads = make([]*threadState, len(pre.threads))

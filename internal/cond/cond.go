@@ -17,6 +17,7 @@ package cond
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/graph"
 )
@@ -73,6 +74,23 @@ func buildReachTable(g *graph.Graph, maxSize int) *reachTable {
 	return t
 }
 
+// decomposable is decompose's feasibility test alone, through pointers and
+// without materializing any set: it runs once per enumerated pair of
+// removal sets — quadratic in the (exponential) set count — so it must not
+// copy the multiword arrays.
+func decomposable(a, b *graph.Set, f int) bool {
+	ca, cb, ci := 0, 0, 0
+	for w := range a {
+		ca += bits.OnesCount64(a[w])
+		cb += bits.OnesCount64(b[w])
+		ci += bits.OnesCount64(a[w] & b[w])
+	}
+	if ci > f {
+		ci = f
+	}
+	return ca-ci <= f && cb-ci <= f
+}
+
 // decompose splits removal sets A and B into (F, Fu, Fv) with F shared,
 // each of size at most f, if possible. It implements the feasibility rule
 // derived from A = F ∪ Fu, B = F ∪ Fv, F ⊆ A ∩ B:
@@ -84,7 +102,7 @@ func decompose(a, b graph.Set, f int) (fShared, fu, fv graph.Set, ok bool) {
 		take = f
 	}
 	if a.Count()-take > f || b.Count()-take > f {
-		return 0, 0, 0, false
+		return graph.EmptySet, graph.EmptySet, graph.EmptySet, false
 	}
 	var fs graph.Set
 	inter.ForEach(func(v int) bool {
@@ -111,7 +129,7 @@ func Check1Reach(g *graph.Graph, f int) (bool, *Witness) {
 				if fset.Has(v) {
 					continue
 				}
-				if !row[u].Intersects(row[v]) {
+				if !setsIntersect(&row[u], &row[v]) {
 					return false, &Witness{U: u, V: v, F: fset, Fu: fset, Fv: fset}
 				}
 			}
@@ -146,12 +164,12 @@ func Check3Reach(g *graph.Graph, f int) (bool, *Witness) {
 	t := buildReachTable(g, 2*f)
 	for i := range t.sets {
 		for j := i; j < len(t.sets); j++ {
-			fs, fu, fv, ok := decompose(t.sets[i], t.sets[j], f)
-			if !ok {
+			if !decomposable(&t.sets[i], &t.sets[j], f) {
 				continue
 			}
 			if w := checkPair(t, i, j); w != nil {
-				w.F, w.Fu, w.Fv = fs, fu, fv
+				// Materialize the witness decomposition only on failure.
+				w.F, w.Fu, w.Fv, _ = decompose(t.sets[i], t.sets[j], f)
 				return false, w
 			}
 		}
@@ -159,23 +177,42 @@ func Check3Reach(g *graph.Graph, f int) (bool, *Witness) {
 	return true, nil
 }
 
+// setsIntersect is Set.Intersects through pointers: this predicate runs
+// |sets|^2 * n^2 times in the reach checkers, and the method form copies
+// two full multiword arrays per call — the dominant cost after Set grew to
+// 16 words for the scale experiments.
+func setsIntersect(a, b *graph.Set) bool {
+	for w := range a {
+		if a[w]&b[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasNode is Set.Has through a pointer (method calls on *Set auto-deref and
+// copy the array).
+func hasNode(s *graph.Set, v int) bool {
+	return s[uint(v)>>6]&(1<<(uint(v)&63)) != 0
+}
+
 // checkPair scans all node pairs (u outside sets[i], v outside sets[j]) for
 // an empty reach intersection; it returns a partially filled witness with
 // U and V set, or nil if every pair intersects. Both orientations of the
 // pair are covered because u and v range over all nodes.
 func checkPair(t *reachTable, i, j int) *Witness {
-	a, b := t.sets[i], t.sets[j]
+	a, b := &t.sets[i], &t.sets[j]
 	ra, rb := t.reach[i], t.reach[j]
 	n := t.g.N()
 	for u := 0; u < n; u++ {
-		if a.Has(u) {
+		if hasNode(a, u) {
 			continue
 		}
 		for v := 0; v < n; v++ {
-			if b.Has(v) || u == v {
+			if hasNode(b, v) || u == v {
 				continue
 			}
-			if !ra[u].Intersects(rb[v]) {
+			if !setsIntersect(&ra[u], &rb[v]) {
 				return &Witness{U: u, V: v}
 			}
 		}
@@ -211,12 +248,18 @@ func CheckKReach(g *graph.Graph, k, f int) (bool, *Witness) {
 			if shared {
 				// A = F ∪ (perSide-1 sets of size <= f): feasible iff
 				// max(|A|,|B|) − min(f,|A∩B|) <= (perSide-1)·f.
-				inter := t.sets[i].Intersect(t.sets[j]).Count()
+				a, b := &t.sets[i], &t.sets[j]
+				ca, cb, inter := 0, 0, 0
+				for w := range a {
+					ca += bits.OnesCount64(a[w])
+					cb += bits.OnesCount64(b[w])
+					inter += bits.OnesCount64(a[w] & b[w])
+				}
 				if inter > f {
 					inter = f
 				}
 				rest := (perSide - 1) * f
-				if t.sets[i].Count()-inter > rest || t.sets[j].Count()-inter > rest {
+				if ca-inter > rest || cb-inter > rest {
 					continue
 				}
 			}

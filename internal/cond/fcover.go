@@ -40,7 +40,7 @@ func findCover(pathSets []graph.Set, budget int, allowed, chosen graph.Set) (gra
 		return chosen, true
 	}
 	if budget == 0 {
-		return 0, false
+		return graph.EmptySet, false
 	}
 	candidates := uncovered.Intersect(allowed)
 	var (

@@ -62,7 +62,7 @@ func forEachPartition3(universe graph.Set, fn func(l, c, r graph.Set) bool) {
 		assign[i] = 2
 		return rec(i+1, l, c, r.Add(v))
 	}
-	rec(0, 0, 0, 0)
+	rec(0, graph.EmptySet, graph.EmptySet, graph.EmptySet)
 }
 
 // CheckCCA verifies Definition 17 (condition CCA): for every partition

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+// ScaleCase is one prepared cell of the E14 scale-out study: a declarative
+// scenario plus the runtimes it runs on. Exported so cmd/benchruntimes can
+// record the identical ladder into BENCH_2.json.
+type ScaleCase struct {
+	Scenario repro.Scenario
+	Family   string   // graph family label ("cycle", "torus", "expander")
+	N        int      // graph order
+	F        int      // effective fault bound (0 for the FZero rows)
+	Runtimes []string // runtimes this cell runs on ("sim", "loopback")
+	// SkipNote explains any runtime deliberately absent from Runtimes, so
+	// every consumer reports the same reason (no silent caps).
+	SkipNote string
+}
+
+// ScaleSizes is the E14 ladder of graph orders.
+var ScaleSizes = []int{8, 32, 128, 512, 1024}
+
+// scaleLoopbackMaxBW bounds the BW loopback rows: every BW message carries
+// a propagation path, so the wire encode/decode bill grows with n^3 and the
+// live in-process cluster stops being a seconds-scale experiment well
+// before the simulator does. Larger BW cells run on the simulator only and
+// the report says so — no silent truncation.
+const scaleLoopbackMaxBW = 128
+
+// scaleTorusDims factors the ladder sizes into torus sides.
+var scaleTorusDims = map[int][2]int{8: {2, 4}, 32: {4, 8}, 128: {8, 16}, 512: {16, 32}, 1024: {32, 32}}
+
+// ScaleCases builds the E14 ladder: Algorithm BW on the directed cycle (the
+// path-sparse family — every other named family's redundant-path count
+// explodes past the protocol budget long before n = 1024) with an explicit
+// zero fault bound, and the local iterative baseline on the torus and
+// expander families with f = 1. maxN caps the ladder (0 = the full 1024).
+func ScaleCases(seed int64, maxN int) []ScaleCase {
+	var cases []ScaleCase
+	for _, n := range ScaleSizes {
+		if maxN > 0 && n > maxN {
+			continue
+		}
+		bwRuntimes := []string{"sim", "loopback"}
+		bwSkip := ""
+		if n > scaleLoopbackMaxBW {
+			bwRuntimes = []string{"sim"}
+			bwSkip = fmt.Sprintf("scale-bw-cycle-%d on loopback: BW wire-encodes a path per message; n > %d is simulator-only", n, scaleLoopbackMaxBW)
+		}
+		cases = append(cases, ScaleCase{
+			Scenario: repro.Scenario{
+				Name:     fmt.Sprintf("scale-bw-cycle-%d", n),
+				Graph:    fmt.Sprintf("cycle:%d", n),
+				Protocol: "bw",
+				InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 2},
+				F:        repro.FZero, K: 1, Eps: 0.6, Seed: seed,
+			},
+			Family: "cycle", N: n, F: 0, Runtimes: bwRuntimes, SkipNote: bwSkip,
+		})
+		d := scaleTorusDims[n]
+		cases = append(cases, ScaleCase{
+			Scenario: repro.Scenario{
+				Name:     fmt.Sprintf("scale-iter-torus-%d", n),
+				Graph:    fmt.Sprintf("torus:%d:%d", d[0], d[1]),
+				Protocol: "iterative",
+				InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 4},
+				F:        1, K: 3, Eps: 0.25, Seed: seed,
+			},
+			Family: "torus", N: n, F: 1, Runtimes: []string{"sim", "loopback"},
+		})
+		cases = append(cases, ScaleCase{
+			Scenario: repro.Scenario{
+				Name:     fmt.Sprintf("scale-iter-expander-%d", n),
+				Graph:    fmt.Sprintf("expander:%d:3:%d", n, seed),
+				Protocol: "iterative",
+				InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 4},
+				F:        1, K: 3, Eps: 0.25, Seed: seed,
+			},
+			Family: "expander", N: n, F: 1, Runtimes: []string{"sim", "loopback"},
+		})
+	}
+	return cases
+}
+
+// ScaleRow is one executed cell of E14.
+type ScaleRow struct {
+	Name      string
+	Protocol  string
+	Family    string
+	N         int
+	F         int
+	Runtime   string
+	Steps     int
+	Messages  int
+	Ms        float64
+	Decided   bool
+	Converged bool
+	CertNote  string
+}
+
+// ScaleReport aggregates experiment E14: how the delivery core and the
+// protocols behave as the graph order grows to 1024 — the axis none of the
+// paper-reproduction experiments exercise.
+type ScaleReport struct {
+	Rows []ScaleRow
+	// Skipped lists cells deliberately not run, with reasons (no silent
+	// caps).
+	Skipped []string
+}
+
+// Render prints the study.
+func (r ScaleReport) Render() string {
+	var b strings.Builder
+	b.WriteString("E14 / scale-out — BW and iterative from n=8 to n=1024, sim vs loopback\n")
+	fmt.Fprintf(&b, "  %-10s %-9s %-5s %-3s %-9s %10s %10s %12s %-8s %-9s %s\n",
+		"protocol", "family", "n", "f", "runtime", "steps", "messages", "ms", "decided", "converged", "3-reach")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-10s %-9s %-5d %-3d %-9s %10d %10d %12.1f %-8v %-9v %s\n",
+			row.Protocol, row.Family, row.N, row.F, row.Runtime,
+			row.Steps, row.Messages, row.Ms, row.Decided, row.Converged, row.CertNote)
+	}
+	for _, s := range r.Skipped {
+		fmt.Fprintf(&b, "  skipped: %s\n", s)
+	}
+	return b.String()
+}
+
+// certNote certifies the cell's graph when it is small enough, with the
+// explicit skip note above CertLimit.
+func certNote(spec string, f int) string {
+	g, err := repro.NamedGraph(spec)
+	if err != nil {
+		return "graph error: " + err.Error()
+	}
+	rep := repro.CheckConditions(g, f)
+	if !rep.Certified {
+		return rep.Note
+	}
+	return fmt.Sprintf("3-reach=%v", rep.ThreeReach)
+}
+
+// RunScale produces the full E14 report under DefaultExec.
+func RunScale(seed int64) (ScaleReport, error) {
+	return RunScaleExec(context.Background(), seed, DefaultExec, 0)
+}
+
+// RunScaleExec runs the ladder up to maxN (0 = all sizes). Cells run
+// sequentially — each large cell saturates memory bandwidth on its own, and
+// wall-clock per cell is itself a reported measurement, so fanning cells
+// across workers would corrupt the numbers.
+func RunScaleExec(ctx context.Context, seed int64, exec Exec, maxN int) (ScaleReport, error) {
+	var rep ScaleReport
+	for _, c := range ScaleCases(seed, maxN) {
+		note := certNote(c.Scenario.Graph, c.F)
+		for _, runtime := range c.Runtimes {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+			s := c.Scenario
+			var out *repro.Result
+			var err error
+			start := time.Now()
+			if runtime == "sim" {
+				out, err = runScenario(s, exec)
+			} else {
+				// Cluster runtimes reject sim-only knobs; the scenario stays
+				// engine-free.
+				out, err = s.RunOn(ctx, runtime)
+			}
+			if err != nil {
+				return rep, fmt.Errorf("%s on %s: %w", s.Name, runtime, err)
+			}
+			rep.Rows = append(rep.Rows, ScaleRow{
+				Name:     s.Name,
+				Protocol: s.Protocol,
+				Family:   c.Family,
+				N:        c.N,
+				F:        c.F,
+				Runtime:  runtime,
+				Steps:    out.Steps, Messages: out.MessagesSent,
+				Ms:        float64(time.Since(start).Microseconds()) / 1000,
+				Decided:   out.Decided,
+				Converged: out.Converged,
+				CertNote:  note,
+			})
+		}
+		if c.SkipNote != "" {
+			rep.Skipped = append(rep.Skipped, c.SkipNote)
+		}
+	}
+	return rep, nil
+}

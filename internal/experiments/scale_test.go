@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestScaleLadderShape pins the E14 case matrix: every ladder size carries
+// the three family cells, BW rows use the explicit zero fault bound, and
+// the large BW cells are simulator-only.
+func TestScaleLadderShape(t *testing.T) {
+	cases := ScaleCases(1, 0)
+	if want := len(ScaleSizes) * 3; len(cases) != want {
+		t.Fatalf("ladder has %d cells, want %d", len(cases), want)
+	}
+	for _, c := range cases {
+		if err := c.Scenario.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Scenario.Name, err)
+		}
+		if c.Scenario.Protocol == "bw" {
+			if c.Scenario.F != repro.FZero {
+				t.Errorf("%s: BW ladder rows must use the explicit zero fault bound", c.Scenario.Name)
+			}
+			wantLoopback := c.N <= scaleLoopbackMaxBW
+			hasLoopback := len(c.Runtimes) == 2
+			if wantLoopback != hasLoopback {
+				t.Errorf("%s: loopback presence = %v, want %v", c.Scenario.Name, hasLoopback, wantLoopback)
+			}
+			if hasSkip := c.SkipNote != ""; hasSkip == wantLoopback {
+				t.Errorf("%s: skip note presence = %v, want %v (every absent runtime needs a reason)",
+					c.Scenario.Name, hasSkip, !wantLoopback)
+			}
+		}
+	}
+	if got := len(ScaleCases(1, 32)); got != 6 {
+		t.Fatalf("maxN=32 ladder has %d cells, want 6", got)
+	}
+}
+
+// TestScaleSmallRuns executes the bottom of the ladder end to end on both
+// runtimes: BW must decide and converge on the cycle rows, the report must
+// carry certification notes, and nothing may be silently skipped.
+func TestScaleSmallRuns(t *testing.T) {
+	rep, err := RunScaleExec(context.Background(), 1, Exec{}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 12 { // 6 cells x {sim, loopback}
+		t.Fatalf("rows = %d, want 12", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Protocol == "bw" && (!row.Decided || !row.Converged) {
+			t.Errorf("%s on %s: BW cycle row did not converge", row.Name, row.Runtime)
+		}
+		if row.CertNote == "" {
+			t.Errorf("%s: missing certification note", row.Name)
+		}
+		if !row.Decided {
+			t.Errorf("%s on %s: run did not decide", row.Name, row.Runtime)
+		}
+	}
+	if !strings.Contains(rep.Render(), "3-reach") {
+		t.Error("render misses the certification column")
+	}
+}
+
+// TestScaleCertNoteAboveLimit: ladder rows beyond CertLimit must carry the
+// explicit skip note, not a fabricated verdict.
+func TestScaleCertNoteAboveLimit(t *testing.T) {
+	note := certNote("cycle:128", 0)
+	if !strings.Contains(note, "skipped") {
+		t.Fatalf("cert note for n=128 should record the skip, got %q", note)
+	}
+	if certNote("cycle:32", 0) != "3-reach=true" {
+		t.Fatalf("cycle:32 f=0 should certify, got %q", certNote("cycle:32", 0))
+	}
+}

@@ -148,6 +148,92 @@ func RandomUndirected(n int, p float64, seed int64) *Graph {
 	return g.SetName(fmt.Sprintf("randomU%d", n))
 }
 
+// Torus returns the bidirected rows x cols torus: node r*cols+c is joined
+// (in both directions) to its four grid neighbors with wraparound. The
+// standard sparse mesh family for the scale experiments — constant degree,
+// diameter (rows+cols)/2.
+func Torus(rows, cols int) *Graph {
+	g := New(rows * cols)
+	id := func(r, c int) int { return ((r+rows)%rows)*cols + (c+cols)%cols }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Adding the "forward" neighbor in both directions covers every
+			// torus edge exactly once; duplicate AddBoth calls on 2-cycles
+			// (rows or cols == 2) are no-ops.
+			for _, nb := range [][2]int{{r, c + 1}, {r + 1, c}} {
+				if v := id(nb[0], nb[1]); v != id(r, c) {
+					if err := g.AddBoth(id(r, c), v); err != nil {
+						panic(err) // unreachable: ids valid by construction
+					}
+				}
+			}
+		}
+	}
+	return g.SetName(fmt.Sprintf("torus%dx%d", rows, cols))
+}
+
+// KRegular returns a random k-out-regular digraph: every node gets exactly k
+// distinct out-neighbors drawn uniformly without replacement, using the
+// given seed. In-degrees are k only in expectation. Requires 1 <= k < n.
+func KRegular(n, k int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	others := make([]int, n-1)
+	for u := 0; u < n; u++ {
+		j := 0
+		for v := 0; v < n; v++ {
+			if v != u {
+				others[j] = v
+				j++
+			}
+		}
+		// Partial Fisher-Yates: the first k entries are a uniform sample.
+		for i := 0; i < k; i++ {
+			swap := i + rng.Intn(len(others)-i)
+			others[i], others[swap] = others[swap], others[i]
+			g.MustAddEdge(u, others[i])
+		}
+	}
+	return g.SetName(fmt.Sprintf("kregular%d", n))
+}
+
+// Expander returns a d-regular digraph built as the union of d random
+// permutations without fixed points or duplicate edges (each permutation is
+// resampled per offending node until clean) — a standard construction whose
+// instances are expanders with high probability. Every node has out-degree
+// and in-degree exactly d. Requires 1 <= d < n.
+func Expander(n, d int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(n)
+	for layer := 0; layer < d; layer++ {
+		perm := rng.Perm(n)
+		// Repair fixed points and edges duplicating earlier layers by random
+		// transpositions: whole-permutation rejection has acceptance ~e^-d,
+		// while repairs converge in a handful of swaps when d << n.
+		for attempts := 0; ; attempts++ {
+			bad := -1
+			for u, v := range perm {
+				if u == v || g.HasEdge(u, v) {
+					bad = u
+					break
+				}
+			}
+			if bad < 0 {
+				break
+			}
+			if attempts > 100*(n+1) {
+				panic(fmt.Sprintf("graph: Expander(%d, %d, %d): could not place layer %d", n, d, seed, layer))
+			}
+			j := rng.Intn(n)
+			perm[bad], perm[j] = perm[j], perm[bad]
+		}
+		for u, v := range perm {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g.SetName(fmt.Sprintf("expander%d", n))
+}
+
 // TwoCliquesBridged is the generic two-clique family behind Figure 1(b):
 // cliques of size k on nodes 0..k-1 and k..2k-1, plus the given cross edges
 // (pairs are (u, v) node IDs in the combined numbering).

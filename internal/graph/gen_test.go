@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -116,5 +117,66 @@ func TestTwoCliquesBridged(t *testing.T) {
 	}
 	if !g.HasEdge(0, 3) || !g.HasEdge(4, 1) {
 		t.Error("bridges missing")
+	}
+}
+
+func TestTorus(t *testing.T) {
+	g := Torus(4, 8)
+	if g.N() != 32 || !g.IsUndirected() {
+		t.Fatalf("n=%d undirected=%v", g.N(), g.IsUndirected())
+	}
+	// Every node has exactly four neighbors on sides >= 3.
+	for v := 0; v < g.N(); v++ {
+		if d := len(g.Out(v)); d != 4 {
+			t.Fatalf("node %d out-degree %d, want 4", v, d)
+		}
+	}
+	if !g.IsStronglyConnected() {
+		t.Error("torus not strongly connected")
+	}
+	// 2xN tori collapse the duplicate row edges; still valid and connected.
+	small := Torus(2, 2)
+	if small.N() != 4 || !small.IsStronglyConnected() || !small.IsUndirected() {
+		t.Errorf("torus 2x2 malformed: %s", small)
+	}
+}
+
+func TestKRegular(t *testing.T) {
+	g := KRegular(20, 3, 5)
+	for v := 0; v < g.N(); v++ {
+		if d := len(g.Out(v)); d != 3 {
+			t.Fatalf("node %d out-degree %d, want 3", v, d)
+		}
+		for _, w := range g.Out(v) {
+			if w == v {
+				t.Fatal("self loop")
+			}
+		}
+	}
+	// Seeded determinism.
+	if !reflect.DeepEqual(KRegular(20, 3, 5).SortedEdges(), g.SortedEdges()) {
+		t.Error("KRegular not deterministic for a fixed seed")
+	}
+	if reflect.DeepEqual(KRegular(20, 3, 6).SortedEdges(), g.SortedEdges()) {
+		t.Error("KRegular ignores the seed")
+	}
+}
+
+func TestExpander(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{8, 2}, {20, 4}, {64, 3}, {2, 1}} {
+		g := Expander(tc.n, tc.d, 9)
+		for v := 0; v < g.N(); v++ {
+			if len(g.Out(v)) != tc.d || len(g.In(v)) != tc.d {
+				t.Fatalf("n=%d d=%d node %d: degree out=%d in=%d",
+					tc.n, tc.d, v, len(g.Out(v)), len(g.In(v)))
+			}
+		}
+	}
+	g := Expander(64, 3, 9)
+	if !g.IsStronglyConnected() {
+		t.Error("expander instance not strongly connected")
+	}
+	if !reflect.DeepEqual(Expander(64, 3, 9).SortedEdges(), g.SortedEdges()) {
+		t.Error("Expander not deterministic for a fixed seed")
 	}
 }

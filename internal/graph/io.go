@@ -128,6 +128,9 @@ func NamedSpecs() []string {
 		"fig1b-analog               the scaled Figure 1(b) analog (two K4 + 4 bridges)",
 		"circulant:<n>:<d1,d2,...>  circulant digraph",
 		"random:<n>:<p>:<seed>      random digraph",
+		"torus:<rows>:<cols>        bidirected torus grid (rows, cols >= 2)",
+		"kregular:<n>:<k>:<seed>    random k-out-regular digraph (1 <= k < n)",
+		"expander:<n>:<d>:<seed>    d-regular permutation expander (1 <= d < n/2)",
 	}
 }
 
@@ -142,6 +145,9 @@ func NamedSpecs() []string {
 //	fig1b-analog     the scaled Figure 1(b) analog (two K4 + 4 bridges)
 //	circulant:<n>:<d1,d2,...>  circulant digraph
 //	random:<n>:<p>:<seed>      random digraph
+//	torus:<rows>:<cols>        bidirected torus grid
+//	kregular:<n>:<k>:<seed>    random k-out-regular digraph
+//	expander:<n>:<d>:<seed>    d-regular permutation expander
 //
 // Every argument is validated — orders outside [1, MaxNodes], probabilities
 // outside [0, 1], and surplus arguments are errors, never panics — so specs
@@ -243,8 +249,59 @@ func Named(spec string) (*Graph, error) {
 			return nil, fmt.Errorf("graph: spec %q: bad seed", spec)
 		}
 		return RandomDigraph(n, p, seed), nil
+	case "torus":
+		if err := arity(3); err != nil {
+			return nil, err
+		}
+		rows, err1 := strconv.Atoi(parts[1])
+		cols, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || rows < 2 || cols < 2 {
+			return nil, fmt.Errorf("graph: spec %q: torus sides must be integers >= 2", spec)
+		}
+		// Bound each side before multiplying: the product of two huge sides
+		// overflows int and could wrap past the MaxNodes guard.
+		if rows > MaxNodes || cols > MaxNodes || rows*cols > MaxNodes {
+			return nil, fmt.Errorf("graph: spec %q: order exceeds %d", spec, MaxNodes)
+		}
+		return Torus(rows, cols), nil
+	case "kregular":
+		if err := arity(4); err != nil {
+			return nil, err
+		}
+		n, err := order(1)
+		if err != nil {
+			return nil, err
+		}
+		k, err := strconv.Atoi(parts[2])
+		if err != nil || k < 1 || k >= n {
+			return nil, fmt.Errorf("graph: spec %q: out-degree must be in [1,%d]", spec, n-1)
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: spec %q: bad seed", spec)
+		}
+		return KRegular(n, k, seed), nil
+	case "expander":
+		if err := arity(4); err != nil {
+			return nil, err
+		}
+		n, err := order(1)
+		if err != nil {
+			return nil, err
+		}
+		d, err := strconv.Atoi(parts[2])
+		// d < n/2 keeps the permutation-repair construction comfortably away
+		// from the dense regime where placements can fail.
+		if err != nil || d < 1 || d >= (n+1)/2 {
+			return nil, fmt.Errorf("graph: spec %q: degree must be in [1,%d]", spec, (n+1)/2-1)
+		}
+		seed, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: spec %q: bad seed", spec)
+		}
+		return Expander(n, d, seed), nil
 	default:
-		return nil, fmt.Errorf("graph: unknown spec %q (known forms: clique:<n>, cycle:<n>, wheel:<k>, fig1a, fig1b, fig1b-analog, circulant:<n>:<offsets>, random:<n>:<p>:<seed>)", spec)
+		return nil, fmt.Errorf("graph: unknown spec %q (known forms: clique:<n>, cycle:<n>, wheel:<k>, fig1a, fig1b, fig1b-analog, circulant:<n>:<offsets>, random:<n>:<p>:<seed>, torus:<rows>:<cols>, kregular:<n>:<k>:<seed>, expander:<n>:<d>:<seed>)", spec)
 	}
 }
 

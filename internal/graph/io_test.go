@@ -32,7 +32,7 @@ func TestUnmarshalErrors(t *testing.T) {
 		"edge first":     "e 0 1\nn 2\n",
 		"double order":   "n 2\nn 3\n",
 		"bad order":      "n zero\n",
-		"order range":    "n 100\n",
+		"order range":    "n 2000\n",
 		"bad edge arity": "n 2\ne 0\n",
 		"bad edge node":  "n 2\ne 0 5\n",
 		"self loop":      "n 2\ne 1 1\n",
@@ -96,9 +96,14 @@ func TestNamedSpecs(t *testing.T) {
 	bad := []string{"", "nope", "clique", "clique:x", "circulant:5", "circulant:5:a", "random:5", "random:5:x:1", "random:5:0.5:x",
 		// Bounds and arity hardening: these must error, never panic or
 		// attempt a giant allocation.
-		"clique:0", "clique:-3", "clique:65", "clique:999999999", "cycle:0",
-		"wheel:1", "wheel:0", "wheel:64", "fig1a:2", "clique:5:9",
-		"circulant:0:1", "circulant:5:1,2:3", "random:5:1.5:1", "random:5:-0.1:1", "random:5:NaN:1", "random:5:0.5:1:extra"}
+		"clique:0", "clique:-3", "clique:1025", "clique:999999999", "cycle:0",
+		"wheel:1", "wheel:0", "wheel:1024", "fig1a:2", "clique:5:9",
+		"circulant:0:1", "circulant:5:1,2:3", "random:5:1.5:1", "random:5:-0.1:1", "random:5:NaN:1", "random:5:0.5:1:extra",
+		"torus:1:4", "torus:2:2000", "torus:40:40", "torus:2", "torus:2:3:4", "torus:x:2",
+		"torus:3037000500:3037000500", // rows*cols overflows int; must error, not panic
+		"kregular:1025:2:1", "expander:2000:2:1",
+		"kregular:5:0:1", "kregular:5:5:1", "kregular:5:x:1", "kregular:5:2", "kregular:0:1:1",
+		"expander:5:0:1", "expander:5:3:1", "expander:4:2:1", "expander:5:2", "expander:5:x:1"}
 	for _, spec := range bad {
 		if _, err := Named(spec); err == nil {
 			t.Errorf("Named(%q) should fail", spec)
@@ -108,13 +113,14 @@ func TestNamedSpecs(t *testing.T) {
 
 func TestNamedSpecsCatalog(t *testing.T) {
 	specs := NamedSpecs()
-	if len(specs) != 8 {
-		t.Fatalf("NamedSpecs() lists %d forms, want 8", len(specs))
+	if len(specs) != 11 {
+		t.Fatalf("NamedSpecs() lists %d forms, want 11", len(specs))
 	}
 	// Every catalog line's head must be a real spec form.
 	for _, line := range specs {
 		head := strings.Fields(line)[0]
-		head = strings.NewReplacer("<n>", "5", "<k>", "4", "<d1,d2,...>", "1,2", "<p>", "0.5", "<seed>", "1").Replace(head)
+		head = strings.NewReplacer("<n>", "5", "<k>", "4", "<d1,d2,...>", "1,2", "<p>", "0.5", "<seed>", "1",
+			"<rows>", "2", "<cols>", "3", "<d>", "2").Replace(head)
 		if _, err := Named(head); err != nil {
 			t.Errorf("catalog form %q does not parse (as %q): %v", line, head, err)
 		}

@@ -17,21 +17,34 @@ func (p Path) Init() int { return p[0] }
 // Ter returns the terminal node of the path.
 func (p Path) Ter() int { return p[len(p)-1] }
 
-// Key encodes the path as a compact string usable as a map key. Node IDs are
-// below 64, so one byte per node suffices.
+// Key encodes the path as a compact string usable as a map key: two
+// big-endian bytes per node (IDs are below MaxNodes = 1024, so two bytes
+// suffice). Keys compare lexicographically in the same order as the node
+// sequences they encode, and the first two bytes of a key are the path's
+// initial node — both properties are relied on by the BW machine.
 func (p Path) Key() string {
-	b := make([]byte, len(p))
+	b := make([]byte, 2*len(p))
 	for i, v := range p {
-		b[i] = byte(v)
+		b[2*i] = byte(v >> 8)
+		b[2*i+1] = byte(v)
 	}
 	return string(b)
 }
 
-// PathFromKey decodes a Key back into a Path.
+// KeyInit decodes the initial node of an encoded Key ("" yields -1).
+func KeyInit(k string) int {
+	if len(k) < 2 {
+		return -1
+	}
+	return int(k[0])<<8 | int(k[1])
+}
+
+// PathFromKey decodes a Key back into a Path. Odd-length inputs (which no
+// Key produces) drop the trailing byte.
 func PathFromKey(k string) Path {
-	p := make(Path, len(k))
-	for i := 0; i < len(k); i++ {
-		p[i] = int(k[i])
+	p := make(Path, len(k)/2)
+	for i := range p {
+		p[i] = int(k[2*i])<<8 | int(k[2*i+1])
 	}
 	return p
 }
@@ -243,11 +256,67 @@ func (g *Graph) RedundantPathsTo(v int, excl Set, budget int) (map[string]struct
 }
 
 // CountRedundantPathsTo returns the number of distinct redundant paths
-// ending at v avoiding excl, or ErrPathBudget if it exceeds budget.
+// ending at v avoiding excl, or ErrPathBudget if it exceeds budget
+// (budget <= 0 means unlimited).
+//
+// Unlike RedundantPathsTo it never materializes the paths: it walks the
+// reversed graph depth-first from v, extending one node at a time with the
+// O(1) redundancy test. This works because the reverse of a redundant path
+// is redundant (reversing a concatenation of two simple paths yields
+// another), and redundant walks are closed under taking suffixes, so a
+// failed extension prunes the whole subtree exactly. Each distinct walk is
+// visited once, making the count exact in O(degree) per path — the form the
+// BW fullness precomputation uses at scale, where building every key string
+// would cost gigabytes.
 func (g *Graph) CountRedundantPathsTo(v int, excl Set, budget int) (int, error) {
-	m, err := g.RedundantPathsTo(v, excl, budget)
-	if err != nil {
+	if excl.Has(v) {
+		return 0, nil
+	}
+	// State of the reversed walk r (grown by appending in-neighbors):
+	// n = len(r); a = length of the longest all-distinct prefix (== n while
+	// the walk is fully distinct, frozen at the first repeat); b = start of
+	// the longest all-distinct suffix. r is redundant iff b <= a-1 — the
+	// same invariant analyzeRedundant maintains on the forward walk.
+	var lastIdx [MaxNodes]int32 // node -> last occurrence depth + 1 (0 = absent)
+	count := 0
+	n, a, b := 1, 1, 0
+	lastIdx[v] = 1
+	var rec func(front int) error
+	rec = func(front int) error {
+		count++
+		if budget > 0 && count > budget {
+			return ErrPathBudget
+		}
+		var err error
+		g.inMask[front].ForEach(func(w int) bool {
+			if excl.Has(w) {
+				return true
+			}
+			na := a
+			if a == n && lastIdx[w] == 0 {
+				na = n + 1
+			}
+			nb := b
+			if int(lastIdx[w]) > nb {
+				nb = int(lastIdx[w])
+			}
+			if nb > na-1 {
+				return true // not redundant; no extension can be either
+			}
+			savedA, savedB, savedLast := a, b, lastIdx[w]
+			n++
+			a, b = na, nb
+			lastIdx[w] = int32(n)
+			err = rec(w)
+			lastIdx[w] = savedLast
+			a, b = savedA, savedB
+			n--
+			return err == nil
+		})
+		return err
+	}
+	if err := rec(v); err != nil {
 		return 0, err
 	}
-	return len(m), nil
+	return count, nil
 }

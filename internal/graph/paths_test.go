@@ -266,3 +266,42 @@ func TestCountRedundantPathsTo(t *testing.T) {
 		t.Errorf("count = %d, want %d", n, want)
 	}
 }
+
+// TestCountRedundantMatchesEnumeration pins the DFS counter to the
+// materializing enumeration across graph shapes and exclusion sets — the
+// counter visits walks in a completely different order (reversed-graph DFS),
+// so agreement here is a strong check of the O(1) extension arithmetic.
+func TestCountRedundantMatchesEnumeration(t *testing.T) {
+	graphs := []*Graph{
+		DirectedCycle(3),
+		DirectedCycle(6),
+		Clique(4),
+		Wheel(4),
+		Circulant(6, 1, 2),
+		Torus(2, 3),
+		KRegular(6, 2, 7),
+		RandomDigraph(6, 0.4, 11),
+	}
+	for gi, g := range graphs {
+		for v := 0; v < g.N(); v++ {
+			for _, excl := range []Set{EmptySet, SetOf((v + 1) % g.N()), SetOf(v)} {
+				enum, err := g.RedundantPathsTo(v, excl, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				count, err := g.CountRedundantPathsTo(v, excl, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if count != len(enum) {
+					t.Errorf("graph %d (%s), v=%d excl=%s: count %d, enumeration %d",
+						gi, g.Name(), v, excl, count, len(enum))
+				}
+			}
+		}
+	}
+	// The budget fires identically to the enumeration's.
+	if _, err := Clique(6).CountRedundantPathsTo(0, EmptySet, 50); !errors.Is(err, ErrPathBudget) {
+		t.Errorf("want ErrPathBudget, got %v", err)
+	}
+}

@@ -1,5 +1,46 @@
 package graph
 
+import "math/bits"
+
+// bfsMasked runs the word-level BFS shared by Descendants and Ancestors
+// over the given adjacency masks. The loops index the multiword sets
+// directly and stop at nw — the number of words a graph of this order can
+// populate — instead of going through the value-receiver algebra over all
+// 16 words: these searches run once per (node, removal set) in the
+// exponential condition checkers, whose graphs are capped at CertLimit
+// (one word), so the fixed-size method forms cost ~16x the useful work.
+func bfsMasked(masks []Set, v int, excl Set, nw int) Set {
+	var seen Set
+	seen[uint(v)>>6] = 1 << (uint(v) & 63)
+	frontier := seen
+	for {
+		var next Set
+		for fw := 0; fw < nw; fw++ {
+			m := frontier[fw]
+			for m != 0 {
+				u := fw<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				adj := &masks[u]
+				for w := 0; w < nw; w++ {
+					next[w] |= adj[w] &^ seen[w] &^ excl[w]
+				}
+			}
+		}
+		var nonzero uint64
+		for w := 0; w < nw; w++ {
+			seen[w] |= next[w]
+			nonzero |= next[w]
+		}
+		if nonzero == 0 {
+			return seen
+		}
+		frontier = next
+	}
+}
+
+// words returns how many Set words a graph of this order populates.
+func (g *Graph) words() int { return (g.n + 63) >> 6 }
+
 // Descendants returns the set of nodes reachable from v (including v) by
 // directed paths that avoid every node in excl entirely. If v itself is in
 // excl the result is empty.
@@ -7,18 +48,7 @@ func (g *Graph) Descendants(v int, excl Set) Set {
 	if excl.Has(v) {
 		return EmptySet
 	}
-	seen := SetOf(v)
-	frontier := SetOf(v)
-	for !frontier.Empty() {
-		var next Set
-		frontier.ForEach(func(u int) bool {
-			next = next.Union(g.outMask[u].Minus(seen).Minus(excl))
-			return true
-		})
-		seen = seen.Union(next)
-		frontier = next
-	}
-	return seen
+	return bfsMasked(g.outMask, v, excl, g.words())
 }
 
 // Ancestors returns the set of nodes that can reach v (including v) by
@@ -28,18 +58,7 @@ func (g *Graph) Ancestors(v int, excl Set) Set {
 	if excl.Has(v) {
 		return EmptySet
 	}
-	seen := SetOf(v)
-	frontier := SetOf(v)
-	for !frontier.Empty() {
-		var next Set
-		frontier.ForEach(func(u int) bool {
-			next = next.Union(g.inMask[u].Minus(seen).Minus(excl))
-			return true
-		})
-		seen = seen.Union(next)
-		frontier = next
-	}
-	return seen
+	return bfsMasked(g.inMask, v, excl, g.words())
 }
 
 // ReachSet implements Definition 2 of the paper: reach_v(F) is the set of
@@ -54,21 +73,35 @@ func (g *Graph) ReachSet(v int, f Set) Set {
 // but those nodes remain valid targets.
 func (g *Graph) DescendantsReduced(v int, f1, f2 Set) Set {
 	rm := f1.Union(f2)
-	seen := SetOf(v)
-	frontier := SetOf(v)
-	for !frontier.Empty() {
+	nw := g.words()
+	var seen Set
+	seen[uint(v)>>6] = 1 << (uint(v) & 63)
+	frontier := seen
+	for {
 		var next Set
-		frontier.ForEach(func(u int) bool {
-			if rm.Has(u) {
-				return true // no outgoing edges from removed nodes
+		for fw := 0; fw < nw; fw++ {
+			// Removed nodes have no outgoing edges; mask them out of the
+			// frontier before expanding.
+			m := frontier[fw] &^ rm[fw]
+			for m != 0 {
+				u := fw<<6 + bits.TrailingZeros64(m)
+				m &= m - 1
+				adj := &g.outMask[u]
+				for w := 0; w < nw; w++ {
+					next[w] |= adj[w] &^ seen[w]
+				}
 			}
-			next = next.Union(g.outMask[u].Minus(seen))
-			return true
-		})
-		seen = seen.Union(next)
+		}
+		var nonzero uint64
+		for w := 0; w < nw; w++ {
+			seen[w] |= next[w]
+			nonzero |= next[w]
+		}
+		if nonzero == 0 {
+			return seen
+		}
 		frontier = next
 	}
-	return seen
 }
 
 // SourceComponent implements Definition 6: the set of nodes in the reduced

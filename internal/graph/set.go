@@ -5,7 +5,7 @@
 // the paper's example graphs, and text serialization.
 //
 // Node identifiers are dense ints in [0, n) with n <= MaxNodes so that node
-// sets fit in a single machine word.
+// sets fit in a fixed, comparable array of machine words.
 package graph
 
 import (
@@ -15,75 +15,133 @@ import (
 	"strings"
 )
 
-// MaxNodes is the largest supported graph order. Sets are single uint64
-// bitmasks, which keeps the exponential condition checkers (that enumerate
-// millions of node subsets) allocation-free.
-const MaxNodes = 64
+// MaxNodes is the largest supported graph order. Sets are fixed-size
+// multiword bitmasks — value types, comparable and usable as map keys — so
+// the exponential condition checkers (which enumerate millions of node
+// subsets) stay allocation-free while the scale experiments run graphs up
+// to 1024 nodes.
+const MaxNodes = 1024
 
-// Set is a set of node IDs represented as a bitmask. The zero value is the
-// empty set and is ready to use.
-type Set uint64
+// setWords is the number of 64-bit words backing a Set.
+const setWords = MaxNodes / 64
+
+// Set is a set of node IDs represented as a multiword bitmask. The zero
+// value is the empty set and is ready to use. Set is a comparable value
+// type: == compares contents and Sets index maps directly.
+type Set [setWords]uint64
 
 // EmptySet is the set containing no nodes.
-const EmptySet Set = 0
+var EmptySet Set
 
 // SetOf builds a set from the given node IDs.
 func SetOf(nodes ...int) Set {
 	var s Set
 	for _, v := range nodes {
-		s = s.Add(v)
+		s[uint(v)>>6] |= 1 << (uint(v) & 63)
 	}
 	return s
 }
 
 // FullSet returns the set {0, ..., n-1}.
 func FullSet(n int) Set {
+	var s Set
 	if n <= 0 {
-		return 0
+		return s
 	}
-	if n >= MaxNodes {
-		return ^Set(0)
+	if n > MaxNodes {
+		n = MaxNodes
 	}
-	return Set(1)<<uint(n) - 1
+	for w := 0; w < n>>6; w++ {
+		s[w] = ^uint64(0)
+	}
+	if rem := uint(n) & 63; rem != 0 {
+		s[n>>6] = 1<<rem - 1
+	}
+	return s
 }
 
 // Add returns s with node v included.
-func (s Set) Add(v int) Set { return s | 1<<uint(v) }
+func (s Set) Add(v int) Set {
+	s[uint(v)>>6] |= 1 << (uint(v) & 63)
+	return s
+}
 
 // Remove returns s with node v excluded.
-func (s Set) Remove(v int) Set { return s &^ (1 << uint(v)) }
+func (s Set) Remove(v int) Set {
+	s[uint(v)>>6] &^= 1 << (uint(v) & 63)
+	return s
+}
 
 // Has reports whether v is a member of s.
-func (s Set) Has(v int) bool { return s&(1<<uint(v)) != 0 }
+func (s Set) Has(v int) bool {
+	return s[uint(v)>>6]&(1<<(uint(v)&63)) != 0
+}
 
 // Union returns the union of s and t.
-func (s Set) Union(t Set) Set { return s | t }
+func (s Set) Union(t Set) Set {
+	for w := range s {
+		s[w] |= t[w]
+	}
+	return s
+}
 
 // Intersect returns the intersection of s and t.
-func (s Set) Intersect(t Set) Set { return s & t }
+func (s Set) Intersect(t Set) Set {
+	for w := range s {
+		s[w] &= t[w]
+	}
+	return s
+}
 
 // Minus returns the set difference s \ t.
-func (s Set) Minus(t Set) Set { return s &^ t }
+func (s Set) Minus(t Set) Set {
+	for w := range s {
+		s[w] &^= t[w]
+	}
+	return s
+}
 
 // Count returns the number of members.
-func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+func (s Set) Count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // Empty reports whether the set has no members.
-func (s Set) Empty() bool { return s == 0 }
+func (s Set) Empty() bool { return s == EmptySet }
 
 // Contains reports whether every member of t is also in s.
-func (s Set) Contains(t Set) bool { return t&^s == 0 }
+func (s Set) Contains(t Set) bool {
+	for w := range s {
+		if t[w]&^s[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Intersects reports whether s and t share at least one member.
-func (s Set) Intersects(t Set) bool { return s&t != 0 }
+func (s Set) Intersects(t Set) bool {
+	for w := range s {
+		if s[w]&t[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // Members returns the node IDs in ascending order.
 func (s Set) Members() []int {
 	out := make([]int, 0, s.Count())
-	for m := s; m != 0; {
-		v := bits.TrailingZeros64(uint64(m))
-		out = append(out, v)
-		m &= m - 1
+	for w, m := range s {
+		base := w << 6
+		for m != 0 {
+			out = append(out, base+bits.TrailingZeros64(m))
+			m &= m - 1
+		}
 	}
 	return out
 }
@@ -91,21 +149,25 @@ func (s Set) Members() []int {
 // ForEach calls fn for every member in ascending order. It stops early if fn
 // returns false.
 func (s Set) ForEach(fn func(v int) bool) {
-	for m := s; m != 0; {
-		v := bits.TrailingZeros64(uint64(m))
-		if !fn(v) {
-			return
+	for w, m := range s {
+		base := w << 6
+		for m != 0 {
+			if !fn(base + bits.TrailingZeros64(m)) {
+				return
+			}
+			m &= m - 1
 		}
-		m &= m - 1
 	}
 }
 
 // Min returns the smallest member, or -1 if the set is empty.
 func (s Set) Min() int {
-	if s == 0 {
-		return -1
+	for w, m := range s {
+		if m != 0 {
+			return w<<6 + bits.TrailingZeros64(m)
+		}
 	}
-	return bits.TrailingZeros64(uint64(s))
+	return -1
 }
 
 // String renders the set as "{a,b,c}".
@@ -129,14 +191,14 @@ func (s Set) String() string {
 func PathSet(path []int) Set {
 	var s Set
 	for _, v := range path {
-		s = s.Add(v)
+		s[uint(v)>>6] |= 1 << (uint(v) & 63)
 	}
 	return s
 }
 
 // Subsets enumerates every subset of universe with at most k members, in a
-// deterministic order (by size, then lexicographically by member list), and
-// calls fn for each. Enumeration stops early if fn returns false.
+// deterministic order (lexicographic DFS over the ascending member list),
+// and calls fn for each. Enumeration stops early if fn returns false.
 func Subsets(universe Set, k int, fn func(Set) bool) {
 	members := universe.Members()
 	if k > len(members) {

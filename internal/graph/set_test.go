@@ -95,16 +95,16 @@ func TestSetQuickAgainstMap(t *testing.T) {
 		bits Set
 		ref  map[int]bool
 	}
-	build := func(vals []uint8) model {
+	build := func(vals []uint16) model {
 		m := model{ref: make(map[int]bool)}
 		for _, v := range vals {
-			node := int(v % MaxNodes)
+			node := int(v) % MaxNodes
 			m.bits = m.bits.Add(node)
 			m.ref[node] = true
 		}
 		return m
 	}
-	f := func(avals, bvals []uint8) bool {
+	f := func(avals, bvals []uint16) bool {
 		a, b := build(avals), build(bvals)
 		union := a.bits.Union(b.bits)
 		inter := a.bits.Intersect(b.bits)

@@ -1,0 +1,96 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// benchRelay is a minimal protocol: each delivery does O(1) work and
+// forwards one message around the ring, so a full run's measured cost is
+// almost entirely the runner/pool machinery — the workload the
+// alloc-regression smoke tracks (see CI).
+type benchRelay struct {
+	id   int
+	hops int
+	got  int
+}
+
+type benchRelayPayload int
+
+func (benchRelayPayload) Kind() string { return "RELAY" }
+
+func (r *benchRelay) ID() int { return r.id }
+
+func (r *benchRelay) Start(out *sim.Outbox) {
+	if r.hops > 0 {
+		out.Broadcast(benchRelayPayload(r.hops))
+	}
+}
+
+func (r *benchRelay) Deliver(m transport.Message, out *sim.Outbox) {
+	r.got++
+	if p := m.Payload.(benchRelayPayload); p > 1 {
+		out.Send((r.id+1)%out.Graph().N(), p-1)
+	}
+}
+
+func (r *benchRelay) Output() (float64, bool) { return float64(r.got), true }
+
+// BenchmarkRunnerClique8 measures one complete simulator execution per op on
+// the clique8 relay workload (~3.6k deliveries), for each delivery policy.
+// allocs/op is the whole-run allocation bill of the sim+transport layers:
+// runner construction, pool storage, policy state, index maintenance. The
+// alloc-regression smoke in CI compares this against the checked-in
+// baseline.
+func BenchmarkRunnerClique8(b *testing.B) {
+	g := graph.Clique(8)
+	policies := []struct {
+		name string
+		make func(seed int64) transport.Policy
+	}{
+		{"random", func(seed int64) transport.Policy { return transport.NewRandomPolicy(seed) }},
+		{"fifo", func(int64) transport.Policy { return transport.FIFOPolicy{} }},
+		{"bounded", func(seed int64) transport.Policy { return transport.NewBoundedDelayPolicy(8, seed) }},
+	}
+	for _, pc := range policies {
+		b.Run(pc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				hs := make([]sim.Handler, g.N())
+				for j := range hs {
+					hs[j] = &benchRelay{id: j, hops: 64}
+				}
+				r, err := sim.New(sim.Config{Graph: g, Policy: pc.make(1)}, hs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunnerClique8Traced is the same workload with trace recording on:
+// the trace buffer is the other allocation sink the scale refactor bounds.
+func BenchmarkRunnerClique8Traced(b *testing.B) {
+	g := graph.Clique(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hs := make([]sim.Handler, g.N())
+		for j := range hs {
+			hs[j] = &benchRelay{id: j, hops: 64}
+		}
+		r, err := sim.New(sim.Config{Graph: g, Policy: transport.NewRandomPolicy(1), RecordTrace: true}, hs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -144,8 +144,13 @@ func startProc(h Handler, g *graph.Graph, stats *transport.Stats) *proc {
 	}
 	go func() {
 		defer close(p.done)
+		// One Outbox per proc, reused across invocations: the runner drains
+		// the returned slice before the next invoke round-trips, and
+		// handlers must not retain it (the Handler contract) — mirroring
+		// the inline engine's reuse.
+		out := &Outbox{from: h.ID(), g: g, stats: stats}
 		for req := range p.in {
-			out := &Outbox{from: h.ID(), g: g, stats: stats}
+			out.msgs = out.msgs[:0]
 			if req.start {
 				h.Start(out)
 			} else {

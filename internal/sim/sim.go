@@ -101,9 +101,19 @@ type Config struct {
 	StopWhen func(r *Runner) bool
 	// MaxSteps caps deliveries as a livelock guard. 0 means the default cap.
 	MaxSteps int
-	// RecordTrace keeps the full delivery trace (one Message per delivery,
-	// in delivery order) for the equivalence and determinism tests.
+	// RecordTrace keeps the delivery trace (one Message per delivery, in
+	// delivery order) for the equivalence and determinism tests.
+	//
+	// Memory: every recorded delivery retains a 40-byte Message value plus
+	// whatever its payload pins (for BW, a path proportional to the graph
+	// order). Tracing a run at the full 20M-step delivery cap therefore
+	// costs at least ~800 MB before payloads — bound long runs with
+	// TraceCap, or leave tracing off outside the determinism tests.
 	RecordTrace bool
+	// TraceCap bounds how many deliveries RecordTrace keeps: recording
+	// stops (the run continues) once this many are held. 0 means
+	// unbounded. The buffer is preallocated up to the cap.
+	TraceCap int
 	// Observer, when non-nil, receives streaming events (deliveries, holds,
 	// releases, per-round value snapshots) as the run progresses. Observers
 	// only watch: the delivery schedule is identical with or without one.
@@ -159,12 +169,32 @@ func New(cfg Config, handlers []Handler) (*Runner, error) {
 		cfg.MaxSteps = DefaultMaxSteps
 	}
 	stats := transport.NewStats()
-	return &Runner{
+	// Size the pool for one full broadcast wave (one message per edge) —
+	// enough that typical runs never grow their arena, cheap enough that
+	// tiny runs do not notice.
+	capacity := cfg.Graph.M()
+	if capacity > 1<<16 {
+		capacity = 1 << 16
+	}
+	r := &Runner{
 		cfg:      cfg,
 		handlers: handlers,
-		pool:     transport.NewPool(cfg.Hold, stats),
+		pool:     transport.NewPoolSized(cfg.Hold, stats, capacity),
 		stats:    stats,
-	}, nil
+	}
+	if cfg.RecordTrace {
+		// Preallocate the trace buffer: up to the cap when one is set,
+		// otherwise a modest starting size (growth takes over beyond it).
+		pre := cfg.TraceCap
+		if pre <= 0 || pre > cfg.MaxSteps {
+			pre = cfg.MaxSteps
+		}
+		if pre > 4096 {
+			pre = 4096
+		}
+		r.trace = make([]transport.Message, 0, pre)
+	}
+	return r, nil
 }
 
 // Run executes until quiescence, early stop, or the delivery cap. The loop
@@ -181,9 +211,7 @@ func (r *Runner) Run() error {
 	}
 
 	for i := range r.handlers {
-		for _, m := range inv.Start(i) {
-			r.inject(m)
-		}
+		r.injectAll(inv.Start(i))
 		if rounds != nil {
 			rounds.emit(i, r.handlers[i], r.steps, r.cfg.Observer)
 		}
@@ -218,18 +246,35 @@ func (r *Runner) Run() error {
 		r.steps++
 		idx := r.cfg.Policy.Pick(r.pool.View())
 		m := r.pool.Take(idx)
-		if r.cfg.RecordTrace {
+		if r.cfg.RecordTrace && (r.cfg.TraceCap == 0 || len(r.trace) < r.cfg.TraceCap) {
 			r.trace = append(r.trace, m)
 		}
 		if r.cfg.Observer != nil {
 			r.cfg.Observer.Observe(Event{Type: EventDeliver, Step: r.steps, Message: m})
 		}
-		for _, out := range inv.Deliver(m.To, m) {
-			r.inject(out)
-		}
+		r.injectAll(inv.Deliver(m.To, m))
 		if rounds != nil {
 			rounds.emit(m.To, r.handlers[m.To], r.steps, r.cfg.Observer)
 		}
+	}
+}
+
+// injectAll routes one invocation's batch of sends into the pool. With no
+// link faults in play and no observer waiting on hold events it hands the
+// whole batch to the pool's AddAll — one call, the per-message fate and
+// hold branching amortized away — which is exactly equivalent to injecting
+// the messages one by one (same Seq order, same pending order, same
+// statistics), so the delivery schedule is unchanged.
+func (r *Runner) injectAll(msgs []transport.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	if r.cfg.LinkFaults == nil && (r.cfg.Observer == nil || r.cfg.Hold == nil) {
+		r.pool.AddAll(msgs)
+		return
+	}
+	for _, m := range msgs {
+		r.inject(m)
 	}
 }
 

@@ -230,3 +230,104 @@ func TestOutputsCollection(t *testing.T) {
 		t.Error("AllOutput false after run")
 	}
 }
+
+// outboxSpy records the Outbox pointers and pre-invocation lengths it sees,
+// pinning the engine contract that outboxes are reused across invocations
+// and arrive empty each time.
+type outboxSpy struct {
+	echoNode
+	boxes []*Outbox
+	lens  []int
+}
+
+func (s *outboxSpy) Start(out *Outbox) {
+	s.boxes = append(s.boxes, out)
+	s.lens = append(s.lens, len(out.Messages()))
+	s.echoNode.Start(out)
+}
+
+func (s *outboxSpy) Deliver(msg transport.Message, out *Outbox) {
+	s.boxes = append(s.boxes, out)
+	s.lens = append(s.lens, len(out.Messages()))
+	s.echoNode.Deliver(msg, out)
+}
+
+// TestOutboxReuseAcrossInvocations: both engines may hand the same Outbox to
+// every invocation (the inline engine shares one across all handlers, the
+// goroutine engine one per proc), and it must always arrive drained — the
+// reuse the Handler contract permits and the batching refactor relies on.
+func TestOutboxReuseAcrossInvocations(t *testing.T) {
+	for _, eng := range []Engine{Inline(), Goroutine()} {
+		t.Run(eng.Name(), func(t *testing.T) {
+			g := graph.Clique(3)
+			spies := make([]*outboxSpy, g.N())
+			hs := make([]Handler, g.N())
+			for i := range hs {
+				spies[i] = &outboxSpy{echoNode: echoNode{id: i, initial: 3}}
+				hs[i] = spies[i]
+			}
+			r, err := New(Config{Graph: g, Policy: transport.NewRandomPolicy(3), Engine: eng}, hs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i, spy := range spies {
+				if len(spy.boxes) < 2 {
+					t.Fatalf("node %d saw %d invocations", i, len(spy.boxes))
+				}
+				for j, l := range spy.lens {
+					if l != 0 {
+						t.Errorf("node %d invocation %d: outbox arrived with %d stale messages", i, j, l)
+					}
+				}
+				// Reuse: a node's invocations all see one Outbox instance.
+				for _, b := range spy.boxes[1:] {
+					if b != spy.boxes[0] {
+						t.Fatalf("node %d: outbox instance changed between invocations", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTraceCap bounds the recorded trace without perturbing the run.
+func TestTraceCap(t *testing.T) {
+	run := func(traceCap int) (*Runner, error) {
+		r, err := New(Config{
+			Graph:       graph.Clique(4),
+			Policy:      transport.NewRandomPolicy(9),
+			RecordTrace: true,
+			TraceCap:    traceCap,
+		}, newEchoHandlers(4, 4))
+		if err != nil {
+			return nil, err
+		}
+		return r, r.Run()
+	}
+	full, err := run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Trace()) != full.Steps() {
+		t.Fatalf("unbounded trace kept %d of %d deliveries", len(full.Trace()), full.Steps())
+	}
+	capped, err := run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Trace()) != 5 {
+		t.Fatalf("capped trace kept %d deliveries, want 5", len(capped.Trace()))
+	}
+	if capped.Steps() != full.Steps() {
+		t.Fatalf("trace cap changed the schedule: %d vs %d steps", capped.Steps(), full.Steps())
+	}
+	// The kept prefix is the schedule prefix.
+	for i, m := range capped.Trace() {
+		if m.String() != full.Trace()[i].String() {
+			t.Fatalf("capped trace diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package transport_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+type benchPayload struct{ kind string }
+
+func (p benchPayload) Kind() string { return p.kind }
+
+// benchMessages builds a deterministic message batch over a clique of n
+// nodes, cycling through a few payload kinds the way a protocol mix does.
+func benchMessages(n, count int) []transport.Message {
+	kinds := []string{"VAL", "COMPLETE", "RELAY"}
+	msgs := make([]transport.Message, count)
+	for i := range msgs {
+		msgs[i] = transport.Message{
+			From:    i % n,
+			To:      (i + 1) % n,
+			Payload: benchPayload{kind: kinds[i%len(kinds)]},
+		}
+	}
+	return msgs
+}
+
+// BenchmarkPoolRandomChurn is the pool's random-policy hot path on the
+// clique8 workload: keep 64 messages in flight, repeatedly delivering one at
+// a seeded random index and injecting a replacement — the Add/Take cycle the
+// simulator performs once per delivery. allocs/op here is the pool's own
+// steady-state allocation cost (the alloc-regression smoke baseline).
+func BenchmarkPoolRandomChurn(b *testing.B) {
+	const inflight = 64
+	msgs := benchMessages(8, inflight)
+	pool := transport.NewPool(nil, transport.NewStats())
+	for _, m := range msgs {
+		pool.Add(m)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := pool.Take(rng.Intn(pool.PendingLen()))
+		pool.Add(m)
+	}
+}
+
+// BenchmarkPoolOrderedChurn is the same churn through the Seq-ordered index:
+// every delivery asks for the oldest pending message (the FIFO policy's
+// pick), exercising the index maintenance that Add/Take perform once the
+// index exists.
+func BenchmarkPoolOrderedChurn(b *testing.B) {
+	const inflight = 64
+	msgs := benchMessages(8, inflight)
+	pool := transport.NewPool(nil, transport.NewStats())
+	for _, m := range msgs {
+		pool.Add(m)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := pool.Take(pool.View().OldestIndex())
+		pool.Add(m)
+	}
+}
+
+// BenchmarkPoolFill measures a full pool lifecycle per op: inject the clique8
+// batch from empty (via the batched AddAll entry point and a sized arena —
+// how the simulator drives the pool) and drain it in LIFO index order.
+func BenchmarkPoolFill(b *testing.B) {
+	const batch = 256
+	msgs := benchMessages(8, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pool := transport.NewPoolSized(nil, transport.NewStats(), batch)
+		pool.AddAll(msgs)
+		for !pool.PendingEmpty() {
+			pool.Take(pool.PendingLen() - 1)
+		}
+	}
+}

@@ -56,7 +56,7 @@ type PendingView struct {
 func (v PendingView) Len() int { return len(v.p.pending) }
 
 // At returns the pending message at index i (0 <= i < Len).
-func (v PendingView) At(i int) Message { return v.p.pending[i] }
+func (v PendingView) At(i int) Message { return v.p.arena[v.p.pending[i]].msg }
 
 // OldestIndex returns the index of the pending message with the smallest
 // Seq (the oldest send). Panics on an empty view.
@@ -175,17 +175,43 @@ type Stats struct {
 	Sent      int
 	Delivered int
 	Dropped   int // sends over non-edges (faulty behavior), discarded
-	ByKind    map[string]int
+	// kinds counts sends per payload kind. A short linear array instead of
+	// a map: protocols use a handful of kind strings (all constants, so the
+	// == fast path is a pointer compare), and the per-send map assignment
+	// was half the pool's hot-path profile.
+	kinds []kindCount
+}
+
+type kindCount struct {
+	name string
+	n    int
 }
 
 // NewStats returns empty statistics.
 func NewStats() *Stats {
-	return &Stats{ByKind: make(map[string]int)}
+	return &Stats{}
+}
+
+// ByKind returns the per-kind send counts as a map (built on demand; the
+// hot path maintains a flat array).
+func (s *Stats) ByKind() map[string]int {
+	out := make(map[string]int, len(s.kinds))
+	for _, kc := range s.kinds {
+		out[kc.name] = kc.n
+	}
+	return out
 }
 
 func (s *Stats) recordSend(m Message) {
 	s.Sent++
-	s.ByKind[m.Payload.Kind()]++
+	k := m.Payload.Kind()
+	for i := range s.kinds {
+		if s.kinds[i].name == k {
+			s.kinds[i].n++
+			return
+		}
+	}
+	s.kinds = append(s.kinds, kindCount{name: k, n: 1})
 }
 
 // RecordDrop counts a message that was discarded before entering the pool.
@@ -193,94 +219,161 @@ func (s *Stats) RecordDrop() { s.Dropped++ }
 
 func (s *Stats) recordDelivery() { s.Delivered++ }
 
-// seqHeap is a binary heap of Seq values; less flips it between a min-heap
-// (oldest first) and a max-heap (newest first). Entries are removed lazily:
-// a popped Seq that is no longer pending is simply skipped.
-type seqHeap struct {
-	seqs []uint64
-	less func(a, b uint64) bool
+// slot is one arena cell: the message plus the bookkeeping that lets every
+// structure over the pool update in O(1)–O(log n) without auxiliary maps.
+type slot struct {
+	msg     Message
+	pendPos int32 // index in pending (-1 when held)
+	minPos  int32 // position in the oldest-heap (when indexed)
+	maxPos  int32 // position in the newest-heap (when indexed)
 }
 
-func (h *seqHeap) push(s uint64) {
-	h.seqs = append(h.seqs, s)
-	i := len(h.seqs) - 1
+// seqHeap is a binary heap of arena indices ordered by message Seq; min
+// selects between oldest-first and newest-first. Heap positions are stored
+// back into the arena slots, so removal is a true O(log n) delete — no lazy
+// tombstones, no Seq-to-position map, no garbage accumulating across a
+// run.
+type seqHeap struct {
+	min   bool
+	items []int32
+}
+
+func (h *seqHeap) before(arena []slot, a, b int32) bool {
+	if h.min {
+		return arena[a].msg.Seq < arena[b].msg.Seq
+	}
+	return arena[a].msg.Seq > arena[b].msg.Seq
+}
+
+func (h *seqHeap) setPos(arena []slot, ai int32, pos int32) {
+	if h.min {
+		arena[ai].minPos = pos
+	} else {
+		arena[ai].maxPos = pos
+	}
+}
+
+func (h *seqHeap) push(arena []slot, ai int32) {
+	h.items = append(h.items, ai)
+	h.siftUp(arena, len(h.items)-1)
+}
+
+func (h *seqHeap) removeAt(arena []slot, pos int32) {
+	last := len(h.items) - 1
+	if int(pos) != last {
+		h.items[pos] = h.items[last]
+		h.items = h.items[:last]
+		h.setPos(arena, h.items[pos], pos)
+		if !h.siftDown(arena, int(pos)) {
+			h.siftUp(arena, int(pos))
+		}
+	} else {
+		h.items = h.items[:last]
+	}
+}
+
+func (h *seqHeap) siftUp(arena []slot, i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(h.seqs[i], h.seqs[parent]) {
+		if !h.before(arena, h.items[i], h.items[parent]) {
 			break
 		}
-		h.seqs[i], h.seqs[parent] = h.seqs[parent], h.seqs[i]
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		h.setPos(arena, h.items[i], int32(i))
 		i = parent
 	}
+	h.setPos(arena, h.items[i], int32(i))
 }
 
-// top returns the extremal Seq for which live reports true, lazily
-// discarding stale entries.
-func (h *seqHeap) top(live func(uint64) bool) uint64 {
-	for len(h.seqs) > 0 && !live(h.seqs[0]) {
-		last := len(h.seqs) - 1
-		h.seqs[0] = h.seqs[last]
-		h.seqs = h.seqs[:last]
-		// Sift down.
-		i := 0
-		for {
-			l, r := 2*i+1, 2*i+2
-			next := i
-			if l < len(h.seqs) && h.less(h.seqs[l], h.seqs[next]) {
-				next = l
-			}
-			if r < len(h.seqs) && h.less(h.seqs[r], h.seqs[next]) {
-				next = r
-			}
-			if next == i {
-				break
-			}
-			h.seqs[i], h.seqs[next] = h.seqs[next], h.seqs[i]
-			i = next
+// siftDown reports whether anything moved, so removeAt can fall back to
+// sifting up (the swapped-in element may be smaller than the removed one).
+func (h *seqHeap) siftDown(arena []slot, i int) bool {
+	moved := false
+	for {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < len(h.items) && h.before(arena, h.items[l], h.items[next]) {
+			next = l
 		}
+		if r < len(h.items) && h.before(arena, h.items[r], h.items[next]) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		moved = true
+		h.items[i], h.items[next] = h.items[next], h.items[i]
+		h.setPos(arena, h.items[i], int32(i))
+		i = next
 	}
-	if len(h.seqs) == 0 {
-		panic("transport: empty pending pool")
-	}
-	return h.seqs[0]
+	h.setPos(arena, h.items[i], int32(i))
+	return moved
 }
 
-// Pool is the multiset of in-flight messages plus held messages. Alongside
-// the pending slice it keeps a Seq index (position map plus min/max heaps)
-// so order-based policies avoid O(n) scans per pick while Take stays an
-// O(1) swap-remove. The index is built lazily on the first ordered query
-// and maintained incrementally afterwards, so index-free policies such as
-// RandomPolicy pay nothing for it.
+// Pool is the multiset of in-flight messages plus held messages. Messages
+// live in a reusable arena backed by a freelist — a delivered message's
+// slot is recycled by the next send, so a run's storage stops growing once
+// it reaches its in-flight high-water mark. The pending order (arena
+// indices) follows the package determinism contract exactly: Add appends,
+// Take swap-removes, ReleaseHeld appends in send order. A Seq index (two
+// position-tracked heaps) is built lazily on the first ordered query and
+// maintained incrementally afterwards, so index-free policies such as
+// RandomPolicy pay nothing for it and ordered policies pick in O(log n)
+// with no per-message map traffic.
 type Pool struct {
-	pending []Message
-	held    []Message
+	arena   []slot
+	free    []int32 // recycled arena slots
+	pending []int32 // deliverable, in determinism-contract order
+	held    []int32 // withheld, in send order
 	hold    *HoldRule
 	nextSeq uint64
 	stats   *Stats
 
-	indexed bool           // Seq index built?
-	pos     map[uint64]int // Seq -> index in pending
-	oldest  seqHeap        // min-heap over pending Seqs (lazy deletion)
-	newest  seqHeap        // max-heap over pending Seqs (lazy deletion)
+	indexed bool    // Seq index built?
+	oldest  seqHeap // min-heap over pending slots
+	newest  seqHeap // max-heap over pending slots
 }
 
 // NewPool returns an empty pool. hold may be nil.
 func NewPool(hold *HoldRule, stats *Stats) *Pool {
-	return &Pool{hold: hold, stats: stats}
+	return &Pool{hold: hold, stats: stats, oldest: seqHeap{min: true}}
+}
+
+// NewPoolSized returns an empty pool with storage preallocated for about
+// capacity in-flight messages — one allocation up front instead of a
+// doubling series during the run's ramp-up.
+func NewPoolSized(hold *HoldRule, stats *Stats, capacity int) *Pool {
+	p := NewPool(hold, stats)
+	if capacity > 0 {
+		p.arena = make([]slot, 0, capacity)
+		p.pending = make([]int32, 0, capacity)
+		p.free = make([]int32, 0, capacity)
+	}
+	return p
 }
 
 // buildIndex constructs the Seq index from the current pending set; called
-// on the first ordered query, after which append/Take maintain it.
+// on the first ordered query, after which Add/Take maintain it.
 func (p *Pool) buildIndex() {
 	p.indexed = true
-	p.pos = make(map[uint64]int, len(p.pending))
-	p.oldest = seqHeap{less: func(a, b uint64) bool { return a < b }}
-	p.newest = seqHeap{less: func(a, b uint64) bool { return a > b }}
-	for i, m := range p.pending {
-		p.pos[m.Seq] = i
-		p.oldest.push(m.Seq)
-		p.newest.push(m.Seq)
+	p.oldest = seqHeap{min: true, items: make([]int32, 0, cap(p.pending))}
+	p.newest = seqHeap{items: make([]int32, 0, cap(p.pending))}
+	for _, ai := range p.pending {
+		p.oldest.push(p.arena, ai)
+		p.newest.push(p.arena, ai)
 	}
+}
+
+// alloc places m into an arena slot and returns its index.
+func (p *Pool) alloc(m Message) int32 {
+	if n := len(p.free); n > 0 {
+		ai := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.arena[ai].msg = m
+		return ai
+	}
+	p.arena = append(p.arena, slot{msg: m})
+	return int32(len(p.arena) - 1)
 }
 
 // Add inserts a newly sent message. It returns the message with its
@@ -292,20 +385,41 @@ func (p *Pool) Add(m Message) (stamped Message, held bool) {
 	p.nextSeq++
 	p.stats.recordSend(m)
 	if p.hold != nil && p.hold.Holds(m) {
-		p.held = append(p.held, m)
+		ai := p.alloc(m)
+		p.arena[ai].pendPos = -1
+		p.held = append(p.held, ai)
 		return m, true
 	}
-	p.append(m)
+	p.append(p.alloc(m))
 	return m, false
 }
 
-func (p *Pool) append(m Message) {
-	if p.indexed {
-		p.pos[m.Seq] = len(p.pending)
-		p.oldest.push(m.Seq)
-		p.newest.push(m.Seq)
+// AddAll injects a batch of messages exactly as successive Add calls would
+// — same Seq assignment, same pending order, same statistics — with the
+// per-message branching amortized over the batch. Callers that need the
+// per-message held outcome (observers) use Add instead.
+func (p *Pool) AddAll(msgs []Message) {
+	if p.hold != nil && !p.hold.released {
+		for _, m := range msgs {
+			p.Add(m)
+		}
+		return
 	}
-	p.pending = append(p.pending, m)
+	for _, m := range msgs {
+		m.Seq = p.nextSeq
+		p.nextSeq++
+		p.stats.recordSend(m)
+		p.append(p.alloc(m))
+	}
+}
+
+func (p *Pool) append(ai int32) {
+	p.arena[ai].pendPos = int32(len(p.pending))
+	p.pending = append(p.pending, ai)
+	if p.indexed {
+		p.oldest.push(p.arena, ai)
+		p.newest.push(p.arena, ai)
+	}
 }
 
 // View returns a read-only view of the deliverable messages, the form in
@@ -317,7 +431,9 @@ func (p *Pool) View() PendingView { return PendingView{p: p} }
 // internal order from callers. The hot path uses View instead.
 func (p *Pool) Pending() []Message {
 	out := make([]Message, len(p.pending))
-	copy(out, p.pending)
+	for i, ai := range p.pending {
+		out[i] = p.arena[ai].msg
+	}
 	return out
 }
 
@@ -326,41 +442,46 @@ func (p *Pool) HeldCount() int { return len(p.held) }
 
 // Take removes and returns the pending message at index i: an O(1)
 // swap-remove, with the last pending message filling the vacated slot (part
-// of the package determinism contract).
+// of the package determinism contract). The vacated arena slot goes back on
+// the freelist for the next send.
 func (p *Pool) Take(i int) Message {
-	m := p.pending[i]
+	ai := p.pending[i]
 	last := len(p.pending) - 1
-	if p.indexed {
-		delete(p.pos, m.Seq)
-		if i != last {
-			p.pos[p.pending[last].Seq] = i
-		}
-	}
 	if i != last {
-		p.pending[i] = p.pending[last]
+		moved := p.pending[last]
+		p.pending[i] = moved
+		p.arena[moved].pendPos = int32(i)
 	}
 	p.pending = p.pending[:last]
+	if p.indexed {
+		p.oldest.removeAt(p.arena, p.arena[ai].minPos)
+		p.newest.removeAt(p.arena, p.arena[ai].maxPos)
+	}
+	m := p.arena[ai].msg
+	p.arena[ai].msg.Payload = nil // drop the payload reference for GC
+	p.free = append(p.free, ai)
 	p.stats.recordDelivery()
 	return m
-}
-
-func (p *Pool) live(seq uint64) bool {
-	_, ok := p.pos[seq]
-	return ok
 }
 
 func (p *Pool) oldestIndex() int {
 	if !p.indexed {
 		p.buildIndex()
 	}
-	return p.pos[p.oldest.top(p.live)]
+	if len(p.oldest.items) == 0 {
+		panic("transport: empty pending pool")
+	}
+	return int(p.arena[p.oldest.items[0]].pendPos)
 }
 
 func (p *Pool) newestIndex() int {
 	if !p.indexed {
 		p.buildIndex()
 	}
-	return p.pos[p.newest.top(p.live)]
+	if len(p.newest.items) == 0 {
+		panic("transport: empty pending pool")
+	}
+	return int(p.arena[p.newest.items[0]].pendPos)
 }
 
 // ReleaseHeld moves all held messages into the pending pool in their
@@ -370,10 +491,10 @@ func (p *Pool) ReleaseHeld() {
 	if p.hold != nil {
 		p.hold.Release()
 	}
-	for _, m := range p.held {
-		p.append(m)
+	for _, ai := range p.held {
+		p.append(ai)
 	}
-	p.held = nil
+	p.held = p.held[:0]
 }
 
 // Empty reports whether no message is deliverable or held.

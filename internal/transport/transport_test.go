@@ -27,8 +27,8 @@ func TestPoolAddTake(t *testing.T) {
 	if stats.Sent != 2 || stats.Delivered != 1 {
 		t.Errorf("stats = %+v", stats)
 	}
-	if stats.ByKind["a"] != 1 || stats.ByKind["b"] != 1 {
-		t.Errorf("by-kind = %v", stats.ByKind)
+	if stats.ByKind()["a"] != 1 || stats.ByKind()["b"] != 1 {
+		t.Errorf("by-kind = %v", stats.ByKind())
 	}
 }
 
@@ -227,5 +227,134 @@ func TestStatsDrop(t *testing.T) {
 	s.RecordDrop()
 	if s.Dropped != 1 {
 		t.Error("drop not counted")
+	}
+}
+
+// TestOrderedIndexEdgeCases covers the PendingView index corners: a single
+// pending message, the ordering after a hold release re-injects seqs older
+// than everything pending, and the panic on an empty view.
+func TestOrderedIndexEdgeCases(t *testing.T) {
+	// Single message: both extremes are index 0, repeatedly.
+	p := NewPool(nil, NewStats())
+	p.Add(msg(0, 1, "only"))
+	if p.View().OldestIndex() != 0 || p.View().NewestIndex() != 0 {
+		t.Fatal("single-message extremes should both be index 0")
+	}
+	if got := p.Take(p.View().OldestIndex()); got.Seq != 0 {
+		t.Fatalf("took seq %d", got.Seq)
+	}
+
+	// Empty view: ordered queries must panic (a policy asking with Len()==0
+	// is a bug, never a silent index).
+	for name, query := range map[string]func(PendingView) int{
+		"oldest": PendingView.OldestIndex,
+		"newest": PendingView.NewestIndex,
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty view did not panic", name)
+				}
+			}()
+			query(p.View())
+		}()
+	}
+
+	// Post-ReleaseHeld: released messages carry seqs older than every
+	// pending one, so OldestIndex must land on a released slot, and
+	// NewestIndex on the most recent live send.
+	hold := HoldEdges(map[[2]int]bool{{7, 8}: true})
+	p = NewPool(hold, NewStats())
+	p.Add(msg(7, 8, "h0")) // seq 0, held
+	p.Add(msg(7, 8, "h1")) // seq 1, held
+	p.Add(msg(0, 1, "f2")) // seq 2
+	p.Add(msg(0, 1, "f3")) // seq 3
+	// Force the index to exist before the release so release goes through
+	// the incremental path.
+	if p.View().OldestIndex() != 0 {
+		t.Fatal("oldest free message should be at index 0")
+	}
+	p.ReleaseHeld()
+	v := p.View()
+	if got := v.At(v.OldestIndex()).Seq; got != 0 {
+		t.Fatalf("post-release OldestIndex picked seq %d, want 0", got)
+	}
+	if got := v.At(v.NewestIndex()).Seq; got != 3 {
+		t.Fatalf("post-release NewestIndex picked seq %d, want 3", got)
+	}
+	// Draining in oldest order yields global seq order.
+	var seqs []uint64
+	for !p.PendingEmpty() {
+		seqs = append(seqs, p.Take(p.View().OldestIndex()).Seq)
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			t.Fatalf("oldest-order drain out of order: %v", seqs)
+		}
+	}
+}
+
+// TestAddAllMatchesSequentialAdds pins AddAll's contract: identical Seq
+// assignment, pending order and statistics to one-by-one Add calls — with
+// and without an active hold rule.
+func TestAddAllMatchesSequentialAdds(t *testing.T) {
+	batch := []Message{msg(0, 1, "a"), msg(5, 6, "b"), msg(1, 2, "c"), msg(5, 6, "d")}
+	mk := func() (*Pool, *Pool) {
+		ha := HoldEdges(map[[2]int]bool{{5, 6}: true})
+		hb := HoldEdges(map[[2]int]bool{{5, 6}: true})
+		return NewPool(ha, NewStats()), NewPool(hb, NewStats())
+	}
+	seq, bat := mk()
+	for _, m := range batch {
+		seq.Add(m)
+	}
+	bat.AddAll(batch)
+	if seq.PendingLen() != bat.PendingLen() || seq.HeldCount() != bat.HeldCount() {
+		t.Fatalf("pending/held diverged: %d/%d vs %d/%d",
+			seq.PendingLen(), seq.HeldCount(), bat.PendingLen(), bat.HeldCount())
+	}
+	for i := range seq.Pending() {
+		a, b := seq.Pending()[i], bat.Pending()[i]
+		if a.Seq != b.Seq || a.Payload.Kind() != b.Payload.Kind() {
+			t.Fatalf("pending[%d] diverged: %v vs %v", i, a, b)
+		}
+	}
+	seq.ReleaseHeld()
+	bat.ReleaseHeld()
+	// After release AddAll takes its batched fast path; order must still
+	// match sequential adds exactly.
+	seq2 := []Message{msg(5, 6, "e"), msg(2, 3, "f")}
+	for _, m := range seq2 {
+		seq.Add(m)
+	}
+	bat.AddAll(seq2)
+	sp, bp := seq.Pending(), bat.Pending()
+	if len(sp) != len(bp) {
+		t.Fatalf("pending length diverged: %d vs %d", len(sp), len(bp))
+	}
+	for i := range sp {
+		if sp[i].Seq != bp[i].Seq || sp[i].Payload.Kind() != bp[i].Payload.Kind() {
+			t.Fatalf("post-release pending[%d] diverged: %v vs %v", i, sp[i], bp[i])
+		}
+	}
+}
+
+// TestArenaReuse pins the freelist behavior: a long churn at constant
+// in-flight load must not grow the arena beyond its high-water mark.
+func TestArenaReuse(t *testing.T) {
+	p := NewPoolSized(nil, NewStats(), 8)
+	for i := 0; i < 8; i++ {
+		p.Add(msg(0, 1, "x"))
+	}
+	for i := 0; i < 10_000; i++ {
+		p.Take(i % p.PendingLen())
+		p.Add(msg(0, 1, "x"))
+	}
+	if len(p.arena) != 8+1 {
+		// One slot of slack: Add allocates before Take frees in the loop
+		// above only on the first iteration.
+		if len(p.arena) > 9 {
+			t.Fatalf("arena grew to %d slots under constant load 8", len(p.arena))
+		}
 	}
 }

@@ -45,7 +45,11 @@ import (
 )
 
 // Version is the codec version emitted and accepted by this build.
-const Version = 1
+// Version 2 widened the node-id domain to MaxNodes = 1024: COMPLETE tags
+// became member lists (previously one packed uint64) and entry path keys
+// two bytes per node — a version-1 peer would misdecode rather than
+// cleanly reject, hence the bump.
+const Version = 2
 
 // MaxFrame bounds a frame body; ReadFrame rejects larger length prefixes
 // before allocating, so a corrupt or hostile peer cannot trigger huge
@@ -58,8 +62,10 @@ const MaxFrame = 16 << 20
 // cap fails fast on corrupt headers instead of over-allocating.
 const (
 	maxPathLen = 2 * graph.MaxNodes
-	maxEntries = 1 << 20
-	maxTagLen  = 1 << 12
+	// Path keys encode two bytes per node (graph.Path.Key).
+	maxPathKeyBytes = 2 * maxPathLen
+	maxEntries      = 1 << 20
+	maxTagLen       = 1 << 12
 )
 
 // Payload type tags.
@@ -104,7 +110,7 @@ func AppendMessage(dst []byte, m transport.Message) ([]byte, error) {
 		dst = appendUint(dst, uint64(p.Round))
 		dst = appendUint(dst, uint64(p.Origin))
 		dst = appendUint(dst, uint64(p.Seq))
-		dst = appendUint(dst, uint64(p.Tag))
+		dst = appendSet(dst, p.Tag)
 		dst = appendUint(dst, uint64(len(p.Entries)))
 		for _, e := range p.Entries {
 			dst = appendBytes(dst, []byte(e.PathKey))
@@ -188,13 +194,13 @@ func DecodeMessage(data []byte) (transport.Message, error) {
 			Round:  d.intVal(),
 			Origin: d.intVal(),
 			Seq:    d.intVal(),
-			Tag:    graph.Set(d.uint()),
+			Tag:    d.set(),
 		}
 		n := d.count(maxEntries)
 		if n > 0 {
 			p.Entries = make([]bw.ValEntry, 0, min(n, 4096))
 			for i := 0; i < n && d.err == nil; i++ {
-				p.Entries = append(p.Entries, bw.ValEntry{PathKey: string(d.bytes(maxPathLen)), Value: d.float()})
+				p.Entries = append(p.Entries, bw.ValEntry{PathKey: string(d.bytes(maxPathKeyBytes)), Value: d.float()})
 			}
 		}
 		p.Path = d.path()
@@ -299,6 +305,17 @@ func appendPath(dst []byte, p graph.Path) []byte {
 	return dst
 }
 
+// appendSet encodes a node set as its strictly ascending member list — a
+// pure function of the set value, so equal sets produce equal bytes.
+func appendSet(dst []byte, s graph.Set) []byte {
+	dst = appendUint(dst, uint64(s.Count()))
+	s.ForEach(func(v int) bool {
+		dst = appendUint(dst, uint64(v))
+		return true
+	})
+	return dst
+}
+
 // decoder is a cursor over a frame body with sticky error handling: after
 // the first failure every accessor returns a zero value, so decode paths
 // read linearly and check d.err once.
@@ -396,12 +413,38 @@ func (d *decoder) path() graph.Path {
 	}
 	p := make(graph.Path, n)
 	for i := range p {
-		p[i] = d.intVal()
+		v := d.intVal()
+		if d.err == nil && v >= graph.MaxNodes {
+			d.fail("path node id %d out of range", v)
+			return nil
+		}
+		p[i] = v
 	}
 	if d.err != nil {
 		return nil
 	}
 	return p
+}
+
+// set decodes a node set written by appendSet, enforcing the canonical
+// strictly ascending order and the MaxNodes id range.
+func (d *decoder) set() graph.Set {
+	n := d.count(graph.MaxNodes)
+	var s graph.Set
+	prev := -1
+	for i := 0; i < n && d.err == nil; i++ {
+		v := d.intVal()
+		if d.err != nil {
+			break
+		}
+		if v <= prev || v >= graph.MaxNodes {
+			d.fail("set member %d out of order or range", v)
+			break
+		}
+		prev = v
+		s = s.Add(v)
+	}
+	return s
 }
 
 func (d *decoder) content() rbc.Content {

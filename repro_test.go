@@ -248,3 +248,28 @@ func TestCheckKReachFacade(t *testing.T) {
 		t.Error("K4 should fail 4-reach with witness")
 	}
 }
+
+// TestCheckConditionsSkipsAboveCertLimit: beyond CertLimit the exponential
+// checkers must not run; the report says so explicitly instead of
+// presenting unchecked falses as violations.
+func TestCheckConditionsSkipsAboveCertLimit(t *testing.T) {
+	g, err := repro.NamedGraph("torus:16:32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := repro.CheckConditions(g, 1)
+	if rep.Certified {
+		t.Fatal("512-node graph should not certify")
+	}
+	if rep.Note == "" {
+		t.Fatal("skip must carry a note")
+	}
+	if rep.OneReach || rep.ThreeReach || rep.CCS {
+		t.Fatal("skipped report must not claim any condition holds")
+	}
+	// At or below the limit, certification still runs.
+	small := repro.CheckConditions(repro.Fig1b(), 2)
+	if !small.Certified || !small.ThreeReach {
+		t.Fatalf("fig1b should certify: %+v", small)
+	}
+}

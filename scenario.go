@@ -41,7 +41,8 @@ type Scenario struct {
 	// InputGen derives the inputs from the graph order instead of listing
 	// them, keeping large scenarios compact.
 	InputGen *InputGenSpec `json:"inputGen,omitempty"`
-	// F is the resilience parameter (default 1).
+	// F is the resilience parameter (default 1; -1 = explicit zero fault
+	// bound, see FZero).
 	F int `json:"f,omitempty"`
 	// K is the a-priori input range bound (default max(|input|)).
 	K float64 `json:"k,omitempty"`
@@ -259,8 +260,8 @@ func (s Scenario) Materialize() (*Graph, []float64, error) {
 	if _, err := ProtocolByName(s.Protocol); err != nil {
 		return nil, nil, fmt.Errorf("scenario: %w", err)
 	}
-	if s.F < 0 || s.K < 0 || s.Eps < 0 || s.Rounds < 0 || s.Seeds < 0 {
-		return nil, nil, fmt.Errorf("repro: scenario: f, k, eps, rounds and seeds must be non-negative")
+	if s.F < FZero || s.K < 0 || s.Eps < 0 || s.Rounds < 0 || s.Seeds < 0 {
+		return nil, nil, fmt.Errorf("repro: scenario: k, eps, rounds and seeds must be non-negative and f >= %d (%d = explicit zero fault bound)", FZero, FZero)
 	}
 	if _, err := sim.EngineByName(s.Engine); err != nil {
 		return nil, nil, fmt.Errorf("repro: scenario: %w", err)

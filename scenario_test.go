@@ -168,7 +168,8 @@ func TestParseScenarioRejectsBadDocuments(t *testing.T) {
 		{"bad gen kind", `{"graph":"fig1a","protocol":"bw","inputGen":{"kind":"zipf"}}`, "unknown inputGen kind"},
 		{"bad gen mod", `{"graph":"fig1a","protocol":"bw","inputGen":{"kind":"mod"}}`, "must be >= 1"},
 		{"bad gen range", `{"graph":"fig1a","protocol":"bw","inputGen":{"kind":"uniform","lo":2,"hi":1}}`, "hi 1 < lo 2"},
-		{"negative knob", `{"graph":"fig1a","protocol":"bw","f":-1}`, "non-negative"},
+		{"negative knob", `{"graph":"fig1a","protocol":"bw","f":-2}`, "non-negative"},
+		{"negative eps", `{"graph":"fig1a","protocol":"bw","eps":-0.5}`, "non-negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
