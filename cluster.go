@@ -139,6 +139,9 @@ func (s Scenario) validateForCluster() error {
 	if s.Engine != "" {
 		return fmt.Errorf("repro: scenario engine %q applies to the sim runtime only (a cluster has no central engine)", s.Engine)
 	}
+	if s.EngineWorkers != 0 {
+		return fmt.Errorf("repro: scenario engineWorkers applies to the sim runtime only (a cluster has no central engine)")
+	}
 	if s.Policy != nil {
 		return fmt.Errorf("repro: scenario policy %q applies to the sim runtime only (a cluster's schedule is the network's)", s.Policy.Name)
 	}

@@ -14,6 +14,7 @@
 //	abacsim -graph clique:3 -algo necessity -f 1
 //	abacsim -graph fig1a -algo bw -seeds 32 -workers 8   # parallel seed sweep
 //	abacsim -graph fig1a -algo bw -engine goroutine      # alternate engine
+//	abacsim -graph torus:16:16 -algo bw -policy fifo -engine parallel -engine-workers 4  # multi-core delivery
 //	abacsim -graph fig1a -algo bw -policy lifo           # adversarial schedule
 //	abacsim -graph fig1a -algo bw -policy bounded:bound=8
 //	abacsim -graph fig1a -algo bw -runtime loopback      # live node cluster, in-process
@@ -57,6 +58,7 @@ func run() error {
 		rounds   = flag.Int("rounds", 0, "round override for the iterative baseline")
 		history  = flag.Bool("history", false, "print per-round value histories")
 		engine   = flag.String("engine", "", "execution engine (see -list)")
+		eworkers = flag.Int("engine-workers", 0, "worker count for engines that take one, e.g. parallel (0 = one per CPU)")
 		policy   = flag.String("policy", "", "delivery policy name[:key=val,...], e.g. lifo or bounded:bound=8 (see -list)")
 		seeds    = flag.Int("seeds", 0, "run this many consecutive seeds (a seed sweep when > 1)")
 		workers  = flag.Int("workers", 0, "worker pool size for seed sweeps (0 = one per CPU, 1 = sequential)")
@@ -95,13 +97,13 @@ func run() error {
 		if s, err = repro.ParseScenario(data); err != nil {
 			return err
 		}
-		if err := applyOverrides(s, *seed, *seeds, *engine); err != nil {
+		if err := applyOverrides(s, *seed, *seeds, *engine, *eworkers); err != nil {
 			return err
 		}
 	} else {
 		if *algo == "necessity" {
-			if *seeds > 1 || *engine != "" || *policy != "" || *emit != "" || *runtime != "" {
-				return fmt.Errorf("-seeds, -engine, -policy, -emit and -runtime do not apply to -algo necessity")
+			if *seeds > 1 || *engine != "" || *eworkers != 0 || *policy != "" || *emit != "" || *runtime != "" {
+				return fmt.Errorf("-seeds, -engine, -engine-workers, -policy, -emit and -runtime do not apply to -algo necessity")
 			}
 			g, err := repro.NamedGraph(*spec)
 			if err != nil {
@@ -116,7 +118,7 @@ func run() error {
 		}
 		var err error
 		if s, err = buildScenario(*spec, *algo, *f, *k, *eps, *seed, *seeds,
-			*inputs, *faults, *rounds, *engine, *policy); err != nil {
+			*inputs, *faults, *rounds, *engine, *eworkers, *policy); err != nil {
 			return err
 		}
 	}
@@ -145,7 +147,7 @@ func run() error {
 // the corresponding scenario-file fields, so one file serves many seeds and
 // engines. Any other run-shaping flag passed alongside -scenario is an
 // error: silently ignoring, say, -policy would replay the wrong schedule.
-func applyOverrides(s *repro.Scenario, seed int64, seeds int, engine string) error {
+func applyOverrides(s *repro.Scenario, seed int64, seeds int, engine string, engineWorkers int) error {
 	var clash []string
 	flag.Visit(func(fl *flag.Flag) {
 		switch fl.Name {
@@ -155,12 +157,14 @@ func applyOverrides(s *repro.Scenario, seed int64, seeds int, engine string) err
 			s.Seeds = seeds
 		case "engine":
 			s.Engine = engine
+		case "engine-workers":
+			s.EngineWorkers = engineWorkers
 		case "graph", "algo", "f", "k", "eps", "inputs", "fault", "rounds", "policy":
 			clash = append(clash, "-"+fl.Name)
 		}
 	})
 	if len(clash) > 0 {
-		return fmt.Errorf("%s cannot be combined with -scenario: edit the file instead (only -seed, -seeds and -engine override it)",
+		return fmt.Errorf("%s cannot be combined with -scenario: edit the file instead (only -seed, -seeds, -engine and -engine-workers override it)",
 			strings.Join(clash, ", "))
 	}
 	return nil
@@ -171,14 +175,14 @@ func applyOverrides(s *repro.Scenario, seed int64, seeds int, engine string) err
 // policy, fault kinds — so errors carry the valid values instead of
 // surfacing from deep inside the simulator.
 func buildScenario(spec, algo string, f int, k, eps float64, seed int64, seeds int,
-	inputs, faults string, rounds int, engine, policy string) (*repro.Scenario, error) {
+	inputs, faults string, rounds int, engine string, engineWorkers int, policy string) (*repro.Scenario, error) {
 	if algo == "crash" {
 		algo = "crashapprox" // legacy alias from earlier releases
 	}
 	s := &repro.Scenario{
 		Graph: spec, Protocol: algo,
 		F: f, K: k, Eps: eps, Seed: seed, Seeds: seeds,
-		Engine: engine, Rounds: rounds,
+		Engine: engine, EngineWorkers: engineWorkers, Rounds: rounds,
 	}
 	var err error
 	if s.Policy, err = parsePolicy(policy); err != nil {
@@ -269,8 +273,11 @@ func printCatalog() {
 		fmt.Printf("  %s\n", name)
 	}
 	fmt.Println("engines:")
-	for _, name := range repro.EngineNames() {
-		fmt.Printf("  %s\n", name)
+	for _, info := range repro.EngineCatalog() {
+		fmt.Printf("  %-13s %s\n", info.Name, info.Doc)
+		if info.Workers {
+			fmt.Printf("  %13s params: -engine-workers N (0 = one per CPU)\n", "")
+		}
 	}
 	fmt.Println("runtimes:")
 	for _, name := range repro.RuntimeNames() {

@@ -111,16 +111,16 @@ func TestBuildScenarioValidatesEagerly(t *testing.T) {
 		errHas string
 	}{
 		{"bad protocol", func() (*repro.Scenario, error) {
-			return buildScenario("fig1a", "paxos", 1, 0, 0.1, 1, 0, "", "", 0, "", "")
+			return buildScenario("fig1a", "paxos", 1, 0, 0.1, 1, 0, "", "", 0, "", 0, "")
 		}, "valid values are"},
 		{"bad engine", func() (*repro.Scenario, error) {
-			return buildScenario("fig1a", "bw", 1, 0, 0.1, 1, 0, "", "", 0, "quantum", "")
+			return buildScenario("fig1a", "bw", 1, 0, 0.1, 1, 0, "", "", 0, "quantum", 0, "")
 		}, "valid values are"},
 		{"bad graph", func() (*repro.Scenario, error) {
-			return buildScenario("mobius:4", "bw", 1, 0, 0.1, 1, 0, "", "", 0, "", "")
+			return buildScenario("mobius:4", "bw", 1, 0, 0.1, 1, 0, "", "", 0, "", 0, "")
 		}, "unknown spec"},
 		{"bad fault node", func() (*repro.Scenario, error) {
-			return buildScenario("fig1a", "bw", 1, 0, 0.1, 1, 0, "", "9:silent", 0, "", "")
+			return buildScenario("fig1a", "bw", 1, 0, 0.1, 1, 0, "", "9:silent", 0, "", 0, "")
 		}, "outside graph order"},
 	}
 	for _, tc := range cases {
@@ -136,7 +136,7 @@ func TestBuildScenarioValidatesEagerly(t *testing.T) {
 
 func TestBuildScenarioCompilesFlags(t *testing.T) {
 	s, err := buildScenario("clique:4", "crash", 1, 3, 0.2, 9, 4,
-		"0,1,2,3", "2:silent", 0, "inline", "bounded:bound=5")
+		"0,1,2,3", "2:silent", 0, "inline", 0, "bounded:bound=5")
 	if err != nil {
 		t.Fatal(err)
 	}

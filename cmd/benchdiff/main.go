@@ -1,0 +1,144 @@
+// Command benchdiff compares two BENCH_*.json reports cell by cell and
+// prints per-rung speedup/regression deltas — the tool behind statements
+// like "BENCH_3's parallel engine at 4 workers vs BENCH_2's inline
+// baseline". All BENCH generations share one schema
+// (internal/experiments.BenchReport), so any pair of files compares.
+//
+// Cells match on (name, runtime, engine, workers) when both files carry the
+// engine columns; a new-file cell with no exact counterpart falls back to
+// matching the old file's (name, runtime) cell, which is what compares an
+// engine sweep against a plain baseline — every workers rung then reports
+// its speedup against the same baseline row. Unmatched cells are listed,
+// never silently dropped.
+//
+// Usage:
+//
+//	benchdiff BENCH_2.json BENCH_3.json
+//	benchdiff -min-ms 5 old.json new.json   # hide sub-5ms cells (noise)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	minMs := flag.Float64("min-ms", 0, "hide cells where both sides ran faster than this (timer noise)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [-min-ms N] OLD.json NEW.json")
+	}
+	oldRep, err := experiments.LoadBench(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := experiments.LoadBench(flag.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	oldCells := oldRep.Cells()
+	byKey := make(map[string]experiments.BenchRun, len(oldCells))
+	byBase := make(map[string]experiments.BenchRun, len(oldCells))
+	baseDup := make(map[string]bool)
+	for _, c := range oldCells {
+		byKey[c.Key()] = c
+		// BaseKey collisions (an old file that itself has a workers column)
+		// make the fallback ambiguous; mark and refuse rather than compare
+		// against an arbitrary rung.
+		if _, dup := byBase[c.BaseKey()]; dup {
+			baseDup[c.BaseKey()] = true
+		}
+		byBase[c.BaseKey()] = c
+	}
+
+	matchedOld := make(map[string]bool)
+	var unmatchedNew []experiments.BenchRun
+	shown, hidden := 0, 0
+	fmt.Printf("%-34s %-16s %-16s %10s %10s %9s\n",
+		"cell", "old", "new", "old ms", "new ms", "speedup")
+	for _, n := range newRep.Cells() {
+		o, exact := byKey[n.Key()]
+		if !exact {
+			var ok bool
+			o, ok = byBase[n.BaseKey()]
+			if !ok || baseDup[n.BaseKey()] {
+				unmatchedNew = append(unmatchedNew, n)
+				continue
+			}
+		}
+		matchedOld[o.Key()] = true
+		if o.Ms < *minMs && n.Ms < *minMs {
+			hidden++
+			continue
+		}
+		shown++
+		fmt.Printf("%-34s %-16s %-16s %10.1f %10.1f %8.2fx%s\n",
+			cellName(n), configLabel(o), configLabel(n), o.Ms, n.Ms, speedup(o.Ms, n.Ms), marker(o.Ms, n.Ms))
+	}
+	if hidden > 0 {
+		fmt.Printf("(%d cells under %.0f ms hidden)\n", hidden, *minMs)
+	}
+	for _, n := range unmatchedNew {
+		fmt.Printf("only in %s: %s %s\n", flag.Arg(1), cellName(n), configLabel(n))
+	}
+	for _, o := range oldCells {
+		if !matchedOld[o.Key()] {
+			fmt.Printf("only in %s: %s %s\n", flag.Arg(0), cellName(o), configLabel(o))
+		}
+	}
+	if shown == 0 && len(unmatchedNew) == len(newRep.Cells()) {
+		return fmt.Errorf("no cells matched between %s and %s", flag.Arg(0), flag.Arg(1))
+	}
+	return nil
+}
+
+// cellName renders the cell's identity: the scenario name plus the runtime
+// when one is recorded.
+func cellName(r experiments.BenchRun) string {
+	if r.Runtime == "" {
+		return r.Name
+	}
+	return r.Name + "/" + r.Runtime
+}
+
+// configLabel renders the cell's engine configuration column.
+func configLabel(r experiments.BenchRun) string {
+	e := r.Engine
+	if e == "" {
+		e = "inline"
+	}
+	if r.Workers > 0 {
+		e = fmt.Sprintf("%s/w%d", e, r.Workers)
+	}
+	if r.Policy != "" {
+		e += "+" + r.Policy
+	}
+	return e
+}
+
+// speedup is old/new: >1 means the new file's cell is faster.
+func speedup(oldMs, newMs float64) float64 {
+	if newMs <= 0 {
+		return 0
+	}
+	return oldMs / newMs
+}
+
+// marker flags regressions worse than 10% so they stand out in the table.
+func marker(oldMs, newMs float64) string {
+	if newMs > oldMs*1.1 {
+		return "  <-- regression"
+	}
+	return ""
+}

@@ -7,8 +7,16 @@
 //
 // The scale suite runs the E14 scale-out ladder — Algorithm BW on directed
 // cycles with an explicit zero fault bound and the iterative baseline on
-// torus/expander families, from n = 8 up to n = 1024 — and BENCH_2.json is
-// its committed snapshot: the scaling trajectory of the delivery core.
+// torus/expander families, from n = 8 up to the build's node limit — and
+// BENCH_2.json is its committed snapshot: the scaling trajectory of the
+// delivery core. With -engine parallel and an -engine-workers list, every
+// sim cell is measured once per worker count (the BENCH_3.json workers
+// column); parallel-engine cells run under the fifo delivery policy, the
+// schedule the engine can batch, so the worker counts compare like with
+// like.
+//
+// All BENCH_*.json files share one schema (internal/experiments.BenchReport);
+// cmd/benchdiff compares any two.
 //
 // Usage:
 //
@@ -16,6 +24,7 @@
 //	benchruntimes -json BENCH_1.json         # also write the JSON report
 //	benchruntimes -suite scale -json BENCH_2.json
 //	benchruntimes -suite scale -maxn 128     # cap the ladder
+//	benchruntimes -suite scale -engine parallel -engine-workers 1,2,4 -json BENCH_3.json
 //	benchruntimes -reps 5 -seed 7            # more repetitions, other seed
 //	benchruntimes -runtimes sim,loopback,tcp # default suite runtime set
 //	benchruntimes -cpuprofile cpu.out        # stock pprof profiles
@@ -28,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -53,28 +63,11 @@ func defaultScenarios(seed int64) []repro.Scenario {
 	}
 }
 
-type runRecord struct {
-	Name      string  `json:"name"`
-	Runtime   string  `json:"runtime"`
-	Ms        float64 `json:"ms"` // best-of-reps wall time
-	Steps     int     `json:"steps"`
-	Sends     int     `json:"sends"`
-	Decided   bool    `json:"decided"`
-	Converged bool    `json:"converged"`
-	Valid     bool    `json:"valid"`
-	// Scale-suite columns (omitted by the default suite).
-	Protocol string `json:"protocol,omitempty"`
-	Family   string `json:"family,omitempty"`
-	N        int    `json:"n,omitempty"`
-	F        int    `json:"f,omitempty"`
-}
-
-type report struct {
-	Suite   string      `json:"suite"`
-	Seed    int64       `json:"seed"`
-	Reps    int         `json:"reps"`
-	Runs    []runRecord `json:"runs"`
-	Skipped []string    `json:"skipped,omitempty"`
+// engineConfig is one engine configuration a sim cell is measured under.
+type engineConfig struct {
+	engine  string
+	workers int
+	policy  string
 }
 
 func main() {
@@ -89,13 +82,20 @@ func run() error {
 		suite      = flag.String("suite", "default", "benchmark suite: default | scale (the E14 ladder)")
 		seed       = flag.Int64("seed", 1, "scenario seed")
 		reps       = flag.Int("reps", 0, "repetitions per cell, best time wins (0 = 3 for the default suite, 1 for scale)")
-		maxN       = flag.Int("maxn", 0, "scale suite: largest graph order to run (0 = the full ladder to 1024)")
+		maxN       = flag.Int("maxn", 0, "scale suite: largest graph order to run (0 = the full ladder)")
 		names      = flag.String("runtimes", "sim,loopback", "comma-separated runtimes for the default suite (see abacsim -list)")
+		engine     = flag.String("engine", "", "sim execution engine: inline (default) | goroutine | parallel")
+		eworkers   = flag.String("engine-workers", "", "comma-separated worker counts; each sim cell is measured once per count (engines that take workers, e.g. -engine parallel -engine-workers 1,2,4)")
 		jsonPath   = flag.String("json", "", "also write the report to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	configs, notes, err := engineConfigs(*engine, *eworkers)
+	if err != nil {
+		return err
+	}
 
 	stopProf, err := prof.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -115,18 +115,86 @@ func run() error {
 		if *reps == 0 {
 			*reps = 3
 		}
-		return runDefault(ctx, *seed, *reps, *names, *jsonPath)
+		return runDefault(ctx, *seed, *reps, *names, configs, notes, *jsonPath)
 	case "scale":
 		if *reps == 0 {
 			*reps = 1
 		}
-		return runScale(ctx, *seed, *reps, *maxN, *jsonPath)
+		return runScale(ctx, *seed, *reps, *maxN, configs, notes, *jsonPath)
 	default:
 		return fmt.Errorf("unknown suite %q (valid values are: default, scale)", *suite)
 	}
 }
 
-func runDefault(ctx context.Context, seed int64, reps int, names, jsonPath string) error {
+// engineConfigs expands the -engine/-engine-workers flags into the engine
+// configurations every sim cell is measured under. The parallel engine's
+// cells run under the fifo policy — the injection-immune schedule the
+// engine can actually batch — so the worker counts compare the same
+// schedule; the override is recorded on every cell and in the report notes.
+func engineConfigs(engine, workersList string) ([]engineConfig, []string, error) {
+	if engine == "" && workersList != "" {
+		return nil, nil, fmt.Errorf("-engine-workers needs -engine (an engine that takes workers, e.g. parallel)")
+	}
+	if engine == "" {
+		return []engineConfig{{}}, nil, nil
+	}
+	found := false
+	for _, known := range repro.EngineNames() {
+		if engine == known {
+			found = true
+		}
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("unknown engine %q (valid values are: %v)", engine, repro.EngineNames())
+	}
+	policy := ""
+	var notes []string
+	if engine == "parallel" {
+		policy = "fifo"
+		notes = append(notes, "parallel-engine cells run under the fifo delivery policy (the schedule the engine batches); other cells keep the scenario default")
+	}
+	if workersList == "" {
+		return []engineConfig{{engine: engine, policy: policy}}, notes, nil
+	}
+	var configs []engineConfig
+	for _, tok := range strings.Split(workersList, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		w, err := strconv.Atoi(tok)
+		if err != nil || w < 1 {
+			return nil, nil, fmt.Errorf("-engine-workers: %q is not a positive integer", tok)
+		}
+		configs = append(configs, engineConfig{engine: engine, workers: w, policy: policy})
+	}
+	if len(configs) == 0 {
+		return nil, nil, fmt.Errorf("-engine-workers: empty list")
+	}
+	return configs, notes, nil
+}
+
+// applyConfig overlays one engine configuration onto a sim scenario.
+func applyConfig(s repro.Scenario, cfg engineConfig) repro.Scenario {
+	s.Engine = cfg.engine
+	s.EngineWorkers = cfg.workers
+	if cfg.policy != "" {
+		s.Policy = &repro.PolicySpec{Name: cfg.policy}
+	}
+	return s
+}
+
+// cellConfigs returns the engine configurations for one (scenario, runtime)
+// cell: the full set on the simulator, the single default elsewhere (a
+// cluster has no central engine).
+func cellConfigs(runtime string, configs []engineConfig) []engineConfig {
+	if runtime == repro.RuntimeSim {
+		return configs
+	}
+	return []engineConfig{{}}
+}
+
+func runDefault(ctx context.Context, seed int64, reps int, names string, configs []engineConfig, notes []string, jsonPath string) error {
 	var runtimes []string
 	for _, r := range strings.Split(names, ",") {
 		r = strings.TrimSpace(r)
@@ -145,50 +213,54 @@ func runDefault(ctx context.Context, seed int64, reps int, names, jsonPath strin
 		runtimes = append(runtimes, r)
 	}
 
-	rep := report{Suite: "default", Seed: seed, Reps: reps}
-	fmt.Printf("%-22s %-10s %12s %10s %10s\n", "scenario", "runtime", "best ms", "steps", "sends")
+	rep := experiments.BenchReport{Suite: "default", Seed: seed, Reps: reps, Notes: notes}
+	fmt.Printf("%-22s %-10s %-12s %12s %10s %10s\n", "scenario", "runtime", "engine", "best ms", "steps", "sends")
 	for _, s := range defaultScenarios(seed) {
 		base := -1.0
 		for _, runtime := range runtimes {
-			rec, err := measure(ctx, s, runtime, reps)
-			if err != nil {
-				return err
+			for _, cfg := range cellConfigs(runtime, configs) {
+				rec, err := measure(ctx, applyConfig(s, cfg), runtime, reps, cfg)
+				if err != nil {
+					return err
+				}
+				if !rec.Converged || !rec.Valid {
+					return fmt.Errorf("%s on %s: run failed its own acceptance (converged=%v validity=%v)",
+						s.Name, runtime, rec.Converged, rec.Valid)
+				}
+				rep.Runs = append(rep.Runs, rec)
+				suffix := ""
+				if base < 0 {
+					base = rec.Ms
+				} else if base > 0 {
+					suffix = fmt.Sprintf("  (%.2fx vs %s)", rec.Ms/base, runtimes[0])
+				}
+				fmt.Printf("%-22s %-10s %-12s %12.3f %10d %10d%s\n",
+					s.Name, runtime, engineLabel(cfg), rec.Ms, rec.Steps, rec.Sends, suffix)
 			}
-			if !rec.Converged || !rec.Valid {
-				return fmt.Errorf("%s on %s: run failed its own acceptance (converged=%v validity=%v)",
-					s.Name, runtime, rec.Converged, rec.Valid)
-			}
-			rep.Runs = append(rep.Runs, rec)
-			suffix := ""
-			if base < 0 {
-				base = rec.Ms
-			} else if base > 0 {
-				suffix = fmt.Sprintf("  (%.2fx vs %s)", rec.Ms/base, runtimes[0])
-			}
-			fmt.Printf("%-22s %-10s %12.3f %10d %10d%s\n",
-				s.Name, runtime, rec.Ms, rec.Steps, rec.Sends, suffix)
 		}
 	}
 	return write(rep, jsonPath)
 }
 
-func runScale(ctx context.Context, seed int64, reps, maxN int, jsonPath string) error {
-	rep := report{Suite: "scale", Seed: seed, Reps: reps}
-	fmt.Printf("%-10s %-9s %-5s %-3s %-9s %12s %10s %10s\n",
-		"protocol", "family", "n", "f", "runtime", "best ms", "steps", "sends")
+func runScale(ctx context.Context, seed int64, reps, maxN int, configs []engineConfig, notes []string, jsonPath string) error {
+	rep := experiments.BenchReport{Suite: "scale", Seed: seed, Reps: reps, Notes: notes}
+	fmt.Printf("%-10s %-9s %-5s %-3s %-9s %-12s %12s %10s %10s\n",
+		"protocol", "family", "n", "f", "runtime", "engine", "best ms", "steps", "sends")
 	for _, c := range experiments.ScaleCases(seed, maxN) {
 		for _, runtime := range c.Runtimes {
-			rec, err := measure(ctx, c.Scenario, runtime, reps)
-			if err != nil {
-				return err
+			for _, cfg := range cellConfigs(runtime, configs) {
+				rec, err := measure(ctx, applyConfig(c.Scenario, cfg), runtime, reps, cfg)
+				if err != nil {
+					return err
+				}
+				rec.Protocol = c.Scenario.Protocol
+				rec.Family = c.Family
+				rec.N = c.N
+				rec.F = c.F
+				rep.Runs = append(rep.Runs, rec)
+				fmt.Printf("%-10s %-9s %-5d %-3d %-9s %-12s %12.1f %10d %10d\n",
+					rec.Protocol, rec.Family, rec.N, rec.F, runtime, engineLabel(cfg), rec.Ms, rec.Steps, rec.Sends)
 			}
-			rec.Protocol = c.Scenario.Protocol
-			rec.Family = c.Family
-			rec.N = c.N
-			rec.F = c.F
-			rep.Runs = append(rep.Runs, rec)
-			fmt.Printf("%-10s %-9s %-5d %-3d %-9s %12.1f %10d %10d\n",
-				rec.Protocol, rec.Family, rec.N, rec.F, runtime, rec.Ms, rec.Steps, rec.Sends)
 		}
 		if c.SkipNote != "" {
 			rep.Skipped = append(rep.Skipped, c.SkipNote)
@@ -200,13 +272,28 @@ func runScale(ctx context.Context, seed int64, reps, maxN int, jsonPath string) 
 	return write(rep, jsonPath)
 }
 
-// measure runs one (scenario, runtime) cell reps times and keeps the best
-// wall time.
-func measure(ctx context.Context, s repro.Scenario, runtime string, reps int) (runRecord, error) {
+// engineLabel renders one engine configuration for the console table.
+func engineLabel(cfg engineConfig) string {
+	if cfg.engine == "" {
+		return "inline"
+	}
+	if cfg.workers > 0 {
+		return fmt.Sprintf("%s/w%d", cfg.engine, cfg.workers)
+	}
+	return cfg.engine
+}
+
+// measure runs one (scenario, runtime, engine-config) cell reps times and
+// keeps the best wall time.
+func measure(ctx context.Context, s repro.Scenario, runtime string, reps int, cfg engineConfig) (experiments.BenchRun, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	rec := runRecord{Name: s.Name, Runtime: runtime, Ms: -1}
+	rec := experiments.BenchRun{
+		Name: s.Name, Runtime: runtime,
+		Engine: cfg.engine, Workers: cfg.workers, Policy: cfg.policy,
+		Ms: -1,
+	}
 	for i := 0; i < reps; i++ {
 		if err := ctx.Err(); err != nil {
 			return rec, err
@@ -226,7 +313,7 @@ func measure(ctx context.Context, s repro.Scenario, runtime string, reps int) (r
 	return rec, nil
 }
 
-func write(rep report, jsonPath string) error {
+func write(rep experiments.BenchReport, jsonPath string) error {
 	if jsonPath == "" {
 		return nil
 	}

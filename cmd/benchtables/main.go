@@ -97,7 +97,7 @@ func catalog() []experiment {
 			rep, err := experiments.RunAttackMatrix(seed)
 			return rep.Render(), err
 		}},
-		{"scale", "E14: scale-out study to n=128 (full n=1024 ladder: benchruntimes -suite scale)", func(seed int64) (string, error) {
+		{"scale", "E14: scale-out study to n=128 (full ladder to the build's node limit: benchruntimes -suite scale)", func(seed int64) (string, error) {
 			// The default benchtables invocation runs every experiment, so
 			// this entry caps the ladder at a seconds-scale size; the full
 			// multi-minute, multi-GB run to n=1024 is regenerated explicitly
@@ -119,7 +119,8 @@ func run() error {
 	var (
 		list       = flag.Bool("list", false, "list experiments and exit")
 		seed       = flag.Int64("seed", 1, "base seed for all randomized pieces")
-		engine     = flag.String("engine", "", "execution engine for protocol runs: inline (default) | goroutine")
+		engine     = flag.String("engine", "", "execution engine for protocol runs: inline (default) | goroutine | parallel")
+		eworkers   = flag.Int("engine-workers", 0, "worker count for engines that take one, e.g. parallel (0 = one per CPU)")
 		workers    = flag.Int("workers", 1, "run experiments on this many workers (0 = one per CPU); output order is fixed")
 		jsonPath   = flag.String("json", "", "also write per-experiment timings to this JSON file")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -166,20 +167,19 @@ func run() error {
 	// multiplying levels: with several experiments selected it fans the
 	// experiments and the sweeps inside each stay sequential; with a single
 	// experiment selected it goes to that experiment's internal fan-out.
+	// -engine-workers is a separate, per-run budget (the parallel engine's
+	// lanes); when both are active the engine clamps itself to a sweep
+	// lane's fair CPU share instead of multiplying (par.NestedWorkers).
 	// Set once, before any driver runs.
 	inner := 1
 	if len(selected) == 1 {
 		inner = *workers
 	}
-	experiments.DefaultExec = experiments.Exec{Engine: *engine, Workers: inner}
+	experiments.DefaultExec = experiments.Exec{Engine: *engine, EngineWorkers: *eworkers, Workers: inner}
 
-	type timing struct {
-		Name string  `json:"name"`
-		Ms   float64 `json:"ms"`
-	}
 	type outcome struct {
 		text   string
-		timing timing
+		timing experiments.BenchRun
 	}
 	// An interrupt stops the run between experiments instead of leaving a
 	// long matrix unkillable.
@@ -199,7 +199,7 @@ func run() error {
 		elapsed := time.Since(start)
 		return outcome{
 			text:   fmt.Sprintf("%s\n  [%s took %v]\n", out, e.name, elapsed.Round(time.Millisecond)),
-			timing: timing{Name: e.name, Ms: float64(elapsed.Microseconds()) / 1000},
+			timing: experiments.BenchRun{Name: e.name, Ms: float64(elapsed.Microseconds()) / 1000},
 		}, nil
 	})
 	if err != nil {
@@ -210,12 +210,12 @@ func run() error {
 	}
 
 	if *jsonPath != "" {
-		report := struct {
-			Engine      string   `json:"engine"`
-			Workers     int      `json:"workers"`
-			Seed        int64    `json:"seed"`
-			Experiments []timing `json:"experiments"`
-		}{Engine: experiments.DefaultExec.Engine, Workers: *workers, Seed: *seed}
+		// The shared BENCH schema (experiments.BenchReport): BENCH_0.json's
+		// generator. Engine/Workers at report level are this process's
+		// settings; the per-experiment cells carry name and ms.
+		report := experiments.BenchReport{
+			Engine: experiments.DefaultExec.Engine, Workers: *workers, Seed: *seed,
+		}
 		if report.Engine == "" {
 			report.Engine = "inline"
 		}

@@ -16,8 +16,10 @@ import (
 func TestAnalyzeRedundantMatchesDefinition(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	// One shared scratch across all trials exercises the epoch tagging the
-	// way a machine does: no clearing between deliveries.
-	var ext redundantExt
+	// way a machine does: no clearing between deliveries. mark is sized for
+	// the largest node ID the trials use, as NewMachine sizes it for the
+	// graph order.
+	ext := redundantExt{mark: make([]uint64, 6)}
 	for trial := 0; trial < 5000; trial++ {
 		n := 1 + rng.Intn(10)
 		p := make(graph.Path, n)

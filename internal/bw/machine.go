@@ -56,13 +56,15 @@ func NewMachine(p *Proto, id int, input float64) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Machine{
+	m := &Machine{
 		proto:  p,
 		pre:    pre,
 		id:     id,
 		input:  input,
 		rounds: make(map[int]*roundState),
-	}, nil
+	}
+	m.ext.mark = make([]uint64, p.G.N())
+	return m, nil
 }
 
 // ID implements sim.Handler.
@@ -170,12 +172,18 @@ type redundantExt struct {
 	n     int
 	a, b  int
 	epoch uint64
-	mark  [graph.MaxNodes]uint64
+	// mark is sized to the graph order at machine construction (node IDs
+	// are dense in [0, n)) — a slice rather than a [graph.MaxNodes]array so
+	// machines on small graphs don't carry a 32 KB scratch block under the
+	// graph4096 build.
+	mark []uint64
 }
 
-// markShift leaves room for positions up to 2*MaxNodes (redundant paths are
-// concatenations of two simple paths; longer walks are rejected up front).
-const markShift = 13
+// markShift leaves room for positions up to 2*MaxNodes+1 in the largest
+// build dimension (4096 nodes: 8193 < 1<<15; redundant paths are
+// concatenations of two simple paths and longer walks are rejected up
+// front). Epochs occupy the remaining 49 bits — no run gets near wrapping.
+const markShift = 15
 
 // analyze precomputes the extension test for storage; it reports false when
 // storage itself is not redundant (in which case no extension is either,
@@ -383,9 +391,12 @@ func (m *Machine) floodInfo(p *CompletePayload) *floodInfo {
 	if v, ok := m.proto.floods.Load(dk); ok {
 		return v.(*floodInfo)
 	}
-	info := newFloodInfo(p)
-	m.proto.floods.Store(dk, info)
-	return info
+	// LoadOrStore, not Store: machines on different parallel-engine lanes
+	// may race to summarize the same flood. The summary is a pure function
+	// of the payload content, so whichever instance wins the race is
+	// equivalent — LoadOrStore just keeps one canonical pointer in the map.
+	v, _ := m.proto.floods.LoadOrStore(dk, newFloodInfo(p))
+	return v.(*floodInfo)
 }
 
 func (m *Machine) contentDigest(p *CompletePayload) string {

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadBenchGenerations: one decoder must read every committed BENCH
+// generation — benchtables' experiments-shaped report and the benchruntimes
+// runs-shaped reports.
+func TestLoadBenchGenerations(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	expShaped := write("bench0.json", `{
+		"engine": "inline", "workers": 1, "seed": 1,
+		"experiments": [{"name": "table1", "ms": 12.5}]
+	}`)
+	rep, err := LoadBench(expShaped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells := rep.Cells(); len(cells) != 1 || cells[0].Name != "table1" {
+		t.Fatalf("cells = %+v", cells)
+	}
+
+	runShaped := write("bench3.json", `{
+		"suite": "scale", "seed": 1, "reps": 1,
+		"runs": [
+			{"name": "scale-bw-cycle-8", "runtime": "sim", "ms": 1.0},
+			{"name": "scale-bw-cycle-8", "runtime": "sim", "engine": "parallel", "workers": 4, "policy": "fifo", "ms": 0.4}
+		],
+		"notes": ["parallel-engine cells run under the fifo delivery policy"]
+	}`)
+	rep, err = LoadBench(runShaped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := rep.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("cells = %+v", cells)
+	}
+	// The engine configuration distinguishes keys; the base key matches the
+	// plain baseline for cross-report fallback.
+	if cells[0].Key() == cells[1].Key() {
+		t.Error("engine-swept cells must have distinct keys")
+	}
+	if cells[0].BaseKey() != cells[1].BaseKey() {
+		t.Error("engine-swept cells must share the base key")
+	}
+
+	if _, err := LoadBench(write("drift.json", `{"seed": 1, "rows": []}`)); err == nil ||
+		!strings.Contains(err.Error(), "unknown field") {
+		t.Errorf("schema drift must fail loudly, got %v", err)
+	}
+	if _, err := LoadBench(write("both.json",
+		`{"seed": 1, "runs": [{"name": "a", "ms": 1}], "experiments": [{"name": "b", "ms": 1}]}`)); err == nil {
+		t.Error("a report with both runs and experiments must be rejected")
+	}
+}
+
+// TestLoadBenchCommittedFiles: the repository's committed snapshots must
+// all parse under the shared schema.
+func TestLoadBenchCommittedFiles(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Skip("no committed BENCH files")
+	}
+	for _, p := range matches {
+		rep, err := LoadBench(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if len(rep.Cells()) == 0 {
+			t.Errorf("%s: no cells", p)
+		}
+	}
+}

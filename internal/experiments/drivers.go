@@ -17,6 +17,7 @@ import (
 // are assembled from the same replayable specs the CLIs accept.
 func runScenario(s repro.Scenario, exec Exec) (*repro.Result, error) {
 	s.Engine = exec.Engine
+	s.EngineWorkers = exec.EngineWorkers
 	return s.Run()
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/graph"
 )
 
 // ScaleCase is one prepared cell of the E14 scale-out study: a declarative
@@ -23,8 +24,11 @@ type ScaleCase struct {
 	SkipNote string
 }
 
-// ScaleSizes is the E14 ladder of graph orders.
-var ScaleSizes = []int{8, 32, 128, 512, 1024}
+// ScaleSizes is the E14 ladder of graph orders. The rungs above the
+// default build's node limit (graph.MaxNodes = 1024) only materialize under
+// the graph4096 build tag; ScaleCases drops them with an explicit skip note
+// otherwise.
+var ScaleSizes = []int{8, 32, 128, 512, 1024, 2048, 4096}
 
 // scaleLoopbackMaxBW bounds the BW loopback rows: every BW message carries
 // a propagation path, so the wire encode/decode bill grows with n^3 and the
@@ -33,8 +37,17 @@ var ScaleSizes = []int{8, 32, 128, 512, 1024}
 // the report says so — no silent truncation.
 const scaleLoopbackMaxBW = 128
 
+// scaleBWMaxN bounds the BW simulator rows: the n=1024 cycle rung already
+// costs minutes of single-core delivery (BENCH_2), and the redundant-path
+// machinery grows superlinearly past it. The 2048/4096 rungs run the
+// iterative baseline only, with an explicit skip note.
+const scaleBWMaxN = 1024
+
 // scaleTorusDims factors the ladder sizes into torus sides.
-var scaleTorusDims = map[int][2]int{8: {2, 4}, 32: {4, 8}, 128: {8, 16}, 512: {16, 32}, 1024: {32, 32}}
+var scaleTorusDims = map[int][2]int{
+	8: {2, 4}, 32: {4, 8}, 128: {8, 16}, 512: {16, 32}, 1024: {32, 32},
+	2048: {32, 64}, 4096: {64, 64},
+}
 
 // ScaleCases builds the E14 ladder: Algorithm BW on the directed cycle (the
 // path-sparse family — every other named family's redundant-path count
@@ -47,22 +60,49 @@ func ScaleCases(seed int64, maxN int) []ScaleCase {
 		if maxN > 0 && n > maxN {
 			continue
 		}
-		bwRuntimes := []string{"sim", "loopback"}
-		bwSkip := ""
-		if n > scaleLoopbackMaxBW {
-			bwRuntimes = []string{"sim"}
-			bwSkip = fmt.Sprintf("scale-bw-cycle-%d on loopback: BW wire-encodes a path per message; n > %d is simulator-only", n, scaleLoopbackMaxBW)
+		if n > graph.MaxNodes {
+			// A rung above the build dimension is reported, not silently
+			// dropped: a case with no runtimes carries only the note.
+			cases = append(cases, ScaleCase{
+				Family: "-", N: n,
+				SkipNote: fmt.Sprintf("n=%d rung: exceeds this build's node limit (graph.MaxNodes=%d); rebuild with -tags graph4096", n, graph.MaxNodes),
+			})
+			continue
 		}
-		cases = append(cases, ScaleCase{
-			Scenario: repro.Scenario{
-				Name:     fmt.Sprintf("scale-bw-cycle-%d", n),
-				Graph:    fmt.Sprintf("cycle:%d", n),
-				Protocol: "bw",
-				InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 2},
-				F:        repro.FZero, K: 1, Eps: 0.6, Seed: seed,
-			},
-			Family: "cycle", N: n, F: 0, Runtimes: bwRuntimes, SkipNote: bwSkip,
-		})
+		if n <= scaleBWMaxN {
+			bwRuntimes := []string{"sim", "loopback"}
+			bwSkip := ""
+			if n > scaleLoopbackMaxBW {
+				bwRuntimes = []string{"sim"}
+				bwSkip = fmt.Sprintf("scale-bw-cycle-%d on loopback: BW wire-encodes a path per message; n > %d is simulator-only", n, scaleLoopbackMaxBW)
+			}
+			cases = append(cases, ScaleCase{
+				Scenario: repro.Scenario{
+					Name:     fmt.Sprintf("scale-bw-cycle-%d", n),
+					Graph:    fmt.Sprintf("cycle:%d", n),
+					Protocol: "bw",
+					InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 2},
+					F:        repro.FZero, K: 1, Eps: 0.6, Seed: seed,
+				},
+				Family: "cycle", N: n, F: 0, Runtimes: bwRuntimes, SkipNote: bwSkip,
+			})
+		} else {
+			cases = append(cases, ScaleCase{
+				Family: "cycle", N: n,
+				SkipNote: fmt.Sprintf("scale-bw-cycle-%d: BW's redundant-path machinery is past its seconds-to-minutes budget above n=%d; the %d rung runs the iterative baseline only", n, scaleBWMaxN, n),
+			})
+		}
+		// Above the default dimension the iterative rows run simulator-only:
+		// a live loopback cluster of thousands of goroutine nodes measures
+		// the host's scheduler, not the protocol.
+		iterRuntimes := []string{"sim", "loopback"}
+		iterSkip := func(family string) string { return "" }
+		if n > 1024 {
+			iterRuntimes = []string{"sim"}
+			iterSkip = func(family string) string {
+				return fmt.Sprintf("scale-iter-%s-%d on loopback: n > 1024 cluster rows measure host scheduling, not the protocol; simulator-only", family, n)
+			}
+		}
 		d := scaleTorusDims[n]
 		cases = append(cases, ScaleCase{
 			Scenario: repro.Scenario{
@@ -72,7 +112,7 @@ func ScaleCases(seed int64, maxN int) []ScaleCase {
 				InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 4},
 				F:        1, K: 3, Eps: 0.25, Seed: seed,
 			},
-			Family: "torus", N: n, F: 1, Runtimes: []string{"sim", "loopback"},
+			Family: "torus", N: n, F: 1, Runtimes: iterRuntimes, SkipNote: iterSkip("torus"),
 		})
 		cases = append(cases, ScaleCase{
 			Scenario: repro.Scenario{
@@ -82,7 +122,7 @@ func ScaleCases(seed int64, maxN int) []ScaleCase {
 				InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 4},
 				F:        1, K: 3, Eps: 0.25, Seed: seed,
 			},
-			Family: "expander", N: n, F: 1, Runtimes: []string{"sim", "loopback"},
+			Family: "expander", N: n, F: 1, Runtimes: iterRuntimes, SkipNote: iterSkip("expander"),
 		})
 	}
 	return cases
@@ -117,7 +157,7 @@ type ScaleReport struct {
 // Render prints the study.
 func (r ScaleReport) Render() string {
 	var b strings.Builder
-	b.WriteString("E14 / scale-out — BW and iterative from n=8 to n=1024, sim vs loopback\n")
+	b.WriteString("E14 / scale-out — BW and iterative from n=8 up to the build's node limit (n=4096 under -tags graph4096)\n")
 	fmt.Fprintf(&b, "  %-10s %-9s %-5s %-3s %-9s %10s %10s %12s %-8s %-9s %s\n",
 		"protocol", "family", "n", "f", "runtime", "steps", "messages", "ms", "decided", "converged", "3-reach")
 	for _, row := range r.Rows {
@@ -157,7 +197,12 @@ func RunScale(seed int64) (ScaleReport, error) {
 func RunScaleExec(ctx context.Context, seed int64, exec Exec, maxN int) (ScaleReport, error) {
 	var rep ScaleReport
 	for _, c := range ScaleCases(seed, maxN) {
-		note := certNote(c.Scenario.Graph, c.F)
+		// Note-only cases (rungs above the build dimension, BW rows past the
+		// budget) carry no scenario to certify or run.
+		note := ""
+		if len(c.Runtimes) > 0 {
+			note = certNote(c.Scenario.Graph, c.F)
+		}
 		for _, runtime := range c.Runtimes {
 			if err := ctx.Err(); err != nil {
 				return rep, err

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/graph"
 )
 
 // TestScaleLadderShape pins the E14 case matrix: every ladder size carries
@@ -13,14 +14,43 @@ import (
 // the large BW cells are simulator-only.
 func TestScaleLadderShape(t *testing.T) {
 	cases := ScaleCases(1, 0)
-	if want := len(ScaleSizes) * 3; len(cases) != want {
+	// Sizes within the build dimension yield three family cells; n=2048 and
+	// n=4096 collapse to one note-only case under the default build, and to
+	// two runnable iterative cells plus a note-only BW case under graph4096
+	// (BW is capped at scaleBWMaxN either way).
+	want := 0
+	for _, n := range ScaleSizes {
+		switch {
+		case n > graph.MaxNodes:
+			want++
+		default:
+			want += 3
+		}
+	}
+	if len(cases) != want {
 		t.Fatalf("ladder has %d cells, want %d", len(cases), want)
 	}
 	for _, c := range cases {
+		if len(c.Runtimes) == 0 {
+			// Note-only case: must explain itself and carry no scenario.
+			if c.SkipNote == "" {
+				t.Errorf("n=%d %s: runtime-less case without a skip note", c.N, c.Family)
+			}
+			if c.Scenario.Name != "" {
+				t.Errorf("n=%d %s: note-only case carries a scenario", c.N, c.Family)
+			}
+			continue
+		}
 		if err := c.Scenario.Validate(); err != nil {
 			t.Errorf("%s: %v", c.Scenario.Name, err)
 		}
+		if c.N > 1024 && len(c.Runtimes) != 1 {
+			t.Errorf("%s: rungs above n=1024 must be simulator-only", c.Scenario.Name)
+		}
 		if c.Scenario.Protocol == "bw" {
+			if c.N > scaleBWMaxN {
+				t.Errorf("%s: BW rows past n=%d must be note-only", c.Scenario.Name, scaleBWMaxN)
+			}
 			if c.Scenario.F != repro.FZero {
 				t.Errorf("%s: BW ladder rows must use the explicit zero fault bound", c.Scenario.Name)
 			}

@@ -1,0 +1,8 @@
+//go:build graph4096
+
+package graph
+
+// MaxNodes in the graph4096 build: 4096 nodes, 64-word Sets. Every Set
+// operation touches 4x the words of the default build, so this tag is for
+// the large-scale experiment rungs (E14 n=2048/4096), not for routine use.
+const MaxNodes = 4096

@@ -1,0 +1,8 @@
+//go:build !graph4096
+
+package graph
+
+// MaxNodes in the default build: 1024 nodes, 16-word Sets — no bitmask tax
+// on the small and mid-size graphs that dominate the test and experiment
+// suites. Build with -tags graph4096 to raise the dimension to 4096.
+const MaxNodes = 1024

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -32,7 +33,7 @@ func TestUnmarshalErrors(t *testing.T) {
 		"edge first":     "e 0 1\nn 2\n",
 		"double order":   "n 2\nn 3\n",
 		"bad order":      "n zero\n",
-		"order range":    "n 2000\n",
+		"order range":    fmt.Sprintf("n %d\n", MaxNodes+1),
 		"bad edge arity": "n 2\ne 0\n",
 		"bad edge node":  "n 2\ne 0 5\n",
 		"self loop":      "n 2\ne 1 1\n",
@@ -93,15 +94,20 @@ func TestNamedSpecs(t *testing.T) {
 			t.Errorf("Named(%q).N() = %d, want %d", spec, g.N(), n)
 		}
 	}
+	// Smallest square torus that exceeds the build's node limit.
+	torusSide := 1
+	for torusSide*torusSide <= MaxNodes {
+		torusSide++
+	}
 	bad := []string{"", "nope", "clique", "clique:x", "circulant:5", "circulant:5:a", "random:5", "random:5:x:1", "random:5:0.5:x",
 		// Bounds and arity hardening: these must error, never panic or
 		// attempt a giant allocation.
-		"clique:0", "clique:-3", "clique:1025", "clique:999999999", "cycle:0",
-		"wheel:1", "wheel:0", "wheel:1024", "fig1a:2", "clique:5:9",
+		"clique:0", "clique:-3", fmt.Sprintf("clique:%d", MaxNodes+1), "clique:999999999", "cycle:0",
+		"wheel:1", "wheel:0", fmt.Sprintf("wheel:%d", MaxNodes), "fig1a:2", "clique:5:9",
 		"circulant:0:1", "circulant:5:1,2:3", "random:5:1.5:1", "random:5:-0.1:1", "random:5:NaN:1", "random:5:0.5:1:extra",
-		"torus:1:4", "torus:2:2000", "torus:40:40", "torus:2", "torus:2:3:4", "torus:x:2",
+		"torus:1:4", fmt.Sprintf("torus:2:%d", MaxNodes+2), fmt.Sprintf("torus:%d:%d", torusSide, torusSide), "torus:2", "torus:2:3:4", "torus:x:2",
 		"torus:3037000500:3037000500", // rows*cols overflows int; must error, not panic
-		"kregular:1025:2:1", "expander:2000:2:1",
+		fmt.Sprintf("kregular:%d:2:1", MaxNodes+1), fmt.Sprintf("expander:%d:2:1", MaxNodes+2),
 		"kregular:5:0:1", "kregular:5:5:1", "kregular:5:x:1", "kregular:5:2", "kregular:0:1:1",
 		"expander:5:0:1", "expander:5:3:1", "expander:4:2:1", "expander:5:2", "expander:5:x:1"}
 	for _, spec := range bad {

@@ -15,12 +15,14 @@ import (
 	"strings"
 )
 
-// MaxNodes is the largest supported graph order. Sets are fixed-size
-// multiword bitmasks — value types, comparable and usable as map keys — so
-// the exponential condition checkers (which enumerate millions of node
-// subsets) stay allocation-free while the scale experiments run graphs up
-// to 1024 nodes.
-const MaxNodes = 1024
+// MaxNodes is the largest supported graph order, a build dimension: the
+// default build supports 1024 nodes (16-word Sets), and the graph4096 build
+// tag widens Sets to 64 words for n up to 4096. See dim_default.go /
+// dim_4096.go. Keeping the dimension a compile-time constant preserves
+// what the Set representation is load-bearing for: fixed-size multiword
+// bitmasks are value types, comparable and usable as map keys, so the
+// exponential condition checkers (which enumerate millions of node subsets)
+// stay allocation-free — and small-graph builds pay no 64-word bitmask tax.
 
 // setWords is the number of 64-bit words backing a Set.
 const setWords = MaxNodes / 64

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/transport"
@@ -32,6 +33,20 @@ type Invoker interface {
 	Start(node int) []transport.Message
 	Deliver(node int, m transport.Message) []transport.Message
 	Close()
+}
+
+// BatchInvoker is the optional fast path an engine exposes when it can
+// execute a whole window of deliveries at once. The runner only uses it
+// when the window's delivery order can be fixed before any handler runs
+// (see Runner.windowedEligible); otherwise a BatchInvoker engine runs
+// through the ordinary per-delivery Invoker methods.
+type BatchInvoker interface {
+	Invoker
+	// DeliverBatch invokes the handler for every delivery in batch and
+	// returns each invocation's sends, indexed like batch. The runner
+	// commits the results (trace, injection, delayed-release) in batch
+	// order; the returned slices are valid until the next invocation.
+	DeliverBatch(batch []transport.Message) [][]transport.Message
 }
 
 // inlineEngine invokes handlers directly on the runner's goroutine: no
@@ -173,30 +188,114 @@ func (p *proc) stop() {
 	<-p.done
 }
 
-var engines = map[string]Engine{
-	"inline":    Inline(),
-	"goroutine": Goroutine(),
+// EngineInfo describes a registered engine for catalogs (abacsim -list).
+type EngineInfo struct {
+	Name string
+	// Doc is a one-line description of the engine's execution model.
+	Doc string
+	// Workers reports whether the engine accepts a worker count; engines
+	// without it reject a non-zero workers argument to NewEngine.
+	Workers bool
 }
 
-// EngineByName resolves an engine by name; the empty string selects the
-// default inline engine.
-func EngineByName(name string) (Engine, error) {
-	if name == "" {
-		return Inline(), nil
+// EngineBuilder constructs an engine instance. workers is the requested
+// worker count (0 means the engine's default); builders for engines whose
+// Info.Workers is false receive 0 always — NewEngine rejects the flag
+// before they run.
+type EngineBuilder func(workers int) Engine
+
+type engineEntry struct {
+	info  EngineInfo
+	build EngineBuilder
+}
+
+var (
+	engineMu      sync.RWMutex
+	engineEntries = map[string]engineEntry{}
+)
+
+// RegisterEngine adds a named engine constructor to the registry, mirroring
+// the policy/protocol/adversary registries. Names must be unique and
+// non-empty; re-registration panics, since it indicates two packages
+// fighting over a name rather than a runtime condition. Registration and
+// lookup are mutex-guarded, so init-time registration is race-clean even
+// when tests resolve engines concurrently.
+func RegisterEngine(info EngineInfo, build EngineBuilder) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	if info.Name == "" || build == nil {
+		panic("sim: RegisterEngine with empty name or nil builder")
 	}
-	e, ok := engines[name]
+	if _, dup := engineEntries[info.Name]; dup {
+		panic(fmt.Sprintf("sim: engine %q registered twice", info.Name))
+	}
+	engineEntries[info.Name] = engineEntry{info: info, build: build}
+}
+
+// NewEngine instantiates a registered engine by name. The empty name
+// selects the default inline engine. workers is the worker count for
+// engines that take one (0 means the engine default, one worker per CPU);
+// passing a non-zero count to a single-threaded engine is an error rather
+// than a silent no-op.
+func NewEngine(name string, workers int) (Engine, error) {
+	if name == "" {
+		name = "inline"
+	}
+	engineMu.RLock()
+	entry, ok := engineEntries[name]
+	engineMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("sim: unknown engine %q (valid values are: %v)", name, EngineNames())
 	}
-	return e, nil
+	if workers != 0 && !entry.info.Workers {
+		return nil, fmt.Errorf("sim: engine %q does not take a worker count", name)
+	}
+	return entry.build(workers), nil
+}
+
+// EngineByName resolves an engine by name with its default worker count;
+// the empty string selects the default inline engine.
+func EngineByName(name string) (Engine, error) {
+	return NewEngine(name, 0)
 }
 
 // EngineNames lists the registered engines, sorted.
 func EngineNames() []string {
-	names := make([]string, 0, len(engines))
-	for name := range engines {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	names := make([]string, 0, len(engineEntries))
+	for name := range engineEntries {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Engines returns the registered engine descriptors, sorted by name — the
+// catalog form behind abacsim -list.
+func Engines() []EngineInfo {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	infos := make([]EngineInfo, 0, len(engineEntries))
+	for _, e := range engineEntries {
+		infos = append(infos, e.info)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+func init() {
+	RegisterEngine(EngineInfo{
+		Name: "inline",
+		Doc:  "direct handler calls on the runner goroutine (default, fastest single-core)",
+	}, func(int) Engine { return Inline() })
+	RegisterEngine(EngineInfo{
+		Name: "goroutine",
+		Doc:  "one goroutine per node with channel dispatch (semantic reference model)",
+	}, func(int) Engine { return Goroutine() })
+	RegisterEngine(EngineInfo{
+		Name:    "parallel",
+		Doc:     "speculative parallel delivery with canonical commit; trace-identical to inline",
+		Workers: true,
+	}, func(workers int) Engine { return Parallel(workers) })
 }

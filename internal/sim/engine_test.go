@@ -53,6 +53,58 @@ func TestEngineEquivalence(t *testing.T) {
 	}
 }
 
+// runEchoPolicy is runEcho with a caller-chosen policy, for exercising the
+// parallel engine's windowed (fifo) and serial-fallback (random) paths.
+func runEchoPolicy(t *testing.T, e Engine, policy transport.Policy) (string, int, map[int]float64) {
+	t.Helper()
+	g := graph.Clique(4)
+	r, err := New(Config{
+		Graph:       g,
+		Policy:      policy,
+		Engine:      e,
+		RecordTrace: true,
+	}, newEchoHandlers(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	outs, all := r.Outputs(g.Nodes())
+	if !all {
+		t.Fatal("echo nodes undecided")
+	}
+	return r.TraceString(), r.Steps(), outs
+}
+
+// TestParallelEngineEquivalence checks the parallel engine against inline
+// at several worker counts, on both the windowed path (fifo is
+// injection-immune) and the serial fallback (random is not).
+func TestParallelEngineEquivalence(t *testing.T) {
+	policies := map[string]func() transport.Policy{
+		"fifo":   func() transport.Policy { return transport.FIFOPolicy{} },
+		"random": func() transport.Policy { return transport.NewRandomPolicy(7) },
+	}
+	for pname, mk := range policies {
+		inTrace, inSteps, inOuts := runEchoPolicy(t, Inline(), mk())
+		for _, workers := range []int{1, 2, 3, 8} {
+			pTrace, pSteps, pOuts := runEchoPolicy(t, Parallel(workers), mk())
+			if pTrace != inTrace {
+				t.Fatalf("%s workers=%d: traces diverged:\ninline:\n%s\nparallel:\n%s",
+					pname, workers, inTrace, pTrace)
+			}
+			if pSteps != inSteps {
+				t.Fatalf("%s workers=%d: steps %d vs %d", pname, workers, pSteps, inSteps)
+			}
+			for id, x := range inOuts {
+				if pOuts[id] != x {
+					t.Fatalf("%s workers=%d: node %d output %v vs %v", pname, workers, id, pOuts[id], x)
+				}
+			}
+		}
+	}
+}
+
 // TestEngineDefaultIsInline pins the default: a nil Config.Engine must
 // resolve to the inline engine and still match the goroutine engine.
 func TestEngineDefaultIsInline(t *testing.T) {
@@ -78,6 +130,7 @@ func TestEngineByName(t *testing.T) {
 		{"", "inline"},
 		{"inline", "inline"},
 		{"goroutine", "goroutine"},
+		{"parallel", "parallel"},
 	} {
 		e, err := EngineByName(tc.name)
 		if err != nil || e.Name() != tc.want {
@@ -88,8 +141,44 @@ func TestEngineByName(t *testing.T) {
 		t.Error("unknown engine accepted")
 	}
 	names := EngineNames()
-	if len(names) != 2 || names[0] != "goroutine" || names[1] != "inline" {
-		t.Errorf("EngineNames() = %v", names)
+	want := []string{"goroutine", "inline", "parallel"}
+	if len(names) != len(want) {
+		t.Fatalf("EngineNames() = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("EngineNames()[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+// TestNewEngineWorkers pins the worker-count contract: the parallel engine
+// accepts a count, the single-threaded engines reject a non-zero one, and
+// the catalog advertises which is which.
+func TestNewEngineWorkers(t *testing.T) {
+	if e, err := NewEngine("parallel", 4); err != nil || e.Name() != "parallel" {
+		t.Errorf("NewEngine(parallel, 4) = %v, %v", e, err)
+	}
+	for _, name := range []string{"inline", "goroutine"} {
+		if _, err := NewEngine(name, 4); err == nil {
+			t.Errorf("NewEngine(%s, 4) accepted a worker count", name)
+		}
+		if _, err := NewEngine(name, 0); err != nil {
+			t.Errorf("NewEngine(%s, 0) = %v", name, err)
+		}
+	}
+	if _, err := NewEngine("warp-drive", 0); err == nil {
+		t.Error("unknown engine accepted")
+	}
+	workers := map[string]bool{}
+	for _, info := range Engines() {
+		if info.Doc == "" {
+			t.Errorf("engine %q has no doc line", info.Name)
+		}
+		workers[info.Name] = info.Workers
+	}
+	if !workers["parallel"] || workers["inline"] || workers["goroutine"] {
+		t.Errorf("Engines() worker flags = %v", workers)
 	}
 }
 

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/transport"
+)
+
+// parallelEngine executes handler invocations across a worker pool with
+// deterministic, inline-identical results. The runner draws a whole window
+// of deliveries up front (only legal when the policy is injection-immune —
+// see transport.InjectionImmune and Runner.runWindowed), the engine invokes
+// the handlers speculatively in parallel, and the runner then commits each
+// invocation's outbox into the pool in the window's canonical order. The
+// trace, Stats and link-fault accounting are byte-for-byte identical to the
+// inline engine for every seed and worker count; workers change wall-clock
+// only.
+//
+// Parallel invocation is safe because deliveries within a window are
+// independent by construction: a message sent during the window cannot also
+// be delivered in it (injection-immune policies pick only window-start
+// messages), so no handler ever observes a window-mate's output. The only
+// ordering constraint is per destination — two deliveries to the same node
+// mutate that node's state — which the engine preserves by grouping the
+// window by destination and running each group sequentially on one worker.
+//
+// When the run's configuration is not window-eligible (stateful policy,
+// hold rule, observer, stop/release predicates) the runner falls back to
+// the serial per-delivery loop and this engine behaves exactly like inline.
+type parallelEngine struct {
+	workers int
+}
+
+// Parallel returns the speculative-delivery engine. workers < 1 selects the
+// shared GOMAXPROCS-derived default; inside an active sweep the count is
+// clamped to the lane's fair share (par.NestedWorkers) so sweep workers ×
+// engine workers never oversubscribe the machine.
+func Parallel(workers int) Engine { return parallelEngine{workers: workers} }
+
+func (e parallelEngine) Name() string { return "parallel" }
+
+func (e parallelEngine) Bind(handlers []Handler, g *graph.Graph, stats *transport.Stats) Invoker {
+	workers := par.NestedWorkers(e.workers)
+	v := &parallelInvoker{
+		handlers: handlers,
+		stats:    stats,
+		workers:  workers,
+		lanes:    make([]lane, workers),
+		groupOf:  make([]int32, len(handlers)),
+	}
+	v.out.from = -1
+	v.out.g = g
+	v.out.stats = stats
+	for i := range v.lanes {
+		v.lanes[i].out.g = g
+		v.lanes[i].out.stats = &v.lanes[i].stats
+	}
+	for i := range v.groupOf {
+		v.groupOf[i] = -1
+	}
+	return v
+}
+
+// lane is one worker's private staging area. Handlers invoked on the lane
+// send through its private Outbox (so Outbox drop accounting never races),
+// and the sends accumulate in buf with one span per invocation; after the
+// window joins, the invoker materializes the per-delivery outboxes from the
+// spans and merges the drop counters.
+type lane struct {
+	out   Outbox
+	stats transport.Stats // private: only Dropped is ever touched
+	buf   []transport.Message
+	spans []span
+}
+
+// span records where one invocation's sends landed in the lane buffer.
+type span struct {
+	batchIdx   int32
+	start, end int32
+}
+
+// deliverOne runs a single handler invocation on this lane and records its
+// sends as a span.
+func (l *lane) deliverOne(h Handler, m transport.Message, batchIdx int32) {
+	l.out.from = h.ID()
+	l.out.msgs = l.out.msgs[:0]
+	h.Deliver(m, &l.out)
+	start := int32(len(l.buf))
+	l.buf = append(l.buf, l.out.msgs...)
+	l.spans = append(l.spans, span{batchIdx: batchIdx, start: start, end: int32(len(l.buf))})
+}
+
+type parallelInvoker struct {
+	handlers []Handler
+	stats    *transport.Stats
+	workers  int
+	lanes    []lane
+
+	// out serves the serial Start/Deliver paths (handler starts, and the
+	// whole run when the configuration is not window-eligible), exactly like
+	// the inline engine's reusable outbox.
+	out Outbox
+
+	// Window scratch, reused across DeliverBatch calls. groupOf maps node ID
+	// to its group index for the current window (-1 outside one); groups
+	// lists destinations in first-occurrence order with their batch indices.
+	groupOf []int32
+	groups  []batchGroup
+	ngroups int
+	outs    [][]transport.Message
+}
+
+// batchGroup collects one destination's deliveries within a window.
+type batchGroup struct {
+	node  int
+	items []int32 // indices into the window batch, in batch order
+}
+
+func (v *parallelInvoker) reset(node int) *Outbox {
+	v.out.from = v.handlers[node].ID()
+	v.out.msgs = v.out.msgs[:0]
+	return &v.out
+}
+
+func (v *parallelInvoker) Start(node int) []transport.Message {
+	out := v.reset(node)
+	v.handlers[node].Start(out)
+	return out.msgs
+}
+
+func (v *parallelInvoker) Deliver(node int, m transport.Message) []transport.Message {
+	out := v.reset(node)
+	v.handlers[node].Deliver(m, out)
+	return out.msgs
+}
+
+func (v *parallelInvoker) Close() {}
+
+// DeliverBatch implements BatchInvoker: it invokes the handlers for every
+// delivery in batch — in parallel across lanes, sequentially per
+// destination — and returns each invocation's sends, indexed like batch.
+// The returned slices alias lane buffers that the next DeliverBatch call
+// reuses, matching the Invoker contract that the runner drains results
+// before the next invocation.
+func (v *parallelInvoker) DeliverBatch(batch []transport.Message) [][]transport.Message {
+	outs := v.outs[:0]
+	for range batch {
+		outs = append(outs, nil)
+	}
+	v.outs = outs
+
+	// Reset every lane, not just the ones this window will use: the commit
+	// loop below walks all lanes, and a lane idle this window must not
+	// contribute last window's spans.
+	for li := range v.lanes {
+		l := &v.lanes[li]
+		l.buf = l.buf[:0]
+		l.spans = l.spans[:0]
+	}
+
+	// Group the window by destination in first-occurrence order, preserving
+	// batch order within each group (same-node deliveries must stay
+	// sequential and ordered — they share handler state).
+	v.ngroups = 0
+	for bi, m := range batch {
+		gi := v.groupOf[m.To]
+		if gi < 0 {
+			gi = int32(v.ngroups)
+			v.groupOf[m.To] = gi
+			if v.ngroups == len(v.groups) {
+				v.groups = append(v.groups, batchGroup{})
+			}
+			v.groups[v.ngroups].node = m.To
+			v.groups[v.ngroups].items = v.groups[v.ngroups].items[:0]
+			v.ngroups++
+		}
+		v.groups[gi].items = append(v.groups[gi].items, int32(bi))
+	}
+	for gi := 0; gi < v.ngroups; gi++ {
+		v.groupOf[v.groups[gi].node] = -1
+	}
+
+	workers := v.workers
+	if workers > v.ngroups {
+		workers = v.ngroups
+	}
+	if workers <= 1 {
+		// One lane (or one destination): run the window on the caller's
+		// goroutine, same code path as the parallel case minus the spawn.
+		v.runLane(0, 1, batch)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				v.runLane(w, workers, batch)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Commit staging: materialize the per-delivery outboxes from the lane
+	// spans and fold the lanes' private drop counters into the run stats.
+	// Everything here is a pure function of the window content — lane
+	// assignment is round-robin by group index, spans are appended in group
+	// order — so the result is identical for every worker count.
+	for li := range v.lanes {
+		l := &v.lanes[li]
+		for _, sp := range l.spans {
+			outs[sp.batchIdx] = l.buf[sp.start:sp.end:sp.end]
+		}
+		if l.stats.Dropped > 0 {
+			v.stats.AddDropped(l.stats.Dropped)
+			l.stats.Dropped = 0
+		}
+	}
+	return outs
+}
+
+// runLane executes lane w's share of the window: groups w, w+workers,
+// w+2·workers, …, each group's deliveries in batch order.
+func (v *parallelInvoker) runLane(w, workers int, batch []transport.Message) {
+	l := &v.lanes[w]
+	for gi := w; gi < v.ngroups; gi += workers {
+		g := &v.groups[gi]
+		h := v.handlers[g.node]
+		for _, bi := range g.items {
+			l.deliverOne(h, batch[bi], bi)
+		}
+	}
+}

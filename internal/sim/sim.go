@@ -217,6 +217,10 @@ func (r *Runner) Run() error {
 		}
 	}
 
+	if b, ok := inv.(BatchInvoker); ok && r.windowedEligible() {
+		return r.runWindowed(b)
+	}
+
 	for {
 		if r.cfg.StopWhen != nil && r.cfg.StopWhen(r) {
 			return nil
@@ -255,6 +259,79 @@ func (r *Runner) Run() error {
 		r.injectAll(inv.Deliver(m.To, m))
 		if rounds != nil {
 			rounds.emit(m.To, r.handlers[m.To], r.steps, r.cfg.Observer)
+		}
+	}
+}
+
+// windowedEligible reports whether the run may draw whole delivery windows
+// up front instead of picking one message at a time. The requirement is
+// that nothing between two picks can change what the policy would pick or
+// demand per-delivery interposition:
+//
+//   - the policy must be injection-immune (its next k picks are fixed
+//     before the window's injections happen — transport.InjectionImmune);
+//   - no hold rule: released held messages keep their original Seq, which
+//     can be lower than pending ones and would invalidate a drawn window;
+//   - no observer, stop or release predicate: those contractually run
+//     between every two deliveries.
+//
+// Link faults stay compatible: their fate decisions happen at commit, in
+// exact injection order, and delayed messages are re-stamped with fresh
+// Seqs on release.
+func (r *Runner) windowedEligible() bool {
+	return transport.IsInjectionImmune(r.cfg.Policy) &&
+		r.cfg.Hold == nil &&
+		r.cfg.Observer == nil &&
+		r.cfg.StopWhen == nil &&
+		r.cfg.ReleaseWhen == nil
+}
+
+// windowCap bounds how many deliveries one window may hold. Large enough to
+// amortize the per-window fork/join, small enough that the batch and span
+// scratch stays cache-resident.
+const windowCap = 1 << 13
+
+// runWindowed is the batched delivery loop: draw up to windowCap deliveries
+// from the pool in policy order, invoke the handlers for all of them (the
+// BatchInvoker may parallelize), then commit each invocation — trace entry,
+// outbox injection, delayed-message release — in window order. Every pool
+// mutation happens in exactly the order the serial loop would have
+// performed it, so traces, statistics and link-fault accounting are
+// byte-identical to the per-delivery loop (the cross-engine tests pin
+// this).
+func (r *Runner) runWindowed(inv BatchInvoker) error {
+	batch := make([]transport.Message, 0, windowCap)
+	for {
+		r.releaseDelayed(false)
+		if r.pool.PendingEmpty() {
+			if len(r.delayed) > 0 {
+				// Link-fault delays are finite: once everything else has
+				// quiesced the delayed messages must eventually arrive.
+				r.releaseDelayed(true)
+				continue
+			}
+			if r.pool.HeldCount() > 0 {
+				r.releaseHeld()
+				continue
+			}
+			return nil
+		}
+		if r.steps >= r.cfg.MaxSteps {
+			return fmt.Errorf("%w: %d deliveries", ErrLivelock, r.steps)
+		}
+		max := windowCap
+		if rem := r.cfg.MaxSteps - r.steps; rem < max {
+			max = rem
+		}
+		batch = r.pool.DrawBatch(r.cfg.Policy, batch[:0], max)
+		outs := inv.DeliverBatch(batch)
+		for i, m := range batch {
+			r.steps++
+			if r.cfg.RecordTrace && (r.cfg.TraceCap == 0 || len(r.trace) < r.cfg.TraceCap) {
+				r.trace = append(r.trace, m)
+			}
+			r.injectAll(outs[i])
+			r.releaseDelayed(false)
 		}
 	}
 }

@@ -1,0 +1,188 @@
+// Cross-engine equivalence tests for the parallel delivery engine: for
+// every protocol, adversary mix and worker count, the parallel engine must
+// replay the inline engine's delivery trace byte for byte and produce
+// identical outputs and accounting. Worker counts are a wall-clock knob,
+// never a semantics knob — these tests are the fence around that claim.
+package repro_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro"
+)
+
+// parallelWorkerCounts is the sweep every scenario is replayed under: the
+// degenerate single lane, two mid sizes that force cross-lane commits, and
+// an oversubscribed count larger than any batch group fan-out.
+var parallelWorkerCounts = []int{1, 2, 3, 8}
+
+// parallelScenarios is one scenario per registered protocol, each carrying
+// a composed adversary and link faults (including delay, which exercises
+// the delayed-release buffering inside the windowed runner).
+func parallelScenarios(t *testing.T, seed int64) []repro.Scenario {
+	t.Helper()
+	g, err := repro.NamedGraph("fig1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := g.Edges()
+	if len(es) < 2 {
+		t.Fatal("fig1a has too few edges for link-fault rules")
+	}
+	return []repro.Scenario{
+		{
+			Name: "bw-composed-linkfaults", Graph: "fig1a", Protocol: "bw",
+			Inputs: []float64{0, 4, 1, 3, 2}, F: 1, K: 4, Eps: 0.25, Seed: seed,
+			Faults: []repro.FaultSpec{{
+				Node: 1, Kind: "tamper", Params: map[string]float64{"delta": 50},
+				Compose: []repro.MutationSpec{{Kind: "noise", Params: map[string]float64{"amp": 3}}},
+			}},
+			LinkFaults: []repro.LinkFault{
+				{Kind: "delay", Edges: [][2]int{es[0]}, Params: map[string]float64{"prob": 0.5, "amount": 7}},
+				{Kind: "drop", Edges: [][2]int{es[1]}, Params: map[string]float64{"prob": 0.3}},
+			},
+		},
+		{
+			Name: "aad-silent", Graph: "clique:8", Protocol: "aad",
+			F: 2, Eps: 0.25, Seed: seed,
+			Faults: []repro.FaultSpec{{Node: 7, Kind: "silent"}},
+			LinkFaults: []repro.LinkFault{
+				{Kind: "delay", Edges: [][2]int{{0, 1}, {2, 3}}, Params: map[string]float64{"prob": 0.4, "amount": 11}},
+			},
+		},
+		{
+			Name: "iterative-torus", Graph: "torus:4:8", Protocol: "iterative",
+			InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 4},
+			F:        1, K: 3, Eps: 0.25, Seed: seed,
+			Faults: []repro.FaultSpec{{
+				Node: 5, Kind: "extreme",
+				Compose: []repro.MutationSpec{{Kind: "noise", Params: map[string]float64{"amp": 2}}},
+			}},
+			LinkFaults: []repro.LinkFault{
+				{Kind: "duplicate", Edges: [][2]int{{1, 2}}, Params: map[string]float64{"prob": 0.5}},
+			},
+		},
+		{
+			Name: "crashapprox-clique", Graph: "clique:6", Protocol: "crashapprox",
+			InputGen: &repro.InputGenSpec{Kind: "linear"},
+			F:        1, Eps: 0.25, Seed: seed,
+			Faults: []repro.FaultSpec{{Node: 2, Kind: "crash"}},
+		},
+	}
+}
+
+// runEngine replays one scenario under an engine configuration with the
+// trace recorder on and the fifo policy unless the scenario names another.
+func runEngine(t *testing.T, s repro.Scenario, engine string, workers int) *repro.Result {
+	t.Helper()
+	s.Engine = engine
+	s.EngineWorkers = workers
+	s.RecordTrace = true
+	if s.Policy == nil {
+		s.Policy = &repro.PolicySpec{Name: "fifo"}
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("%s on %s/w%d: %v", s.Name, engine, workers, err)
+	}
+	return res
+}
+
+// requireSameRun asserts byte-identical traces and identical results.
+func requireSameRun(t *testing.T, label string, base, got *repro.Result) {
+	t.Helper()
+	if base.Trace == "" {
+		t.Fatalf("%s: no trace recorded", label)
+	}
+	if got.Trace != base.Trace {
+		t.Fatalf("%s: delivery trace diverged from inline", label)
+	}
+	if got.Steps != base.Steps || got.MessagesSent != base.MessagesSent {
+		t.Fatalf("%s: accounting diverged: steps %d vs %d, sends %d vs %d",
+			label, got.Steps, base.Steps, got.MessagesSent, base.MessagesSent)
+	}
+	if got.Decided != base.Decided || got.Converged != base.Converged {
+		t.Fatalf("%s: verdicts diverged: decided %v/%v converged %v/%v",
+			label, got.Decided, base.Decided, got.Converged, base.Converged)
+	}
+	if !reflect.DeepEqual(got.Outputs, base.Outputs) {
+		t.Fatalf("%s: outputs diverged: %v vs %v", label, got.Outputs, base.Outputs)
+	}
+}
+
+// TestParallelEngineCrossEquivalence: every protocol, with composed
+// adversaries and link faults, replayed at every worker count, must match
+// inline exactly.
+func TestParallelEngineCrossEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 23} {
+		for _, s := range parallelScenarios(t, seed) {
+			t.Run(fmt.Sprintf("%s/seed%d", s.Name, seed), func(t *testing.T) {
+				base := runEngine(t, s, "inline", 0)
+				for _, w := range parallelWorkerCounts {
+					got := runEngine(t, s, "parallel", w)
+					requireSameRun(t, fmt.Sprintf("%s w=%d", s.Name, w), base, got)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEngineFallbackPolicies: under count-sensitive policies the
+// engine cannot batch (the draw depends on intermediate injections) and
+// must fall back to serial delivery — still byte-identical to inline.
+func TestParallelEngineFallbackPolicies(t *testing.T) {
+	policies := []repro.PolicySpec{
+		{Name: "random"},
+		{Name: "lifo"},
+		{Name: "bounded", Params: map[string]float64{"bound": 5}},
+	}
+	for _, policy := range policies {
+		t.Run(policy.Name, func(t *testing.T) {
+			s := parallelScenarios(t, 7)[0]
+			p := policy
+			s.Policy = &p
+			base := runEngine(t, s, "inline", 0)
+			got := runEngine(t, s, "parallel", 4)
+			requireSameRun(t, policy.Name, base, got)
+		})
+	}
+}
+
+// TestParallelSmokeRung is the CI smoke cell: the n=64 iterative torus rung
+// at four workers must match inline. Small enough for every push, big
+// enough that batches actually span lanes.
+func TestParallelSmokeRung(t *testing.T) {
+	s := repro.Scenario{
+		Name: "smoke-iter-torus-64", Graph: "torus:8:8", Protocol: "iterative",
+		InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 4},
+		F:        1, K: 3, Eps: 0.25, Seed: 1,
+	}
+	base := runEngine(t, s, "inline", 0)
+	got := runEngine(t, s, "parallel", 4)
+	requireSameRun(t, "smoke rung", base, got)
+}
+
+// FuzzParallelEngine drives the equivalence over arbitrary (seed, workers)
+// pairs: whatever the schedule seed and lane count, the parallel engine
+// must replay inline's trace.
+func FuzzParallelEngine(f *testing.F) {
+	f.Add(int64(1), 2)
+	f.Add(int64(23), 8)
+	f.Add(int64(-5), 1)
+	f.Fuzz(func(t *testing.T, seed int64, workers int) {
+		workers = workers%16 + 1
+		if workers < 1 {
+			workers += 16
+		}
+		s := repro.Scenario{
+			Graph: "fig1a", Protocol: "bw",
+			Inputs: []float64{0, 4, 1, 3, 2}, F: 1, K: 4, Eps: 0.25, Seed: seed,
+			Faults: []repro.FaultSpec{{Node: 1, Kind: "tamper", Params: map[string]float64{"delta": 50}}},
+		}
+		base := runEngine(t, s, "inline", 0)
+		got := runEngine(t, s, "parallel", workers)
+		requireSameRun(t, fmt.Sprintf("seed=%d w=%d", seed, workers), base, got)
+	})
+}

@@ -306,10 +306,18 @@ type Options struct {
 	// Seed drives both the asynchrony schedule and randomized faults.
 	Seed int64
 	// Engine selects the execution engine: "inline" (default, a
-	// single-threaded direct-call event loop) or "goroutine" (one goroutine
-	// per node). Both produce identical schedules and outputs for the same
-	// seed; see EngineNames.
+	// single-threaded direct-call event loop), "goroutine" (one goroutine
+	// per node) or "parallel" (speculative multi-core delivery). All
+	// produce identical schedules and outputs for the same seed; see
+	// EngineNames.
 	Engine string
+	// EngineWorkers sets the worker count for engines that take one
+	// ("parallel"); 0 means the engine default, one worker per CPU. Worker
+	// counts change wall-clock only, never results. Setting it with a
+	// single-threaded engine is an error. When runs fan out across sweep
+	// workers (RunSeeds) too, the engine clamps itself to the sweep lane's
+	// fair share of the CPUs instead of oversubscribing — see par.NestedWorkers.
+	EngineWorkers int
 	// Policy names the asynchrony schedule policy deciding which in-flight
 	// message is delivered next: "random" (default), "fifo", "lifo" or
 	// "bounded"; see Policies. Stateful policies are seeded with Seed.
@@ -485,7 +493,7 @@ func runProtocol(g *Graph, inputs []float64, opts Options, factory HandlerFactor
 	if err != nil {
 		return nil, err
 	}
-	engine, err := sim.EngineByName(opts.Engine)
+	engine, err := sim.NewEngine(opts.Engine, opts.EngineWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -629,6 +637,13 @@ func BWRounds(k, eps float64) int { return bw.RoundsFor(k, eps) }
 
 // EngineNames lists the available execution engines for Options.Engine.
 func EngineNames() []string { return sim.EngineNames() }
+
+// EngineInfo describes one execution engine for catalogs: its name, a
+// one-line doc, and whether it accepts a worker count (Options.EngineWorkers).
+type EngineInfo = sim.EngineInfo
+
+// EngineCatalog returns the registered engines' descriptors, sorted by name.
+func EngineCatalog() []EngineInfo { return sim.Engines() }
 
 // RunFunc is the shared signature of the Run* protocol entry points
 // (RunBW, RunAAD, RunCrashApprox, RunIterative).

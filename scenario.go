@@ -55,8 +55,13 @@ type Scenario struct {
 	// Seeds is the batch width for RunBatch: consecutive seeds starting at
 	// Seed. 0 and 1 both mean a single run.
 	Seeds int `json:"seeds,omitempty"`
-	// Engine selects the execution engine ("inline", "goroutine").
+	// Engine selects the execution engine ("inline", "goroutine",
+	// "parallel").
 	Engine string `json:"engine,omitempty"`
+	// EngineWorkers sets the worker count for engines that take one
+	// ("parallel"); 0 means the engine default. Worker counts never change
+	// results, only wall-clock.
+	EngineWorkers int `json:"engineWorkers,omitempty"`
 	// Policy selects the asynchrony schedule policy (default random).
 	Policy *PolicySpec `json:"policy,omitempty"`
 	// Faults lists the faulty nodes and their behaviors.
@@ -263,7 +268,10 @@ func (s Scenario) Materialize() (*Graph, []float64, error) {
 	if s.F < FZero || s.K < 0 || s.Eps < 0 || s.Rounds < 0 || s.Seeds < 0 {
 		return nil, nil, fmt.Errorf("repro: scenario: k, eps, rounds and seeds must be non-negative and f >= %d (%d = explicit zero fault bound)", FZero, FZero)
 	}
-	if _, err := sim.EngineByName(s.Engine); err != nil {
+	if s.EngineWorkers < 0 {
+		return nil, nil, fmt.Errorf("repro: scenario: engineWorkers must be non-negative, got %d", s.EngineWorkers)
+	}
+	if _, err := sim.NewEngine(s.Engine, s.EngineWorkers); err != nil {
 		return nil, nil, fmt.Errorf("repro: scenario: %w", err)
 	}
 	if s.Policy != nil {
@@ -322,7 +330,8 @@ func (s Scenario) Materialize() (*Graph, []float64, error) {
 func (s Scenario) options() Options {
 	opts := Options{
 		F: s.F, K: s.K, Eps: s.Eps, Seed: s.Seed,
-		Engine: s.Engine, Rounds: s.Rounds, RecordTrace: s.RecordTrace,
+		Engine: s.Engine, EngineWorkers: s.EngineWorkers,
+		Rounds: s.Rounds, RecordTrace: s.RecordTrace,
 	}
 	if s.Policy != nil {
 		opts.Policy = s.Policy.Name
