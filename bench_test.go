@@ -323,3 +323,13 @@ func BenchmarkRuntimes(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkExactMatrix is E15: the exact tier's adversary matrix.
+func BenchmarkExactMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := experiments.RunExact(int64(i))
+		if err != nil || !rep.AllPassed() {
+			b.Fatalf("exact matrix failed: %v", err)
+		}
+	}
+}

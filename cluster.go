@@ -86,6 +86,7 @@ func (s Scenario) RunOnObserved(ctx context.Context, runtime string, obs Observe
 		MessagesSent: outcome.Sent,
 		ByKind:       outcome.ByKind,
 		Histories:    outcome.Histories,
+		Vectors:      outcome.Vectors,
 		LinkStats:    linkStats(spec.LinkFaults),
 	}
 	res.finish(inputs, opts.Eps)

@@ -39,6 +39,21 @@ func conformanceScenarios() map[string]repro.Scenario {
 			Inputs: []float64{0, 3, 1, 2, 2}, F: 1, K: 3, Eps: 0.25, Seed: 7,
 			Faults: []repro.FaultSpec{{Node: 4, Kind: "silent"}},
 		},
+		// Exact tier. ABA: the honest nodes unanimously propose 1, so the
+		// binding-value rule pins the decision to 1 whatever the silent
+		// node withholds. ACS: the faulty input (2) lies inside the honest
+		// input range [0,3], so the subset mean respects validity whether
+		// or not node 3's broadcast makes the subset.
+		"aba": {
+			Name: "conformance-aba", Graph: "clique:4", Protocol: "aba",
+			Inputs: []float64{1, 1, 1, 0}, F: 1, K: 1, Eps: 0.25, Seed: 7,
+			Faults: []repro.FaultSpec{{Node: 3, Kind: "silent"}},
+		},
+		"acs": {
+			Name: "conformance-acs", Graph: "clique:4", Protocol: "acs",
+			Inputs: []float64{0, 3, 1, 2}, F: 1, K: 3, Eps: 0.25, Seed: 7,
+			Faults: []repro.FaultSpec{{Node: 3, Kind: "silent"}},
+		},
 	}
 }
 

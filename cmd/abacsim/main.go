@@ -265,8 +265,12 @@ func faultSpecs(fl map[int]repro.FaultSpec) []repro.FaultSpec {
 
 func printCatalog() {
 	fmt.Println("protocols:")
-	for _, name := range repro.Protocols() {
-		fmt.Printf("  %s\n", name)
+	for _, info := range repro.ProtocolCatalog() {
+		fmt.Printf("  %-13s [%s, %s decision]", info.Name, info.Tier, info.Shape)
+		if info.Doc != "" {
+			fmt.Printf(" %s", info.Doc)
+		}
+		fmt.Println()
 	}
 	fmt.Println("policies:")
 	for _, name := range repro.Policies() {
@@ -356,7 +360,23 @@ func runSingle(ctx context.Context, s repro.Scenario, runtime string, jsonl, his
 	}
 	sort.Ints(ids)
 	for _, id := range ids {
-		fmt.Printf("  node %2d -> %.6g\n", id, res.Outputs[id])
+		fmt.Printf("  node %2d -> %.6g", id, res.Outputs[id])
+		if vec, ok := res.Vectors[id]; ok {
+			origins := make([]int, 0, len(vec))
+			for o := range vec {
+				origins = append(origins, o)
+			}
+			sort.Ints(origins)
+			fmt.Printf("  subset{")
+			for i, o := range origins {
+				if i > 0 {
+					fmt.Printf(", ")
+				}
+				fmt.Printf("%d:%g", o, vec[o])
+			}
+			fmt.Printf("}")
+		}
+		fmt.Println()
 	}
 	fmt.Printf("decided: %v, spread: %.6g, converged(<%g): %v, validity: %v\n",
 		res.Decided, res.Spread, orDefaultF(s.Eps, 0.1), res.Converged, res.ValidityOK)

@@ -29,81 +29,96 @@ import (
 	"repro/internal/prof"
 )
 
+// experiment is one catalog entry. run returns the rendered report and,
+// for experiments that measure per-scenario cells (the exact tier), those
+// cells; when such an experiment is the sole selection, -json records the
+// cells as "runs" instead of the per-experiment timing (the BENCH_4
+// generator). The two report forms are mutually exclusive by schema.
 type experiment struct {
 	name string
 	desc string
-	run  func(seed int64) (string, error)
+	run  func(seed int64) (string, []experiments.BenchRun, error)
 }
 
 func catalog() []experiment {
 	return []experiment{
-		{"table1", "E1: undirected condition equivalences (Table 1)", func(seed int64) (string, error) {
+		{"table1", "E1: undirected condition equivalences (Table 1)", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep := experiments.Table1(8, seed)
-			return rep.Render(), nil
+			return rep.Render(), nil, nil
 		}},
-		{"table2", "E2: directed condition equivalences (Table 2, Theorem 17)", func(seed int64) (string, error) {
+		{"table2", "E2: directed condition equivalences (Table 2, Theorem 17)", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep := experiments.Table2(12, seed)
-			return rep.Render(), nil
+			return rep.Render(), nil, nil
 		}},
-		{"fig1a", "E3: Figure 1(a) claims + BW run", func(seed int64) (string, error) {
+		{"fig1a", "E3: Figure 1(a) claims + BW run", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunFig1a(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"fig1b", "E4: Figure 1(b) claims (exhaustive f=2) + scaled BW run", func(seed int64) (string, error) {
+		{"fig1b", "E4: Figure 1(b) claims (exhaustive f=2) + scaled BW run", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunFig1b(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"sufficiency", "E5: Theorem 4 sufficiency matrix (graph x adversary)", func(seed int64) (string, error) {
+		{"sufficiency", "E5: Theorem 4 sufficiency matrix (graph x adversary)", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunSufficiency(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"sweep", "E5b: BW on random 3-reach digraphs with random adversaries", func(seed int64) (string, error) {
+		{"sweep", "E5b: BW on random 3-reach digraphs with random adversaries", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunSweep(8, seed+1000)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"convergence", "E6: Lemma 15 per-round contraction", func(seed int64) (string, error) {
+		{"convergence", "E6: Lemma 15 per-round contraction", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunConvergence(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"necessity", "E7: Theorem 18 necessity construction", func(seed int64) (string, error) {
+		{"necessity", "E7: Theorem 18 necessity construction", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunNecessity(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"aad", "E8: Abraham-Amit-Dolev baseline vs BW", func(seed int64) (string, error) {
+		{"aad", "E8: Abraham-Amit-Dolev baseline vs BW", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunAADComparison(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"iterative", "E9: local iterative ablation", func(seed int64) (string, error) {
+		{"iterative", "E9: local iterative ablation", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunIterativeAblation(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"kreach", "E10: k-reach hierarchy (Appendix A)", func(seed int64) (string, error) {
+		{"kreach", "E10: k-reach hierarchy (Appendix A)", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep := experiments.RunKReach()
-			return rep.Render(), nil
+			return rep.Render(), nil, nil
 		}},
-		{"structure", "E11: Theorems 5 and 12 structure checks", func(seed int64) (string, error) {
+		{"structure", "E11: Theorems 5 and 12 structure checks", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep := experiments.RunStructure()
-			return rep.Render(), nil
+			return rep.Render(), nil, nil
 		}},
-		{"crashcell", "Table 2 crash/async cell (Theorem 2 algorithm)", func(seed int64) (string, error) {
+		{"crashcell", "Table 2 crash/async cell (Theorem 2 algorithm)", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunCrashCell(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"scaling", "E12: BW cost growth on circulant family", func(seed int64) (string, error) {
+		{"scaling", "E12: BW cost growth on circulant family", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunScaling(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"attackmatrix", "E13: protocol x adversary x graph attack matrix (registry-driven)", func(seed int64) (string, error) {
+		{"attackmatrix", "E13: protocol x adversary x graph attack matrix (registry-driven)", func(seed int64) (string, []experiments.BenchRun, error) {
 			rep, err := experiments.RunAttackMatrix(seed)
-			return rep.Render(), err
+			return rep.Render(), nil, err
 		}},
-		{"scale", "E14: scale-out study to n=128 (full ladder to the build's node limit: benchruntimes -suite scale)", func(seed int64) (string, error) {
+		{"scale", "E14: scale-out study to n=128 (full ladder to the build's node limit: benchruntimes -suite scale)", func(seed int64) (string, []experiments.BenchRun, error) {
 			// The default benchtables invocation runs every experiment, so
 			// this entry caps the ladder at a seconds-scale size; the full
 			// multi-minute, multi-GB run to n=1024 is regenerated explicitly
 			// via `benchruntimes -suite scale -json BENCH_2.json`.
 			rep, err := experiments.RunScaleExec(context.Background(), seed, experiments.DefaultExec, 128)
-			return rep.Render(), err
+			return rep.Render(), nil, err
+		}},
+		{"exact", "E15: exact tier (aba, acs) x complete-graph families x the adversary matrix (sole selection + -json = BENCH_4)", func(seed int64) (string, []experiments.BenchRun, error) {
+			rep, err := experiments.RunExact(seed)
+			if err != nil {
+				return "", nil, err
+			}
+			if !rep.AllPassed() {
+				return "", nil, fmt.Errorf("exact matrix has failing cells:\n%s", rep.Render())
+			}
+			return rep.Render(), rep.BenchRuns(), nil
 		}},
 	}
 }
@@ -180,6 +195,7 @@ func run() error {
 	type outcome struct {
 		text   string
 		timing experiments.BenchRun
+		cells  []experiments.BenchRun
 	}
 	// An interrupt stops the run between experiments instead of leaving a
 	// long matrix unkillable.
@@ -192,7 +208,7 @@ func run() error {
 	results, err := par.Map(ctx, *workers, len(selected), func(i int) (outcome, error) {
 		e := selected[i]
 		start := time.Now()
-		out, err := e.run(*seed)
+		out, cells, err := e.run(*seed)
 		if err != nil {
 			return outcome{}, fmt.Errorf("%s: %w", e.name, err)
 		}
@@ -200,6 +216,7 @@ func run() error {
 		return outcome{
 			text:   fmt.Sprintf("%s\n  [%s took %v]\n", out, e.name, elapsed.Round(time.Millisecond)),
 			timing: experiments.BenchRun{Name: e.name, Ms: float64(elapsed.Microseconds()) / 1000},
+			cells:  cells,
 		}, nil
 	})
 	if err != nil {
@@ -219,8 +236,17 @@ func run() error {
 		if report.Engine == "" {
 			report.Engine = "inline"
 		}
-		for _, r := range results {
-			report.Experiments = append(report.Experiments, r.timing)
+		// A sole selected experiment that measured per-scenario cells
+		// records them as runs (BENCH_4); any other selection records the
+		// per-experiment timings (BENCH_0). The schema forbids mixing the
+		// two, so a multi-experiment selection never emits cells.
+		if len(results) == 1 && len(results[0].cells) > 0 {
+			report.Suite = selected[0].name
+			report.Runs = results[0].cells
+		} else {
+			for _, r := range results {
+				report.Experiments = append(report.Experiments, r.timing)
+			}
 		}
 		blob, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

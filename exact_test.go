@@ -1,0 +1,171 @@
+// Conformance tests for the exact tier (aba, acs): the same scenario —
+// composed adversaries, link faults and all — must satisfy the tier's
+// guarantees on the deterministic simulator, the loopback cluster and real
+// TCP sockets, and on the simulator the parallel engine must replay the
+// inline engine's delivery trace byte for byte at every worker count.
+//
+// Exact consensus has no ε slack: agreement means spread exactly zero, and
+// for acs additionally that every honest node decides the same subset and
+// the same decision vector, of size at least n−f, carrying real inputs.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// exactScenarios returns one scenario per exact-tier protocol, each with a
+// composed adversary and liveness-preserving link faults (duplicate and
+// delay — never unconditional drops, which could starve a quorum).
+//
+// The aba scenario gives honest nodes unanimous input 1, so the binding
+// rule pins the decision and the equivocating node (which two-faces its
+// votes per recipient) cannot flip it. The acs scenario's faulty node
+// crashes mid-protocol with an input (2) inside the honest range [0,3]:
+// whether or not its broadcast lands in the agreed subset, validity holds.
+func exactScenarios(seed int64) []repro.Scenario {
+	links := []repro.LinkFault{
+		{Kind: "duplicate", Edges: [][2]int{{0, 1}}, Params: map[string]float64{"prob": 0.5}},
+		{Kind: "delay", Edges: [][2]int{{1, 2}}, Params: map[string]float64{"prob": 0.4, "amount": 5}},
+	}
+	return []repro.Scenario{
+		{
+			Name: "aba-equivocate-noise", Graph: "clique:4", Protocol: "aba",
+			Inputs: []float64{1, 1, 1, 0}, F: 1, K: 1, Eps: 0.25, Seed: seed,
+			Faults: []repro.FaultSpec{{
+				Node: 3, Kind: "equivocate",
+				Compose: []repro.MutationSpec{{Kind: "noise", Params: map[string]float64{"amp": 3}}},
+			}},
+			LinkFaults: links,
+		},
+		{
+			Name: "acs-crash-noise", Graph: "clique:4", Protocol: "acs",
+			Inputs: []float64{0, 3, 1, 2}, F: 1, K: 3, Eps: 0.25, Seed: seed,
+			Faults: []repro.FaultSpec{{
+				Node: 3, Kind: "crash", Params: map[string]float64{"after": 40},
+				Compose: []repro.MutationSpec{{Kind: "noise", Params: map[string]float64{"amp": 1}}},
+			}},
+			LinkFaults: links,
+		},
+	}
+}
+
+// checkExactResult asserts the exact tier's guarantees on one run: all
+// honest nodes decide, agreement is exact (spread zero), and every decided
+// value is legitimate for the scenario. For acs it additionally checks the
+// decision vectors: identical across honest nodes, at least n−f entries,
+// every entry equal to the owning node's real input.
+func checkExactResult(t *testing.T, label string, s repro.Scenario, res *repro.Result) {
+	t.Helper()
+	if !res.Decided {
+		t.Fatalf("%s: honest nodes did not all decide", label)
+	}
+	if res.Spread != 0 {
+		t.Fatalf("%s: exact tier decided with nonzero spread %v (outputs %v)", label, res.Spread, res.Outputs)
+	}
+	if !res.Converged {
+		t.Fatalf("%s: not converged: %+v", label, res)
+	}
+	switch s.Protocol {
+	case "aba":
+		for id, v := range res.Outputs {
+			if v != 1 {
+				t.Fatalf("%s: node %d decided %v against honest-unanimous 1", label, id, v)
+			}
+		}
+	case "acs":
+		const n, f = 4, 1
+		var base map[int]float64
+		for _, id := range sortedKeys(res.Vectors) {
+			vec := res.Vectors[id]
+			if len(vec) < n-f {
+				t.Fatalf("%s: node %d vector %v smaller than n-f=%d", label, id, vec, n-f)
+			}
+			for origin, v := range vec {
+				if origin < 0 || origin >= n || v != s.Inputs[origin] {
+					t.Fatalf("%s: node %d vector slot %d carries %v, input was %v",
+						label, id, origin, v, s.Inputs[origin])
+				}
+			}
+			if base == nil {
+				base = vec
+			} else if !reflect.DeepEqual(vec, base) {
+				t.Fatalf("%s: vectors differ across nodes: %v vs %v", label, vec, base)
+			}
+		}
+		if base == nil {
+			t.Fatalf("%s: no honest node reported a decision vector", label)
+		}
+		if got := len(res.Vectors); got < n-f {
+			t.Fatalf("%s: only %d honest vectors reported", label, got)
+		}
+	}
+}
+
+func sortedKeys(m map[int]map[int]float64) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// TestExactCrossRuntime: each exact-tier scenario — composed adversary,
+// link faults — must satisfy the tier's guarantees on all three runtimes.
+// The agreed subset may legally differ between runtimes (it depends on the
+// schedule), so each run is judged on its own terms.
+func TestExactCrossRuntime(t *testing.T) {
+	for _, seed := range []int64{1, 23} {
+		for _, s := range exactScenarios(seed) {
+			for _, runtime := range repro.RuntimeNames() {
+				s := s
+				t.Run(fmt.Sprintf("%s/seed%d/%s", s.Name, seed, runtime), func(t *testing.T) {
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					res, err := s.RunOn(ctx, runtime)
+					if err != nil {
+						t.Fatalf("%s: %v", runtime, err)
+					}
+					checkExactResult(t, runtime, s, res)
+				})
+			}
+		}
+	}
+}
+
+// TestExactCrossEngine: on the simulator, the goroutine engine and the
+// parallel engine at workers 1, 2 and 8 must replay the inline engine's
+// delivery trace byte for byte — the exact tier inherits the determinism
+// contract wholesale, including its decision vectors.
+func TestExactCrossEngine(t *testing.T) {
+	for _, seed := range []int64{1, 23} {
+		for _, s := range exactScenarios(seed) {
+			t.Run(fmt.Sprintf("%s/seed%d", s.Name, seed), func(t *testing.T) {
+				base := runEngine(t, s, "inline", 0)
+				checkExactResult(t, "inline", s, base)
+				got := runEngine(t, s, "goroutine", 0)
+				requireSameRun(t, "goroutine", base, got)
+				if !reflect.DeepEqual(got.Vectors, base.Vectors) {
+					t.Fatalf("goroutine: vectors diverged: %v vs %v", got.Vectors, base.Vectors)
+				}
+				for _, w := range []int{1, 2, 8} {
+					got := runEngine(t, s, "parallel", w)
+					requireSameRun(t, fmt.Sprintf("parallel w=%d", w), base, got)
+					if !reflect.DeepEqual(got.Vectors, base.Vectors) {
+						t.Fatalf("parallel w=%d: vectors diverged: %v vs %v", w, got.Vectors, base.Vectors)
+					}
+				}
+			})
+		}
+	}
+}

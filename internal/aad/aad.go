@@ -26,14 +26,10 @@ import (
 	"repro/internal/transport"
 )
 
-// Num is a reliably broadcast state value. It is exported so the wire
-// codec can serialize AAD's RBC traffic for the live node runtime.
-type Num float64
-
-// RBCKey implements rbc.Content.
-func (v Num) RBCKey() string {
-	return strconv.FormatUint(math.Float64bits(float64(v)), 16)
-}
+// Num is a reliably broadcast state value. The concrete type lives in
+// internal/rbc (the substrate shared with the exact tier); the alias keeps
+// aad's public surface — and the wire codec's references — unchanged.
+type Num = rbc.Num
 
 // Report is a reliably broadcast report: origin -> value. Exported for the
 // wire codec, like Num.

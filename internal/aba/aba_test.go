@@ -1,0 +1,291 @@
+package aba_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/aba"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// TestCoinDeterministicAndBalanced pins the coin determinism contract: a
+// pure function of (seed, instance, round) — and sanity-checks that both
+// outcomes actually occur, since liveness relies on the coin eventually
+// matching the locked value.
+func TestCoinDeterministicAndBalanced(t *testing.T) {
+	if aba.Coin(7, 3, 5) != aba.Coin(7, 3, 5) {
+		t.Fatal("coin is not a pure function")
+	}
+	var ones int
+	const rounds = 1000
+	for r := 1; r <= rounds; r++ {
+		c := aba.Coin(42, 0, r)
+		if c != 0 && c != 1 {
+			t.Fatalf("coin(42,0,%d) = %d", r, c)
+		}
+		ones += c
+	}
+	if ones < rounds/4 || ones > 3*rounds/4 {
+		t.Fatalf("coin badly skewed: %d ones of %d", ones, rounds)
+	}
+	// Streams must differ across instances and seeds (else ACS's n
+	// instances would decide in lockstep for the wrong reason).
+	same := 0
+	for r := 1; r <= 64; r++ {
+		if aba.Coin(42, 0, r) == aba.Coin(42, 1, r) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("instances 0 and 1 share a coin stream")
+	}
+}
+
+func runABA(t *testing.T, handlers []sim.Handler, g *graph.Graph, policy string, seed int64) *sim.Runner {
+	t.Helper()
+	params := map[string]float64{}
+	if policy == "bounded" {
+		params["bound"] = 4
+	}
+	pol, err := transport.NewPolicy(policy, params, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.New(sim.Config{Graph: g, Policy: pol}, handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+var abaPolicies = []string{"random", "fifo", "lifo", "bounded"}
+
+// TestABAAgreementAndTermination: mixed proposals, every policy, many
+// seeds — all nodes decide one common bit and the run goes quiescent.
+func TestABAAgreementAndTermination(t *testing.T) {
+	const n, f = 4, 1
+	g := graph.Clique(n)
+	for _, policy := range abaPolicies {
+		for seed := int64(0); seed < 15; seed++ {
+			handlers := make([]sim.Handler, n)
+			for i := 0; i < n; i++ {
+				handlers[i] = aba.NewMachine(n, f, i, seed, i%2)
+			}
+			r := runABA(t, handlers, g, policy, seed)
+			outputs, decided := r.Outputs(graph.FullSet(n))
+			if !decided {
+				t.Fatalf("%s seed %d: not all nodes decided", policy, seed)
+			}
+			for i := 1; i < n; i++ {
+				if outputs[i] != outputs[0] {
+					t.Fatalf("%s seed %d: disagreement %v", policy, seed, outputs)
+				}
+			}
+			if outputs[0] != 0 && outputs[0] != 1 {
+				t.Fatalf("%s seed %d: non-binary decision %v", policy, seed, outputs[0])
+			}
+		}
+	}
+}
+
+// TestABAUnanimousValidity: when every honest node proposes v, the
+// binding-value rule forbids any other decision — even with a silent
+// Byzantine node.
+func TestABAUnanimousValidity(t *testing.T) {
+	const n, f = 4, 1
+	g := graph.Clique(n)
+	for _, bit := range []int{0, 1} {
+		for seed := int64(0); seed < 10; seed++ {
+			handlers := make([]sim.Handler, n)
+			honest := graph.EmptySet
+			for i := 0; i < n-1; i++ {
+				handlers[i] = aba.NewMachine(n, f, i, seed, bit)
+				honest = honest.Add(i)
+			}
+			handlers[n-1] = &silentHandler{id: n - 1}
+			r := runABA(t, handlers, g, "random", seed)
+			outputs, decided := r.Outputs(honest)
+			if !decided {
+				t.Fatalf("bit %d seed %d: honest nodes did not decide", bit, seed)
+			}
+			for i, v := range outputs {
+				if v != float64(bit) {
+					t.Fatalf("bit %d seed %d: node %d decided %v", bit, seed, i, v)
+				}
+			}
+		}
+	}
+}
+
+type silentHandler struct{ id int }
+
+func (s *silentHandler) ID() int                                { return s.id }
+func (s *silentHandler) Start(*sim.Outbox)                      {}
+func (s *silentHandler) Deliver(transport.Message, *sim.Outbox) {}
+func (s *silentHandler) Output() (float64, bool)                { return 0, false }
+
+// twoFaced is a Byzantine node that BVALs both bits every round it hears
+// about and forges a DONE(flip) — the two-faced vote the binding rule and
+// the f+1 DONE threshold must contain.
+type twoFaced struct {
+	id   int
+	flip int
+	seen map[int]bool
+}
+
+func (b *twoFaced) ID() int { return b.id }
+
+func (b *twoFaced) Start(out *sim.Outbox) {
+	for v := 0; v <= 1; v++ {
+		out.Broadcast(aba.Msg{Inst: 0, Round: 1, Phase: aba.PhaseBval, Value: v})
+	}
+	out.Broadcast(aba.Msg{Inst: 0, Round: 0, Phase: aba.PhaseDone, Value: b.flip})
+}
+
+func (b *twoFaced) Deliver(msg transport.Message, out *sim.Outbox) {
+	m, ok := msg.Payload.(aba.Msg)
+	if !ok || m.Round < 1 || b.seen[m.Round] {
+		return
+	}
+	b.seen[m.Round] = true
+	for v := 0; v <= 1; v++ {
+		out.Broadcast(aba.Msg{Inst: 0, Round: m.Round, Phase: aba.PhaseBval, Value: v})
+		out.Broadcast(aba.Msg{Inst: 0, Round: m.Round, Phase: aba.PhaseAux, Value: v})
+	}
+}
+
+func (b *twoFaced) Output() (float64, bool) { return 0, false }
+
+// TestABAByzantineCannotOverturnUnanimous: honest nodes unanimously
+// propose 1; a protocol-aware Byzantine node voting both ways and forging
+// DONE(0) must not flip the decision or break agreement.
+func TestABAByzantineCannotOverturnUnanimous(t *testing.T) {
+	const n, f = 4, 1
+	g := graph.Clique(n)
+	for _, policy := range abaPolicies {
+		for seed := int64(0); seed < 15; seed++ {
+			handlers := make([]sim.Handler, n)
+			honest := graph.EmptySet
+			for i := 0; i < n-1; i++ {
+				handlers[i] = aba.NewMachine(n, f, i, seed, 1)
+				honest = honest.Add(i)
+			}
+			handlers[n-1] = &twoFaced{id: n - 1, flip: 0, seen: map[int]bool{}}
+			r := runABA(t, handlers, g, policy, seed)
+			outputs, decided := r.Outputs(honest)
+			if !decided {
+				t.Fatalf("%s seed %d: honest nodes did not decide", policy, seed)
+			}
+			for i, v := range outputs {
+				if v != 1 {
+					t.Fatalf("%s seed %d: node %d decided %v against unanimous 1", policy, seed, i, v)
+				}
+			}
+		}
+	}
+}
+
+// passiveHandler wraps a Core that never proposes, the situation of an ACS
+// instance whose RBC has not delivered locally.
+type passiveHandler struct {
+	id   int
+	core *aba.Core
+}
+
+func (p *passiveHandler) ID() int           { return p.id }
+func (p *passiveHandler) Start(*sim.Outbox) {}
+func (p *passiveHandler) Deliver(msg transport.Message, out *sim.Outbox) {
+	if m, ok := msg.Payload.(aba.Msg); ok && m.Inst == 0 {
+		p.core.Handle(msg.From, m, out)
+	}
+}
+func (p *passiveHandler) Output() (float64, bool) {
+	v, ok := p.core.Decided()
+	return float64(v), ok
+}
+
+// TestABAPassiveParticipation: a core that never proposes still relays,
+// AUXes and decides alongside the proposers — required for ACS
+// interleavings where a node votes in instances it has no opinion on yet.
+func TestABAPassiveParticipation(t *testing.T) {
+	const n, f = 4, 1
+	g := graph.Clique(n)
+	for seed := int64(0); seed < 15; seed++ {
+		handlers := make([]sim.Handler, n)
+		for i := 0; i < n-1; i++ {
+			handlers[i] = aba.NewMachine(n, f, i, seed, 1)
+		}
+		handlers[n-1] = &passiveHandler{id: n - 1, core: aba.NewCore(n, f, n-1, 0, seed)}
+		r := runABA(t, handlers, g, "random", seed)
+		outputs, decided := r.Outputs(graph.FullSet(n))
+		if !decided {
+			t.Fatalf("seed %d: passive node never decided", seed)
+		}
+		for i, v := range outputs {
+			if v != 1 {
+				t.Fatalf("seed %d: node %d decided %v", seed, i, v)
+			}
+		}
+	}
+}
+
+// TestABAProposeAfterBindIsNoOp: once an estimate is bound, a late Propose
+// cannot change the instance's course.
+func TestABAProposeAfterBindIsNoOp(t *testing.T) {
+	g := graph.Clique(4)
+	c := aba.NewCore(4, 1, 0, 0, 3)
+	col := sim.NewCollector(0, g)
+	c.Propose(1, col)
+	first := len(col.Messages())
+	if first == 0 {
+		t.Fatal("Propose sent nothing")
+	}
+	c.Propose(0, col)
+	if len(col.Messages()) != first {
+		t.Fatal("second Propose sent traffic after the estimate was bound")
+	}
+}
+
+// TestABAInvalidMessagesIgnored: out-of-range values, rounds and phases
+// from a hostile peer must not wedge or crash the core.
+func TestABAInvalidMessagesIgnored(t *testing.T) {
+	g := graph.Clique(4)
+	c := aba.NewCore(4, 1, 0, 0, 3)
+	col := sim.NewCollector(0, g)
+	for _, m := range []aba.Msg{
+		{Inst: 0, Round: 1, Phase: aba.PhaseBval, Value: 7},
+		{Inst: 0, Round: -1, Phase: aba.PhaseBval, Value: 1},
+		{Inst: 0, Round: 1 << 30, Phase: aba.PhaseAux, Value: 0},
+		{Inst: 0, Round: 5, Phase: aba.PhaseDone, Value: 1}, // DONE must be round 0
+		{Inst: 0, Round: 1, Phase: aba.Phase(9), Value: 1},
+	} {
+		c.Handle(1, m, col)
+	}
+	if len(col.Messages()) != 0 {
+		t.Fatalf("invalid traffic provoked %d sends", len(col.Messages()))
+	}
+	if _, decided := c.Decided(); decided {
+		t.Fatal("invalid traffic decided the instance")
+	}
+}
+
+// TestABAKindStrings pins the payload kinds the stats and traces report.
+func TestABAKindStrings(t *testing.T) {
+	for phase, want := range map[aba.Phase]string{
+		aba.PhaseBval: "ABA-BVAL",
+		aba.PhaseAux:  "ABA-AUX",
+		aba.PhaseDone: "ABA-DONE",
+	} {
+		if got := (aba.Msg{Phase: phase}).Kind(); got != want {
+			t.Errorf("Kind(%v) = %q, want %q", phase, got, want)
+		}
+	}
+	if fmt.Sprint(aba.Phase(9)) != "Phase(9)" {
+		t.Errorf("unknown phase string: %v", aba.Phase(9))
+	}
+}

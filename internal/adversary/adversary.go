@@ -9,7 +9,9 @@ package adversary
 import (
 	"math/rand"
 
+	"repro/internal/aba"
 	"repro/internal/bw"
+	"repro/internal/rbc"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -141,16 +143,36 @@ func (b *Mutant) emit(msgs []transport.Message, out *sim.Outbox) {
 }
 
 // EquivocateInput makes the node report a different initial value to every
-// out-neighbor: its round-r origination (trivial path) carries
-// base + step·(to+1).
+// out-neighbor. It is protocol-shaped, covering each family's notion of
+// "my initial value": BW's round-r origination (trivial path) carries
+// base + step·(to+1); an RBC INIT with numeric content (aad's value
+// rounds, acs's input broadcast) carries content + step·(to+1), handing
+// each receiver a different slot content for the echo quorums to kill or
+// agree on; an ABA message flips its bit toward odd-id receivers — a
+// two-faced vote the binding-value rule must contain. Relayed/derived
+// traffic (echoes, readies, reports) passes through: this strategy lies
+// about inputs, it does not corrupt the transport.
 func EquivocateInput(step float64) Mutator {
 	return func(_ *rand.Rand, m transport.Message) []transport.Payload {
-		v, ok := m.Payload.(bw.ValPayload)
-		if !ok || len(v.Path) != 1 {
-			return []transport.Payload{m.Payload}
+		switch v := m.Payload.(type) {
+		case bw.ValPayload:
+			if len(v.Path) != 1 {
+				return []transport.Payload{m.Payload}
+			}
+			v.Value += step * float64(m.To+1)
+			return []transport.Payload{v}
+		case rbc.Msg:
+			num, isNum := v.Content.(rbc.Num)
+			if v.Phase != rbc.PhaseInit || !isNum {
+				return []transport.Payload{m.Payload}
+			}
+			v.Content = num + rbc.Num(step*float64(m.To+1))
+			return []transport.Payload{v}
+		case aba.Msg:
+			v.Value ^= m.To & 1
+			return []transport.Payload{v}
 		}
-		v.Value += step * float64(m.To+1)
-		return []transport.Payload{v}
+		return []transport.Payload{m.Payload}
 	}
 }
 

@@ -67,6 +67,9 @@ type Outcome struct {
 	// Histories holds per-round values of honest nodes whose machines
 	// record them.
 	Histories map[int][]float64
+	// Vectors holds the decision vectors of honest nodes whose machines
+	// decide vectors (the exact tier's ACS).
+	Vectors map[int]map[int]float64
 	// Runtime names the transport that executed the run.
 	Runtime string
 }
@@ -245,6 +248,7 @@ collect:
 		Decided:   decided == want,
 		ByKind:    make(map[string]int),
 		Histories: make(map[int][]float64),
+		Vectors:   make(map[int]map[int]float64),
 		Runtime:   driver.name(),
 	}
 	for i, nd := range nodes {
@@ -257,6 +261,11 @@ collect:
 		if spec.Honest.Has(i) {
 			if hp, ok := nd.Handler().(historyProvider); ok {
 				out.Histories[i] = hp.History()
+			}
+			if vp, ok := nd.Handler().(vectorProvider); ok {
+				if vec := vp.Vector(); vec != nil {
+					out.Vectors[i] = vec
+				}
 			}
 		}
 	}
@@ -277,6 +286,9 @@ collect:
 
 // historyProvider mirrors the simulator's per-round history hook.
 type historyProvider interface{ History() []float64 }
+
+// vectorProvider mirrors the simulator's decision-vector hook.
+type vectorProvider interface{ Vector() map[int]float64 }
 
 // FaultyOutbound wraps vertex from's outbound with the link-fault rule
 // set: each frame's fate (drop, duplicate, delay in milliseconds) is drawn

@@ -32,6 +32,10 @@ type BenchRun struct {
 	Family   string `json:"family,omitempty"`
 	N        int    `json:"n,omitempty"`
 	F        int    `json:"f,omitempty"`
+	// Exact-tier columns (BENCH_4): the adversary cell the run executed
+	// under and, for vector-decision protocols, the agreed subset size.
+	Adversary string `json:"adversary,omitempty"`
+	Subset    int    `json:"subset,omitempty"`
 }
 
 // Key identifies the cell for cross-report comparison: the scenario and

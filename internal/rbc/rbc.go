@@ -8,6 +8,8 @@ package rbc
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/sim"
@@ -18,6 +20,17 @@ import (
 // so that equality of contents is equality of keys.
 type Content interface {
 	RBCKey() string
+}
+
+// Num is a float64 broadcast content keyed by its exact bit pattern, so
+// distinct NaN payloads and signed zeros stay distinct slots. It is shared
+// by the approximate tier (aad reports reference it) and the exact tier
+// (acs value broadcasts).
+type Num float64
+
+// RBCKey implements Content.
+func (v Num) RBCKey() string {
+	return strconv.FormatUint(math.Float64bits(float64(v)), 16)
 }
 
 // Phase is the protocol step of an RBC message.
@@ -82,6 +95,7 @@ type Broadcaster struct {
 	n, f  int
 	id    int
 	slots map[slotKey]*slotState
+	hook  func(Delivery, *sim.Outbox)
 }
 
 // New returns a Broadcaster for node id in an n-node clique tolerating f
@@ -92,6 +106,14 @@ func New(n, f, id int) (*Broadcaster, error) {
 	}
 	return &Broadcaster{n: n, f: f, id: id, slots: make(map[slotKey]*slotState)}, nil
 }
+
+// OnDeliver registers fn as the delivery hook: every delivery is handed to
+// fn at the moment it happens, with the outbox that is live at that point,
+// in addition to being returned from Broadcast/Handle. fn may re-enter the
+// Broadcaster (e.g. start the next round's Broadcast); slot state is
+// monotone, so re-entrant calls are safe on the single-goroutine event
+// loops that drive it. Register before the first Broadcast or Handle.
+func (b *Broadcaster) OnDeliver(fn func(Delivery, *sim.Outbox)) { b.hook = fn }
 
 func (b *Broadcaster) slot(k slotKey) *slotState {
 	s, ok := b.slots[k]
@@ -167,7 +189,11 @@ func (b *Broadcaster) maybeAdvance(key slotKey, s *slotState, ck string, out *si
 	}
 	if !s.delivered && s.readies[ck].Count() >= 2*b.f+1 {
 		s.delivered = true
-		deliveries = append(deliveries, Delivery{Origin: key.origin, Tag: key.tag, Content: s.contents[ck]})
+		d := Delivery{Origin: key.origin, Tag: key.tag, Content: s.contents[ck]}
+		deliveries = append(deliveries, d)
+		if b.hook != nil {
+			b.hook(d, out)
+		}
 	}
 	return deliveries
 }

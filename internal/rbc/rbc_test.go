@@ -166,3 +166,108 @@ func TestRBCParameters(t *testing.T) {
 		t.Errorf("n=3f+1 rejected: %v", err)
 	}
 }
+
+// silentNode participates in nothing: with enough of them, echo quorums
+// become unreachable.
+type silentNode struct{ id int }
+
+func (s *silentNode) ID() int                                { return s.id }
+func (s *silentNode) Start(*sim.Outbox)                      {}
+func (s *silentNode) Deliver(transport.Message, *sim.Outbox) {}
+func (s *silentNode) Output() (float64, bool)                { return 0, false }
+
+// TestRBCNoDeliveryWithoutEchoQuorum: with two of four nodes silent only
+// two echoes can ever exist, below the ceil((n+f+1)/2)=3 threshold, so no
+// slot may deliver anywhere — totality only holds when the quorums are
+// reachable.
+func TestRBCNoDeliveryWithoutEchoQuorum(t *testing.T) {
+	const n, f = 4, 1
+	g := graph.Clique(n)
+	for seed := int64(0); seed < 10; seed++ {
+		nodes := make([]*rbcNode, n)
+		handlers := make([]sim.Handler, n)
+		for i := 0; i < 2; i++ {
+			nodes[i] = newRBCNode(t, n, f, i)
+			nodes[i].toSend["t"] = strContent("v" + strconv.Itoa(i))
+			handlers[i] = nodes[i]
+		}
+		for i := 2; i < n; i++ {
+			handlers[i] = &silentNode{id: i}
+		}
+		runRBC(t, handlers, g, seed)
+		for i := 0; i < 2; i++ {
+			if len(nodes[i].delivered) != 0 {
+				t.Fatalf("seed %d: node %d delivered %v without an echo quorum", seed, i, nodes[i].delivered)
+			}
+		}
+	}
+}
+
+// hookNode consumes deliveries through the OnDeliver hook instead of the
+// return values, the way the exact tier's ACS machine does.
+type hookNode struct {
+	id     int
+	b      *rbc.Broadcaster
+	toSend map[string]rbc.Content
+	hooked map[string]string
+	retd   int // deliveries seen via return values, must match the hook
+}
+
+func newHookNode(t *testing.T, n, f, id int) *hookNode {
+	t.Helper()
+	b, err := rbc.New(n, f, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &hookNode{id: id, b: b, toSend: map[string]rbc.Content{}, hooked: map[string]string{}}
+	b.OnDeliver(func(d rbc.Delivery, _ *sim.Outbox) {
+		h.hooked[strconv.Itoa(d.Origin)+"/"+d.Tag] = d.Content.RBCKey()
+	})
+	return h
+}
+
+func (h *hookNode) ID() int { return h.id }
+
+func (h *hookNode) Start(out *sim.Outbox) {
+	for tag, c := range h.toSend {
+		h.retd += len(h.b.Broadcast(tag, c, out))
+	}
+}
+
+func (h *hookNode) Deliver(msg transport.Message, out *sim.Outbox) {
+	h.retd += len(h.b.Handle(msg, out))
+}
+
+func (h *hookNode) Output() (float64, bool) { return 0, len(h.hooked) > 0 }
+
+// TestRBCDeliveryHook: the hook observes exactly the deliveries the return
+// values report, with the same per-slot agreement, and numeric contents
+// (rbc.Num) round-trip through it.
+func TestRBCDeliveryHook(t *testing.T) {
+	const n, f = 4, 1
+	g := graph.Clique(n)
+	nodes := make([]*hookNode, n)
+	handlers := make([]sim.Handler, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = newHookNode(t, n, f, i)
+		nodes[i].toSend["t"] = rbc.Num(float64(i) + 0.5)
+		handlers[i] = nodes[i]
+	}
+	runRBC(t, handlers, g, 11)
+	for i, node := range nodes {
+		if len(node.hooked) != n {
+			t.Errorf("node %d hook saw %d deliveries, want %d", i, len(node.hooked), n)
+		}
+		if node.retd != len(node.hooked) {
+			t.Errorf("node %d: %d deliveries via returns, %d via hook", i, node.retd, len(node.hooked))
+		}
+		for slot, want := range nodes[0].hooked {
+			if got := node.hooked[slot]; got != want {
+				t.Errorf("slot %s: node %d hooked %q, node 0 %q", slot, i, got, want)
+			}
+		}
+	}
+	if key := nodes[0].hooked["2/t"]; key != rbc.Num(2.5).RBCKey() {
+		t.Errorf("slot 2/t key = %q, want %q", key, rbc.Num(2.5).RBCKey())
+	}
+}

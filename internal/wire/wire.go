@@ -1,9 +1,9 @@
 // Package wire is the versioned binary codec of the live node runtime: it
 // serializes every protocol message the repository's machines exchange —
 // BW's VAL and COMPLETE floods, the crash-fault and iterative value
-// payloads, and the RBC traffic (with AAD's numeric and report contents) —
-// into a deterministic, length-prefixed frame format suitable for real
-// network links.
+// payloads, the RBC traffic (with the shared numeric and AAD report
+// contents), and the exact tier's ABA votes — into a deterministic,
+// length-prefixed frame format suitable for real network links.
 //
 // # Format
 //
@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"repro/internal/aad"
+	"repro/internal/aba"
 	"repro/internal/bw"
 	"repro/internal/crashapprox"
 	"repro/internal/graph"
@@ -48,8 +49,12 @@ import (
 // Version 2 widened the node-id domain to MaxNodes = 1024: COMPLETE tags
 // became member lists (previously one packed uint64) and entry path keys
 // two bytes per node — a version-1 peer would misdecode rather than
-// cleanly reject, hence the bump.
-const Version = 2
+// cleanly reject, hence the bump. Version 3 added the exact tier's ABA
+// payload (typeABA); the addition is backward-compatible byte-wise, but a
+// version-2 peer in an ABA/ACS cluster would silently drop the frames it
+// does not know and stall the protocol, so the bump turns a silent stall
+// into a loud handshake failure.
+const Version = 3
 
 // MaxFrame bounds a frame body; ReadFrame rejects larger length prefixes
 // before allocating, so a corrupt or hostile peer cannot trigger huge
@@ -75,11 +80,12 @@ const (
 	typeCrashVal   = 3 // crashapprox.ValPayload
 	typeIterVal    = 4 // iterative.ValPayload
 	typeRBC        = 5 // rbc.Msg
+	typeABA        = 6 // aba.Msg
 )
 
 // RBC content type tags.
 const (
-	contentNum    = 1 // aad.Num
+	contentNum    = 1 // rbc.Num (aad.Num is an alias)
 	contentReport = 2 // aad.Report
 )
 
@@ -138,6 +144,21 @@ func AppendMessage(dst []byte, m transport.Message) ([]byte, error) {
 		if dst, err = appendContent(dst, p.Content); err != nil {
 			return nil, err
 		}
+	case aba.Msg:
+		dst = append(dst, typeABA)
+		if p.Phase < aba.PhaseBval || p.Phase > aba.PhaseDone {
+			return nil, fmt.Errorf("wire: aba message with phase %v", p.Phase)
+		}
+		if p.Value < 0 || p.Value > 1 {
+			return nil, fmt.Errorf("wire: aba message with value %d", p.Value)
+		}
+		if p.Inst < 0 || p.Round < 0 {
+			return nil, fmt.Errorf("wire: aba message with negative inst %d or round %d", p.Inst, p.Round)
+		}
+		dst = append(dst, byte(p.Phase))
+		dst = appendUint(dst, uint64(p.Inst))
+		dst = appendUint(dst, uint64(p.Round))
+		dst = append(dst, byte(p.Value))
 	case nil:
 		return nil, fmt.Errorf("wire: message %d->%d has no payload", m.From, m.To)
 	default:
@@ -148,7 +169,7 @@ func AppendMessage(dst []byte, m transport.Message) ([]byte, error) {
 
 func appendContent(dst []byte, c rbc.Content) ([]byte, error) {
 	switch v := c.(type) {
-	case aad.Num:
+	case rbc.Num:
 		dst = append(dst, contentNum)
 		return appendFloat(dst, float64(v)), nil
 	case aad.Report:
@@ -217,6 +238,19 @@ func DecodeMessage(data []byte) (transport.Message, error) {
 		p.Origin = d.intVal()
 		p.Tag = string(d.bytes(maxTagLen))
 		p.Content = d.content()
+		m.Payload = p
+	case typeABA:
+		p := aba.Msg{Phase: aba.Phase(d.byte())}
+		if d.err == nil && (p.Phase < aba.PhaseBval || p.Phase > aba.PhaseDone) {
+			return m, fmt.Errorf("wire: aba frame with phase %d", int(p.Phase))
+		}
+		p.Inst = d.intVal()
+		p.Round = d.intVal()
+		v := d.byte()
+		if d.err == nil && v > 1 {
+			return m, fmt.Errorf("wire: aba frame with value %d", v)
+		}
+		p.Value = int(v)
 		m.Payload = p
 	default:
 		if d.err == nil {
@@ -450,7 +484,7 @@ func (d *decoder) set() graph.Set {
 func (d *decoder) content() rbc.Content {
 	switch kind := d.byte(); kind {
 	case contentNum:
-		return aad.Num(d.float())
+		return rbc.Num(d.float())
 	case contentReport:
 		n := d.count(maxEntries)
 		// Pre-size by the graph bound, not the claimed count: a corrupt

@@ -2,6 +2,7 @@ package wire_test
 
 import (
 	"bytes"
+	"encoding/hex"
 	"io"
 	"math"
 	"reflect"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/aad"
+	"repro/internal/aba"
 	"repro/internal/bw"
 	"repro/internal/crashapprox"
 	"repro/internal/graph"
@@ -41,6 +43,9 @@ func sampleMessages() []transport.Message {
 		{From: 1, To: 2, Payload: rbc.Msg{Phase: rbc.PhaseEcho, Origin: 0, Tag: "r2/report",
 			Content: aad.Report{0: 1, 3: -2.5, 2: math.Pi}}},
 		{From: 2, To: 3, Payload: rbc.Msg{Phase: rbc.PhaseReady, Origin: 2, Tag: "", Content: aad.Num(math.NaN())}},
+		{From: 0, To: 1, Payload: aba.Msg{Inst: 0, Round: 1, Phase: aba.PhaseBval, Value: 0}},
+		{From: 3, To: 2, Payload: aba.Msg{Inst: 6, Round: 300, Phase: aba.PhaseAux, Value: 1}},
+		{From: 1, To: 0, Payload: aba.Msg{Inst: 1023, Round: 0, Phase: aba.PhaseDone, Value: 1}},
 	}
 }
 
@@ -157,9 +162,84 @@ func TestEncodeRejectsUnknownPayload(t *testing.T) {
 	}
 }
 
+// TestEncodeRejectsBadABA pins the encoder-side validation of ABA frames:
+// a hostile or buggy machine cannot put out-of-domain votes on the wire.
+func TestEncodeRejectsBadABA(t *testing.T) {
+	for name, p := range map[string]aba.Msg{
+		"value 2":        {Inst: 0, Round: 1, Phase: aba.PhaseBval, Value: 2},
+		"negative value": {Inst: 0, Round: 1, Phase: aba.PhaseBval, Value: -1},
+		"phase 0":        {Inst: 0, Round: 1, Phase: 0, Value: 1},
+		"phase 9":        {Inst: 0, Round: 1, Phase: aba.Phase(9), Value: 1},
+		"negative inst":  {Inst: -1, Round: 1, Phase: aba.PhaseAux, Value: 1},
+		"negative round": {Inst: 0, Round: -1, Phase: aba.PhaseAux, Value: 1},
+	} {
+		if _, err := wire.EncodeMessage(transport.Message{From: 0, To: 1, Payload: p}); err == nil {
+			t.Errorf("%s: encode accepted %+v", name, p)
+		}
+	}
+}
+
 type fakePayload struct{}
 
 func (fakePayload) Kind() string { return "FAKE" }
+
+// TestGoldenWireVectors pins the exact on-wire bytes of one representative
+// message per payload type at codec version 3. These are a compatibility
+// contract: any codec change that alters them is a wire break and must come
+// with a Version bump and a regenerated table, not a silent edit.
+func TestGoldenWireVectors(t *testing.T) {
+	vectors := []struct {
+		msg transport.Message
+		hex string
+	}{
+		{transport.Message{From: 0, To: 1, Payload: bw.ValPayload{Round: 1, Value: 2.5, Path: graph.Path{0}}},
+			"030001010140040000000000000100"},
+		{transport.Message{From: 1, To: 2, Payload: bw.CompletePayload{
+			Round: 3, Origin: 1, Seq: 9, Tag: graph.SetOf(2, 5),
+			Entries: []bw.ValEntry{{Value: -1.25, PathKey: graph.Path{0, 1}.Key()}},
+			Path:    graph.Path{1, 2},
+		}}, "03010202030109020205010400000001bff4000000000000020102"},
+		{transport.Message{From: 0, To: 3, Payload: crashapprox.ValPayload{Round: 2, Value: 0.125, Path: graph.Path{0, 3}}},
+			"03000303023fc0000000000000020003"},
+		{transport.Message{From: 9, To: 8, Payload: iterative.ValPayload{Round: 4, Value: -3}},
+			"0309080404c008000000000000"},
+		{transport.Message{From: 0, To: 1, Payload: rbc.Msg{Phase: rbc.PhaseInit, Origin: 0, Tag: "acs/v", Content: rbc.Num(1.5)}},
+			"030001050100056163732f76013ff8000000000000"},
+		{transport.Message{From: 1, To: 2, Payload: rbc.Msg{Phase: rbc.PhaseEcho, Origin: 0, Tag: "r2/report",
+			Content: aad.Report{0: 1, 2: -2.5}}},
+			"0301020502000972322f7265706f72740202003ff000000000000002c004000000000000"},
+		{transport.Message{From: 0, To: 1, Payload: aba.Msg{Inst: 0, Round: 1, Phase: aba.PhaseBval, Value: 1}},
+			"0300010601000101"},
+		{transport.Message{From: 2, To: 3, Payload: aba.Msg{Inst: 5, Round: 130, Phase: aba.PhaseAux, Value: 0}},
+			"030203060205820100"},
+		{transport.Message{From: 3, To: 0, Payload: aba.Msg{Inst: 2, Round: 0, Phase: aba.PhaseDone, Value: 1}},
+			"0303000603020001"},
+	}
+	for _, v := range vectors {
+		kind := v.msg.Payload.Kind()
+		want, err := hex.DecodeString(v.hex)
+		if err != nil {
+			t.Fatalf("%s: bad vector hex: %v", kind, err)
+		}
+		if want[0] != wire.Version {
+			t.Fatalf("%s: golden vector carries version %d, codec speaks %d — regenerate the table", kind, want[0], wire.Version)
+		}
+		got, err := wire.EncodeMessage(v.msg)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", kind, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: wire bytes changed\n got: %x\nwant: %x", kind, got, want)
+		}
+		back, err := wire.DecodeMessage(want)
+		if err != nil {
+			t.Fatalf("%s: golden bytes no longer decode: %v", kind, err)
+		}
+		if !equalMessage(v.msg, back) {
+			t.Errorf("%s: golden bytes decode to a different message: %#v", kind, back)
+		}
+	}
+}
 
 // FuzzWireRoundTrip feeds arbitrary bytes to the decoder. Whatever decodes
 // must re-encode, and the re-encoded form must be canonical: decoding and

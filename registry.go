@@ -22,6 +22,26 @@ import (
 type protocolEntry struct {
 	run   RunFunc
 	build BuilderFunc
+	info  *ProtocolInfo
+}
+
+// Protocol tiers and decision shapes for ProtocolInfo.
+const (
+	TierApproximate = "approximate" // ε-agreement on a real value
+	TierExact       = "exact"       // exact agreement (binary or subset)
+	ShapeScalar     = "scalar"      // decision is one float (Result.Outputs)
+	ShapeVector     = "vector"      // decision is a vector (Result.Vectors)
+)
+
+// ProtocolInfo is a registered protocol's catalog metadata: its consensus
+// tier (approximate vs exact), decision shape (scalar vs vector) and a
+// one-line doc. Catalog consumers (abacsim -list) render from this rather
+// than hardcoding strings per protocol.
+type ProtocolInfo struct {
+	Name  string
+	Tier  string
+	Shape string
+	Doc   string
 }
 
 var (
@@ -64,6 +84,49 @@ func RegisterBuilder(name string, build BuilderFunc) {
 		panic(fmt.Sprintf("repro: builder for protocol %q registered twice", name))
 	}
 	e.build = build
+}
+
+// RegisterInfo attaches catalog metadata to an already registered
+// protocol. Unknown names and double registration panic, like
+// RegisterBuilder. Metadata is optional: protocols without it are listed
+// with the defaults (approximate tier, scalar shape, no doc).
+func RegisterInfo(name string, info ProtocolInfo) {
+	protocolMu.Lock()
+	defer protocolMu.Unlock()
+	e, ok := protocols[name]
+	if !ok {
+		panic(fmt.Sprintf("repro: RegisterInfo for unregistered protocol %q", name))
+	}
+	if e.info != nil {
+		panic(fmt.Sprintf("repro: info for protocol %q registered twice", name))
+	}
+	if info.Tier != TierApproximate && info.Tier != TierExact {
+		panic(fmt.Sprintf("repro: RegisterInfo(%q) with unknown tier %q", name, info.Tier))
+	}
+	if info.Shape != ShapeScalar && info.Shape != ShapeVector {
+		panic(fmt.Sprintf("repro: RegisterInfo(%q) with unknown shape %q", name, info.Shape))
+	}
+	info.Name = name
+	e.info = &info
+}
+
+// ProtocolCatalog returns every registered protocol's metadata, sorted by
+// name. Protocols registered without RegisterInfo appear with the default
+// tier/shape (approximate, scalar), so third-party registrations list
+// cleanly without extra calls.
+func ProtocolCatalog() []ProtocolInfo {
+	protocolMu.RLock()
+	defer protocolMu.RUnlock()
+	infos := make([]ProtocolInfo, 0, len(protocols))
+	for name, e := range protocols {
+		if e.info != nil {
+			infos = append(infos, *e.info)
+		} else {
+			infos = append(infos, ProtocolInfo{Name: name, Tier: TierApproximate, Shape: ShapeScalar})
+		}
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
 }
 
 // Protocols lists the registered protocol names, sorted.
@@ -110,10 +173,26 @@ func init() {
 	Register("aad", RunAAD)
 	Register("crashapprox", RunCrashApprox)
 	Register("iterative", RunIterative)
+	Register("aba", RunABA)
+	Register("acs", RunACS)
 	RegisterBuilder("bw", buildBW)
 	RegisterBuilder("aad", buildAAD)
 	RegisterBuilder("crashapprox", buildCrashApprox)
 	RegisterBuilder("iterative", buildIterative)
+	RegisterBuilder("aba", buildABA)
+	RegisterBuilder("acs", buildACS)
+	RegisterInfo("bw", ProtocolInfo{Tier: TierApproximate, Shape: ShapeScalar,
+		Doc: "the paper's Algorithm BW: Byzantine approximate consensus on directed graphs"})
+	RegisterInfo("aad", ProtocolInfo{Tier: TierApproximate, Shape: ShapeScalar,
+		Doc: "Abraham-Amit-Dolev clique baseline on reliable broadcast"})
+	RegisterInfo("crashapprox", ProtocolInfo{Tier: TierApproximate, Shape: ShapeScalar,
+		Doc: "crash-fault 2-reach approximate consensus (Theorem 2)"})
+	RegisterInfo("iterative", ProtocolInfo{Tier: TierApproximate, Shape: ShapeScalar,
+		Doc: "local iterative trimmed-mean ablation"})
+	RegisterInfo("aba", ProtocolInfo{Tier: TierExact, Shape: ShapeScalar,
+		Doc: "MMR asynchronous binary agreement with a seeded deterministic coin"})
+	RegisterInfo("acs", ProtocolInfo{Tier: TierExact, Shape: ShapeVector,
+		Doc: "BKR agreement on a common subset: n reliable broadcasts + n ABA instances"})
 }
 
 // Policies lists the registered asynchrony schedule policies for

@@ -9,7 +9,10 @@
 //   - protocol execution: the paper's BW algorithm (Byzantine,
 //     asynchronous, directed — Theorem 4), the Abraham–Amit–Dolev clique
 //     baseline, the crash-fault 2-reach algorithm and the local iterative
-//     baseline, all over a deterministic simulator with registry-backed,
+//     baseline — plus an exact-consensus tier on the reliable-broadcast
+//     substrate: MMR asynchronous binary agreement ("aba") and BKR
+//     agreement on a common subset ("acs", a vector decision) — all over
+//     a deterministic simulator with registry-backed,
 //     composable fault injection — named node adversaries (FaultKinds)
 //     plus per-edge Byzantine link failures (LinkFaultKinds) — and
 //     pluggable execution engines (a direct-call inline event loop by
@@ -35,6 +38,8 @@ import (
 	"math"
 
 	"repro/internal/aad"
+	"repro/internal/aba"
+	"repro/internal/acs"
 	"repro/internal/adversary"
 	"repro/internal/bw"
 	"repro/internal/cond"
@@ -396,6 +401,10 @@ type Result struct {
 	// Histories holds per-round state values of honest nodes where the
 	// protocol records them.
 	Histories map[int][]float64
+	// Vectors holds per-node decision vectors for protocols whose decision
+	// is a vector rather than a scalar (the exact tier's ACS: agreed origin
+	// -> agreed value). Empty for scalar protocols.
+	Vectors map[int]map[int]float64
 	// Trace is the delivery schedule, one message per line, recorded only
 	// when Options.RecordTrace is set. Identical seeds yield identical
 	// traces, on every engine.
@@ -419,6 +428,10 @@ func linkStats(set *linkfault.Set) LinkFaultStats {
 
 // historyProvider is implemented by machines that record per-round values.
 type historyProvider interface{ History() []float64 }
+
+// vectorProvider is implemented by machines whose decision is a vector
+// (acs.Machine); nil until the node has decided.
+type vectorProvider interface{ Vector() map[int]float64 }
 
 // Handler is one node's protocol endpoint — the machine interface both the
 // simulator and the live cluster runtimes execute (an alias of
@@ -525,6 +538,7 @@ func runProtocol(g *Graph, inputs []float64, opts Options, factory HandlerFactor
 		MessagesSent: runner.Stats().Sent,
 		ByKind:       runner.Stats().ByKind(),
 		Histories:    make(map[int][]float64),
+		Vectors:      make(map[int]map[int]float64),
 		Trace:        runner.TraceString(),
 		LinkStats:    linkStats(links),
 	}
@@ -532,6 +546,11 @@ func runProtocol(g *Graph, inputs []float64, opts Options, factory HandlerFactor
 	honest.ForEach(func(v int) bool {
 		if hp, ok := runner.Handler(v).(historyProvider); ok {
 			res.Histories[v] = hp.History()
+		}
+		if vp, ok := runner.Handler(v).(vectorProvider); ok {
+			if vec := vp.Vector(); vec != nil {
+				res.Vectors[v] = vec
+			}
 		}
 		return true
 	})
@@ -620,6 +639,62 @@ func buildIterative(g *Graph, inputs []float64, opts Options) (HandlerFactory, e
 func RunIterative(g *Graph, inputs []float64, opts Options) (*Result, error) {
 	opts.normalize(inputs)
 	factory, err := buildIterative(g, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return runProtocol(g, inputs, opts, factory)
+}
+
+// buildABA is the exact tier's binary-agreement BuilderFunc: MMR-style ABA
+// with the seeded deterministic common coin. Inputs map to proposal bits
+// (nonzero -> 1); the decision is 0 or 1.
+func buildABA(g *Graph, inputs []float64, opts Options) (HandlerFactory, error) {
+	if g.M() != g.N()*(g.N()-1) {
+		return nil, errors.New("repro: ABA requires a complete graph")
+	}
+	if g.N() <= 3*opts.F {
+		return nil, fmt.Errorf("repro: ABA requires n > 3f (n=%d, f=%d)", g.N(), opts.F)
+	}
+	return func(id int) (Handler, error) {
+		bit := 0
+		if inputs[id] != 0 {
+			bit = 1
+		}
+		return aba.NewMachine(g.N(), opts.F, id, opts.Seed, bit), nil
+	}, nil
+}
+
+// RunABA executes asynchronous binary agreement; g must be a clique with
+// n > 3f. The common coin derives from opts.Seed, so the same seed decides
+// the same way on every engine and runtime.
+func RunABA(g *Graph, inputs []float64, opts Options) (*Result, error) {
+	opts.normalize(inputs)
+	factory, err := buildABA(g, inputs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return runProtocol(g, inputs, opts, factory)
+}
+
+// buildACS is the exact tier's agreement-on-a-common-subset BuilderFunc:
+// n reliable broadcasts plus n ABA instances (BKR). The scalar output is
+// the mean of the agreed subset's values; the full vector is surfaced as
+// Result.Vectors.
+func buildACS(g *Graph, inputs []float64, opts Options) (HandlerFactory, error) {
+	if g.M() != g.N()*(g.N()-1) {
+		return nil, errors.New("repro: ACS requires a complete graph")
+	}
+	return func(id int) (Handler, error) {
+		return acs.New(g.N(), opts.F, id, opts.Seed, inputs[id])
+	}, nil
+}
+
+// RunACS executes agreement on a common subset; g must be a clique with
+// n > 3f. All honest nodes decide the identical subset of at least n−f
+// input values (Result.Vectors) and output its mean.
+func RunACS(g *Graph, inputs []float64, opts Options) (*Result, error) {
+	opts.normalize(inputs)
+	factory, err := buildACS(g, inputs, opts)
 	if err != nil {
 		return nil, err
 	}

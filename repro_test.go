@@ -216,6 +216,48 @@ func TestFaultRegistryFacade(t *testing.T) {
 	}
 }
 
+// TestProtocolCatalog pins the registry metadata surface the CLIs render:
+// every registered protocol appears exactly once with a legal tier and
+// decision shape, and the exact tier is annotated as such.
+func TestProtocolCatalog(t *testing.T) {
+	catalog := repro.ProtocolCatalog()
+	byName := make(map[string]repro.ProtocolInfo, len(catalog))
+	for _, info := range catalog {
+		if _, dup := byName[info.Name]; dup {
+			t.Fatalf("protocol %q listed twice", info.Name)
+		}
+		byName[info.Name] = info
+		if info.Tier != repro.TierApproximate && info.Tier != repro.TierExact {
+			t.Errorf("protocol %q has tier %q", info.Name, info.Tier)
+		}
+		if info.Shape != repro.ShapeScalar && info.Shape != repro.ShapeVector {
+			t.Errorf("protocol %q has shape %q", info.Name, info.Shape)
+		}
+	}
+	for _, name := range repro.Protocols() {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("registered protocol %q missing from catalog", name)
+		}
+	}
+	for name, want := range map[string][2]string{
+		"bw":  {repro.TierApproximate, repro.ShapeScalar},
+		"aba": {repro.TierExact, repro.ShapeScalar},
+		"acs": {repro.TierExact, repro.ShapeVector},
+	} {
+		info, ok := byName[name]
+		if !ok {
+			t.Fatalf("protocol %q missing from catalog", name)
+		}
+		if info.Tier != want[0] || info.Shape != want[1] {
+			t.Errorf("protocol %q: tier/shape %q/%q, want %q/%q",
+				name, info.Tier, info.Shape, want[0], want[1])
+		}
+		if info.Doc == "" {
+			t.Errorf("protocol %q has no doc line", name)
+		}
+	}
+}
+
 func TestNamedGraphFacade(t *testing.T) {
 	g, err := repro.NamedGraph("wheel:4")
 	if err != nil || g.N() != 5 {
