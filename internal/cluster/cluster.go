@@ -70,6 +70,9 @@ type Outcome struct {
 	// Vectors holds the decision vectors of honest nodes whose machines
 	// decide vectors (the exact tier's ACS).
 	Vectors map[int]map[int]float64
+	// Queue aggregates the transport's bounded per-edge queue accounting:
+	// backpressure waits, shed frames and the depth high-water mark.
+	Queue QueueStats
 	// Runtime names the transport that executed the run.
 	Runtime string
 }
@@ -86,6 +89,8 @@ type transportDriver interface {
 	start(ctx context.Context, nodes []*node.Node) error
 	// stop tears the medium down; it must unblock any pump still pushing.
 	stop()
+	// queueStats aggregates the medium's bounded-queue accounting.
+	queueStats() QueueStats
 }
 
 // RunLoopback executes the spec over the in-process loopback transport.
@@ -249,6 +254,7 @@ collect:
 		ByKind:    make(map[string]int),
 		Histories: make(map[int][]float64),
 		Vectors:   make(map[int]map[int]float64),
+		Queue:     driver.queueStats(),
 		Runtime:   driver.name(),
 	}
 	for i, nd := range nodes {

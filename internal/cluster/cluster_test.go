@@ -209,6 +209,88 @@ func TestJoinTCPWithPortCollision(t *testing.T) {
 	}
 }
 
+// TestJoinTCPLateJoiner exercises joining mid-instance: two of three
+// vertices start immediately and send their round-1 values toward the
+// third, whose JoinTCP only begins well after the instance is underway.
+// Its pre-bound listener holds the early connections in the accept
+// backlog, so the latecomer must drain already-queued frames on join; the
+// early vertices (f=0, so each round waits for every in-neighbor) are
+// blocked on it and may only decide once it catches up.
+func TestJoinTCPLateJoiner(t *testing.T) {
+	const n = 3
+	g := graph.Clique(n)
+	mk := func(id int) sim.Handler {
+		h, err := iterative.NewMachine(g, 0, id, 2, float64(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	listeners := make([]net.Listener, n)
+	peers := make(map[int]string, n)
+	for i := range listeners {
+		ln, err := cluster.Listen("127.0.0.1:0", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	runCtx, stopNodes := context.WithCancel(ctx)
+	defer stopNodes()
+
+	var wg sync.WaitGroup
+	outcomes := make([]*cluster.NodeOutcome, n)
+	errs := make([]error, n)
+	decided := make(chan int, n)
+	join := func(i int) {
+		defer wg.Done()
+		others := make(map[int]string, n-1)
+		for j, addr := range peers {
+			if j != i {
+				others[j] = addr
+			}
+		}
+		outcomes[i], errs[i] = cluster.JoinTCP(runCtx, cluster.JoinConfig{
+			ID: i, Graph: g, Handler: mk(i),
+			Listener: listeners[i],
+			Peers:    others,
+			OnDecide: func(int, float64) { decided <- i },
+		})
+	}
+
+	wg.Add(n)
+	go join(0)
+	go join(1)
+	go func() {
+		time.Sleep(300 * time.Millisecond) // instance well underway
+		join(2)
+	}()
+
+	for i := 0; i < n; i++ {
+		select {
+		case <-decided:
+		case <-ctx.Done():
+			t.Fatal("nodes never decided")
+		}
+	}
+	stopNodes()
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("join %d: %v", i, errs[i])
+		}
+		if !outcomes[i].Decided || outcomes[i].Output != 1 {
+			t.Fatalf("join %d outcome = %+v, want decided 1 (mean of 0,1,2)", i, outcomes[i])
+		}
+	}
+}
+
 func TestListenPortFallback(t *testing.T) {
 	blocker, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -10,62 +10,9 @@ import (
 	"repro/internal/node"
 )
 
-// queue is an unbounded FIFO connecting a producer that must never block (a
-// node's send path) to a consumer pump. Unboundedness mirrors the paper's
-// network model — arbitrarily many messages may be in flight — and is what
-// rules out send-side deadlock between two nodes flooding each other.
-type queue[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []T
-	closed bool
-}
-
-func newQueue[T any]() *queue[T] {
-	q := &queue[T]{}
-	q.cond = sync.NewCond(&q.mu)
-	return q
-}
-
-// push appends an item; it never blocks. Pushes after close are dropped
-// (the run is shutting down; in-flight messages may be lost, exactly like
-// messages still in the simulator's pool when a run stops early).
-func (q *queue[T]) push(v T) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return
-	}
-	q.items = append(q.items, v)
-	q.cond.Signal()
-}
-
-// pop blocks for the next item; ok is false once the queue is closed and
-// drained-or-abandoned.
-func (q *queue[T]) pop() (v T, ok bool) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
-		q.cond.Wait()
-	}
-	if q.closed {
-		return v, false
-	}
-	v = q.items[0]
-	q.items = q.items[1:]
-	return v, true
-}
-
-// close wakes all poppers; pending items are abandoned (shutdown path).
-func (q *queue[T]) close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.closed = true
-	q.cond.Broadcast()
-}
-
-// loopback is the in-process transport: one unbounded frame queue per
-// directed edge, one pump goroutine per edge moving frames into the
+// loopback is the in-process transport: one bounded frame queue per
+// directed edge (see queue — push blocks when a peer falls DefaultQueueCap
+// frames behind), one pump goroutine per edge moving frames into the
 // receiver's inbox. Per-edge order is FIFO (the reliable-link assumption);
 // the interleaving across edges is whatever the Go scheduler produces — a
 // legal asynchronous schedule, different from the simulator's seeded one.
@@ -82,7 +29,7 @@ func newLoopback(g *graph.Graph) (*loopback, error) {
 	}
 	lb := &loopback{g: g, edges: make(map[[2]int]*queue[[]byte], g.M())}
 	for _, e := range g.Edges() {
-		lb.edges[e] = newQueue[[]byte]()
+		lb.edges[e] = newQueue[[]byte](0)
 	}
 	return lb, nil
 }
@@ -102,6 +49,8 @@ func (l loopLink) Send(to int, frame []byte) error {
 		// bug, not adversarial behavior.
 		return fmt.Errorf("cluster: loopback send over non-edge %d->%d", l.from, to)
 	}
+	// A push against a closed queue means the run is shutting down; the
+	// frame is shed like any message still in flight at the end of a run.
 	q.push(frame)
 	return nil
 }
@@ -149,4 +98,12 @@ func (lb *loopback) stop() {
 		}
 		lb.wg.Wait()
 	})
+}
+
+func (lb *loopback) queueStats() QueueStats {
+	var s QueueStats
+	for _, q := range lb.edges {
+		s.add(q.snapshot())
+	}
+	return s
 }

@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// The Mux is the service tier's transport: one persistent TCP connection
+// per directed edge carrying frames for every concurrent consensus
+// instance (the instance id rides in the wire frame — codec v4), instead
+// of the classic transports' one-cluster-one-instance lifecycle. Per-peer
+// outbound queues are bounded (see queue): a daemon that outruns a slow
+// peer blocks on Send — backpressure that propagates to the instance event
+// loops — or sheds on TrySend, both accounted and surfaced through the
+// daemon's metrics plane. Inbound, one reader per in-edge hands raw frames
+// to the dispatcher; a dispatcher that blocks (an instance inbox at
+// capacity) stalls exactly that one peer connection, which is TCP's own
+// flow control doing the rest.
+
+// muxMagic opens every mux connection; the bytes after it are the wire
+// codec version and the sender's vertex id (two big-endian bytes, so mux
+// clusters can use the full graph.MaxNodes id range — the classic tcp
+// hello's single byte caps at 255).
+var muxMagic = [4]byte{'A', 'B', 'M', 'X'}
+
+const muxHelloLen = 7
+
+func writeMuxHello(c net.Conn, id int) error {
+	if id < 0 || id > 0xFFFF {
+		return fmt.Errorf("cluster: vertex id %d does not fit the mux hello", id)
+	}
+	var buf [muxHelloLen]byte
+	copy(buf[:], muxMagic[:])
+	buf[4] = wire.Version
+	binary.BigEndian.PutUint16(buf[5:], uint16(id))
+	_, err := c.Write(buf[:])
+	return err
+}
+
+func readMuxHello(c net.Conn) (int, error) {
+	var buf [muxHelloLen]byte
+	if _, err := io.ReadFull(c, buf[:]); err != nil {
+		return 0, err
+	}
+	if [4]byte(buf[:4]) != muxMagic {
+		return 0, fmt.Errorf("cluster: bad mux hello magic %q", buf[:4])
+	}
+	if buf[4] != wire.Version {
+		return 0, fmt.Errorf("cluster: peer speaks wire version %d, this build speaks %d", buf[4], wire.Version)
+	}
+	return int(binary.BigEndian.Uint16(buf[5:])), nil
+}
+
+// MuxConfig parameterizes one vertex's multiplexed transport.
+type MuxConfig struct {
+	// ID is this daemon's vertex; Graph the shared topology.
+	ID    int
+	Graph *graph.Graph
+	// Listener accepts peer connections (bind it before constructing, so
+	// addresses are known; see Listen).
+	Listener net.Listener
+	// Peers maps every out-neighbor of ID to its dial address.
+	Peers map[int]string
+	// QueueCap bounds each per-peer outbound queue (0 = DefaultQueueCap).
+	QueueCap int
+	// OnFrame consumes every inbound frame with the true sender (from the
+	// handshake — the reliable-link model's sender authentication, which
+	// each instance's node re-checks against the frame contents). It is
+	// invoked from per-connection reader goroutines and may block; a
+	// blocked dispatcher stalls only that peer's connection.
+	OnFrame func(from int, frame []byte)
+}
+
+// Mux is one vertex's persistent multiplexed connection fabric. Create
+// with NewMux, launch with Start, transmit with Send/TrySend.
+type Mux struct {
+	cfg    MuxConfig
+	queues map[int]*queue[[]byte]
+	wg     sync.WaitGroup
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+
+	stopOnce sync.Once
+}
+
+// NewMux validates the config and builds the fabric (no goroutines yet).
+func NewMux(cfg MuxConfig) (*Mux, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("cluster: mux needs a graph")
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Graph.N() {
+		return nil, fmt.Errorf("cluster: mux id %d outside graph order %d", cfg.ID, cfg.Graph.N())
+	}
+	if cfg.Listener == nil {
+		return nil, fmt.Errorf("cluster: mux needs a listener")
+	}
+	if cfg.OnFrame == nil {
+		return nil, fmt.Errorf("cluster: mux needs a frame dispatcher")
+	}
+	m := &Mux{cfg: cfg, queues: make(map[int]*queue[[]byte])}
+	for _, v := range cfg.Graph.Out(cfg.ID) {
+		if _, ok := cfg.Peers[v]; !ok {
+			return nil, fmt.Errorf("cluster: vertex %d has edge to %d but no peer address for it", cfg.ID, v)
+		}
+		m.queues[v] = newQueue[[]byte](cfg.QueueCap)
+	}
+	return m, nil
+}
+
+// Send enqueues a frame toward an out-neighbor, blocking while that peer's
+// bounded queue is full (the backpressure path). Frames enqueued after
+// shutdown are shed silently, like messages in flight when a run ends.
+func (m *Mux) Send(to int, frame []byte) error {
+	q, ok := m.queues[to]
+	if !ok {
+		return fmt.Errorf("cluster: mux send over non-edge %d->%d", m.cfg.ID, to)
+	}
+	q.push(frame)
+	return nil
+}
+
+// TrySend enqueues without blocking; a full queue sheds the frame
+// (counted) and reports false. The daemon uses this for re-floodable
+// control traffic where blocking an event loop is worse than retrying.
+func (m *Mux) TrySend(to int, frame []byte) (bool, error) {
+	q, ok := m.queues[to]
+	if !ok {
+		return false, fmt.Errorf("cluster: mux send over non-edge %d->%d", m.cfg.ID, to)
+	}
+	return q.tryPush(frame), nil
+}
+
+// QueueStats aggregates the outbound queues' accounting across peers.
+func (m *Mux) QueueStats() QueueStats {
+	var s QueueStats
+	for _, q := range m.queues {
+		s.add(q.snapshot())
+	}
+	return s
+}
+
+// QueueDepths reports each out-neighbor's current queue depth (a gauge for
+// the metrics plane).
+func (m *Mux) QueueDepths() map[int]int64 {
+	out := make(map[int]int64, len(m.queues))
+	for to, q := range m.queues {
+		out[to] = q.snapshot().Depth
+	}
+	return out
+}
+
+// Start launches the accept loop, one dialer/writer per out-edge, and the
+// teardown watcher. The fabric runs until ctx ends or Stop is called;
+// either path cancels the internal context, so every goroutine unwinds.
+func (m *Mux) Start(ctx context.Context) {
+	ctx, m.cancel = context.WithCancel(ctx)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.acceptLoop(ctx)
+	}()
+	for to, q := range m.queues {
+		m.wg.Add(1)
+		go func(to int, q *queue[[]byte]) {
+			defer m.wg.Done()
+			m.writeLoop(ctx, to, q)
+		}(to, q)
+	}
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		<-ctx.Done()
+		m.teardown()
+	}()
+}
+
+// track registers a connection for teardown; it returns false (and closes
+// the conn) when the fabric is already stopped.
+func (m *Mux) track(c net.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		c.Close()
+		return false
+	}
+	m.conns = append(m.conns, c)
+	return true
+}
+
+func (m *Mux) teardown() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	conns := m.conns
+	m.conns = nil
+	m.closed = true
+	m.mu.Unlock()
+	if m.cancel != nil {
+		m.cancel()
+	}
+	m.cfg.Listener.Close()
+	for _, q := range m.queues {
+		q.close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Stop tears the fabric down and joins every goroutine.
+func (m *Mux) Stop() { m.stopOnce.Do(func() { m.teardown(); m.wg.Wait() }) }
+
+// acceptLoop serves inbound edges: handshake, validate the claimed peer
+// against the topology, then hand every frame to the dispatcher.
+func (m *Mux) acceptLoop(ctx context.Context) {
+	for {
+		c, err := m.cfg.Listener.Accept()
+		if err != nil {
+			return // listener closed: shutdown
+		}
+		if !m.track(c) {
+			return
+		}
+		m.wg.Add(1)
+		go func(c net.Conn) {
+			defer m.wg.Done()
+			peer, err := readMuxHello(c)
+			if err != nil || peer < 0 || peer >= m.cfg.Graph.N() || !m.cfg.Graph.HasEdge(peer, m.cfg.ID) {
+				// Not a cluster member with an edge to us: refuse the link.
+				c.Close()
+				return
+			}
+			for {
+				frame, err := wire.ReadFrame(c)
+				if err != nil {
+					c.Close()
+					return
+				}
+				if ctx.Err() != nil {
+					c.Close()
+					return
+				}
+				m.cfg.OnFrame(peer, frame)
+			}
+		}(c)
+	}
+}
+
+// dialMux connects to addr with retry/backoff until ctx ends, completing
+// the mux handshake — same start-order independence as the classic tcp
+// transport: whichever daemon starts first keeps knocking.
+func (m *Mux) dialMux(ctx context.Context, addr string) (net.Conn, error) {
+	backoff := dialRetryFloor
+	d := net.Dialer{}
+	for {
+		c, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			if err := writeMuxHello(c, m.cfg.ID); err == nil {
+				return c, nil
+			}
+			c.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > dialRetryCeil {
+			backoff = dialRetryCeil
+		}
+	}
+}
+
+// writeLoop drains one peer's bounded queue onto its persistent
+// connection, redialing on failure with the unsent frame retained —
+// identical reconnect discipline to the classic tcp transport, but the
+// connection now outlives any single consensus instance.
+func (m *Mux) writeLoop(ctx context.Context, to int, q *queue[[]byte]) {
+	var c net.Conn
+	backoff := dialRetryFloor
+	for {
+		frame, ok := q.pop()
+		if !ok {
+			return
+		}
+		for {
+			if c == nil {
+				var err error
+				if c, err = m.dialMux(ctx, m.cfg.Peers[to]); err != nil {
+					return // context ended while dialing: shutdown
+				}
+				if !m.track(c) {
+					return
+				}
+			}
+			if err := wire.WriteRawFrame(c, frame); err == nil {
+				backoff = dialRetryFloor
+				break
+			}
+			c.Close()
+			c = nil
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > dialRetryCeil {
+				backoff = dialRetryCeil
+			}
+		}
+	}
+}

@@ -96,9 +96,10 @@ func Listen(addr string, attempts int) (net.Listener, error) {
 }
 
 // tcpEndpoint is one vertex's TCP presence: a listener accepting its
-// in-edges, one dialer+writer per out-edge (fed by an unbounded queue so
-// the node's send path never blocks), and the reader goroutines feeding
-// the node's inbox.
+// in-edges, one dialer+writer per out-edge (fed by a bounded queue — the
+// node's send path blocks only when a peer falls DefaultQueueCap frames
+// behind, the live tier's backpressure contract), and the reader
+// goroutines feeding the node's inbox.
 type tcpEndpoint struct {
 	id    int
 	g     *graph.Graph
@@ -121,7 +122,7 @@ func newTCPEndpoint(id int, g *graph.Graph, ln net.Listener, peers map[int]strin
 		if _, ok := peers[v]; !ok {
 			return nil, fmt.Errorf("cluster: vertex %d has edge to %d but no peer address for it", id, v)
 		}
-		e.queues[v] = newQueue[[]byte]()
+		e.queues[v] = newQueue[[]byte](0)
 	}
 	return e, nil
 }
@@ -189,6 +190,14 @@ func (e *tcpEndpoint) teardown() {
 }
 
 func (e *tcpEndpoint) stop() { e.stopOnce.Do(func() { e.teardown(); e.wg.Wait() }) }
+
+func (e *tcpEndpoint) queueStats() QueueStats {
+	var s QueueStats
+	for _, q := range e.queues {
+		s.add(q.snapshot())
+	}
+	return s
+}
 
 // acceptLoop serves inbound edges: handshake, validate the claimed peer
 // against the topology, then pump frames into the node's inbox.
@@ -357,6 +366,14 @@ func (tn *tcpNetwork) stop() {
 			e.stop()
 		}
 	})
+}
+
+func (tn *tcpNetwork) queueStats() QueueStats {
+	var s QueueStats
+	for _, e := range tn.endpoints {
+		s.add(e.queueStats())
+	}
+	return s
 }
 
 // JoinConfig describes one vertex joining a (possibly multi-process) TCP

@@ -36,6 +36,14 @@ type BenchRun struct {
 	// under and, for vector-decision protocols, the agreed subset size.
 	Adversary string `json:"adversary,omitempty"`
 	Subset    int    `json:"subset,omitempty"`
+	// Service-tier columns (BENCH_5): sustained throughput over pipelined
+	// instances — decided instance count, decisions/sec at the submitting
+	// vertex, and the fleet's bounded-queue accounting (backpressure waits
+	// and shed frames) over the measurement window.
+	Decisions int64   `json:"decisions,omitempty"`
+	PerSec    float64 `json:"perSec,omitempty"`
+	Waits     int64   `json:"waits,omitempty"`
+	Shed      int64   `json:"shed,omitempty"`
 }
 
 // Key identifies the cell for cross-report comparison: the scenario and

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro"
+)
+
+// TestRunServiceBenchSmoke runs the E16 harness end to end on a small
+// fleet with a short window: the report must carry one valid cell per
+// protocol with at least one decided instance, and the fleet must tear
+// down cleanly. This is the tier-1 guard for the BENCH_5 pipeline; the
+// committed numbers come from the full clique:8 run.
+func TestRunServiceBenchSmoke(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	report, err := RunServiceBench(ctx, ServiceBenchConfig{
+		Scenario: repro.Scenario{
+			Name:     "service-smoke",
+			Graph:    "clique:4",
+			Protocol: "acs",
+			InputGen: &repro.InputGenSpec{Kind: "mod", Mod: 4},
+			F:        1,
+			Seed:     11,
+		},
+		Protocols: []string{"acs"},
+		Duration:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Suite != "service" {
+		t.Fatalf("suite = %q, want service", report.Suite)
+	}
+	if len(report.Runs) != 1 {
+		t.Fatalf("got %d cells, want 1", len(report.Runs))
+	}
+	cell := report.Runs[0]
+	if cell.Name != "service-smoke-acs" || cell.Protocol != "acs" {
+		t.Fatalf("cell identity = %q/%q", cell.Name, cell.Protocol)
+	}
+	if cell.Decisions <= 0 || cell.PerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", cell)
+	}
+	if !cell.Decided || !cell.Valid {
+		t.Fatalf("cell not marked decided+valid: %+v", cell)
+	}
+	if cell.N != 4 || cell.F != 1 {
+		t.Fatalf("cell shape = n%d f%d, want n4 f1", cell.N, cell.F)
+	}
+	if len(report.Notes) == 0 {
+		t.Fatal("report carries no measurement notes")
+	}
+}

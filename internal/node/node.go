@@ -51,6 +51,11 @@ type Config struct {
 	Handler sim.Handler
 	// Out transmits this node's traffic.
 	Out Outbound
+	// Encode renders an outbound message as a wire frame body. Nil means
+	// wire.EncodeMessage (instance 0 — the single-shot runtimes). The
+	// service tier supplies a per-instance encoder that stamps the
+	// instance id into every frame the machine emits.
+	Encode func(transport.Message) ([]byte, error)
 	// Observer, when non-nil, receives this node's runtime events
 	// (deliveries and per-round value snapshots). In a cluster one observer
 	// is typically shared by every node and is then invoked from concurrent
@@ -112,6 +117,9 @@ func New(cfg Config) (*Node, error) {
 	}
 	if cfg.InboxCap == 0 {
 		cfg.InboxCap = 256
+	}
+	if cfg.Encode == nil {
+		cfg.Encode = wire.EncodeMessage
 	}
 	return &Node{
 		cfg:   cfg,
@@ -196,7 +204,7 @@ func (n *Node) deliver(in Inbound) error {
 // transmit encodes and sends a handler invocation's collected messages.
 func (n *Node) transmit(msgs []transport.Message) error {
 	for _, m := range msgs {
-		frame, err := wire.EncodeMessage(m)
+		frame, err := n.cfg.Encode(m)
 		if err != nil {
 			// A payload the codec cannot carry is a programming error in the
 			// protocol/codec pairing, not a runtime condition.

@@ -239,3 +239,121 @@ func TestNodeConfigValidation(t *testing.T) {
 		}
 	}
 }
+
+// failOut fails every send — the transport-collapse shutdown path.
+type failOut struct{ calls int }
+
+func (o *failOut) Send(int, []byte) error { o.calls++; return errFail }
+
+var errFail = errSentinel{}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "transport collapsed" }
+
+// TestNodeShutdownWithPendingInbox pins the cancellation half of the
+// shutdown contract: a node cancelled while frames still sit in its inbox
+// returns promptly and cleanly — pending deliveries are abandoned like
+// messages still in flight when a simulator run stops — and Done() closes
+// so transport pumps blocked mid-push can unwind.
+func TestNodeShutdownWithPendingInbox(t *testing.T) {
+	g := graph.Clique(2)
+	h, err := iterative.NewMachine(g, 0, 0, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := node.New(node.Config{ID: 0, Graph: g, Handler: h, Out: &memOut{}, InboxCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- n.Run(ctx) }()
+
+	// Stuff the inbox beyond what one round consumes, then cancel while
+	// the backlog is still pending.
+	frame := encode(t, transport.Message{From: 1, To: 0, Payload: iterative.ValPayload{Round: 1, Value: 1}})
+	for i := 0; i < 32; i++ {
+		n.Inbox() <- node.Inbound{From: 1, Frame: frame}
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("cancelled run returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("node did not shut down with a pending inbox")
+	}
+	select {
+	case <-n.Done():
+	default:
+		t.Fatal("Done() not closed after Run returned")
+	}
+}
+
+// TestNodeOutboundFailureStopsRun pins the other half: a send that fails
+// mid-delivery surfaces as Run's error — on reliable links a dead
+// transport is unsalvageable, not retryable — and the loop stops instead
+// of delivering on top of a partial broadcast.
+func TestNodeOutboundFailureStopsRun(t *testing.T) {
+	g := graph.Clique(2)
+	h, err := iterative.NewMachine(g, 0, 0, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := &failOut{}
+	n, err := node.New(node.Config{ID: 0, Graph: g, Handler: h, Out: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start sends the round-1 broadcast, which fails immediately.
+	err = n.Run(context.Background())
+	if err == nil {
+		t.Fatal("run with a failing outbound returned nil")
+	}
+	if out.calls == 0 {
+		t.Fatal("outbound never invoked")
+	}
+}
+
+// TestNodeInstanceEncode pins the service tier's encode hook: a node
+// configured with a per-instance encoder stamps the instance id into every
+// frame it transmits, while the default remains instance 0.
+func TestNodeInstanceEncode(t *testing.T) {
+	g := graph.Clique(2)
+	const inst = uint64(4242)
+	for _, tc := range []struct {
+		name   string
+		encode func(transport.Message) ([]byte, error)
+		want   uint64
+	}{
+		{"default", nil, 0},
+		{"stamped", func(m transport.Message) ([]byte, error) { return wire.EncodeInstanceMessage(inst, m) }, inst},
+	} {
+		h, err := iterative.NewMachine(g, 0, 0, 2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := &memOut{}
+		n, err := node.New(node.Config{ID: 0, Graph: g, Handler: h, Out: out, Encode: tc.encode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stop := runNode(t, n)
+		stop()
+		sent := out.sent()
+		if len(sent) == 0 {
+			t.Fatalf("%s: no start traffic", tc.name)
+		}
+		for _, f := range sent {
+			got, _, err := wire.DecodeInstanceMessage(f.frame)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if got != tc.want {
+				t.Fatalf("%s: frame stamped with instance %d, want %d", tc.name, got, tc.want)
+			}
+		}
+	}
+}

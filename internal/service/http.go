@@ -1,0 +1,43 @@
+package service
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// The observability plane: /metrics serves the Snapshot as JSON (counters,
+// queue accounting, decision rate), /healthz answers 200 while serving and
+// 503 once draining — the shape load balancers and probes expect.
+
+func (d *Daemon) serveHTTP(l net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(d.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		draining := d.draining
+		d.mu.Unlock()
+		if draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	d.httpSrv = &http.Server{Handler: mux}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		_ = d.httpSrv.Serve(l) // returns on Close
+	}()
+}
+
+func (d *Daemon) closeHTTP() {
+	if d.httpSrv != nil {
+		_ = d.httpSrv.Close()
+	}
+}

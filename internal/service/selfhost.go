@@ -1,0 +1,148 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro"
+)
+
+// DeployConfig parameterizes an in-process deployment: one daemon per
+// graph vertex, all on loopback listeners with ephemeral ports. This is
+// the self-host mode behind the load generator and the service tests —
+// the same daemons as production, just colocated.
+type DeployConfig struct {
+	Scenario  repro.Scenario
+	Protocols []string
+	QueueCap  int
+	Linger    time.Duration
+	// WithClients/WithHTTP attach the client and observability planes to
+	// every daemon (addresses in Deployment.ClientAddrs/HTTPAddrs).
+	WithClients bool
+	WithHTTP    bool
+	Logf        func(format string, args ...any)
+}
+
+// Deployment is a running in-process daemon fleet.
+type Deployment struct {
+	Daemons     []*Daemon
+	ClientAddrs []string
+	HTTPAddrs   []string
+}
+
+// Deploy builds and starts a full fleet for the scenario's graph.
+func Deploy(ctx context.Context, cfg DeployConfig) (*Deployment, error) {
+	g, _, err := cfg.Scenario.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	n := g.N()
+	peerLs := make([]net.Listener, n)
+	addrs := make([]string, n)
+	cleanup := func() {
+		for _, l := range peerLs {
+			if l != nil {
+				l.Close()
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if peerLs[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("service: deploy: %w", err)
+		}
+		addrs[i] = peerLs[i].Addr().String()
+	}
+	dep := &Deployment{Daemons: make([]*Daemon, n)}
+	for i := 0; i < n; i++ {
+		peers := make(map[int]string)
+		for _, v := range g.Out(i) {
+			peers[v] = addrs[v]
+		}
+		dcfg := Config{
+			ID:           i,
+			Scenario:     cfg.Scenario,
+			Protocols:    cfg.Protocols,
+			PeerListener: peerLs[i],
+			Peers:        peers,
+			QueueCap:     cfg.QueueCap,
+			Linger:       cfg.Linger,
+			Logf:         cfg.Logf,
+		}
+		if cfg.WithClients {
+			cl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				cleanup()
+				dep.Close()
+				return nil, fmt.Errorf("service: deploy: %w", err)
+			}
+			dcfg.ClientListener = cl
+			dep.ClientAddrs = append(dep.ClientAddrs, cl.Addr().String())
+		}
+		if cfg.WithHTTP {
+			hl, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				cleanup()
+				dep.Close()
+				return nil, fmt.Errorf("service: deploy: %w", err)
+			}
+			dcfg.HTTPListener = hl
+			dep.HTTPAddrs = append(dep.HTTPAddrs, hl.Addr().String())
+		}
+		d, err := New(dcfg)
+		if err != nil {
+			cleanup()
+			dep.Close()
+			return nil, err
+		}
+		dep.Daemons[i] = d
+	}
+	peerLs = nil // ownership passed to the daemons
+	for _, d := range dep.Daemons {
+		d.Start(ctx)
+	}
+	return dep, nil
+}
+
+// Shutdown drains every daemon concurrently; the first drain failure is
+// returned (all daemons are torn down regardless).
+func (dep *Deployment) Shutdown(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(dep.Daemons))
+	for i, d := range dep.Daemons {
+		if d == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, d *Daemon) {
+			defer wg.Done()
+			errs[i] = d.Shutdown(ctx)
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close tears every daemon down immediately.
+func (dep *Deployment) Close() {
+	var wg sync.WaitGroup
+	for _, d := range dep.Daemons {
+		if d == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(d *Daemon) {
+			defer wg.Done()
+			d.Close()
+		}(d)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,679 @@
+// Package service is the consensus-as-a-service tier: a long-lived daemon
+// (one per graph vertex) that multiplexes many concurrent consensus
+// instances over persistent peer connections, instead of the single-shot
+// lifecycle of the cluster harness. Every wire frame carries an instance
+// id (codec v4); the daemon routes frames to per-instance node event
+// loops, spawning machines on demand from a repro.InstanceFactory and
+// retiring them after decision. New instances are announced with a flooded
+// OPEN control frame; per-connection FIFO ordering guarantees a sender's
+// OPEN precedes its protocol traffic, and frames that race ahead of the
+// announcement through third parties wait in a bounded pending buffer.
+//
+// The daemon exposes three planes: the peer plane (the cluster.Mux fabric,
+// bounded per-peer queues with backpressure and shed accounting), a client
+// plane (JSON lines over TCP: submit, wait, stats — see Client), and an
+// observability plane (HTTP /metrics and /healthz). Shutdown is graceful
+// by default: drain refuses new instances, lets in-flight ones decide,
+// then tears the fabric down.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Defaults for Config knobs left zero.
+const (
+	DefaultInboxCap     = 1024
+	DefaultPendingCap   = 4096
+	DefaultLinger       = 1500 * time.Millisecond
+	DefaultDrainTimeout = 30 * time.Second
+)
+
+// maxDaemonID bounds vertex ids so instance ids can pack (seq << 10) | id.
+const maxDaemonID = 1<<10 - 1
+
+// Config parameterizes one daemon.
+type Config struct {
+	// ID is the graph vertex this daemon hosts.
+	ID int
+	// Scenario is the shared base: graph, inputs, fault plan, eps, seed.
+	// Every daemon of a deployment must be given the same scenario, the
+	// same way the multi-process cluster tier shares one scenario file.
+	Scenario repro.Scenario
+	// Protocols lists the protocols this daemon serves (each must have a
+	// live-runtime builder). Empty means just the scenario's own protocol.
+	Protocols []string
+	// PeerListener accepts peer-plane connections (the Mux fabric).
+	PeerListener net.Listener
+	// Peers maps every out-neighbor of ID to its peer-plane address.
+	Peers map[int]string
+	// ClientListener, when non-nil, serves the JSON-lines client plane.
+	ClientListener net.Listener
+	// HTTPListener, when non-nil, serves /metrics and /healthz.
+	HTTPListener net.Listener
+	// QueueCap bounds each per-peer outbound queue (0 = cluster default).
+	QueueCap int
+	// InboxCap buffers each instance's inbox (0 = DefaultInboxCap).
+	InboxCap int
+	// PendingCap bounds frames buffered per not-yet-opened instance;
+	// overflow is shed and counted (0 = DefaultPendingCap).
+	PendingCap int
+	// Linger keeps a decided instance's machine serving peers before
+	// retirement — other vertices may still need its frames to decide
+	// (0 = DefaultLinger).
+	Linger time.Duration
+	// DrainTimeout bounds Shutdown's wait for in-flight instances
+	// (0 = DefaultDrainTimeout).
+	DrainTimeout time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Decision is one instance's outcome at this daemon's vertex.
+type Decision struct {
+	Inst     uint64  `json:"inst"`
+	Protocol string  `json:"protocol"`
+	Value    float64 `json:"value"`
+	// Vector is set for vector-decision protocols (acs).
+	Vector    map[int]float64 `json:"vector,omitempty"`
+	ElapsedMS float64         `json:"elapsedMs"`
+}
+
+// Snapshot is the observability plane's state dump (/metrics and the
+// client plane's stats op).
+type Snapshot struct {
+	ID        int      `json:"id"`
+	UptimeSec float64  `json:"uptimeSec"`
+	Draining  bool     `json:"draining"`
+	Protocols []string `json:"protocols"`
+
+	Submitted   int64 `json:"submitted"`
+	Opened      int64 `json:"opened"`
+	Decided     int64 `json:"decided"`
+	Retired     int64 `json:"retired"`
+	Active      int64 `json:"active"`
+	LateFrames  int64 `json:"lateFrames"`
+	PendingShed int64 `json:"pendingShed"`
+	Refused     int64 `json:"refused"`
+	BadFrames   int64 `json:"badFrames"`
+
+	DecisionsPerSec float64 `json:"decisionsPerSec"`
+
+	Queue       cluster.QueueStats `json:"queue"`
+	QueueDepths map[int]int64      `json:"queueDepths"`
+}
+
+type vectorProvider interface{ Vector() map[int]float64 }
+
+// instance is one consensus instance's machinery at this vertex.
+type instance struct {
+	inst     uint64
+	protocol string
+	nd       *node.Node
+	started  time.Time
+	cancel   context.CancelFunc
+	ictx     context.Context
+	// ready closes once buffered pre-open frames are replayed, so the
+	// dispatcher cannot reorder live frames ahead of them (per-link FIFO).
+	ready chan struct{}
+
+	mu       sync.Mutex
+	decision *Decision
+	waiters  []chan Decision
+}
+
+// Daemon is one vertex's consensus service.
+type Daemon struct {
+	cfg   Config
+	facs  map[string]*repro.InstanceFactory
+	names []string
+	mux   *cluster.Mux
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	start   time.Time
+	httpSrv *http.Server
+
+	mu        sync.Mutex
+	instances map[uint64]*instance
+	// retired and decisions grow with instance count; a service-lifetime
+	// ledger (the id space is never reused, so retirement must be
+	// remembered to keep late frames and duplicate OPENs out).
+	retired   map[uint64]struct{}
+	decisions map[uint64]Decision
+	pending   map[uint64][]node.Inbound
+	seq       uint64
+	draining  bool
+
+	submitted, opened, decided, retiredN    atomic.Int64
+	lateFrames, pendingShed, refused, badFr atomic.Int64
+}
+
+// New validates the config and builds the daemon (no goroutines; Start).
+func New(cfg Config) (*Daemon, error) {
+	if cfg.ID < 0 || cfg.ID > maxDaemonID {
+		return nil, fmt.Errorf("service: daemon id %d outside [0,%d]", cfg.ID, maxDaemonID)
+	}
+	if cfg.InboxCap == 0 {
+		cfg.InboxCap = DefaultInboxCap
+	}
+	if cfg.PendingCap == 0 {
+		cfg.PendingCap = DefaultPendingCap
+	}
+	if cfg.Linger == 0 {
+		cfg.Linger = DefaultLinger
+	}
+	if cfg.DrainTimeout == 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	names := cfg.Protocols
+	if len(names) == 0 {
+		if cfg.Scenario.Protocol == "" {
+			return nil, errors.New("service: config names no protocols and the scenario has none")
+		}
+		names = []string{cfg.Scenario.Protocol}
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		facs:      make(map[string]*repro.InstanceFactory, len(names)),
+		instances: make(map[uint64]*instance),
+		retired:   make(map[uint64]struct{}),
+		decisions: make(map[uint64]Decision),
+		pending:   make(map[uint64][]node.Inbound),
+	}
+	for _, name := range names {
+		if _, dup := d.facs[name]; dup {
+			continue
+		}
+		fac, err := repro.NewInstanceFactoryFor(cfg.Scenario, name)
+		if err != nil {
+			return nil, fmt.Errorf("service: protocol %q: %w", name, err)
+		}
+		d.facs[name] = fac
+		d.names = append(d.names, name)
+	}
+	sort.Strings(d.names)
+	fac := d.facs[d.names[0]]
+	mux, err := cluster.NewMux(cluster.MuxConfig{
+		ID:       cfg.ID,
+		Graph:    fac.Graph(),
+		Listener: cfg.PeerListener,
+		Peers:    cfg.Peers,
+		QueueCap: cfg.QueueCap,
+		OnFrame:  d.dispatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.mux = mux
+	return d, nil
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// ID returns the hosted vertex.
+func (d *Daemon) ID() int { return d.cfg.ID }
+
+// Protocols lists the served protocols, sorted.
+func (d *Daemon) Protocols() []string { return append([]string(nil), d.names...) }
+
+// DefaultProtocol is the protocol a submit with no name gets: the
+// scenario's own when served, else the first served name.
+func (d *Daemon) DefaultProtocol() string {
+	if _, ok := d.facs[d.cfg.Scenario.Protocol]; ok && d.cfg.Scenario.Protocol != "" {
+		return d.cfg.Scenario.Protocol
+	}
+	return d.names[0]
+}
+
+// Start launches the peer fabric and the client/observability planes.
+func (d *Daemon) Start(ctx context.Context) {
+	d.ctx, d.cancel = context.WithCancel(ctx)
+	d.start = time.Now()
+	d.mux.Start(d.ctx)
+	if d.cfg.ClientListener != nil {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.serveClients(d.cfg.ClientListener)
+		}()
+	}
+	if d.cfg.HTTPListener != nil {
+		d.serveHTTP(d.cfg.HTTPListener)
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		<-d.ctx.Done()
+		if d.cfg.ClientListener != nil {
+			d.cfg.ClientListener.Close()
+		}
+	}()
+}
+
+// dispatch consumes every peer-plane frame: OPEN announcements spawn
+// instances; protocol frames route to their instance's inbox, wait in the
+// bounded pending buffer when the announcement has not arrived yet, or are
+// dropped (counted) when the instance is already retired.
+func (d *Daemon) dispatch(from int, frame []byte) {
+	fi, err := wire.PeekFrame(frame)
+	if err != nil {
+		d.badFr.Add(1)
+		return
+	}
+	if fi.Open {
+		_, msg, err := wire.DecodeInstanceMessage(frame)
+		if err != nil {
+			d.badFr.Add(1)
+			return
+		}
+		op, ok := msg.Payload.(wire.Open)
+		if !ok {
+			d.badFr.Add(1)
+			return
+		}
+		if err := d.open(fi.Inst, op.Protocol, false); err != nil {
+			d.logf("service[%d]: refused open inst=%d: %v", d.cfg.ID, fi.Inst, err)
+		}
+		return
+	}
+	d.route(fi.Inst, node.Inbound{From: from, Frame: frame})
+}
+
+func (d *Daemon) route(inst uint64, in node.Inbound) {
+	d.mu.Lock()
+	ins, running := d.instances[inst]
+	if !running {
+		if _, gone := d.retired[inst]; gone {
+			d.mu.Unlock()
+			d.lateFrames.Add(1)
+			return
+		}
+		// Raced ahead of the OPEN: buffer, bounded.
+		if len(d.pending[inst]) >= d.cfg.PendingCap {
+			d.mu.Unlock()
+			d.pendingShed.Add(1)
+			return
+		}
+		d.pending[inst] = append(d.pending[inst], in)
+		d.mu.Unlock()
+		return
+	}
+	d.mu.Unlock()
+	// Wait for the pre-open replay so this frame cannot jump the queue
+	// (per-link FIFO), then push with backpressure: a full inbox blocks
+	// this peer's reader, which is the inbound flow-control path.
+	select {
+	case <-ins.ready:
+	case <-ins.ictx.Done():
+		d.lateFrames.Add(1)
+		return
+	}
+	select {
+	case ins.nd.Inbox() <- in:
+	case <-ins.nd.Done():
+		d.lateFrames.Add(1)
+	case <-ins.ictx.Done():
+		d.lateFrames.Add(1)
+	}
+}
+
+// Submit starts a new instance of protocol (the daemon default when
+// empty), announces it to the peers, and returns its id.
+func (d *Daemon) Submit(protocol string) (uint64, error) {
+	if protocol == "" {
+		protocol = d.DefaultProtocol()
+	}
+	seq := atomic.AddUint64(&d.seq, 1)
+	inst := seq<<10 | uint64(d.cfg.ID)
+	if err := d.open(inst, protocol, true); err != nil {
+		return 0, err
+	}
+	d.submitted.Add(1)
+	return inst, nil
+}
+
+// open spawns instance inst running protocol, replays any buffered frames,
+// and floods the OPEN announcement. Duplicate opens (every daemon
+// re-floods the first sighting) are no-ops.
+func (d *Daemon) open(inst uint64, protocol string, local bool) error {
+	if d.ctx == nil {
+		return errors.New("service: daemon not started")
+	}
+	fac, ok := d.facs[protocol]
+	if !ok {
+		d.refused.Add(1)
+		return fmt.Errorf("service: protocol %q not served (valid values are: %v)", protocol, d.names)
+	}
+
+	d.mu.Lock()
+	if _, running := d.instances[inst]; running {
+		d.mu.Unlock()
+		return nil
+	}
+	if _, gone := d.retired[inst]; gone {
+		d.mu.Unlock()
+		return nil
+	}
+	if d.draining {
+		d.mu.Unlock()
+		d.refused.Add(1)
+		return errors.New("service: draining")
+	}
+	// Spawn under the lock so a concurrent duplicate OPEN cannot double-
+	// start; machine construction is cheap (the factory pre-materialized
+	// the shared context).
+	h, err := fac.HandlerFor(inst, d.cfg.ID)
+	if err != nil {
+		d.mu.Unlock()
+		d.refused.Add(1)
+		return err
+	}
+	ictx, cancel := context.WithCancel(d.ctx)
+	ins := &instance{
+		inst:     inst,
+		protocol: protocol,
+		started:  time.Now(),
+		cancel:   cancel,
+		ictx:     ictx,
+		ready:    make(chan struct{}),
+	}
+	nd, err := node.New(node.Config{
+		ID:       d.cfg.ID,
+		Graph:    fac.Graph(),
+		Handler:  h,
+		Out:      muxOutbound{d.mux},
+		InboxCap: d.cfg.InboxCap,
+		Encode: func(m transport.Message) ([]byte, error) {
+			return wire.EncodeInstanceMessage(inst, m)
+		},
+		OnDecide: func(int, float64) { d.onDecide(ins) },
+	})
+	if err != nil {
+		cancel()
+		d.mu.Unlock()
+		d.refused.Add(1)
+		return err
+	}
+	ins.nd = nd
+	d.instances[inst] = ins
+	pend := d.pending[inst]
+	delete(d.pending, inst)
+	d.mu.Unlock()
+	d.opened.Add(1)
+
+	// Announce before the machine's first sends enter the per-peer queues:
+	// FIFO order then guarantees every peer sees our OPEN before any of
+	// our protocol frames for this instance.
+	d.flood(inst, protocol)
+
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		_ = ins.nd.Run(ictx)
+		d.finish(ins)
+	}()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		defer close(ins.ready)
+		for _, in := range pend {
+			select {
+			case ins.nd.Inbox() <- in:
+			case <-ins.nd.Done():
+				return
+			case <-ictx.Done():
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// flood announces inst on every out-edge. Send blocks under backpressure —
+// an announcement must not be shed, or a peer would buffer our frames in
+// pending until the cap and never start the instance.
+func (d *Daemon) flood(inst uint64, protocol string) {
+	g := d.facs[protocol].Graph()
+	for _, v := range g.Out(d.cfg.ID) {
+		frame, err := wire.EncodeInstanceMessage(inst, transport.Message{
+			From: d.cfg.ID, To: v, Payload: wire.Open{Protocol: protocol},
+		})
+		if err != nil {
+			d.logf("service[%d]: encode open inst=%d: %v", d.cfg.ID, inst, err)
+			return
+		}
+		if err := d.mux.Send(v, frame); err != nil {
+			d.logf("service[%d]: flood open inst=%d to %d: %v", d.cfg.ID, inst, v, err)
+		}
+	}
+}
+
+// onDecide records the instance's decision, releases waiters, and starts
+// the linger clock toward retirement.
+func (d *Daemon) onDecide(ins *instance) {
+	x, ok := ins.nd.Output()
+	if !ok {
+		return
+	}
+	dec := Decision{
+		Inst:      ins.inst,
+		Protocol:  ins.protocol,
+		Value:     x,
+		ElapsedMS: float64(time.Since(ins.started)) / float64(time.Millisecond),
+	}
+	if vp, isVec := ins.nd.Handler().(vectorProvider); isVec {
+		dec.Vector = vp.Vector()
+	}
+	ins.mu.Lock()
+	if ins.decision != nil {
+		ins.mu.Unlock()
+		return
+	}
+	ins.decision = &dec
+	waiters := ins.waiters
+	ins.waiters = nil
+	ins.mu.Unlock()
+	d.decided.Add(1)
+	for _, w := range waiters {
+		w <- dec
+	}
+	// The machine keeps answering peers for the linger window — vertices
+	// that have not decided yet may need its frames — then retires.
+	linger := time.AfterFunc(d.cfg.Linger, ins.cancel)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		<-ins.ictx.Done()
+		linger.Stop()
+	}()
+}
+
+// finish retires an instance whose event loop has returned.
+func (d *Daemon) finish(ins *instance) {
+	ins.cancel()
+	ins.mu.Lock()
+	dec := ins.decision
+	waiters := ins.waiters
+	ins.waiters = nil
+	ins.mu.Unlock()
+	d.mu.Lock()
+	delete(d.instances, ins.inst)
+	d.retired[ins.inst] = struct{}{}
+	if dec != nil {
+		d.decisions[ins.inst] = *dec
+	}
+	d.mu.Unlock()
+	d.retiredN.Add(1)
+	// Waiters on an instance that retired undecided learn it from the
+	// closed channel.
+	for _, w := range waiters {
+		close(w)
+	}
+}
+
+// Wait blocks until instance inst decides at this vertex (or ctx ends).
+// It works before the instance's OPEN has even arrived — the waiter parks
+// until the decision — and returns immediately for retired instances.
+func (d *Daemon) Wait(ctx context.Context, inst uint64) (Decision, error) {
+	for {
+		d.mu.Lock()
+		if dec, done := d.decisions[inst]; done {
+			d.mu.Unlock()
+			return dec, nil
+		}
+		if _, gone := d.retired[inst]; gone {
+			d.mu.Unlock()
+			return Decision{}, fmt.Errorf("service: instance %d retired without deciding", inst)
+		}
+		ins, running := d.instances[inst]
+		d.mu.Unlock()
+		if !running {
+			// Not yet opened here: poll cheaply until the OPEN lands. The
+			// interval only delays the rare submit-elsewhere/wait-here race.
+			select {
+			case <-time.After(5 * time.Millisecond):
+				continue
+			case <-ctx.Done():
+				return Decision{}, ctx.Err()
+			}
+		}
+		ch := make(chan Decision, 1)
+		ins.mu.Lock()
+		if ins.decision != nil {
+			dec := *ins.decision
+			ins.mu.Unlock()
+			return dec, nil
+		}
+		ins.waiters = append(ins.waiters, ch)
+		ins.mu.Unlock()
+		select {
+		case dec, ok := <-ch:
+			if !ok {
+				return Decision{}, fmt.Errorf("service: instance %d retired without deciding", inst)
+			}
+			return dec, nil
+		case <-ctx.Done():
+			return Decision{}, ctx.Err()
+		}
+	}
+}
+
+// SubmitWait is Submit then Wait.
+func (d *Daemon) SubmitWait(ctx context.Context, protocol string) (Decision, error) {
+	inst, err := d.Submit(protocol)
+	if err != nil {
+		return Decision{}, err
+	}
+	return d.Wait(ctx, inst)
+}
+
+// Snapshot dumps the daemon's counters (the /metrics body).
+func (d *Daemon) Snapshot() Snapshot {
+	d.mu.Lock()
+	active := int64(len(d.instances))
+	draining := d.draining
+	d.mu.Unlock()
+	up := time.Since(d.start).Seconds()
+	dec := d.decided.Load()
+	s := Snapshot{
+		ID:          d.cfg.ID,
+		UptimeSec:   up,
+		Draining:    draining,
+		Protocols:   d.Protocols(),
+		Submitted:   d.submitted.Load(),
+		Opened:      d.opened.Load(),
+		Decided:     dec,
+		Retired:     d.retiredN.Load(),
+		Active:      active,
+		LateFrames:  d.lateFrames.Load(),
+		PendingShed: d.pendingShed.Load(),
+		Refused:     d.refused.Load(),
+		BadFrames:   d.badFr.Load(),
+		Queue:       d.mux.QueueStats(),
+		QueueDepths: d.mux.QueueDepths(),
+	}
+	if up > 0 {
+		s.DecisionsPerSec = float64(dec) / up
+	}
+	return s
+}
+
+// BeginDrain flips the daemon into drain mode: submits and peer OPENs are
+// refused, in-flight instances keep running.
+func (d *Daemon) BeginDrain() {
+	d.mu.Lock()
+	d.draining = true
+	d.mu.Unlock()
+	d.logf("service[%d]: draining", d.cfg.ID)
+}
+
+// Drained reports whether no instances remain in flight.
+func (d *Daemon) Drained() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.instances) == 0
+}
+
+// Shutdown drains gracefully: refuse new work, wait for in-flight
+// instances to decide and retire (bounded by DrainTimeout or ctx), then
+// tear the fabric down. The error reports an unfinished drain; teardown
+// happens regardless.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.BeginDrain()
+	deadline := time.NewTimer(d.cfg.DrainTimeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	var err error
+wait:
+	for !d.Drained() {
+		select {
+		case <-tick.C:
+		case <-deadline.C:
+			err = errors.New("service: drain timeout with instances in flight")
+			break wait
+		case <-ctx.Done():
+			err = ctx.Err()
+			break wait
+		}
+	}
+	d.Close()
+	return err
+}
+
+// Close tears the daemon down immediately: in-flight instances are
+// abandoned like messages in flight at the end of a run.
+func (d *Daemon) Close() {
+	if d.cancel != nil {
+		d.cancel()
+	}
+	d.mux.Stop()
+	d.closeHTTP()
+	d.wg.Wait()
+}
+
+// muxOutbound adapts the Mux to the node's Outbound: blocking bounded
+// sends, i.e. instance event loops feel peer backpressure directly.
+type muxOutbound struct{ mux *cluster.Mux }
+
+func (o muxOutbound) Send(to int, frame []byte) error { return o.mux.Send(to, frame) }

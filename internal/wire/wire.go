@@ -10,11 +10,19 @@
 // A frame on a stream is a 4-byte big-endian body length followed by the
 // body. A body is:
 //
-//	byte    version (currently 1)
+//	byte    version (currently 4)
+//	uvarint instance id (0 for single-shot runs)
 //	uvarint from
 //	uvarint to
 //	byte    payload type (one of the type* constants)
 //	...     payload-specific fields
+//
+// The instance id multiplexes many concurrent consensus instances over one
+// persistent connection — the service tier's pipelining unit. Single-shot
+// runtimes (the classic cluster transports, abacnode) encode and accept
+// instance 0 via EncodeMessage/DecodeMessage; the service daemon stamps
+// per-instance ids with EncodeInstanceMessage and routes inbound frames by
+// PeekFrame without paying a full decode.
 //
 // Integers are unsigned varints, floats are IEEE-754 bits in big-endian
 // order, byte strings and paths are uvarint-length-prefixed. Map-valued
@@ -53,8 +61,13 @@ import (
 // payload (typeABA); the addition is backward-compatible byte-wise, but a
 // version-2 peer in an ABA/ACS cluster would silently drop the frames it
 // does not know and stall the protocol, so the bump turns a silent stall
-// into a loud handshake failure.
-const Version = 3
+// into a loud handshake failure. Version 4 inserted the instance id
+// between the version byte and the sender — every frame now names the
+// consensus instance it belongs to — and added the service tier's OPEN
+// control payload; a version-3 peer would misread the instance varint as
+// its From field, so the bump again turns misdecoding into a handshake
+// failure.
+const Version = 4
 
 // MaxFrame bounds a frame body; ReadFrame rejects larger length prefixes
 // before allocating, so a corrupt or hostile peer cannot trigger huge
@@ -81,7 +94,25 @@ const (
 	typeIterVal    = 4 // iterative.ValPayload
 	typeRBC        = 5 // rbc.Msg
 	typeABA        = 6 // aba.Msg
+	typeOpen       = 7 // Open (service-tier instance announcement)
 )
+
+// Open is the service tier's instance-announcement control payload: the
+// daemon that admits a new consensus instance floods one Open per
+// out-edge before its machine sends any protocol traffic, and every
+// daemon that first learns of the instance re-floods it. Because each
+// connection is FIFO, an Open always precedes its sender's protocol
+// frames for that instance; receivers therefore construct the instance's
+// machine before its traffic arrives (frames racing ahead of an Open from
+// a third party wait in a bounded pending buffer). Opens are consumed by
+// the daemon's dispatch layer and never reach protocol machines.
+type Open struct {
+	// Protocol names the registered protocol the instance runs.
+	Protocol string
+}
+
+// Kind implements transport.Payload.
+func (Open) Kind() string { return "OPEN" }
 
 // RBC content type tags.
 const (
@@ -90,19 +121,33 @@ const (
 )
 
 // EncodeMessage renders m as one frame body (without the stream length
-// prefix). It fails on payload types the codec does not know and on
-// messages with negative coordinates.
+// prefix) under instance 0 — the single-shot form the classic cluster
+// transports speak. It fails on payload types the codec does not know and
+// on messages with negative coordinates.
 func EncodeMessage(m transport.Message) ([]byte, error) {
-	return AppendMessage(nil, m)
+	return AppendInstanceMessage(nil, 0, m)
 }
 
-// AppendMessage appends m's frame body to dst and returns the extended
-// slice.
+// EncodeInstanceMessage renders m as one frame body belonging to the given
+// consensus instance (the service tier's pipelining unit).
+func EncodeInstanceMessage(inst uint64, m transport.Message) ([]byte, error) {
+	return AppendInstanceMessage(nil, inst, m)
+}
+
+// AppendMessage appends m's instance-0 frame body to dst and returns the
+// extended slice.
 func AppendMessage(dst []byte, m transport.Message) ([]byte, error) {
+	return AppendInstanceMessage(dst, 0, m)
+}
+
+// AppendInstanceMessage appends m's frame body under the given instance id
+// to dst and returns the extended slice.
+func AppendInstanceMessage(dst []byte, inst uint64, m transport.Message) ([]byte, error) {
 	if m.From < 0 || m.To < 0 {
 		return nil, fmt.Errorf("wire: negative node id in %d->%d", m.From, m.To)
 	}
 	dst = append(dst, Version)
+	dst = appendUint(dst, inst)
 	dst = appendUint(dst, uint64(m.From))
 	dst = appendUint(dst, uint64(m.To))
 	switch p := m.Payload.(type) {
@@ -159,6 +204,15 @@ func AppendMessage(dst []byte, m transport.Message) ([]byte, error) {
 		dst = appendUint(dst, uint64(p.Inst))
 		dst = appendUint(dst, uint64(p.Round))
 		dst = append(dst, byte(p.Value))
+	case Open:
+		if p.Protocol == "" {
+			return nil, fmt.Errorf("wire: open announcement with empty protocol")
+		}
+		if len(p.Protocol) > maxTagLen {
+			return nil, fmt.Errorf("wire: open announcement protocol name of %d bytes exceeds %d", len(p.Protocol), maxTagLen)
+		}
+		dst = append(dst, typeOpen)
+		dst = appendBytes(dst, []byte(p.Protocol))
 	case nil:
 		return nil, fmt.Errorf("wire: message %d->%d has no payload", m.From, m.To)
 	default:
@@ -195,15 +249,27 @@ func appendContent(dst []byte, c rbc.Content) ([]byte, error) {
 	}
 }
 
-// DecodeMessage parses one frame body produced by EncodeMessage. Trailing
-// bytes after the payload are an error: a frame carries exactly one message.
+// DecodeMessage parses one frame body produced by EncodeMessage,
+// discarding the instance id (single-shot consumers run exactly one
+// instance, so every frame that reaches them is theirs by construction —
+// the service daemon routes by instance before any node decodes). Trailing
+// bytes after the payload are an error: a frame carries exactly one
+// message.
 func DecodeMessage(data []byte) (transport.Message, error) {
+	_, m, err := DecodeInstanceMessage(data)
+	return m, err
+}
+
+// DecodeInstanceMessage parses one frame body and returns the consensus
+// instance it belongs to alongside the message.
+func DecodeInstanceMessage(data []byte) (uint64, transport.Message, error) {
 	d := decoder{buf: data}
 	var m transport.Message
 	version := d.byte()
 	if d.err == nil && version != Version {
-		return m, fmt.Errorf("wire: unsupported version %d (this build speaks %d)", version, Version)
+		return 0, m, fmt.Errorf("wire: unsupported version %d (this build speaks %d)", version, Version)
 	}
+	inst := d.uint()
 	m.From = d.intVal()
 	m.To = d.intVal()
 	kind := d.byte()
@@ -233,7 +299,7 @@ func DecodeMessage(data []byte) (transport.Message, error) {
 	case typeRBC:
 		p := rbc.Msg{Phase: rbc.Phase(d.byte())}
 		if d.err == nil && (p.Phase < rbc.PhaseInit || p.Phase > rbc.PhaseReady) {
-			return m, fmt.Errorf("wire: rbc frame with phase %d", int(p.Phase))
+			return 0, m, fmt.Errorf("wire: rbc frame with phase %d", int(p.Phase))
 		}
 		p.Origin = d.intVal()
 		p.Tag = string(d.bytes(maxTagLen))
@@ -242,28 +308,69 @@ func DecodeMessage(data []byte) (transport.Message, error) {
 	case typeABA:
 		p := aba.Msg{Phase: aba.Phase(d.byte())}
 		if d.err == nil && (p.Phase < aba.PhaseBval || p.Phase > aba.PhaseDone) {
-			return m, fmt.Errorf("wire: aba frame with phase %d", int(p.Phase))
+			return 0, m, fmt.Errorf("wire: aba frame with phase %d", int(p.Phase))
 		}
 		p.Inst = d.intVal()
 		p.Round = d.intVal()
 		v := d.byte()
 		if d.err == nil && v > 1 {
-			return m, fmt.Errorf("wire: aba frame with value %d", v)
+			return 0, m, fmt.Errorf("wire: aba frame with value %d", v)
 		}
 		p.Value = int(v)
 		m.Payload = p
+	case typeOpen:
+		p := Open{Protocol: string(d.bytes(maxTagLen))}
+		if d.err == nil && p.Protocol == "" {
+			return 0, m, fmt.Errorf("wire: open frame with empty protocol")
+		}
+		m.Payload = p
 	default:
 		if d.err == nil {
-			return m, fmt.Errorf("wire: unknown payload type %d", kind)
+			return 0, m, fmt.Errorf("wire: unknown payload type %d", kind)
 		}
 	}
 	if d.err != nil {
-		return transport.Message{}, d.err
+		return 0, transport.Message{}, d.err
 	}
 	if len(d.buf) != d.off {
-		return transport.Message{}, fmt.Errorf("wire: %d trailing bytes after payload", len(d.buf)-d.off)
+		return 0, transport.Message{}, fmt.Errorf("wire: %d trailing bytes after payload", len(d.buf)-d.off)
 	}
-	return m, nil
+	return inst, m, nil
+}
+
+// FrameInfo is the routing header of one frame — everything a multiplexing
+// dispatcher needs, decoded without touching the payload fields.
+type FrameInfo struct {
+	// Inst is the consensus instance the frame belongs to (0 single-shot).
+	Inst uint64
+	// From and To are the frame's claimed endpoints.
+	From, To int
+	// Open reports whether the payload is the service tier's instance
+	// announcement (which the dispatcher consumes) rather than protocol
+	// traffic (which it routes to the instance's machine).
+	Open bool
+}
+
+// PeekFrame decodes only a frame body's routing header: version check,
+// instance id, endpoints and whether it is an Open announcement. The
+// service daemon's per-connection readers route every inbound frame
+// through this — a handful of varints — and leave the full payload decode
+// to the one instance event loop that consumes the frame.
+func PeekFrame(data []byte) (FrameInfo, error) {
+	d := decoder{buf: data}
+	var info FrameInfo
+	version := d.byte()
+	if d.err == nil && version != Version {
+		return info, fmt.Errorf("wire: unsupported version %d (this build speaks %d)", version, Version)
+	}
+	info.Inst = d.uint()
+	info.From = d.intVal()
+	info.To = d.intVal()
+	info.Open = d.byte() == typeOpen
+	if d.err != nil {
+		return FrameInfo{}, d.err
+	}
+	return info, nil
 }
 
 // WriteFrame encodes m and writes it to w as a length-prefixed frame.

@@ -46,6 +46,8 @@ func sampleMessages() []transport.Message {
 		{From: 0, To: 1, Payload: aba.Msg{Inst: 0, Round: 1, Phase: aba.PhaseBval, Value: 0}},
 		{From: 3, To: 2, Payload: aba.Msg{Inst: 6, Round: 300, Phase: aba.PhaseAux, Value: 1}},
 		{From: 1, To: 0, Payload: aba.Msg{Inst: 1023, Round: 0, Phase: aba.PhaseDone, Value: 1}},
+		{From: 0, To: 7, Payload: wire.Open{Protocol: "acs"}},
+		{From: 6, To: 2, Payload: wire.Open{Protocol: "bw"}},
 	}
 }
 
@@ -138,7 +140,7 @@ func TestDecodeRejects(t *testing.T) {
 	}{
 		{"empty", nil, "truncated"},
 		{"bad version", append([]byte{99}, valid[1:]...), "unsupported version"},
-		{"unknown payload type", []byte{wire.Version, 0, 1, 200}, "unknown payload type"},
+		{"unknown payload type", []byte{wire.Version, 0, 0, 1, 200}, "unknown payload type"},
 		{"trailing bytes", append(append([]byte(nil), valid...), 0xAA), "trailing"},
 		{"truncated payload", valid[:len(valid)-3], "truncated"},
 	}
@@ -184,36 +186,43 @@ type fakePayload struct{}
 func (fakePayload) Kind() string { return "FAKE" }
 
 // TestGoldenWireVectors pins the exact on-wire bytes of one representative
-// message per payload type at codec version 3. These are a compatibility
-// contract: any codec change that alters them is a wire break and must come
-// with a Version bump and a regenerated table, not a silent edit.
+// message per payload type at codec version 4, including instance-stamped
+// frames (the service tier's multiplexing header). These are a
+// compatibility contract: any codec change that alters them is a wire
+// break and must come with a Version bump and a regenerated table, not a
+// silent edit.
 func TestGoldenWireVectors(t *testing.T) {
 	vectors := []struct {
-		msg transport.Message
-		hex string
+		inst uint64
+		msg  transport.Message
+		hex  string
 	}{
-		{transport.Message{From: 0, To: 1, Payload: bw.ValPayload{Round: 1, Value: 2.5, Path: graph.Path{0}}},
-			"030001010140040000000000000100"},
-		{transport.Message{From: 1, To: 2, Payload: bw.CompletePayload{
+		{0, transport.Message{From: 0, To: 1, Payload: bw.ValPayload{Round: 1, Value: 2.5, Path: graph.Path{0}}},
+			"04000001010140040000000000000100"},
+		{0, transport.Message{From: 1, To: 2, Payload: bw.CompletePayload{
 			Round: 3, Origin: 1, Seq: 9, Tag: graph.SetOf(2, 5),
 			Entries: []bw.ValEntry{{Value: -1.25, PathKey: graph.Path{0, 1}.Key()}},
 			Path:    graph.Path{1, 2},
-		}}, "03010202030109020205010400000001bff4000000000000020102"},
-		{transport.Message{From: 0, To: 3, Payload: crashapprox.ValPayload{Round: 2, Value: 0.125, Path: graph.Path{0, 3}}},
-			"03000303023fc0000000000000020003"},
-		{transport.Message{From: 9, To: 8, Payload: iterative.ValPayload{Round: 4, Value: -3}},
-			"0309080404c008000000000000"},
-		{transport.Message{From: 0, To: 1, Payload: rbc.Msg{Phase: rbc.PhaseInit, Origin: 0, Tag: "acs/v", Content: rbc.Num(1.5)}},
-			"030001050100056163732f76013ff8000000000000"},
-		{transport.Message{From: 1, To: 2, Payload: rbc.Msg{Phase: rbc.PhaseEcho, Origin: 0, Tag: "r2/report",
+		}}, "0400010202030109020205010400000001bff4000000000000020102"},
+		{0, transport.Message{From: 0, To: 3, Payload: crashapprox.ValPayload{Round: 2, Value: 0.125, Path: graph.Path{0, 3}}},
+			"0400000303023fc0000000000000020003"},
+		{0, transport.Message{From: 9, To: 8, Payload: iterative.ValPayload{Round: 4, Value: -3}},
+			"040009080404c008000000000000"},
+		{0, transport.Message{From: 0, To: 1, Payload: rbc.Msg{Phase: rbc.PhaseInit, Origin: 0, Tag: "acs/v", Content: rbc.Num(1.5)}},
+			"04000001050100056163732f76013ff8000000000000"},
+		{0, transport.Message{From: 1, To: 2, Payload: rbc.Msg{Phase: rbc.PhaseEcho, Origin: 0, Tag: "r2/report",
 			Content: aad.Report{0: 1, 2: -2.5}}},
-			"0301020502000972322f7265706f72740202003ff000000000000002c004000000000000"},
-		{transport.Message{From: 0, To: 1, Payload: aba.Msg{Inst: 0, Round: 1, Phase: aba.PhaseBval, Value: 1}},
-			"0300010601000101"},
-		{transport.Message{From: 2, To: 3, Payload: aba.Msg{Inst: 5, Round: 130, Phase: aba.PhaseAux, Value: 0}},
-			"030203060205820100"},
-		{transport.Message{From: 3, To: 0, Payload: aba.Msg{Inst: 2, Round: 0, Phase: aba.PhaseDone, Value: 1}},
-			"0303000603020001"},
+			"040001020502000972322f7265706f72740202003ff000000000000002c004000000000000"},
+		{0, transport.Message{From: 0, To: 1, Payload: aba.Msg{Inst: 0, Round: 1, Phase: aba.PhaseBval, Value: 1}},
+			"040000010601000101"},
+		{5, transport.Message{From: 2, To: 3, Payload: aba.Msg{Inst: 5, Round: 130, Phase: aba.PhaseAux, Value: 0}},
+			"04050203060205820100"},
+		{0, transport.Message{From: 3, To: 0, Payload: aba.Msg{Inst: 2, Round: 0, Phase: aba.PhaseDone, Value: 1}},
+			"040003000603020001"},
+		{7, transport.Message{From: 0, To: 1, Payload: wire.Open{Protocol: "acs"}},
+			"040700010703616373"},
+		{300, transport.Message{From: 4, To: 6, Payload: iterative.ValPayload{Round: 2, Value: 0.5}},
+			"04ac02040604023fe0000000000000"},
 	}
 	for _, v := range vectors {
 		kind := v.msg.Payload.Kind()
@@ -224,20 +233,101 @@ func TestGoldenWireVectors(t *testing.T) {
 		if want[0] != wire.Version {
 			t.Fatalf("%s: golden vector carries version %d, codec speaks %d — regenerate the table", kind, want[0], wire.Version)
 		}
-		got, err := wire.EncodeMessage(v.msg)
+		got, err := wire.EncodeInstanceMessage(v.inst, v.msg)
 		if err != nil {
 			t.Fatalf("%s: encode: %v", kind, err)
 		}
 		if !bytes.Equal(got, want) {
 			t.Errorf("%s: wire bytes changed\n got: %x\nwant: %x", kind, got, want)
 		}
-		back, err := wire.DecodeMessage(want)
+		inst, back, err := wire.DecodeInstanceMessage(want)
 		if err != nil {
 			t.Fatalf("%s: golden bytes no longer decode: %v", kind, err)
+		}
+		if inst != v.inst {
+			t.Errorf("%s: golden bytes decode to instance %d, want %d", kind, inst, v.inst)
 		}
 		if !equalMessage(v.msg, back) {
 			t.Errorf("%s: golden bytes decode to a different message: %#v", kind, back)
 		}
+		info, err := wire.PeekFrame(want)
+		if err != nil {
+			t.Fatalf("%s: peek: %v", kind, err)
+		}
+		_, isOpen := v.msg.Payload.(wire.Open)
+		if info.Inst != v.inst || info.From != v.msg.From || info.To != v.msg.To || info.Open != isOpen {
+			t.Errorf("%s: peek = %+v, want inst %d from %d to %d open %v",
+				kind, info, v.inst, v.msg.From, v.msg.To, isOpen)
+		}
+	}
+}
+
+// TestInstanceRoundTrip pins the multiplexing header across the instance-id
+// domain: the id survives encode/decode at every varint width and the
+// instance-0 legacy helpers agree with the instance-aware ones.
+func TestInstanceRoundTrip(t *testing.T) {
+	for _, inst := range []uint64{0, 1, 127, 128, 16384, 1 << 32, math.MaxUint64} {
+		for _, m := range sampleMessages() {
+			body, err := wire.EncodeInstanceMessage(inst, m)
+			if err != nil {
+				t.Fatalf("inst %d: encode %v: %v", inst, m, err)
+			}
+			gotInst, got, err := wire.DecodeInstanceMessage(body)
+			if err != nil {
+				t.Fatalf("inst %d: decode: %v", inst, err)
+			}
+			if gotInst != inst || !equalMessage(m, got) {
+				t.Fatalf("inst %d: round trip changed frame: inst %d msg %#v", inst, gotInst, got)
+			}
+			// DecodeMessage accepts any instance and discards it.
+			if _, err := wire.DecodeMessage(body); err != nil {
+				t.Fatalf("inst %d: instance-blind decode: %v", inst, err)
+			}
+		}
+	}
+	// EncodeMessage is exactly EncodeInstanceMessage(0, ·).
+	m := sampleMessages()[0]
+	a, _ := wire.EncodeMessage(m)
+	b, _ := wire.EncodeInstanceMessage(0, m)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("EncodeMessage disagrees with instance 0: %x vs %x", a, b)
+	}
+}
+
+func TestOpenPayload(t *testing.T) {
+	body, err := wire.EncodeInstanceMessage(9, transport.Message{From: 2, To: 5, Payload: wire.Open{Protocol: "iterative"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, m, err := wire.DecodeInstanceMessage(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst != 9 {
+		t.Fatalf("inst = %d", inst)
+	}
+	open, ok := m.Payload.(wire.Open)
+	if !ok || open.Protocol != "iterative" {
+		t.Fatalf("payload = %#v", m.Payload)
+	}
+	if _, err := wire.EncodeMessage(transport.Message{From: 0, To: 1, Payload: wire.Open{}}); err == nil {
+		t.Fatal("want error for empty protocol name")
+	}
+	if _, err := wire.EncodeMessage(transport.Message{From: 0, To: 1,
+		Payload: wire.Open{Protocol: strings.Repeat("x", 1<<13)}}); err == nil {
+		t.Fatal("want error for oversized protocol name")
+	}
+}
+
+func TestPeekFrameRejects(t *testing.T) {
+	if _, err := wire.PeekFrame(nil); err == nil {
+		t.Fatal("want error for empty frame")
+	}
+	if _, err := wire.PeekFrame([]byte{99, 0, 0, 1, 4}); err == nil {
+		t.Fatal("want error for bad version")
+	}
+	if _, err := wire.PeekFrame([]byte{wire.Version, 0, 0}); err == nil {
+		t.Fatal("want error for truncated header")
 	}
 }
 
@@ -247,32 +337,47 @@ func TestGoldenWireVectors(t *testing.T) {
 // corpus is every sample message's real encoding, so the fuzzer starts on
 // the valid-format manifold instead of random headers.
 func FuzzWireRoundTrip(f *testing.F) {
-	for _, m := range sampleMessages() {
-		body, err := wire.EncodeMessage(m)
+	for i, m := range sampleMessages() {
+		// Seed across the instance-id widths so the fuzzer starts with
+		// multi-byte multiplexing headers, not just instance 0.
+		body, err := wire.EncodeInstanceMessage(uint64(i)*uint64(i)*200, m)
 		if err != nil {
 			f.Fatal(err)
 		}
 		f.Add(body)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := wire.DecodeMessage(data)
+		inst, m, err := wire.DecodeInstanceMessage(data)
 		if err != nil {
 			return // malformed input rejected: fine
 		}
-		canon, err := wire.EncodeMessage(m)
+		canon, err := wire.EncodeInstanceMessage(inst, m)
 		if err != nil {
 			t.Fatalf("decoded message fails to encode: %v\nmessage: %#v", err, m)
 		}
-		m2, err := wire.DecodeMessage(canon)
+		inst2, m2, err := wire.DecodeInstanceMessage(canon)
 		if err != nil {
 			t.Fatalf("canonical form fails to decode: %v\nbytes: %x", err, canon)
 		}
-		canon2, err := wire.EncodeMessage(m2)
+		if inst2 != inst {
+			t.Fatalf("instance id changed across round trip: %d -> %d", inst, inst2)
+		}
+		canon2, err := wire.EncodeInstanceMessage(inst2, m2)
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
 		if !bytes.Equal(canon, canon2) {
 			t.Fatalf("encoding not canonical:\nfirst:  %x\nsecond: %x", canon, canon2)
+		}
+		// The routing peek must agree with the full decode on every frame
+		// the decoder accepts.
+		info, err := wire.PeekFrame(data)
+		if err != nil {
+			t.Fatalf("decodable frame fails to peek: %v\nbytes: %x", err, data)
+		}
+		_, isOpen := m.Payload.(wire.Open)
+		if info.Inst != inst || info.From != m.From || info.To != m.To || info.Open != isOpen {
+			t.Fatalf("peek disagrees with decode: %+v vs inst %d %#v", info, inst, m)
 		}
 	})
 }
