@@ -28,6 +28,7 @@
 //	abacd ... -client host:port -http host:port   # client + metrics planes
 //	abacd ... -protocols acs,bw                   # serve several protocols
 //	abacd ... -queue-cap 4096 -linger 2s -drain-timeout 30s
+//	abacd ... -http host:port -pprof              # /debug/pprof incl. mutex/block
 package main
 
 import (
@@ -64,6 +65,7 @@ func run() error {
 		queueCap     = flag.Int("queue-cap", 0, "per-peer outbound queue bound (0 = default)")
 		linger       = flag.Duration("linger", 0, "post-decision service window per instance (0 = default)")
 		drainTO      = flag.Duration("drain-timeout", 0, "graceful-shutdown bound on in-flight instances (0 = default)")
+		pprofFlag    = flag.Bool("pprof", false, "mount /debug/pprof on the -http plane and enable mutex/block profiling")
 	)
 	flag.Parse()
 
@@ -108,6 +110,7 @@ func run() error {
 		QueueCap:     *queueCap,
 		Linger:       *linger,
 		DrainTimeout: *drainTO,
+		Pprof:        *pprofFlag,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

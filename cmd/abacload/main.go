@@ -14,9 +14,12 @@
 //   - Self-hosted (-selfhost): spin up an in-process daemon fleet for the
 //     scenario, drive it, and tear it down — the E16 throughput study.
 //     With -bench, the result is written as a BENCH_5-schema report
-//     (one cell per -protocols entry).
+//     (one cell per -protocols entry); -framebench appends the E16b
+//     frame-path microbenchmark cells (ns/frame and allocs/frame for the
+//     encode/write/read/queue-drain primitives).
 //
-//     $ abacload -selfhost -protocols acs,bw -duration 3s -bench BENCH_5.json
+//     $ abacload -selfhost -protocols acs,bw -duration 3s \
+//     -framebench -bench BENCH_6.json
 //
 // Output (both modes) is one JSON line per measured protocol.
 package main
@@ -53,6 +56,7 @@ func run() error {
 		duration     = flag.Duration("duration", 3*time.Second, "measurement window per protocol")
 		concurrency  = flag.Int("concurrency", 0, "closed-loop workers (default: 2 per client plane)")
 		benchOut     = flag.String("bench", "", "-selfhost only: write the result as a BENCH_5-schema report to this path")
+		frameBench   = flag.Bool("framebench", false, "-selfhost only: append the E16b frame-path microbenchmark cells (ns/frame, allocs/frame)")
 	)
 	flag.Parse()
 
@@ -64,6 +68,7 @@ func run() error {
 			Protocols:   protocols,
 			Duration:    *duration,
 			Concurrency: *concurrency,
+			FrameBench:  *frameBench,
 		}
 		if *scenarioPath != "" {
 			data, err := os.ReadFile(*scenarioPath)
@@ -101,6 +106,9 @@ func run() error {
 
 	if *benchOut != "" {
 		return fmt.Errorf("-bench requires -selfhost (a fleet-external run cannot claim the committed bench schema)")
+	}
+	if *frameBench {
+		return fmt.Errorf("-framebench requires -selfhost (the micro cells belong in the bench report)")
 	}
 	addrs := splitCSV(*addrsFlag)
 	if len(addrs) == 0 {

@@ -83,8 +83,8 @@ func run() error {
 			continue
 		}
 		shown++
-		fmt.Printf("%-34s %-16s %-16s %10.1f %10.1f %8.2fx%s\n",
-			cellName(n), configLabel(o), configLabel(n), o.Ms, n.Ms, speedup(o.Ms, n.Ms), marker(o.Ms, n.Ms))
+		fmt.Printf("%-34s %-16s %-16s %10.1f %10.1f %8.2fx%s%s\n",
+			cellName(n), configLabel(o), configLabel(n), o.Ms, n.Ms, speedup(o.Ms, n.Ms), frameDelta(o, n), marker(o.Ms, n.Ms))
 	}
 	if hidden > 0 {
 		fmt.Printf("(%d cells under %.0f ms hidden)\n", hidden, *minMs)
@@ -125,6 +125,33 @@ func configLabel(r experiments.BenchRun) string {
 		e += "+" + r.Policy
 	}
 	return e
+}
+
+// frameDelta renders the throughput and frame-path columns when either
+// side carries them: decisions/sec (service cells) and allocs-per-frame
+// (BENCH_6's headline metric, both service and micro cells). An absent
+// column prints as "n/a" so a BENCH_5 baseline that predates it reads as
+// "not measured", not "was zero"; a micro cell's measured 0 allocs/op
+// still prints as 0.00 because NsPerFrame marks the cell as measured.
+func frameDelta(o, n experiments.BenchRun) string {
+	var s string
+	if o.PerSec > 0 || n.PerSec > 0 {
+		s += fmt.Sprintf("  dec/s %s->%s", num(o.PerSec, o.PerSec > 0, "%.1f"), num(n.PerSec, n.PerSec > 0, "%.1f"))
+	}
+	oAllocs := o.AllocsPerFrame > 0 || o.NsPerFrame > 0
+	nAllocs := n.AllocsPerFrame > 0 || n.NsPerFrame > 0
+	if oAllocs || nAllocs {
+		s += fmt.Sprintf("  allocs/frame %s->%s", num(o.AllocsPerFrame, oAllocs, "%.2f"), num(n.AllocsPerFrame, nAllocs, "%.2f"))
+	}
+	return s
+}
+
+// num formats a possibly-unmeasured value.
+func num(v float64, measured bool, format string) string {
+	if !measured {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
 }
 
 // speedup is old/new: >1 means the new file's cell is faster.

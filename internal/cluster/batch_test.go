@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestQueuePopBatch(t *testing.T) {
+	q := newQueue[int](8)
+	for i := 0; i < 5; i++ {
+		if !q.push(i) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	// A batch smaller than the depth drains a FIFO prefix; the rest stays.
+	batch, ok := q.popBatch(make([]int, 0, 3))
+	if !ok || len(batch) != 3 {
+		t.Fatalf("popBatch: %v ok=%v, want 3 items", batch, ok)
+	}
+	for i, v := range batch {
+		if v != i {
+			t.Fatalf("batch[%d] = %d, want %d (FIFO)", i, v, i)
+		}
+	}
+	batch, ok = q.popBatch(batch[:0])
+	if !ok || len(batch) != 2 || batch[0] != 3 || batch[1] != 4 {
+		t.Fatalf("second popBatch: %v ok=%v, want [3 4]", batch, ok)
+	}
+	st := q.snapshot()
+	if st.Enqueued != 5 || st.Depth != 0 || st.Shed != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+	q.close()
+	if _, ok := q.popBatch(batch[:0]); ok {
+		t.Fatal("popBatch on a closed queue reported ok")
+	}
+}
+
+func TestQueuePopBatchWakesBlockedPushers(t *testing.T) {
+	q := newQueue[int](2)
+	q.push(0)
+	q.push(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		q.push(2) // blocks: queue full
+		q.push(3)
+	}()
+	// Wait for the pusher to block so the wait is counted.
+	deadline := time.Now().Add(time.Second)
+	for q.snapshot().Waits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("pusher never blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	batch, ok := q.popBatch(make([]int, 0, 4))
+	if !ok || len(batch) != 2 {
+		t.Fatalf("popBatch: %v ok=%v", batch, ok)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("batch drain did not wake the blocked pusher")
+	}
+	batch, ok = q.popBatch(batch[:0])
+	if !ok || len(batch) != 2 || batch[0] != 2 || batch[1] != 3 {
+		t.Fatalf("after wakeup: %v ok=%v, want [2 3]", batch, ok)
+	}
+	if st := q.snapshot(); st.Waits != 1 || st.Enqueued != 4 {
+		t.Fatalf("stats: %+v, want 1 wait, 4 enqueued", st)
+	}
+}
+
+// TestQueueShedUnderBatchDrain pins the accounting when producers outrun a
+// batching consumer: overflow tryPushes count as shed, drained slots accept
+// new frames, and enqueued+shed covers every offered frame exactly once.
+func TestQueueShedUnderBatchDrain(t *testing.T) {
+	q := newQueue[int](4)
+	offered, accepted := 0, 0
+	for i := 0; i < 6; i++ {
+		offered++
+		if q.tryPush(i) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted %d of %d, want 4 (capacity)", accepted, offered)
+	}
+	batch, ok := q.popBatch(make([]int, 0, maxBatchFrames))
+	if !ok || len(batch) != 4 {
+		t.Fatalf("popBatch: %v ok=%v", batch, ok)
+	}
+	// The drain freed the whole queue: the next burst fits again.
+	for i := 6; i < 10; i++ {
+		offered++
+		if q.tryPush(i) {
+			accepted++
+		}
+	}
+	st := q.snapshot()
+	if st.Enqueued != int64(accepted) || st.Shed != int64(offered-accepted) {
+		t.Fatalf("stats %+v, want enqueued=%d shed=%d", st, accepted, offered-accepted)
+	}
+	if st.Enqueued+st.Shed != int64(offered) {
+		t.Fatalf("enqueued+shed = %d, want every offered frame counted once (%d)", st.Enqueued+st.Shed, offered)
+	}
+}
+
+// TestQueueBatchAllocBudget is the queue-side alloc fence: steady-state
+// push/popBatch churn must not allocate once the queue's backing array has
+// grown to the burst size.
+func TestQueueBatchAllocBudget(t *testing.T) {
+	q := newQueue[[]byte](DefaultQueueCap)
+	frame := make([]byte, 64)
+	batch := make([][]byte, 0, maxBatchFrames)
+	// Prime the backing array to the burst size.
+	for i := 0; i < maxBatchFrames; i++ {
+		q.tryPush(frame)
+	}
+	batch, _ = q.popBatch(batch)
+	got := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 8; i++ {
+			q.tryPush(frame)
+		}
+		var ok bool
+		if batch, ok = q.popBatch(batch); !ok || len(batch) != 8 {
+			t.Fatalf("popBatch: len=%d ok=%v", len(batch), ok)
+		}
+	})
+	if got != 0 {
+		t.Errorf("push/popBatch churn allocates %.2f per burst, want 0", got)
+	}
+}
+
+func TestCoalesceFramesAndTailStart(t *testing.T) {
+	frames := [][]byte{
+		bytes.Repeat([]byte{0xA0}, 100),
+		bytes.Repeat([]byte{0xB1}, 150),
+		bytes.Repeat([]byte{0xC2}, 200),
+	}
+	buf, ends := coalesceFrames(nil, nil, frames)
+	if want := 3*4 + 100 + 150 + 200; len(buf) != want {
+		t.Fatalf("coalesced %d bytes, want %d", len(buf), want)
+	}
+	wantEnds := []int{104, 258, 462}
+	for i, e := range ends {
+		if e != wantEnds[i] {
+			t.Fatalf("ends[%d] = %d, want %d", i, e, wantEnds[i])
+		}
+	}
+	// The coalesced stream reads back as the same frames.
+	fr := wire.NewFrameReader(bytes.NewReader(buf))
+	for i, want := range frames {
+		got, err := fr.Next()
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: err=%v equal=%v", i, err, bytes.Equal(got, want))
+		}
+		wire.PutBuf(got)
+	}
+
+	// tailStart: a prefix covering frame 0 and part of frame 1 replays from 1.
+	cases := []struct{ n, want int }{
+		{0, 0}, {103, 0}, {104, 1}, {150, 1}, {257, 1}, {258, 2}, {461, 2}, {462, 3},
+	}
+	for _, tc := range cases {
+		if got := tailStart(ends, tc.n); got != tc.want {
+			t.Errorf("tailStart(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestCoalesceFramesDropsOversize(t *testing.T) {
+	small := []byte{0x01, 0x02}
+	huge := make([]byte, wire.MaxFrame+1)
+	buf, ends := coalesceFrames(nil, nil, [][]byte{small, huge, small})
+	if len(ends) != 3 {
+		t.Fatalf("ends len %d, want 3 (parallel to frames)", len(ends))
+	}
+	// The oversize frame appended nothing: its end equals its predecessor's,
+	// so every tailStart treats it as written and it is never replayed.
+	if ends[1] != ends[0] {
+		t.Fatalf("oversize frame advanced the buffer: ends %v", ends)
+	}
+	fr := wire.NewFrameReader(bytes.NewReader(buf))
+	for i := 0; i < 2; i++ {
+		got, err := fr.Next()
+		if err != nil || !bytes.Equal(got, small) {
+			t.Fatalf("surviving frame %d: err=%v", i, err)
+		}
+		wire.PutBuf(got)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF after the two small frames, got %v", err)
+	}
+}
+
+// scriptedConn is a fake net.Conn that accepts at most failAfter bytes
+// (then reports a broken pipe) and records everything accepted.
+type scriptedConn struct {
+	mu        sync.Mutex
+	wrote     bytes.Buffer
+	failAfter int // -1: accept everything
+	closed    bool
+}
+
+var errScriptedCut = errors.New("scripted connection cut")
+
+func (c *scriptedConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, net.ErrClosed
+	}
+	if c.failAfter < 0 || len(p) <= c.failAfter-c.wrote.Len() {
+		c.wrote.Write(p)
+		return len(p), nil
+	}
+	n := c.failAfter - c.wrote.Len()
+	if n < 0 {
+		n = 0
+	}
+	c.wrote.Write(p[:n])
+	return n, errScriptedCut
+}
+
+func (c *scriptedConn) bytes() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.wrote.Bytes()...)
+}
+
+func (c *scriptedConn) Read([]byte) (int, error) { return 0, io.EOF }
+func (c *scriptedConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+func (c *scriptedConn) LocalAddr() net.Addr              { return &net.TCPAddr{} }
+func (c *scriptedConn) RemoteAddr() net.Addr             { return &net.TCPAddr{} }
+func (c *scriptedConn) SetDeadline(time.Time) error      { return nil }
+func (c *scriptedConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *scriptedConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestDrainLoopPartialWriteReplay pins the batching change's hardest
+// invariant: when a coalesced write fails partway through, the reconnected
+// stream replays exactly the frames not fully contained in the written
+// prefix — no frame lost, none duplicated, order preserved. The frame the
+// cut landed in died with the connection, so from the peer's point of view
+// every frame arrives at most once and the replayed tail exactly once.
+func TestDrainLoopPartialWriteReplay(t *testing.T) {
+	frames := [][]byte{
+		bytes.Repeat([]byte{0xA0}, 100), // fully inside the written prefix
+		bytes.Repeat([]byte{0xB1}, 150), // cut mid-frame: replayed
+		bytes.Repeat([]byte{0xC2}, 200), // unwritten: replayed
+	}
+	// ends = [104, 258, 462]; a 150-byte prefix covers frame 0 in full and
+	// cuts frame 1, so the replay must start at frame 1.
+	first := &scriptedConn{failAfter: 150}
+	second := &scriptedConn{failAfter: -1}
+	conns := make(chan net.Conn, 2)
+	conns <- first
+	conns <- second
+
+	q := newQueue[[]byte](16)
+	for _, f := range frames {
+		buf := append(wire.GetBuf(), f...)
+		if !q.push(buf) {
+			t.Fatal("push rejected")
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		drainLoop(ctx, q,
+			func(ctx context.Context) (net.Conn, error) {
+				select {
+				case c := <-conns:
+					return c, nil
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			},
+			func(net.Conn) bool { return true })
+	}()
+
+	wantReplay := 4 + 150 + 4 + 200
+	deadline := time.Now().Add(5 * time.Second)
+	for len(second.bytes()) < wantReplay {
+		if time.Now().After(deadline) {
+			t.Fatalf("replay stalled: second conn has %d of %d bytes", len(second.bytes()), wantReplay)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.close()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drainLoop did not exit after queue close")
+	}
+
+	if got := first.bytes(); len(got) != 150 {
+		t.Fatalf("first conn accepted %d bytes, want the scripted 150", len(got))
+	}
+	fr := wire.NewFrameReader(bytes.NewReader(second.bytes()))
+	for i, want := range frames[1:] {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("replayed frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("replayed frame %d corrupted: %d bytes, want %d", i, len(got), len(want))
+		}
+		wire.PutBuf(got)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("second conn carries extra frames: %v, want io.EOF", err)
+	}
+}

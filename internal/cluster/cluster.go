@@ -27,6 +27,7 @@ import (
 	"repro/internal/linkfault"
 	"repro/internal/node"
 	"repro/internal/sim"
+	"repro/internal/wire"
 )
 
 // Spec describes one materialized cluster run.
@@ -317,18 +318,32 @@ type faultyOutbound struct {
 
 func (o *faultyOutbound) Send(to int, frame []byte) error {
 	fate := o.set.Next(o.from, to)
+	// Each Send transfers ownership of its slice (the transport releases
+	// frames to the pool after transmission), so every copy but the last
+	// immediate one — and every delayed copy, whose timer outlives this
+	// call — must be a clone, never the shared original. An original that
+	// no copy consumed (dropped, or all copies delayed) is released here.
+	consumed := false
 	for i := 0; i < fate.Copies; i++ {
+		f := frame
+		if fate.Delay > 0 || i < fate.Copies-1 {
+			f = append([]byte(nil), frame...)
+		} else {
+			consumed = true
+		}
 		if fate.Delay > 0 {
-			f := frame
 			// Fire-and-forget: a delayed frame that lands after shutdown is
 			// dropped by the closed transport queues, exactly like a message
 			// still in flight when a run ends.
 			time.AfterFunc(time.Duration(fate.Delay)*time.Millisecond, func() { _ = o.inner.Send(to, f) })
 			continue
 		}
-		if err := o.inner.Send(to, frame); err != nil {
+		if err := o.inner.Send(to, f); err != nil {
 			return err
 		}
+	}
+	if !consumed {
+		wire.PutBuf(frame)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/node"
+	"repro/internal/wire"
 )
 
 // loopback is the in-process transport: one bounded frame queue per
@@ -50,8 +51,11 @@ func (l loopLink) Send(to int, frame []byte) error {
 		return fmt.Errorf("cluster: loopback send over non-edge %d->%d", l.from, to)
 	}
 	// A push against a closed queue means the run is shutting down; the
-	// frame is shed like any message still in flight at the end of a run.
-	q.push(frame)
+	// frame is shed (and released) like any message still in flight at the
+	// end of a run. Ownership transfers to the medium either way.
+	if !q.push(frame) {
+		wire.PutBuf(frame)
+	}
 	return nil
 }
 
@@ -65,17 +69,25 @@ func (lb *loopback) start(ctx context.Context, nodes []*node.Node) error {
 		lb.wg.Add(1)
 		go func(q *queue[[]byte], from int, inbox chan<- node.Inbound, done <-chan struct{}) {
 			defer lb.wg.Done()
+			// Drain in batches — one queue lock round-trip per burst — and
+			// forward in order; per-edge FIFO is preserved because this pump
+			// is the edge's only consumer.
+			batch := make([][]byte, 0, maxBatchFrames)
 			for {
-				frame, ok := q.pop()
-				if !ok {
+				var ok bool
+				if batch, ok = q.popBatch(batch); !ok {
 					return
 				}
-				select {
-				case inbox <- node.Inbound{From: from, Frame: frame}:
-				case <-done:
-					return
-				case <-ctx.Done():
-					return
+				for i, frame := range batch {
+					select {
+					case inbox <- node.Inbound{From: from, Frame: frame}:
+					case <-done:
+						releaseFrames(batch[i:])
+						return
+					case <-ctx.Done():
+						releaseFrames(batch[i:])
+						return
+					}
 				}
 			}
 		}(q, from, inbox, done)

@@ -75,7 +75,10 @@ type MuxConfig struct {
 	// handshake — the reliable-link model's sender authentication, which
 	// each instance's node re-checks against the frame contents). It is
 	// invoked from per-connection reader goroutines and may block; a
-	// blocked dispatcher stalls only that peer's connection.
+	// blocked dispatcher stalls only that peer's connection. Ownership of
+	// frame transfers with the call: the bytes are a pooled buffer and the
+	// dispatch chain's final consumer releases them with wire.PutBuf (the
+	// reader never touches the frame again).
 	OnFrame func(from int, frame []byte)
 }
 
@@ -121,24 +124,35 @@ func NewMux(cfg MuxConfig) (*Mux, error) {
 // Send enqueues a frame toward an out-neighbor, blocking while that peer's
 // bounded queue is full (the backpressure path). Frames enqueued after
 // shutdown are shed silently, like messages in flight when a run ends.
+// Ownership of frame transfers to the fabric: the per-edge writer releases
+// it to the pool after transmission (or here, when the shutdown shed drops
+// it), so the caller must not retain it.
 func (m *Mux) Send(to int, frame []byte) error {
 	q, ok := m.queues[to]
 	if !ok {
 		return fmt.Errorf("cluster: mux send over non-edge %d->%d", m.cfg.ID, to)
 	}
-	q.push(frame)
+	if !q.push(frame) {
+		wire.PutBuf(frame)
+	}
 	return nil
 }
 
 // TrySend enqueues without blocking; a full queue sheds the frame
-// (counted) and reports false. The daemon uses this for re-floodable
-// control traffic where blocking an event loop is worse than retrying.
+// (counted and released) and reports false. The daemon uses this for
+// re-floodable control traffic where blocking an event loop is worse than
+// retrying. Ownership transfers on every path: a shed frame is released
+// here, so the caller must re-encode rather than retry the same slice.
 func (m *Mux) TrySend(to int, frame []byte) (bool, error) {
 	q, ok := m.queues[to]
 	if !ok {
 		return false, fmt.Errorf("cluster: mux send over non-edge %d->%d", m.cfg.ID, to)
 	}
-	return q.tryPush(frame), nil
+	accepted := q.tryPush(frame)
+	if !accepted {
+		wire.PutBuf(frame)
+	}
+	return accepted, nil
 }
 
 // QueueStats aggregates the outbound queues' accounting across peers.
@@ -243,17 +257,19 @@ func (m *Mux) acceptLoop(ctx context.Context) {
 				c.Close()
 				return
 			}
+			fr := wire.NewFrameReader(c)
 			for {
-				frame, err := wire.ReadFrame(c)
+				frame, err := fr.Next()
 				if err != nil {
 					c.Close()
 					return
 				}
 				if ctx.Err() != nil {
+					wire.PutBuf(frame)
 					c.Close()
 					return
 				}
-				m.cfg.OnFrame(peer, frame)
+				m.cfg.OnFrame(peer, frame) // ownership transfers
 			}
 		}(c)
 	}
@@ -284,42 +300,13 @@ func (m *Mux) dialMux(ctx context.Context, addr string) (net.Conn, error) {
 	}
 }
 
-// writeLoop drains one peer's bounded queue onto its persistent
-// connection, redialing on failure with the unsent frame retained —
-// identical reconnect discipline to the classic tcp transport, but the
-// connection now outlives any single consensus instance.
+// writeLoop drains one peer's bounded queue onto its persistent connection
+// through the shared batched drain (see drainLoop): bursts coalesce into
+// one Write syscall, write failures redial with the unwritten tail
+// retained — identical reconnect discipline to the classic tcp transport,
+// but the connection now outlives any single consensus instance.
 func (m *Mux) writeLoop(ctx context.Context, to int, q *queue[[]byte]) {
-	var c net.Conn
-	backoff := dialRetryFloor
-	for {
-		frame, ok := q.pop()
-		if !ok {
-			return
-		}
-		for {
-			if c == nil {
-				var err error
-				if c, err = m.dialMux(ctx, m.cfg.Peers[to]); err != nil {
-					return // context ended while dialing: shutdown
-				}
-				if !m.track(c) {
-					return
-				}
-			}
-			if err := wire.WriteRawFrame(c, frame); err == nil {
-				backoff = dialRetryFloor
-				break
-			}
-			c.Close()
-			c = nil
-			select {
-			case <-ctx.Done():
-				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > dialRetryCeil {
-				backoff = dialRetryCeil
-			}
-		}
-	}
+	drainLoop(ctx, q, func(ctx context.Context) (net.Conn, error) {
+		return m.dialMux(ctx, m.cfg.Peers[to])
+	}, m.track)
 }

@@ -128,12 +128,16 @@ func newTCPEndpoint(id int, g *graph.Graph, ln net.Listener, peers map[int]strin
 }
 
 // Send implements node.Outbound: enqueue toward the per-edge writer.
+// Ownership of frame transfers to the endpoint; the writer releases it to
+// the pool after transmission (or here, when a shutdown shed drops it).
 func (e *tcpEndpoint) Send(to int, frame []byte) error {
 	q, ok := e.queues[to]
 	if !ok {
 		return fmt.Errorf("cluster: tcp send over non-edge %d->%d", e.id, to)
 	}
-	q.push(frame)
+	if !q.push(frame) {
+		wire.PutBuf(frame)
+	}
 	return nil
 }
 
@@ -221,18 +225,23 @@ func (e *tcpEndpoint) acceptLoop(ctx context.Context, nd *node.Node) {
 			}
 			inbox := nd.Inbox()
 			done := nd.Done()
+			fr := wire.NewFrameReader(c)
 			for {
-				frame, err := wire.ReadFrame(c)
+				frame, err := fr.Next()
 				if err != nil {
 					c.Close()
 					return
 				}
+				// Pushing into the inbox transfers ownership; the node's
+				// event loop releases the frame after decoding it.
 				select {
 				case inbox <- node.Inbound{From: peer, Frame: frame}:
 				case <-done:
+					wire.PutBuf(frame)
 					c.Close()
 					return
 				case <-ctx.Done():
+					wire.PutBuf(frame)
 					c.Close()
 					return
 				}
@@ -266,46 +275,14 @@ func (e *tcpEndpoint) dial(ctx context.Context, addr string) (net.Conn, error) {
 	}
 }
 
-// writeLoop drains the per-edge queue onto the connection, redialing on
-// failure with the unsent frame retained. Write failures back off before
-// the redial: a peer that accepts the TCP handshake but rejects the link
-// (mismatched peer maps, a different scenario file) would otherwise drive
-// a dial-ok/write-fail cycle at full speed — dial() alone only sleeps on
-// dial *errors*.
+// writeLoop drains the per-edge queue onto the connection through the
+// shared batched drain (see drainLoop): bursts coalesce into one Write
+// syscall; a write failure backs off, redials, and replays the unwritten
+// tail of the batch.
 func (e *tcpEndpoint) writeLoop(ctx context.Context, to int, q *queue[[]byte]) {
-	var c net.Conn
-	backoff := dialRetryFloor
-	for {
-		frame, ok := q.pop()
-		if !ok {
-			return
-		}
-		for {
-			if c == nil {
-				var err error
-				if c, err = e.dial(ctx, e.peers[to]); err != nil {
-					return // context ended while dialing: shutdown
-				}
-				if !e.track(c) {
-					return
-				}
-			}
-			if err := wire.WriteRawFrame(c, frame); err == nil {
-				backoff = dialRetryFloor
-				break
-			}
-			c.Close()
-			c = nil
-			select {
-			case <-ctx.Done():
-				return
-			case <-time.After(backoff):
-			}
-			if backoff *= 2; backoff > dialRetryCeil {
-				backoff = dialRetryCeil
-			}
-		}
-	}
+	drainLoop(ctx, q, func(ctx context.Context) (net.Conn, error) {
+		return e.dial(ctx, e.peers[to])
+	}, e.track)
 }
 
 // tcpNetwork is the in-process harness form of the medium: one endpoint

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/bw"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// The E16b microbenchmark tier: per-frame cost of the live tier's hot-path
+// primitives — encode into a reused buffer, length-prefixed write, buffered
+// pooled read, and the bounded queue's batch drain. Cells carry NsPerFrame
+// and AllocsPerFrame; the acceptance bar is ~0 allocs/op steady state on
+// all of them (the same arena/freelist lesson PR 5 applied to the
+// simulator's transport pool, now on the stack abacd serves traffic with).
+// Run via abacload -selfhost -framebench; the cells land in BENCH_6 next
+// to the service-tier throughput rows.
+
+// frameBenchMessage is the representative steady-state frame: a BW VAL
+// flood with a short relay path, a few dozen wire bytes like most protocol
+// traffic.
+func frameBenchMessage() transport.Message {
+	return transport.Message{
+		From: 3, To: 5,
+		Payload: bw.ValPayload{Round: 2, Value: 0.625, Path: graph.Path{3, 1, 5}},
+	}
+}
+
+// repeatReader serves one frame stream in a loop — an infinite in-memory
+// peer for the read benchmark.
+type repeatReader struct {
+	data []byte
+	off  int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// FramePathBenchCells runs the micro tier and returns one BenchRun per
+// primitive (Runtime "micro"; Ms mirrors ns/op so generic tooling still
+// sorts sensibly).
+func FramePathBenchCells() []BenchRun {
+	msg := frameBenchMessage()
+	const inst = uint64(77<<10 | 3)
+	body, err := wire.EncodeInstanceMessage(inst, msg)
+	if err != nil {
+		panic(err) // a codec that cannot carry its own bench message is a programming error
+	}
+
+	var cells []BenchRun
+	add := func(name string, r testing.BenchmarkResult) {
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		cells = append(cells, BenchRun{
+			Name:           name,
+			Runtime:        "micro",
+			Ms:             ns / 1e6,
+			NsPerFrame:     ns,
+			AllocsPerFrame: float64(r.AllocsPerOp()),
+			Decided:        true,
+			Valid:          true,
+		})
+	}
+
+	add("frame-encode", testing.Benchmark(func(b *testing.B) {
+		buf := wire.GetBuf()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if buf, err = wire.AppendInstanceMessage(buf[:0], inst, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		wire.PutBuf(buf)
+	}))
+
+	add("frame-write", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := wire.WriteRawFrame(io.Discard, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	add("frame-read", testing.Benchmark(func(b *testing.B) {
+		// One bufio fill ingests many frames, like a burst on a socket.
+		var stream []byte
+		for i := 0; i < 64; i++ {
+			stream, _ = wire.AppendRawFrame(stream, body)
+		}
+		fr := wire.NewFrameReader(&repeatReader{data: stream})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f, err := fr.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire.PutBuf(f)
+		}
+	}))
+
+	add("queue-drain", testing.Benchmark(cluster.QueueDrainBench))
+	return cells
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,9 @@ type ServiceBenchConfig struct {
 	// Concurrency is the number of closed-loop submit workers, spread
 	// round-robin across the fleet's client planes (default 2 per daemon).
 	Concurrency int
+	// FrameBench appends the E16b frame-path microbenchmark cells
+	// (encode/write/read/queue-drain, Runtime "micro") to the report.
+	FrameBench bool
 }
 
 // DefaultServiceScenario is the committed service-tier base scenario.
@@ -93,11 +97,19 @@ func RunServiceBench(ctx context.Context, cfg ServiceBenchConfig) (*BenchReport,
 	report.Notes = append(report.Notes, fmt.Sprintf(
 		"observed over the whole run: %d backpressure waits, %d shed frames (bounded per-peer queues; also on every daemon's /metrics)",
 		totals.waits, totals.shed))
+	if cfg.FrameBench {
+		report.Runs = append(report.Runs, FramePathBenchCells()...)
+		report.Notes = append(report.Notes,
+			"micro cells (E16b): testing.Benchmark over the frame-path primitives; allocsPerFrame is allocs/op, the ~0 steady-state acceptance bar",
+			"service cells' allocsPerFrame: whole-process heap allocs over the window / frames enqueued fleet-wide — an upper bound including client-plane and machine work")
+	}
 	return report, nil
 }
 
 func serviceBenchCell(ctx context.Context, dep *service.Deployment, cfg ServiceBenchConfig, proto string) (BenchRun, error) {
 	before := fleetQueueTotals(dep)
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	var decisions atomic.Int64
 	var firstErr atomic.Value
 
@@ -144,6 +156,8 @@ func serviceBenchCell(ctx context.Context, dep *service.Deployment, cfg ServiceB
 	// Let in-flight retirements settle so the queue delta is the window's.
 	time.Sleep(100 * time.Millisecond)
 	after := fleetQueueTotals(dep)
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
 	cell := BenchRun{
 		Name:      fmt.Sprintf("%s-%s", cfg.Scenario.Name, proto),
 		Runtime:   "service",
@@ -158,10 +172,16 @@ func serviceBenchCell(ctx context.Context, dep *service.Deployment, cfg ServiceB
 		Decided:   true,
 		Valid:     true,
 	}
+	// Whole-process allocations over the window per frame the fleet
+	// enqueued: an upper bound (client plane, machines, GC assist all
+	// count), honest about everything the service does per frame.
+	if enq := after.enqueued - before.enqueued; enq > 0 {
+		cell.AllocsPerFrame = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(enq)
+	}
 	return cell, nil
 }
 
-type queueTotals struct{ waits, shed int64 }
+type queueTotals struct{ waits, shed, enqueued int64 }
 
 func fleetQueueTotals(dep *service.Deployment) queueTotals {
 	var t queueTotals
@@ -169,6 +189,7 @@ func fleetQueueTotals(dep *service.Deployment) queueTotals {
 		s := d.Snapshot()
 		t.waits += s.Queue.Waits
 		t.shed += s.Queue.Shed + s.PendingShed
+		t.enqueued += s.Queue.Enqueued
 	}
 	return t
 }

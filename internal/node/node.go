@@ -26,7 +26,11 @@ import (
 
 // Inbound is one raw frame received from peer From. The From tag comes
 // from the transport layer (the connection the frame arrived on), not from
-// the frame contents; the node cross-checks the two.
+// the frame contents; the node cross-checks the two. Pushing an Inbound
+// into a node's inbox transfers ownership of Frame: the event loop
+// releases the buffer to the wire pool after decoding it, so the pusher
+// must not retain or reuse the slice (non-pooled buffers are released into
+// a no-op, so hand-crafted frames are safe).
 type Inbound struct {
 	From  int
 	Frame []byte
@@ -51,11 +55,12 @@ type Config struct {
 	Handler sim.Handler
 	// Out transmits this node's traffic.
 	Out Outbound
-	// Encode renders an outbound message as a wire frame body. Nil means
-	// wire.EncodeMessage (instance 0 — the single-shot runtimes). The
+	// Encode appends an outbound message's wire frame body to dst (a pooled
+	// buffer the node hands in) and returns the extended slice. Nil means
+	// wire.AppendMessage (instance 0 — the single-shot runtimes). The
 	// service tier supplies a per-instance encoder that stamps the
 	// instance id into every frame the machine emits.
-	Encode func(transport.Message) ([]byte, error)
+	Encode func(dst []byte, m transport.Message) ([]byte, error)
 	// Observer, when non-nil, receives this node's runtime events
 	// (deliveries and per-round value snapshots). In a cluster one observer
 	// is typically shared by every node and is then invoked from concurrent
@@ -119,7 +124,7 @@ func New(cfg Config) (*Node, error) {
 		cfg.InboxCap = 256
 	}
 	if cfg.Encode == nil {
-		cfg.Encode = wire.EncodeMessage
+		cfg.Encode = wire.AppendMessage
 	}
 	return &Node{
 		cfg:   cfg,
@@ -174,6 +179,10 @@ func (n *Node) Run(ctx context.Context) error {
 // transmits the handler's response traffic.
 func (n *Node) deliver(in Inbound) error {
 	m, err := wire.DecodeMessage(in.Frame)
+	// The decode copies every payload field out of the frame, so the node —
+	// the frame's final owner — releases the buffer to the pool right here,
+	// malformed or not.
+	wire.PutBuf(in.Frame)
 	if err != nil {
 		n.stats.Malformed++
 		return nil
@@ -202,10 +211,13 @@ func (n *Node) deliver(in Inbound) error {
 }
 
 // transmit encodes and sends a handler invocation's collected messages.
+// Each frame is encoded into a pooled buffer whose ownership travels with
+// the Send; the transport releases it after transmission.
 func (n *Node) transmit(msgs []transport.Message) error {
 	for _, m := range msgs {
-		frame, err := n.cfg.Encode(m)
+		frame, err := n.cfg.Encode(wire.GetBuf(), m)
 		if err != nil {
+			wire.PutBuf(frame)
 			// A payload the codec cannot carry is a programming error in the
 			// protocol/codec pairing, not a runtime condition.
 			return fmt.Errorf("node %d: %w", n.cfg.ID, err)

@@ -325,11 +325,13 @@ func TestNodeInstanceEncode(t *testing.T) {
 	const inst = uint64(4242)
 	for _, tc := range []struct {
 		name   string
-		encode func(transport.Message) ([]byte, error)
+		encode func([]byte, transport.Message) ([]byte, error)
 		want   uint64
 	}{
 		{"default", nil, 0},
-		{"stamped", func(m transport.Message) ([]byte, error) { return wire.EncodeInstanceMessage(inst, m) }, inst},
+		{"stamped", func(dst []byte, m transport.Message) ([]byte, error) {
+			return wire.AppendInstanceMessage(dst, inst, m)
+		}, inst},
 	} {
 		h, err := iterative.NewMachine(g, 0, 0, 2, 0)
 		if err != nil {

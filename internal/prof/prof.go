@@ -1,15 +1,49 @@
-// Package prof wires the stock pprof profilers into the benchmark
-// commands: a -cpuprofile/-memprofile pair on a CLI maps to one Start call,
-// so performance work on the delivery core is reproducible with nothing but
-// `go tool pprof`.
+// Package prof wires the stock pprof profilers into the repository's
+// binaries: a -cpuprofile/-memprofile pair on a CLI maps to one Start
+// call, and a long-lived daemon mounts the HTTP profile endpoints with one
+// Attach call — so performance work on the delivery core and the service
+// tier is reproducible with nothing but `go tool pprof`.
 package prof
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
 )
+
+// Default sampling knobs EnableContention uses when a daemon turns
+// profiling on: 1-in-N mutex contention events and block events at or over
+// one microsecond. Cheap enough to leave on under production load, dense
+// enough that a few seconds of traffic paints the lock picture.
+const (
+	DefaultMutexFraction = 5
+	DefaultBlockRate     = 1000 // nanoseconds
+)
+
+// Attach mounts the standard /debug/pprof handlers — including the mutex
+// and block profiles once EnableContention has set their sampling rates —
+// onto mux. Daemons that build their own ServeMux (the service tier's
+// observability plane) get the same endpoints http.DefaultServeMux users
+// get from importing net/http/pprof.
+func Attach(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+}
+
+// EnableContention turns on the runtime's contention profilers: mutex
+// contention sampled 1-in-mutexFraction, goroutine blocking sampled for
+// events of at least blockRateNs nanoseconds. Zero values disable the
+// respective profiler again.
+func EnableContention(mutexFraction, blockRateNs int) {
+	runtime.SetMutexProfileFraction(mutexFraction)
+	runtime.SetBlockProfileRate(blockRateNs)
+}
 
 // Start begins CPU profiling into cpuPath (when non-empty) and arranges a
 // heap profile into memPath (when non-empty). The returned stop function

@@ -4,11 +4,15 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+
+	"repro/internal/prof"
 )
 
 // The observability plane: /metrics serves the Snapshot as JSON (counters,
 // queue accounting, decision rate), /healthz answers 200 while serving and
-// 503 once draining — the shape load balancers and probes expect.
+// 503 once draining — the shape load balancers and probes expect. With
+// Config.Pprof, the /debug/pprof handlers mount here too, with mutex and
+// block profiling enabled — the contention view of the dispatch hot path.
 
 func (d *Daemon) serveHTTP(l net.Listener) {
 	mux := http.NewServeMux()
@@ -19,15 +23,19 @@ func (d *Daemon) serveHTTP(l net.Listener) {
 		_ = enc.Encode(d.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		d.mu.Lock()
+		d.mu.RLock()
 		draining := d.draining
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		if draining {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
 		w.Write([]byte("ok\n"))
 	})
+	if d.cfg.Pprof {
+		prof.Attach(mux)
+		prof.EnableContention(prof.DefaultMutexFraction, prof.DefaultBlockRate)
+	}
 	d.httpSrv = &http.Server{Handler: mux}
 	d.wg.Add(1)
 	go func() {

@@ -23,7 +23,10 @@ type DeployConfig struct {
 	// every daemon (addresses in Deployment.ClientAddrs/HTTPAddrs).
 	WithClients bool
 	WithHTTP    bool
-	Logf        func(format string, args ...any)
+	// Pprof mounts /debug/pprof on every daemon's observability plane
+	// (needs WithHTTP) and enables mutex/block profiling.
+	Pprof bool
+	Logf  func(format string, args ...any)
 }
 
 // Deployment is a running in-process daemon fleet.
@@ -70,6 +73,7 @@ func Deploy(ctx context.Context, cfg DeployConfig) (*Deployment, error) {
 			Peers:        peers,
 			QueueCap:     cfg.QueueCap,
 			Linger:       cfg.Linger,
+			Pprof:        cfg.Pprof,
 			Logf:         cfg.Logf,
 		}
 		if cfg.WithClients {

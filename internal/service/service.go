@@ -79,6 +79,10 @@ type Config struct {
 	// DrainTimeout bounds Shutdown's wait for in-flight instances
 	// (0 = DefaultDrainTimeout).
 	DrainTimeout time.Duration
+	// Pprof, when true, mounts the /debug/pprof handlers on the
+	// observability plane and enables mutex/block profiling, so service-tier
+	// contention is observable in production (see internal/prof.Attach).
+	Pprof bool
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -149,7 +153,11 @@ type Daemon struct {
 	start   time.Time
 	httpSrv *http.Server
 
-	mu        sync.Mutex
+	// mu is a read/write lock so the frame-dispatch hot path (routeFrame's
+	// instance lookup, once per inbound protocol frame) takes only a read
+	// lock and pipelined instances dispatch concurrently; state changes
+	// (open, retire, pending buffering, drain) take the write lock.
+	mu        sync.RWMutex
 	instances map[uint64]*instance
 	// retired and decisions grow with instance count; a service-lifetime
 	// ledger (the id space is never reused, so retirement must be
@@ -273,15 +281,19 @@ func (d *Daemon) Start(ctx context.Context) {
 // dispatch consumes every peer-plane frame: OPEN announcements spawn
 // instances; protocol frames route to their instance's inbox, wait in the
 // bounded pending buffer when the announcement has not arrived yet, or are
-// dropped (counted) when the instance is already retired.
+// dropped (counted) when the instance is already retired. The frame is a
+// pooled buffer the Mux reader handed over; every path either forwards it
+// (an inbox push, whose node releases it after decode) or releases it here.
 func (d *Daemon) dispatch(from int, frame []byte) {
 	fi, err := wire.PeekFrame(frame)
 	if err != nil {
+		wire.PutBuf(frame)
 		d.badFr.Add(1)
 		return
 	}
 	if fi.Open {
 		_, msg, err := wire.DecodeInstanceMessage(frame)
+		wire.PutBuf(frame) // OPENs are consumed by the dispatcher
 		if err != nil {
 			d.badFr.Add(1)
 			return
@@ -299,41 +311,66 @@ func (d *Daemon) dispatch(from int, frame []byte) {
 	d.route(fi.Inst, node.Inbound{From: from, Frame: frame})
 }
 
+// route's fast path — the per-frame instance lookup — holds only the read
+// lock, so pipelined instances dispatch concurrently; the not-running slow
+// path retries under the write lock (see bufferPending).
 func (d *Daemon) route(inst uint64, in node.Inbound) {
-	d.mu.Lock()
+	d.mu.RLock()
 	ins, running := d.instances[inst]
+	d.mu.RUnlock()
 	if !running {
-		if _, gone := d.retired[inst]; gone {
-			d.mu.Unlock()
-			d.lateFrames.Add(1)
-			return
-		}
-		// Raced ahead of the OPEN: buffer, bounded.
-		if len(d.pending[inst]) >= d.cfg.PendingCap {
-			d.mu.Unlock()
-			d.pendingShed.Add(1)
-			return
-		}
-		d.pending[inst] = append(d.pending[inst], in)
-		d.mu.Unlock()
+		d.bufferPending(inst, in)
 		return
 	}
+	d.pushInstance(ins, in)
+}
+
+// bufferPending is route's slow path: under the write lock, recheck (the
+// instance may have opened or retired between the read-locked lookup and
+// here), then buffer the frame for the not-yet-opened instance, bounded.
+func (d *Daemon) bufferPending(inst uint64, in node.Inbound) {
+	d.mu.Lock()
+	if ins, running := d.instances[inst]; running {
+		d.mu.Unlock()
+		d.pushInstance(ins, in)
+		return
+	}
+	if _, gone := d.retired[inst]; gone {
+		d.mu.Unlock()
+		d.lateFrames.Add(1)
+		wire.PutBuf(in.Frame)
+		return
+	}
+	if len(d.pending[inst]) >= d.cfg.PendingCap {
+		d.mu.Unlock()
+		d.pendingShed.Add(1)
+		wire.PutBuf(in.Frame)
+		return
+	}
+	d.pending[inst] = append(d.pending[inst], in)
 	d.mu.Unlock()
-	// Wait for the pre-open replay so this frame cannot jump the queue
-	// (per-link FIFO), then push with backpressure: a full inbox blocks
-	// this peer's reader, which is the inbound flow-control path.
+}
+
+// pushInstance delivers one frame to a running instance. Wait for the
+// pre-open replay so this frame cannot jump the queue (per-link FIFO),
+// then push with backpressure: a full inbox blocks this peer's reader,
+// which is the inbound flow-control path.
+func (d *Daemon) pushInstance(ins *instance, in node.Inbound) {
 	select {
 	case <-ins.ready:
 	case <-ins.ictx.Done():
 		d.lateFrames.Add(1)
+		wire.PutBuf(in.Frame)
 		return
 	}
 	select {
 	case ins.nd.Inbox() <- in:
 	case <-ins.nd.Done():
 		d.lateFrames.Add(1)
+		wire.PutBuf(in.Frame)
 	case <-ins.ictx.Done():
 		d.lateFrames.Add(1)
+		wire.PutBuf(in.Frame)
 	}
 }
 
@@ -403,8 +440,8 @@ func (d *Daemon) open(inst uint64, protocol string, local bool) error {
 		Handler:  h,
 		Out:      muxOutbound{d.mux},
 		InboxCap: d.cfg.InboxCap,
-		Encode: func(m transport.Message) ([]byte, error) {
-			return wire.EncodeInstanceMessage(inst, m)
+		Encode: func(dst []byte, m transport.Message) ([]byte, error) {
+			return wire.AppendInstanceMessage(dst, inst, m)
 		},
 		OnDecide: func(int, float64) { d.onDecide(ins) },
 	})
@@ -436,17 +473,26 @@ func (d *Daemon) open(inst uint64, protocol string, local bool) error {
 	go func() {
 		defer d.wg.Done()
 		defer close(ins.ready)
-		for _, in := range pend {
+		for i, in := range pend {
 			select {
 			case ins.nd.Inbox() <- in:
 			case <-ins.nd.Done():
+				releasePending(pend[i:])
 				return
 			case <-ictx.Done():
+				releasePending(pend[i:])
 				return
 			}
 		}
 	}()
 	return nil
+}
+
+// releasePending returns an aborted pending replay's frames to the pool.
+func releasePending(pend []node.Inbound) {
+	for _, in := range pend {
+		wire.PutBuf(in.Frame)
+	}
 }
 
 // flood announces inst on every out-edge. Send blocks under backpressure —
@@ -455,10 +501,11 @@ func (d *Daemon) open(inst uint64, protocol string, local bool) error {
 func (d *Daemon) flood(inst uint64, protocol string) {
 	g := d.facs[protocol].Graph()
 	for _, v := range g.Out(d.cfg.ID) {
-		frame, err := wire.EncodeInstanceMessage(inst, transport.Message{
+		frame, err := wire.AppendInstanceMessage(wire.GetBuf(), inst, transport.Message{
 			From: d.cfg.ID, To: v, Payload: wire.Open{Protocol: protocol},
 		})
 		if err != nil {
+			wire.PutBuf(frame)
 			d.logf("service[%d]: encode open inst=%d: %v", d.cfg.ID, inst, err)
 			return
 		}
@@ -536,17 +583,17 @@ func (d *Daemon) finish(ins *instance) {
 // until the decision — and returns immediately for retired instances.
 func (d *Daemon) Wait(ctx context.Context, inst uint64) (Decision, error) {
 	for {
-		d.mu.Lock()
+		d.mu.RLock()
 		if dec, done := d.decisions[inst]; done {
-			d.mu.Unlock()
+			d.mu.RUnlock()
 			return dec, nil
 		}
 		if _, gone := d.retired[inst]; gone {
-			d.mu.Unlock()
+			d.mu.RUnlock()
 			return Decision{}, fmt.Errorf("service: instance %d retired without deciding", inst)
 		}
 		ins, running := d.instances[inst]
-		d.mu.Unlock()
+		d.mu.RUnlock()
 		if !running {
 			// Not yet opened here: poll cheaply until the OPEN lands. The
 			// interval only delays the rare submit-elsewhere/wait-here race.
@@ -589,10 +636,10 @@ func (d *Daemon) SubmitWait(ctx context.Context, protocol string) (Decision, err
 
 // Snapshot dumps the daemon's counters (the /metrics body).
 func (d *Daemon) Snapshot() Snapshot {
-	d.mu.Lock()
+	d.mu.RLock()
 	active := int64(len(d.instances))
 	draining := d.draining
-	d.mu.Unlock()
+	d.mu.RUnlock()
 	up := time.Since(d.start).Seconds()
 	dec := d.decided.Load()
 	s := Snapshot{
@@ -629,8 +676,8 @@ func (d *Daemon) BeginDrain() {
 
 // Drained reports whether no instances remain in flight.
 func (d *Daemon) Drained() bool {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return len(d.instances) == 0
 }
 

@@ -265,6 +265,31 @@ func TestServiceMetricsPlane(t *testing.T) {
 	}
 }
 
+// TestServicePprofPlane: the Pprof knob mounts /debug/pprof on the
+// observability plane; without it the endpoint stays absent (the default
+// plane exposes nothing an operator did not ask for).
+func TestServicePprofPlane(t *testing.T) {
+	s := testScenario()
+	on, _ := deploy(t, DeployConfig{Scenario: s, WithHTTP: true, Pprof: true})
+	resp, err := http.Get("http://" + on.HTTPAddrs[0] + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index with Pprof on = %d, want 200", resp.StatusCode)
+	}
+
+	off, _ := deploy(t, DeployConfig{Scenario: s, WithHTTP: true})
+	if resp, err = http.Get("http://" + off.HTTPAddrs[0] + "/debug/pprof/"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof index with Pprof off = %d, want 404", resp.StatusCode)
+	}
+}
+
 // TestServiceDrain: drain refuses new submits, in-flight instances decide,
 // Shutdown returns cleanly.
 func TestServiceDrain(t *testing.T) {

@@ -1,0 +1,130 @@
+package wire
+
+// The live tier's frame-buffer pool and batched I/O primitives. Every
+// frame that crosses a hot-path boundary — an Outbound.Send, a node inbox,
+// a Mux dispatcher — is a []byte whose ownership travels with it: the
+// sender allocates from GetBuf, each hand-off transfers ownership, and the
+// final consumer releases with PutBuf once the bytes are dead (for inbound
+// frames that is immediately after DecodeMessage, which copies every
+// payload field out of the buffer). Nobody may retain a frame after
+// releasing it, and nobody may release a frame twice; see DESIGN.md
+// ("live-tier hot path") for the full ownership rules.
+//
+// The pool is a buffered channel rather than a sync.Pool: channel sends
+// and receives of []byte values allocate nothing (no interface boxing of
+// the slice header) and the pool is not emptied by GC, which makes the
+// 0-allocs/op fences in the alloc-budget tests deterministic instead of
+// flaky.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Pooled buffers live in a capacity band: GetBuf never hands out less than
+// minPooledCap, and PutBuf silently drops buffers outside the band. The
+// floor keeps steady-state protocol frames (tens of bytes) from reallocating
+// on append; the ceiling keeps a rare giant frame from parking megabytes in
+// the pool forever. The drop-outside-the-band rule also makes foreign
+// buffers inert: callers that never heard of the pool (tests that push one
+// literal frame many times, say) release small non-pooled slices into a
+// no-op.
+const (
+	minPooledCap = 512
+	maxPooledCap = 64 << 10
+)
+
+// framePool holds released frame buffers. A full pool drops further Puts
+// (the buffers become garbage, which is the pre-pool behavior); an empty
+// pool makes GetBuf allocate.
+var framePool = make(chan []byte, 4096)
+
+// GetBuf returns an empty frame buffer with at least minPooledCap capacity,
+// reusing a released one when available. The caller owns the buffer until
+// it hands it off or releases it with PutBuf.
+func GetBuf() []byte {
+	select {
+	case b := <-framePool:
+		return b[:0]
+	default:
+		return make([]byte, 0, minPooledCap)
+	}
+}
+
+// PutBuf releases a frame buffer back to the pool. Buffers outside the
+// pooled capacity band — including nil — are dropped silently, so releasing
+// a buffer that did not come from GetBuf is always safe. The caller must
+// not touch b afterwards.
+func PutBuf(b []byte) {
+	if cap(b) < minPooledCap || cap(b) > maxPooledCap {
+		return
+	}
+	select {
+	case framePool <- b[:0]:
+	default:
+	}
+}
+
+// AppendRawFrame appends body as one length-prefixed stream frame to dst
+// and returns the extended slice — the in-place form of WriteRawFrame that
+// lets a batch of frames coalesce into a single buffer (and a single Write
+// syscall). dst is returned unchanged on an oversized body.
+func AppendRawFrame(dst, body []byte) ([]byte, error) {
+	if len(body) > MaxFrame {
+		return dst, fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame %d", len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, body...), nil
+}
+
+// FrameReader reads length-prefixed frames from a stream through one
+// buffered reader, handing out pooled frame bodies: the steady-state read
+// path performs no per-frame allocation and no small header read syscalls.
+type FrameReader struct {
+	br  *bufio.Reader
+	hdr [4]byte // scratch header; a field so reading it never escapes
+}
+
+// frameReaderBuf sizes the FrameReader's buffered reader: one read syscall
+// ingests many small frames.
+const frameReaderBuf = 64 << 10
+
+// NewFrameReader wraps r for frame-at-a-time reading.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, frameReaderBuf)}
+}
+
+// Next reads one frame body. The returned slice is pooled: ownership
+// transfers to the caller, who must release it with PutBuf once done with
+// the bytes (DecodeMessage copies every payload field out, so releasing
+// immediately after a decode is safe) — or hand it on to a consumer that
+// will. io.EOF at a frame boundary is io.EOF; a stream cut mid-frame is
+// io.ErrUnexpectedEOF.
+func (fr *FrameReader) Next() ([]byte, error) {
+	if _, err := io.ReadFull(fr.br, fr.hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint32(fr.hdr[:]))
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	body := GetBuf()
+	if cap(body) < n {
+		PutBuf(body)
+		body = make([]byte, n)
+	} else {
+		body = body[:n]
+	}
+	if _, err := io.ReadFull(fr.br, body); err != nil {
+		PutBuf(body)
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,233 @@
+package wire_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bw"
+	"repro/internal/graph"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// frameioMessage is the representative hot-path frame for the pooled-I/O
+// tests: a small VAL flood like most protocol traffic.
+func frameioMessage() transport.Message {
+	return transport.Message{
+		From: 3, To: 5,
+		Payload: bw.ValPayload{Round: 2, Value: 0.625, Path: graph.Path{3, 1, 5}},
+	}
+}
+
+func TestAppendRawFrameMatchesWriteRawFrame(t *testing.T) {
+	body, err := wire.EncodeMessage(frameioMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	if err := wire.WriteRawFrame(&streamed, body); err != nil {
+		t.Fatal(err)
+	}
+	appended, err := wire.AppendRawFrame(nil, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed.Bytes(), appended) {
+		t.Fatalf("AppendRawFrame and WriteRawFrame disagree:\n  write  %x\n  append %x", streamed.Bytes(), appended)
+	}
+	// Appending onto a non-empty prefix extends rather than replaces.
+	withPrefix, err := wire.AppendRawFrame(append([]byte(nil), appended...), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(withPrefix, append(append([]byte(nil), appended...), appended...)) {
+		t.Fatal("AppendRawFrame onto a prefix did not concatenate")
+	}
+}
+
+func TestAppendRawFrameRejectsOversize(t *testing.T) {
+	huge := make([]byte, wire.MaxFrame+1)
+	dst := []byte{0xAA}
+	out, err := wire.AppendRawFrame(dst, huge)
+	if err == nil {
+		t.Fatal("oversized body accepted")
+	}
+	if len(out) != 1 || out[0] != 0xAA {
+		t.Fatalf("dst mutated on rejection: %x", out)
+	}
+}
+
+func TestFrameReaderRoundTrip(t *testing.T) {
+	bodies := [][]byte{
+		{},
+		{0x01},
+		bytes.Repeat([]byte{0x5A}, 300),
+		bytes.Repeat([]byte{0x7F}, 70_000), // larger than the pooled cap band
+	}
+	var stream []byte
+	for _, b := range bodies {
+		var err error
+		if stream, err = wire.AppendRawFrame(stream, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := wire.NewFrameReader(bytes.NewReader(stream))
+	for i, want := range bodies {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %d bytes, want %d", i, len(got), len(want))
+		}
+		wire.PutBuf(got)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderCutMidFrame(t *testing.T) {
+	stream, err := wire.AppendRawFrame(nil, bytes.Repeat([]byte{0xBB}, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 3, 4, 10, len(stream) - 1} {
+		fr := wire.NewFrameReader(bytes.NewReader(stream[:cut]))
+		if _, err := fr.Next(); err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut at %d: %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameReaderRejectsOversizeHeader(t *testing.T) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF} // ~4GB length
+	fr := wire.NewFrameReader(bytes.NewReader(hdr))
+	if _, err := fr.Next(); err == nil || err == io.EOF {
+		t.Fatalf("oversize header: %v, want a MaxFrame error", err)
+	}
+}
+
+// TestWireEncodeAllocBudget is the frame-path alloc fence: encode into a
+// reused buffer, pooled length-prefixed write, and pooled buffered read
+// must all be allocation-free in steady state. The pool is a channel
+// freelist precisely so these are deterministic 0s, not GC-dependent.
+func TestWireEncodeAllocBudget(t *testing.T) {
+	msg := frameioMessage()
+	const inst = uint64(9)
+	body, err := wire.EncodeInstanceMessage(inst, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("append-encode", func(t *testing.T) {
+		buf := wire.GetBuf()
+		defer wire.PutBuf(buf)
+		got := testing.AllocsPerRun(1000, func() {
+			var err error
+			if buf, err = wire.AppendInstanceMessage(buf[:0], inst, msg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != 0 {
+			t.Errorf("AppendInstanceMessage allocates %.2f per op, want 0", got)
+		}
+	})
+
+	t.Run("pooled-write", func(t *testing.T) {
+		got := testing.AllocsPerRun(1000, func() {
+			if err := wire.WriteRawFrame(io.Discard, body); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got != 0 {
+			t.Errorf("WriteRawFrame allocates %.2f per op, want 0", got)
+		}
+	})
+
+	t.Run("pooled-read", func(t *testing.T) {
+		var stream []byte
+		for i := 0; i < 64; i++ {
+			stream, _ = wire.AppendRawFrame(stream, body)
+		}
+		fr := wire.NewFrameReader(&loopReader{data: stream})
+		got := testing.AllocsPerRun(1000, func() {
+			f, err := fr.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire.PutBuf(f)
+		})
+		if got != 0 {
+			t.Errorf("FrameReader.Next allocates %.2f per op, want 0", got)
+		}
+	})
+
+	t.Run("get-put", func(t *testing.T) {
+		wire.PutBuf(wire.GetBuf()) // prime the pool with one buffer
+		got := testing.AllocsPerRun(1000, func() {
+			wire.PutBuf(wire.GetBuf())
+		})
+		if got != 0 {
+			t.Errorf("GetBuf/PutBuf allocates %.2f per op, want 0", got)
+		}
+	})
+}
+
+// loopReader replays one stream forever (an infinite in-memory peer).
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (r *loopReader) Read(p []byte) (int, error) {
+	if r.off == len(r.data) {
+		r.off = 0
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+// FuzzCoalescedFrames pins the batching invariant end to end: any sequence
+// of frames coalesced with AppendRawFrame reads back through a FrameReader
+// as exactly the same sequence, then clean EOF — batching must never merge,
+// split, reorder, or corrupt frames on a directed edge.
+func FuzzCoalescedFrames(f *testing.F) {
+	f.Add(int64(1), 3)
+	f.Add(int64(7), 1)
+	f.Add(int64(42), 17)
+	f.Fuzz(func(t *testing.T, seed int64, count int) {
+		if count < 0 || count > 64 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		frames := make([][]byte, count)
+		var stream []byte
+		for i := range frames {
+			b := make([]byte, rng.Intn(2048))
+			rng.Read(b)
+			frames[i] = b
+			var err error
+			if stream, err = wire.AppendRawFrame(stream, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		fr := wire.NewFrameReader(bytes.NewReader(stream))
+		for i, want := range frames {
+			got, err := fr.Next()
+			if err != nil {
+				t.Fatalf("frame %d/%d: %v", i, count, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("frame %d/%d corrupted: %d bytes, want %d", i, count, len(got), len(want))
+			}
+			wire.PutBuf(got)
+		}
+		if _, err := fr.Next(); err != io.EOF {
+			t.Fatalf("after %d frames: %v, want io.EOF", count, err)
+		}
+	})
+}

@@ -385,14 +385,18 @@ func WriteFrame(w io.Writer, m transport.Message) error {
 // WriteRawFrame writes an already-encoded frame body with its length
 // prefix in a single Write call (one syscall per frame on a net.Conn, and
 // no interleaving hazard when callers serialize writes per connection).
+// The scratch buffer carrying prefix+body comes from the frame pool, so
+// the steady state allocates nothing; body itself is untouched and remains
+// the caller's. Batch writers coalesce many frames into one buffer with
+// AppendRawFrame instead.
 func WriteRawFrame(w io.Writer, body []byte) error {
-	if len(body) > MaxFrame {
-		return fmt.Errorf("wire: frame of %d bytes exceeds MaxFrame %d", len(body), MaxFrame)
+	buf, err := AppendRawFrame(GetBuf(), body)
+	if err != nil {
+		PutBuf(buf)
+		return err
 	}
-	buf := make([]byte, 4+len(body))
-	binary.BigEndian.PutUint32(buf, uint32(len(body)))
-	copy(buf[4:], body)
-	_, err := w.Write(buf)
+	_, err = w.Write(buf)
+	PutBuf(buf)
 	return err
 }
 
