@@ -16,10 +16,13 @@
 //     With -bench, the result is written as a BENCH_5-schema report
 //     (one cell per -protocols entry); -framebench appends the E16b
 //     frame-path microbenchmark cells (ns/frame and allocs/frame for the
-//     encode/write/read/queue-drain primitives).
+//     encode/write/read/queue-drain primitives); -dispatchbench appends
+//     the E16c dispatch micro-cell (the daemon's batched dispatch→inbox
+//     hand-off); -gomaxprocs "1,4" repeats the whole cell set per rung
+//     with the workers column stamped — the multi-core sweep.
 //
 //     $ abacload -selfhost -protocols acs,bw -duration 3s \
-//     -framebench -bench BENCH_6.json
+//     -framebench -dispatchbench -gomaxprocs 1,4 -bench BENCH_7.json
 //
 // Output (both modes) is one JSON line per measured protocol.
 package main
@@ -30,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -49,14 +53,16 @@ func main() {
 
 func run() error {
 	var (
-		addrsFlag    = flag.String("addrs", "", "comma-separated client-plane addresses of a running fleet")
-		selfhost     = flag.Bool("selfhost", false, "spin up an in-process fleet instead of dialing -addrs")
-		scenarioPath = flag.String("scenario", "", "scenario file for -selfhost (default: the built-in clique:8 service scenario)")
-		protocolsF   = flag.String("protocols", "", "comma-separated protocols to measure (default: the scenario's / the daemon default)")
-		duration     = flag.Duration("duration", 3*time.Second, "measurement window per protocol")
-		concurrency  = flag.Int("concurrency", 0, "closed-loop workers (default: 2 per client plane)")
-		benchOut     = flag.String("bench", "", "-selfhost only: write the result as a BENCH_5-schema report to this path")
-		frameBench   = flag.Bool("framebench", false, "-selfhost only: append the E16b frame-path microbenchmark cells (ns/frame, allocs/frame)")
+		addrsFlag     = flag.String("addrs", "", "comma-separated client-plane addresses of a running fleet")
+		selfhost      = flag.Bool("selfhost", false, "spin up an in-process fleet instead of dialing -addrs")
+		scenarioPath  = flag.String("scenario", "", "scenario file for -selfhost (default: the built-in clique:8 service scenario)")
+		protocolsF    = flag.String("protocols", "", "comma-separated protocols to measure (default: the scenario's / the daemon default)")
+		duration      = flag.Duration("duration", 3*time.Second, "measurement window per protocol")
+		concurrency   = flag.Int("concurrency", 0, "closed-loop workers (default: 2 per client plane)")
+		benchOut      = flag.String("bench", "", "-selfhost only: write the result as a BENCH_5-schema report to this path")
+		frameBench    = flag.Bool("framebench", false, "-selfhost only: append the E16b frame-path microbenchmark cells (ns/frame, allocs/frame)")
+		dispatchBench = flag.Bool("dispatchbench", false, "-selfhost only: append the E16c dispatch micro-cell (ns/frame, allocs/frame through dispatch->inbox)")
+		goMaxProcs    = flag.String("gomaxprocs", "", "-selfhost only: comma-separated GOMAXPROCS sweep (e.g. \"1,4\"); each rung stamps the cells' workers column")
 	)
 	flag.Parse()
 
@@ -65,10 +71,18 @@ func run() error {
 
 	if *selfhost {
 		cfg := experiments.ServiceBenchConfig{
-			Protocols:   protocols,
-			Duration:    *duration,
-			Concurrency: *concurrency,
-			FrameBench:  *frameBench,
+			Protocols:     protocols,
+			Duration:      *duration,
+			Concurrency:   *concurrency,
+			FrameBench:    *frameBench,
+			DispatchBench: *dispatchBench,
+		}
+		for _, item := range splitCSV(*goMaxProcs) {
+			gmp, err := strconv.Atoi(item)
+			if err != nil || gmp < 1 {
+				return fmt.Errorf("-gomaxprocs: %q is not a positive integer", item)
+			}
+			cfg.GoMaxProcs = append(cfg.GoMaxProcs, gmp)
 		}
 		if *scenarioPath != "" {
 			data, err := os.ReadFile(*scenarioPath)
@@ -109,6 +123,12 @@ func run() error {
 	}
 	if *frameBench {
 		return fmt.Errorf("-framebench requires -selfhost (the micro cells belong in the bench report)")
+	}
+	if *dispatchBench {
+		return fmt.Errorf("-dispatchbench requires -selfhost (the micro cells belong in the bench report)")
+	}
+	if *goMaxProcs != "" {
+		return fmt.Errorf("-gomaxprocs requires -selfhost (it sweeps the in-process fleet)")
 	}
 	addrs := splitCSV(*addrsFlag)
 	if len(addrs) == 0 {

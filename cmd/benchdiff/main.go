@@ -128,15 +128,19 @@ func configLabel(r experiments.BenchRun) string {
 }
 
 // frameDelta renders the throughput and frame-path columns when either
-// side carries them: decisions/sec (service cells) and allocs-per-frame
-// (BENCH_6's headline metric, both service and micro cells). An absent
-// column prints as "n/a" so a BENCH_5 baseline that predates it reads as
-// "not measured", not "was zero"; a micro cell's measured 0 allocs/op
-// still prints as 0.00 because NsPerFrame marks the cell as measured.
+// side carries them: decisions/sec (service cells), ns-per-frame (the
+// micro cells' headline metric — BENCH_7's dispatch-inbox cell included)
+// and allocs-per-frame. An absent column prints as "n/a" so a BENCH_5
+// baseline that predates it reads as "not measured", not "was zero"; a
+// micro cell's measured 0 allocs/op still prints as 0.00 because
+// NsPerFrame marks the cell as measured.
 func frameDelta(o, n experiments.BenchRun) string {
 	var s string
 	if o.PerSec > 0 || n.PerSec > 0 {
 		s += fmt.Sprintf("  dec/s %s->%s", num(o.PerSec, o.PerSec > 0, "%.1f"), num(n.PerSec, n.PerSec > 0, "%.1f"))
+	}
+	if o.NsPerFrame > 0 || n.NsPerFrame > 0 {
+		s += fmt.Sprintf("  ns/frame %s->%s", num(o.NsPerFrame, o.NsPerFrame > 0, "%.0f"), num(n.NsPerFrame, n.NsPerFrame > 0, "%.0f"))
 	}
 	oAllocs := o.AllocsPerFrame > 0 || o.NsPerFrame > 0
 	nAllocs := n.AllocsPerFrame > 0 || n.NsPerFrame > 0

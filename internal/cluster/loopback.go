@@ -64,33 +64,30 @@ func (lb *loopback) link(id int) node.Outbound { return loopLink{lb: lb, from: i
 func (lb *loopback) start(ctx context.Context, nodes []*node.Node) error {
 	for e, q := range lb.edges {
 		from, to := e[0], e[1]
-		inbox := nodes[to].Inbox()
-		done := nodes[to].Done()
 		lb.wg.Add(1)
-		go func(q *queue[[]byte], from int, inbox chan<- node.Inbound, done <-chan struct{}) {
+		go func(q *queue[[]byte], from int, nd *node.Node) {
 			defer lb.wg.Done()
 			// Drain in batches — one queue lock round-trip per burst — and
-			// forward in order; per-edge FIFO is preserved because this pump
-			// is the edge's only consumer.
+			// forward each burst as one inbox slab (one channel op); per-edge
+			// FIFO is preserved because this pump is the edge's only consumer
+			// and the slab keeps pop order.
 			batch := make([][]byte, 0, maxBatchFrames)
 			for {
 				var ok bool
 				if batch, ok = q.popBatch(batch); !ok {
 					return
 				}
-				for i, frame := range batch {
-					select {
-					case inbox <- node.Inbound{From: from, Frame: frame}:
-					case <-done:
-						releaseFrames(batch[i:])
-						return
-					case <-ctx.Done():
-						releaseFrames(batch[i:])
-						return
-					}
+				slab := node.GetSlab()
+				for _, frame := range batch {
+					slab = append(slab, node.Inbound{From: from, Frame: frame})
+				}
+				if !nd.PushBatch(ctx, slab) {
+					releaseFrames(batch)
+					node.PutSlab(slab)
+					return
 				}
 			}
-		}(q, from, inbox, done)
+		}(q, from, nodes[to])
 	}
 	// Close the queues when the run context ends so pumps blocked in pop
 	// wake up.

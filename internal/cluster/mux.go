@@ -80,6 +80,17 @@ type MuxConfig struct {
 	// dispatch chain's final consumer releases them with wire.PutBuf (the
 	// reader never touches the frame again).
 	OnFrame func(from int, frame []byte)
+	// OnFrameBatch, when non-nil, replaces OnFrame on the read path: the
+	// reader decodes bursts with wire.FrameReader.NextBatch and hands the
+	// whole burst over in one call, each frame's routing header already
+	// peeked into infos[i] (infos[i].Bad marks a frame whose header did not
+	// parse — the consumer accounts for it and releases it). frames[i] is
+	// in per-link arrival order. Ownership of every frame buffer transfers
+	// with the call, but the frames and infos slices themselves remain the
+	// reader's scratch and are reused for the next burst: the consumer must
+	// not retain either slice past return. At least one of OnFrame and
+	// OnFrameBatch must be set; when both are, OnFrameBatch wins.
+	OnFrameBatch func(from int, frames [][]byte, infos []wire.FrameInfo)
 }
 
 // Mux is one vertex's persistent multiplexed connection fabric. Create
@@ -108,7 +119,7 @@ func NewMux(cfg MuxConfig) (*Mux, error) {
 	if cfg.Listener == nil {
 		return nil, fmt.Errorf("cluster: mux needs a listener")
 	}
-	if cfg.OnFrame == nil {
+	if cfg.OnFrame == nil && cfg.OnFrameBatch == nil {
 		return nil, fmt.Errorf("cluster: mux needs a frame dispatcher")
 	}
 	m := &Mux{cfg: cfg, queues: make(map[int]*queue[[]byte])}
@@ -258,6 +269,29 @@ func (m *Mux) acceptLoop(ctx context.Context) {
 				return
 			}
 			fr := wire.NewFrameReader(c)
+			if m.cfg.OnFrameBatch != nil {
+				// Batched read path: one NextBatch per socket burst, one
+				// dispatcher call per burst. The scratch slices live for the
+				// connection and are reused every iteration — the dispatcher
+				// contract (see MuxConfig.OnFrameBatch) forbids retaining
+				// them, so the steady state allocates nothing.
+				frames := make([][]byte, 0, maxBatchFrames)
+				infos := make([]wire.FrameInfo, 0, maxBatchFrames)
+				for {
+					var err error
+					frames, infos, err = fr.NextBatch(frames[:0], infos[:0], maxBatchFrames)
+					if err != nil {
+						c.Close()
+						return
+					}
+					if ctx.Err() != nil {
+						releaseFrames(frames)
+						c.Close()
+						return
+					}
+					m.cfg.OnFrameBatch(peer, frames, infos) // frame ownership transfers
+				}
+			}
 			for {
 				frame, err := fr.Next()
 				if err != nil {

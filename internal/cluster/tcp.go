@@ -223,25 +223,30 @@ func (e *tcpEndpoint) acceptLoop(ctx context.Context, nd *node.Node) {
 				c.Close()
 				return
 			}
-			inbox := nd.Inbox()
-			done := nd.Done()
 			fr := wire.NewFrameReader(c)
+			frames := make([][]byte, 0, maxBatchFrames)
+			infos := make([]wire.FrameInfo, 0, maxBatchFrames)
 			for {
-				frame, err := fr.Next()
+				var err error
+				// One NextBatch per socket burst, one slab push per burst.
+				// The classic tier's node decodes every frame fully, so the
+				// peeked infos are unused here; the batch read still saves
+				// the per-frame header syscall discipline and channel ops.
+				frames, infos, err = fr.NextBatch(frames[:0], infos[:0], maxBatchFrames)
 				if err != nil {
 					c.Close()
 					return
 				}
-				// Pushing into the inbox transfers ownership; the node's
-				// event loop releases the frame after decoding it.
-				select {
-				case inbox <- node.Inbound{From: peer, Frame: frame}:
-				case <-done:
-					wire.PutBuf(frame)
-					c.Close()
-					return
-				case <-ctx.Done():
-					wire.PutBuf(frame)
+				slab := node.GetSlab()
+				for _, frame := range frames {
+					slab = append(slab, node.Inbound{From: peer, Frame: frame})
+				}
+				// PushBatch transfers ownership of the slab and every frame;
+				// on false (node shut down, ctx cancelled) everything is
+				// still ours to release.
+				if !nd.PushBatch(ctx, slab) {
+					releaseFrames(frames)
+					node.PutSlab(slab)
 					c.Close()
 					return
 				}

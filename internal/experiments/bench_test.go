@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -67,8 +68,10 @@ func TestLoadBenchGenerations(t *testing.T) {
 	}
 }
 
-// TestLoadBenchCommittedFiles: the repository's committed snapshots must
-// all parse under the shared schema.
+// TestLoadBenchCommittedFiles: the repository's committed snapshots —
+// every generation BENCH_0 through BENCH_7 — must all parse under the
+// shared schema; missing generations are named, not silently skipped by
+// the glob.
 func TestLoadBenchCommittedFiles(t *testing.T) {
 	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
 	if err != nil {
@@ -77,7 +80,9 @@ func TestLoadBenchCommittedFiles(t *testing.T) {
 	if len(matches) == 0 {
 		t.Skip("no committed BENCH files")
 	}
+	seen := make(map[string]bool, len(matches))
 	for _, p := range matches {
+		seen[filepath.Base(p)] = true
 		rep, err := LoadBench(p)
 		if err != nil {
 			t.Errorf("%s: %v", p, err)
@@ -85,6 +90,12 @@ func TestLoadBenchCommittedFiles(t *testing.T) {
 		}
 		if len(rep.Cells()) == 0 {
 			t.Errorf("%s: no cells", p)
+		}
+	}
+	for gen := 0; gen <= 7; gen++ {
+		name := fmt.Sprintf("BENCH_%d.json", gen)
+		if !seen[name] {
+			t.Errorf("committed generation %s missing", name)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bw"
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/service"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -115,4 +116,23 @@ func FramePathBenchCells() []BenchRun {
 
 	add("queue-drain", testing.Benchmark(cluster.QueueDrainBench))
 	return cells
+}
+
+// DispatchBenchCell runs the E16c dispatch micro-cell: the daemon's
+// batched inbound dispatch from a pre-peeked frame burst to the instance
+// inbox and back out (see service.DispatchBench). Same cell shape as the
+// E16b primitives: Runtime "micro", NsPerFrame/AllocsPerFrame with ~0
+// allocs steady state as the acceptance bar.
+func DispatchBenchCell() BenchRun {
+	r := testing.Benchmark(service.DispatchBench)
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	return BenchRun{
+		Name:           "dispatch-inbox",
+		Runtime:        "micro",
+		Ms:             ns / 1e6,
+		NsPerFrame:     ns,
+		AllocsPerFrame: float64(r.AllocsPerOp()),
+		Decided:        true,
+		Valid:          true,
+	}
 }

@@ -36,6 +36,51 @@ type Inbound struct {
 	Frame []byte
 }
 
+// Slabs are the unit the inbox channel carries: one []Inbound per channel
+// operation, so a transport that read a burst of frames pays one send (and
+// the event loop one receive) for the whole burst instead of one per frame.
+// Like frame buffers, slabs are pooled in a capacity band through a channel
+// freelist — deterministic for the alloc fences, inert for foreign slices.
+const (
+	// defaultSlabCap matches the transports' read-batch ceiling, so one
+	// socket batch fits one slab without growing it.
+	defaultSlabCap = 64
+	minSlabCap     = 8
+	maxSlabCap     = 1024
+)
+
+// slabPool holds released inbox slabs.
+var slabPool = make(chan []Inbound, 1024)
+
+// GetSlab returns an empty Inbound slab, reusing a released one when
+// available. The caller owns it until it hands it off or releases it.
+func GetSlab() []Inbound {
+	select {
+	case s := <-slabPool:
+		return s[:0]
+	default:
+		return make([]Inbound, 0, defaultSlabCap)
+	}
+}
+
+// PutSlab releases a slab back to the pool. Entries are zeroed first so a
+// pooled slab never pins frame buffers; slabs outside the capacity band —
+// including nil and slice literals from tests — are dropped silently. The
+// frames inside must already have been released or handed off: PutSlab
+// recycles only the container.
+func PutSlab(s []Inbound) {
+	if cap(s) < minSlabCap || cap(s) > maxSlabCap {
+		return
+	}
+	for i := range s {
+		s[i] = Inbound{}
+	}
+	select {
+	case slabPool <- s[:0]:
+	default:
+	}
+}
+
 // Outbound transmits encoded frames toward a peer. Implementations must
 // not block indefinitely on a slow peer — the cluster transports enqueue
 // onto unbounded per-peer queues — because a blocked send path can deadlock
@@ -70,7 +115,8 @@ type Config struct {
 	// OnDecide, when non-nil, is invoked exactly once, from the node's
 	// loop, when the handler first reports an output.
 	OnDecide func(id int, output float64)
-	// InboxCap is the inbox channel's buffer (default 256). Transport
+	// InboxCap is the inbox channel's buffer in slabs (default 256; each
+	// slab carries up to a transport read batch of frames). Transport
 	// pumps block when it fills, their upstream queues absorb the backlog.
 	InboxCap int
 }
@@ -95,7 +141,7 @@ type Stats struct {
 // feed via Inbox, drive with Run.
 type Node struct {
 	cfg     Config
-	inbox   chan Inbound
+	inbox   chan []Inbound
 	stats   Stats
 	steps   int
 	decided bool
@@ -128,7 +174,7 @@ func New(cfg Config) (*Node, error) {
 	}
 	return &Node{
 		cfg:   cfg,
-		inbox: make(chan Inbound, cfg.InboxCap),
+		inbox: make(chan []Inbound, cfg.InboxCap),
 		stats: Stats{ByKind: make(map[string]int)},
 		done:  make(chan struct{}),
 	}, nil
@@ -137,11 +183,49 @@ func New(cfg Config) (*Node, error) {
 // ID returns the node's vertex id.
 func (n *Node) ID() int { return n.cfg.ID }
 
-// Inbox is the channel transports push inbound frames into. Senders must
-// stop pushing (or tolerate blocking forever) once Run has returned;
-// cluster transports handle this by closing their pumps alongside the
-// node's context.
-func (n *Node) Inbox() chan<- Inbound { return n.inbox }
+// Inbox is the channel transports push inbound slabs into — one []Inbound
+// per channel operation (PushBatch is the usual front door; direct sends
+// are for tests). Pushing a slab transfers ownership of the slab and every
+// frame inside it. Senders must stop pushing (or tolerate blocking forever)
+// once Run has returned; cluster transports handle this by closing their
+// pumps alongside the node's context. InboxCap is therefore measured in
+// slabs, not frames.
+func (n *Node) Inbox() chan<- []Inbound { return n.inbox }
+
+// PushBatch delivers one slab of inbound frames in a single channel
+// operation. On true, ownership of slab and every frame in it has
+// transferred to the node (the event loop releases frames after decoding
+// and recycles the slab). On false the node is shutting down (or ctx was
+// cancelled) and nothing was consumed: the caller still owns the slab and
+// its frames and must release them.
+func (n *Node) PushBatch(ctx context.Context, slab []Inbound) bool {
+	if len(slab) == 0 {
+		PutSlab(slab)
+		return true
+	}
+	select {
+	case n.inbox <- slab:
+		return true
+	case <-n.done:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// ReceiveBatch takes one slab off the inbox without running the event
+// loop. It exists for the dispatch benchmarks and tests that need to
+// observe the inbox hand-off itself; never call it while Run is live (the
+// two would race for slabs and break per-link FIFO). Ownership of the
+// returned slab and its frames transfers to the caller.
+func (n *Node) ReceiveBatch(ctx context.Context) ([]Inbound, bool) {
+	select {
+	case slab := <-n.inbox:
+		return slab, true
+	case <-ctx.Done():
+		return nil, false
+	}
+}
 
 // Done is closed when Run returns; transports use it to unblock pumps that
 // are mid-push into a full inbox.
@@ -167,12 +251,30 @@ func (n *Node) Run(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return nil
-		case in := <-n.inbox:
-			if err := n.deliver(in); err != nil {
+		case slab := <-n.inbox:
+			if err := n.deliverSlab(slab); err != nil {
 				return err
 			}
 		}
 	}
+}
+
+// deliverSlab drains one inbox slab through deliver and recycles the slab.
+// On a delivery error (outbound transport failure) the remaining frames
+// are released — deliver already released the failing frame's buffer — so
+// pool accounting stays balanced on the unsalvageable-run path too.
+func (n *Node) deliverSlab(slab []Inbound) error {
+	for i := range slab {
+		if err := n.deliver(slab[i]); err != nil {
+			for _, rest := range slab[i+1:] {
+				wire.PutBuf(rest.Frame)
+			}
+			PutSlab(slab)
+			return err
+		}
+	}
+	PutSlab(slab)
+	return nil
 }
 
 // deliver decodes, validates and hands one frame to the handler, then

@@ -92,9 +92,9 @@ func TestNodeRunsIterativeMachine(t *testing.T) {
 
 	// Peer 1 reports value 1 for round 1; with inputs {0, 1} the trimmed
 	// mean (f=0) is 0.5.
-	n.Inbox() <- node.Inbound{From: 1, Frame: encode(t, transport.Message{
+	n.Inbox() <- []node.Inbound{{From: 1, Frame: encode(t, transport.Message{
 		From: 1, To: 0, Payload: iterative.ValPayload{Round: 1, Value: 1},
-	})}
+	})}}
 	select {
 	case x := <-decided:
 		if x != 0.5 {
@@ -148,16 +148,20 @@ func TestNodeDropsForgedFrames(t *testing.T) {
 	stop := runNode(t, n)
 
 	payload := iterative.ValPayload{Round: 1, Value: 9}
-	n.Inbox() <- node.Inbound{From: 1, Frame: []byte("garbage")}
-	// Claimed sender 2 on a frame arriving over the link from 1.
-	n.Inbox() <- node.Inbound{From: 1, Frame: encode(t, transport.Message{From: 2, To: 0, Payload: payload})}
-	// Wrong destination.
-	n.Inbox() <- node.Inbound{From: 1, Frame: encode(t, transport.Message{From: 1, To: 2, Payload: payload})}
-	// Edge 2->0 does not exist.
-	n.Inbox() <- node.Inbound{From: 2, Frame: encode(t, transport.Message{From: 2, To: 0, Payload: payload})}
-	// One genuine frame, pushed last: the loop is FIFO, so its delivery
-	// event means every forged frame before it has been processed.
-	n.Inbox() <- node.Inbound{From: 1, Frame: encode(t, transport.Message{From: 1, To: 0, Payload: payload})}
+	// One slab carrying every case, in order — the loop drains slabs FIFO,
+	// so the genuine frame's delivery event (pushed last) means every
+	// forged frame before it has been processed.
+	n.Inbox() <- []node.Inbound{
+		{From: 1, Frame: []byte("garbage")},
+		// Claimed sender 2 on a frame arriving over the link from 1.
+		{From: 1, Frame: encode(t, transport.Message{From: 2, To: 0, Payload: payload})},
+		// Wrong destination.
+		{From: 1, Frame: encode(t, transport.Message{From: 1, To: 2, Payload: payload})},
+		// Edge 2->0 does not exist.
+		{From: 2, Frame: encode(t, transport.Message{From: 2, To: 0, Payload: payload})},
+		// The genuine frame.
+		{From: 1, Frame: encode(t, transport.Message{From: 1, To: 0, Payload: payload})},
+	}
 
 	select {
 	case <-delivered:
@@ -195,9 +199,9 @@ func TestNodeObserverSeesDeliveriesAndRounds(t *testing.T) {
 		t.Fatal(err)
 	}
 	stop := runNode(t, n)
-	n.Inbox() <- node.Inbound{From: 1, Frame: encode(t, transport.Message{
+	n.Inbox() <- []node.Inbound{{From: 1, Frame: encode(t, transport.Message{
 		From: 1, To: 0, Payload: iterative.ValPayload{Round: 1, Value: 1},
-	})}
+	})}}
 	<-decided
 	stop()
 
@@ -274,7 +278,7 @@ func TestNodeShutdownWithPendingInbox(t *testing.T) {
 	// the backlog is still pending.
 	frame := encode(t, transport.Message{From: 1, To: 0, Payload: iterative.ValPayload{Round: 1, Value: 1}})
 	for i := 0; i < 32; i++ {
-		n.Inbox() <- node.Inbound{From: 1, Frame: frame}
+		n.Inbox() <- []node.Inbound{{From: 1, Frame: frame}}
 	}
 	cancel()
 	select {

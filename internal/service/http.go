@@ -23,10 +23,7 @@ func (d *Daemon) serveHTTP(l net.Listener) {
 		_ = enc.Encode(d.Snapshot())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		d.mu.RLock()
-		draining := d.draining
-		d.mu.RUnlock()
-		if draining {
+		if d.draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}

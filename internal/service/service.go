@@ -46,6 +46,31 @@ const (
 // maxDaemonID bounds vertex ids so instance ids can pack (seq << 10) | id.
 const maxDaemonID = 1<<10 - 1
 
+// The routing table is sharded so concurrent per-connection readers — and
+// the open/retire state changes racing them — contend on 1/16th of the
+// table instead of one global lock. Power-of-two count, mask selection.
+const (
+	routeShardBits = 4
+	routeShards    = 1 << routeShardBits
+)
+
+// routeShard is one slice of the instance routing table: the running
+// instances plus the full lifecycle ledger (retired ids, decisions, pending
+// pre-open buffers) for every instance id that hashes here. Keeping the
+// ledger beside the live map means one shard lock answers "running,
+// retired, or unseen?" atomically — the invariant the pending/retire
+// transitions need.
+type routeShard struct {
+	mu        sync.RWMutex
+	instances map[uint64]*instance
+	// retired and decisions grow with instance count; a service-lifetime
+	// ledger (the id space is never reused, so retirement must be
+	// remembered to keep late frames and duplicate OPENs out).
+	retired   map[uint64]struct{}
+	decisions map[uint64]Decision
+	pending   map[uint64][]node.Inbound
+}
+
 // Config parameterizes one daemon.
 type Config struct {
 	// ID is the graph vertex this daemon hosts.
@@ -153,20 +178,22 @@ type Daemon struct {
 	start   time.Time
 	httpSrv *http.Server
 
-	// mu is a read/write lock so the frame-dispatch hot path (routeFrame's
-	// instance lookup, once per inbound protocol frame) takes only a read
-	// lock and pipelined instances dispatch concurrently; state changes
-	// (open, retire, pending buffering, drain) take the write lock.
-	mu        sync.RWMutex
-	instances map[uint64]*instance
-	// retired and decisions grow with instance count; a service-lifetime
-	// ledger (the id space is never reused, so retirement must be
-	// remembered to keep late frames and duplicate OPENs out).
-	retired   map[uint64]struct{}
-	decisions map[uint64]Decision
-	pending   map[uint64][]node.Inbound
-	seq       uint64
-	draining  bool
+	// shards is the instance routing table (see routeShard). The dispatch
+	// hot path takes one shard's read lock once per same-instance frame
+	// group; state changes (open, retire, pending buffering) take that
+	// shard's write lock and leave the other 15 shards untouched.
+	shards [routeShards]routeShard
+	// memo caches, per inbound connection, the last instance that peer's
+	// frames routed to: pipelined traffic is heavily run-structured, so
+	// most groups hit the memo and skip the shard lock entirely. Entries
+	// are atomic pointers because a peer that double-connects would give
+	// two readers the same index. A stale entry is harmless — instance ids
+	// are never reused, so a memoized retired instance fails the push (its
+	// context is done) and the frames land in lateFrames, exactly like the
+	// retired-ledger path.
+	memo     []atomic.Pointer[instance]
+	seq      uint64
+	draining atomic.Bool
 
 	submitted, opened, decided, retiredN    atomic.Int64
 	lateFrames, pendingShed, refused, badFr atomic.Int64
@@ -197,12 +224,15 @@ func New(cfg Config) (*Daemon, error) {
 		names = []string{cfg.Scenario.Protocol}
 	}
 	d := &Daemon{
-		cfg:       cfg,
-		facs:      make(map[string]*repro.InstanceFactory, len(names)),
-		instances: make(map[uint64]*instance),
-		retired:   make(map[uint64]struct{}),
-		decisions: make(map[uint64]Decision),
-		pending:   make(map[uint64][]node.Inbound),
+		cfg:  cfg,
+		facs: make(map[string]*repro.InstanceFactory, len(names)),
+	}
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.instances = make(map[uint64]*instance)
+		sh.retired = make(map[uint64]struct{})
+		sh.decisions = make(map[uint64]Decision)
+		sh.pending = make(map[uint64][]node.Inbound)
 	}
 	for _, name := range names {
 		if _, dup := d.facs[name]; dup {
@@ -217,13 +247,15 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	sort.Strings(d.names)
 	fac := d.facs[d.names[0]]
+	d.memo = make([]atomic.Pointer[instance], fac.Graph().N())
 	mux, err := cluster.NewMux(cluster.MuxConfig{
-		ID:       cfg.ID,
-		Graph:    fac.Graph(),
-		Listener: cfg.PeerListener,
-		Peers:    cfg.Peers,
-		QueueCap: cfg.QueueCap,
-		OnFrame:  d.dispatch,
+		ID:           cfg.ID,
+		Graph:        fac.Graph(),
+		Listener:     cfg.PeerListener,
+		Peers:        cfg.Peers,
+		QueueCap:     cfg.QueueCap,
+		OnFrame:      d.dispatch,
+		OnFrameBatch: d.dispatchBatch,
 	})
 	if err != nil {
 		return nil, err
@@ -278,12 +310,19 @@ func (d *Daemon) Start(ctx context.Context) {
 	}()
 }
 
-// dispatch consumes every peer-plane frame: OPEN announcements spawn
-// instances; protocol frames route to their instance's inbox, wait in the
-// bounded pending buffer when the announcement has not arrived yet, or are
-// dropped (counted) when the instance is already retired. The frame is a
-// pooled buffer the Mux reader handed over; every path either forwards it
-// (an inbox push, whose node releases it after decode) or releases it here.
+// shard selects inst's routing-table slice. Instance ids pack
+// (seq << 10) | daemonID, so the low bits carry the *daemon* id — plain
+// masking would land every instance a given daemon submits in one shard.
+// A multiplicative (Fibonacci) hash mixes all the bits into the top ones.
+func (d *Daemon) shard(inst uint64) *routeShard {
+	return &d.shards[(inst*0x9E3779B97F4A7C15)>>(64-routeShardBits)]
+}
+
+// dispatch consumes one peer-plane frame — the per-frame compatibility
+// path (and the unit the batch path is defined in terms of): OPEN
+// announcements spawn instances; protocol frames route to their instance's
+// inbox. The frame is a pooled buffer whose ownership arrives with the
+// call; every path forwards or releases it.
 func (d *Daemon) dispatch(from int, frame []byte) {
 	fi, err := wire.PeekFrame(frame)
 	if err != nil {
@@ -292,85 +331,157 @@ func (d *Daemon) dispatch(from int, frame []byte) {
 		return
 	}
 	if fi.Open {
-		_, msg, err := wire.DecodeInstanceMessage(frame)
-		wire.PutBuf(frame) // OPENs are consumed by the dispatcher
-		if err != nil {
+		d.handleOpen(fi.Inst, frame)
+		return
+	}
+	group := [1][]byte{frame}
+	d.routeGroup(from, fi.Inst, group[:])
+}
+
+// dispatchBatch consumes one read burst: frames in per-link arrival order,
+// each routing header already peeked by the socket reader (never re-parsed
+// here). Frames are grouped into maximal consecutive runs of the same
+// instance id and each run pays one route lookup, one ready-gate wait and
+// one inbox channel op — the batch discipline's whole point. Only
+// *consecutive* frames group, so processing stays in scan order and
+// per-link FIFO is preserved by construction: a frame is never dispatched
+// before an earlier frame of the same connection, whatever the
+// interleaving of instances. OPENs are consumed inline at their arrival
+// position (they order before the sender's own protocol frames). Ownership
+// of every frame transfers with the call; the frames/infos slices are the
+// caller's scratch and are not retained.
+func (d *Daemon) dispatchBatch(from int, frames [][]byte, infos []wire.FrameInfo) {
+	for i := 0; i < len(frames); {
+		fi := infos[i]
+		if fi.Bad {
+			wire.PutBuf(frames[i])
 			d.badFr.Add(1)
-			return
+			i++
+			continue
 		}
-		op, ok := msg.Payload.(wire.Open)
-		if !ok {
-			d.badFr.Add(1)
-			return
+		if fi.Open {
+			d.handleOpen(fi.Inst, frames[i])
+			i++
+			continue
 		}
-		if err := d.open(fi.Inst, op.Protocol, false); err != nil {
-			d.logf("service[%d]: refused open inst=%d: %v", d.cfg.ID, fi.Inst, err)
+		j := i + 1
+		for j < len(frames) && !infos[j].Bad && !infos[j].Open && infos[j].Inst == fi.Inst {
+			j++
 		}
-		return
+		d.routeGroup(from, fi.Inst, frames[i:j])
+		i = j
 	}
-	d.route(fi.Inst, node.Inbound{From: from, Frame: frame})
 }
 
-// route's fast path — the per-frame instance lookup — holds only the read
-// lock, so pipelined instances dispatch concurrently; the not-running slow
-// path retries under the write lock (see bufferPending).
-func (d *Daemon) route(inst uint64, in node.Inbound) {
-	d.mu.RLock()
-	ins, running := d.instances[inst]
-	d.mu.RUnlock()
-	if !running {
-		d.bufferPending(inst, in)
+// handleOpen consumes one OPEN announcement frame (released here — OPENs
+// never reach an instance inbox).
+func (d *Daemon) handleOpen(inst uint64, frame []byte) {
+	_, msg, err := wire.DecodeInstanceMessage(frame)
+	wire.PutBuf(frame)
+	if err != nil {
+		d.badFr.Add(1)
 		return
 	}
-	d.pushInstance(ins, in)
+	op, ok := msg.Payload.(wire.Open)
+	if !ok {
+		d.badFr.Add(1)
+		return
+	}
+	if err := d.open(inst, op.Protocol, false); err != nil {
+		d.logf("service[%d]: refused open inst=%d: %v", d.cfg.ID, inst, err)
+	}
 }
 
-// bufferPending is route's slow path: under the write lock, recheck (the
-// instance may have opened or retired between the read-locked lookup and
-// here), then buffer the frame for the not-yet-opened instance, bounded.
-func (d *Daemon) bufferPending(inst uint64, in node.Inbound) {
-	d.mu.Lock()
-	if ins, running := d.instances[inst]; running {
-		d.mu.Unlock()
-		d.pushInstance(ins, in)
+// routeGroup routes one same-instance run of frames from one connection:
+// memo hit or one shard read-lock lookup, then one batched inbox push; the
+// not-running slow path falls through to the pending buffer.
+func (d *Daemon) routeGroup(from int, inst uint64, frames [][]byte) {
+	if ins := d.lookup(from, inst); ins != nil {
+		d.pushGroup(ins, from, frames)
 		return
 	}
-	if _, gone := d.retired[inst]; gone {
-		d.mu.Unlock()
-		d.lateFrames.Add(1)
-		wire.PutBuf(in.Frame)
-		return
-	}
-	if len(d.pending[inst]) >= d.cfg.PendingCap {
-		d.mu.Unlock()
-		d.pendingShed.Add(1)
-		wire.PutBuf(in.Frame)
-		return
-	}
-	d.pending[inst] = append(d.pending[inst], in)
-	d.mu.Unlock()
+	d.bufferPendingGroup(from, inst, frames)
 }
 
-// pushInstance delivers one frame to a running instance. Wait for the
-// pre-open replay so this frame cannot jump the queue (per-link FIFO),
-// then push with backpressure: a full inbox blocks this peer's reader,
-// which is the inbound flow-control path.
-func (d *Daemon) pushInstance(ins *instance, in node.Inbound) {
+// lookup finds a running instance, consulting the per-connection memo
+// before the shard table and refreshing the memo on a table hit.
+func (d *Daemon) lookup(from int, inst uint64) *instance {
+	memo := from >= 0 && from < len(d.memo)
+	if memo {
+		if ins := d.memo[from].Load(); ins != nil && ins.inst == inst {
+			return ins
+		}
+	}
+	sh := d.shard(inst)
+	sh.mu.RLock()
+	ins := sh.instances[inst]
+	sh.mu.RUnlock()
+	if ins != nil && memo {
+		d.memo[from].Store(ins)
+	}
+	return ins
+}
+
+// bufferPendingGroup is routeGroup's slow path: under the shard write
+// lock, recheck (the instance may have opened or retired between the
+// lookup and here), then buffer the run for the not-yet-opened instance,
+// bounded by PendingCap with per-frame shed accounting.
+func (d *Daemon) bufferPendingGroup(from int, inst uint64, frames [][]byte) {
+	sh := d.shard(inst)
+	sh.mu.Lock()
+	if ins, running := sh.instances[inst]; running {
+		sh.mu.Unlock()
+		d.pushGroup(ins, from, frames)
+		return
+	}
+	if _, gone := sh.retired[inst]; gone {
+		sh.mu.Unlock()
+		d.dropLate(frames)
+		return
+	}
+	pend := sh.pending[inst]
+	for _, frame := range frames {
+		if len(pend) >= d.cfg.PendingCap {
+			d.pendingShed.Add(1)
+			wire.PutBuf(frame)
+			continue
+		}
+		pend = append(pend, node.Inbound{From: from, Frame: frame})
+	}
+	sh.pending[inst] = pend
+	sh.mu.Unlock()
+}
+
+// pushGroup delivers one same-instance run to a running instance. Wait
+// once for the pre-open replay so no frame of the run can jump the queue
+// (per-link FIFO), then hand the whole run to the inbox as one slab with
+// backpressure: a full inbox blocks this peer's reader, which is the
+// inbound flow-control path.
+func (d *Daemon) pushGroup(ins *instance, from int, frames [][]byte) {
 	select {
 	case <-ins.ready:
 	case <-ins.ictx.Done():
-		d.lateFrames.Add(1)
-		wire.PutBuf(in.Frame)
+		d.dropLate(frames)
 		return
 	}
-	select {
-	case ins.nd.Inbox() <- in:
-	case <-ins.nd.Done():
-		d.lateFrames.Add(1)
-		wire.PutBuf(in.Frame)
-	case <-ins.ictx.Done():
-		d.lateFrames.Add(1)
-		wire.PutBuf(in.Frame)
+	slab := node.GetSlab()
+	for _, frame := range frames {
+		slab = append(slab, node.Inbound{From: from, Frame: frame})
+	}
+	// PushBatch transfers ownership of slab and frames on true; on false
+	// (instance cancelled or its loop gone) everything is still ours.
+	if !ins.nd.PushBatch(ins.ictx, slab) {
+		d.dropLate(frames)
+		node.PutSlab(slab)
+	}
+}
+
+// dropLate releases a run of frames that arrived after their instance
+// retired (or mid-teardown), counting each.
+func (d *Daemon) dropLate(frames [][]byte) {
+	d.lateFrames.Add(int64(len(frames)))
+	for _, frame := range frames {
+		wire.PutBuf(frame)
 	}
 }
 
@@ -402,26 +513,27 @@ func (d *Daemon) open(inst uint64, protocol string, local bool) error {
 		return fmt.Errorf("service: protocol %q not served (valid values are: %v)", protocol, d.names)
 	}
 
-	d.mu.Lock()
-	if _, running := d.instances[inst]; running {
-		d.mu.Unlock()
+	sh := d.shard(inst)
+	sh.mu.Lock()
+	if _, running := sh.instances[inst]; running {
+		sh.mu.Unlock()
 		return nil
 	}
-	if _, gone := d.retired[inst]; gone {
-		d.mu.Unlock()
+	if _, gone := sh.retired[inst]; gone {
+		sh.mu.Unlock()
 		return nil
 	}
-	if d.draining {
-		d.mu.Unlock()
+	if d.draining.Load() {
+		sh.mu.Unlock()
 		d.refused.Add(1)
 		return errors.New("service: draining")
 	}
-	// Spawn under the lock so a concurrent duplicate OPEN cannot double-
-	// start; machine construction is cheap (the factory pre-materialized
-	// the shared context).
+	// Spawn under the shard lock so a concurrent duplicate OPEN cannot
+	// double-start; machine construction is cheap (the factory
+	// pre-materialized the shared context).
 	h, err := fac.HandlerFor(inst, d.cfg.ID)
 	if err != nil {
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		d.refused.Add(1)
 		return err
 	}
@@ -447,15 +559,15 @@ func (d *Daemon) open(inst uint64, protocol string, local bool) error {
 	})
 	if err != nil {
 		cancel()
-		d.mu.Unlock()
+		sh.mu.Unlock()
 		d.refused.Add(1)
 		return err
 	}
 	ins.nd = nd
-	d.instances[inst] = ins
-	pend := d.pending[inst]
-	delete(d.pending, inst)
-	d.mu.Unlock()
+	sh.instances[inst] = ins
+	pend := sh.pending[inst]
+	delete(sh.pending, inst)
+	sh.mu.Unlock()
 	d.opened.Add(1)
 
 	// Announce before the machine's first sends enter the per-peer queues:
@@ -469,20 +581,20 @@ func (d *Daemon) open(inst uint64, protocol string, local bool) error {
 		_ = ins.nd.Run(ictx)
 		d.finish(ins)
 	}()
+	if len(pend) == 0 {
+		// Nothing buffered: the gate opens immediately, no replay goroutine.
+		close(ins.ready)
+		return nil
+	}
 	d.wg.Add(1)
 	go func() {
 		defer d.wg.Done()
 		defer close(ins.ready)
-		for i, in := range pend {
-			select {
-			case ins.nd.Inbox() <- in:
-			case <-ins.nd.Done():
-				releasePending(pend[i:])
-				return
-			case <-ictx.Done():
-				releasePending(pend[i:])
-				return
-			}
+		// The buffered pre-open frames are already a []node.Inbound in
+		// arrival order — push them as one slab (ownership of slab and
+		// frames transfers on success; the event loop recycles both).
+		if !ins.nd.PushBatch(ictx, pend) {
+			releasePending(pend)
 		}
 	}()
 	return nil
@@ -563,13 +675,21 @@ func (d *Daemon) finish(ins *instance) {
 	waiters := ins.waiters
 	ins.waiters = nil
 	ins.mu.Unlock()
-	d.mu.Lock()
-	delete(d.instances, ins.inst)
-	d.retired[ins.inst] = struct{}{}
+	sh := d.shard(ins.inst)
+	sh.mu.Lock()
+	delete(sh.instances, ins.inst)
+	sh.retired[ins.inst] = struct{}{}
 	if dec != nil {
-		d.decisions[ins.inst] = *dec
+		sh.decisions[ins.inst] = *dec
 	}
-	d.mu.Unlock()
+	sh.mu.Unlock()
+	// Evict the retired instance from the connection memos. A lookup racing
+	// this sweep can re-install it, but that is benign: ids are never
+	// reused, pushes against it fail (context done) into lateFrames, and
+	// the next successful lookup from that connection overwrites the entry.
+	for i := range d.memo {
+		d.memo[i].CompareAndSwap(ins, nil)
+	}
 	d.retiredN.Add(1)
 	// Waiters on an instance that retired undecided learn it from the
 	// closed channel.
@@ -582,18 +702,19 @@ func (d *Daemon) finish(ins *instance) {
 // It works before the instance's OPEN has even arrived — the waiter parks
 // until the decision — and returns immediately for retired instances.
 func (d *Daemon) Wait(ctx context.Context, inst uint64) (Decision, error) {
+	sh := d.shard(inst)
 	for {
-		d.mu.RLock()
-		if dec, done := d.decisions[inst]; done {
-			d.mu.RUnlock()
+		sh.mu.RLock()
+		if dec, done := sh.decisions[inst]; done {
+			sh.mu.RUnlock()
 			return dec, nil
 		}
-		if _, gone := d.retired[inst]; gone {
-			d.mu.RUnlock()
+		if _, gone := sh.retired[inst]; gone {
+			sh.mu.RUnlock()
 			return Decision{}, fmt.Errorf("service: instance %d retired without deciding", inst)
 		}
-		ins, running := d.instances[inst]
-		d.mu.RUnlock()
+		ins, running := sh.instances[inst]
+		sh.mu.RUnlock()
 		if !running {
 			// Not yet opened here: poll cheaply until the OPEN lands. The
 			// interval only delays the rare submit-elsewhere/wait-here race.
@@ -636,10 +757,14 @@ func (d *Daemon) SubmitWait(ctx context.Context, protocol string) (Decision, err
 
 // Snapshot dumps the daemon's counters (the /metrics body).
 func (d *Daemon) Snapshot() Snapshot {
-	d.mu.RLock()
-	active := int64(len(d.instances))
-	draining := d.draining
-	d.mu.RUnlock()
+	var active int64
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		active += int64(len(sh.instances))
+		sh.mu.RUnlock()
+	}
+	draining := d.draining.Load()
 	up := time.Since(d.start).Seconds()
 	dec := d.decided.Load()
 	s := Snapshot{
@@ -668,17 +793,22 @@ func (d *Daemon) Snapshot() Snapshot {
 // BeginDrain flips the daemon into drain mode: submits and peer OPENs are
 // refused, in-flight instances keep running.
 func (d *Daemon) BeginDrain() {
-	d.mu.Lock()
-	d.draining = true
-	d.mu.Unlock()
+	d.draining.Store(true)
 	d.logf("service[%d]: draining", d.cfg.ID)
 }
 
 // Drained reports whether no instances remain in flight.
 func (d *Daemon) Drained() bool {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return len(d.instances) == 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.RLock()
+		n := len(sh.instances)
+		sh.mu.RUnlock()
+		if n > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Shutdown drains gracefully: refuse new work, wait for in-flight

@@ -87,6 +87,10 @@ func AppendRawFrame(dst, body []byte) ([]byte, error) {
 type FrameReader struct {
 	br  *bufio.Reader
 	hdr [4]byte // scratch header; a field so reading it never escapes
+	// err is a deferred stream error hit mid-batch: NextBatch returns the
+	// frames decoded before the error first, then surfaces err on the next
+	// call so no successfully-read frame is lost to a later failure.
+	err error
 }
 
 // frameReaderBuf sizes the FrameReader's buffered reader: one read syscall
@@ -105,6 +109,9 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // will. io.EOF at a frame boundary is io.EOF; a stream cut mid-frame is
 // io.ErrUnexpectedEOF.
 func (fr *FrameReader) Next() ([]byte, error) {
+	if err := fr.takeErr(); err != nil {
+		return nil, err
+	}
 	if _, err := io.ReadFull(fr.br, fr.hdr[:]); err != nil {
 		return nil, err
 	}
@@ -112,6 +119,18 @@ func (fr *FrameReader) Next() ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: frame length %d exceeds MaxFrame %d", n, MaxFrame)
 	}
+	return fr.readBody(n)
+}
+
+// takeErr consumes a deferred mid-batch error.
+func (fr *FrameReader) takeErr() error {
+	err := fr.err
+	fr.err = nil
+	return err
+}
+
+// readBody fills a pooled buffer with the next n stream bytes.
+func (fr *FrameReader) readBody(n int) ([]byte, error) {
 	body := GetBuf()
 	if cap(body) < n {
 		PutBuf(body)
@@ -127,4 +146,73 @@ func (fr *FrameReader) Next() ([]byte, error) {
 		return nil, err
 	}
 	return body, nil
+}
+
+// NextBatch reads up to max frames in one call, peeking each frame's
+// routing header exactly once so downstream dispatchers never re-parse it.
+// Decoded frames and their FrameInfos are appended to frames and infos
+// (callers pass recycled [:0] slices to keep the steady state
+// allocation-free) and the extended slices are returned.
+//
+// The first frame blocks exactly like Next; after it, frames are taken
+// only while they are already fully buffered, so a batch never waits on
+// the network for its tail — batch size adapts to what one read syscall
+// ingested, preserving per-link arrival order (frames[i] was on the wire
+// before frames[i+1]).
+//
+// A frame whose routing header fails PeekFrame is still returned, with
+// infos[i].Bad set: the consumer accounts for it and releases it, and the
+// stream keeps going. A stream error mid-batch (cut connection, oversized
+// length prefix) is deferred: the frames read before it are returned with
+// err == nil, and the next call surfaces the error. Ownership of every
+// returned frame transfers to the caller, exactly as with Next.
+func (fr *FrameReader) NextBatch(frames [][]byte, infos []FrameInfo, max int) ([][]byte, []FrameInfo, error) {
+	if max < 1 {
+		max = 1
+	}
+	if err := fr.takeErr(); err != nil {
+		return frames, infos, err
+	}
+	first, err := fr.Next()
+	if err != nil {
+		return frames, infos, err
+	}
+	frames, infos = appendPeeked(frames, infos, first)
+	for count := 1; count < max; count++ {
+		// Only continue while the header is already buffered: Peek must not
+		// block on the network once we hold undelivered frames.
+		if fr.br.Buffered() < 4 {
+			break
+		}
+		hdr, perr := fr.br.Peek(4)
+		if perr != nil {
+			break
+		}
+		n := int(binary.BigEndian.Uint32(hdr))
+		if n > MaxFrame {
+			// Poison the stream but deliver the batch first.
+			fr.err = fmt.Errorf("wire: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+			break
+		}
+		if fr.br.Buffered() < 4+n {
+			break
+		}
+		fr.br.Discard(4)
+		body, berr := fr.readBody(n)
+		if berr != nil {
+			fr.err = berr
+			break
+		}
+		frames, infos = appendPeeked(frames, infos, body)
+	}
+	return frames, infos, nil
+}
+
+// appendPeeked appends one frame and its peeked routing header.
+func appendPeeked(frames [][]byte, infos []FrameInfo, body []byte) ([][]byte, []FrameInfo) {
+	info, err := PeekFrame(body)
+	if err != nil {
+		info = FrameInfo{Bad: true}
+	}
+	return append(frames, body), append(infos, info)
 }

@@ -110,6 +110,151 @@ func TestFrameReaderRejectsOversizeHeader(t *testing.T) {
 	}
 }
 
+// TestFrameReaderNextBatch pins the batched read path: a coalesced burst
+// reads back as the same frames in the same order, each with its routing
+// header correctly peeked, followed by clean EOF on the next call.
+func TestFrameReaderNextBatch(t *testing.T) {
+	var stream []byte
+	var wantInsts []uint64
+	for i := 0; i < 10; i++ {
+		inst := uint64(100 + i)
+		body, err := wire.EncodeInstanceMessage(inst, frameioMessage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stream, err = wire.AppendRawFrame(stream, body); err != nil {
+			t.Fatal(err)
+		}
+		wantInsts = append(wantInsts, inst)
+	}
+	fr := wire.NewFrameReader(bytes.NewReader(stream))
+	var got []uint64
+	frames := make([][]byte, 0, 4)
+	infos := make([]wire.FrameInfo, 0, 4)
+	for len(got) < len(wantInsts) {
+		var err error
+		frames, infos, err = fr.NextBatch(frames[:0], infos[:0], 4)
+		if err != nil {
+			t.Fatalf("after %d frames: %v", len(got), err)
+		}
+		if len(frames) == 0 || len(frames) > 4 {
+			t.Fatalf("batch of %d frames, want 1..4", len(frames))
+		}
+		if len(frames) != len(infos) {
+			t.Fatalf("%d frames but %d infos", len(frames), len(infos))
+		}
+		for i, f := range frames {
+			if infos[i].Bad {
+				t.Fatalf("frame %d marked bad", len(got))
+			}
+			if infos[i].Inst != wantInsts[len(got)] {
+				t.Fatalf("frame %d peeked inst %d, want %d", len(got), infos[i].Inst, wantInsts[len(got)])
+			}
+			if infos[i].From != 3 || infos[i].To != 5 || infos[i].Open {
+				t.Fatalf("frame %d peeked %+v", len(got), infos[i])
+			}
+			got = append(got, infos[i].Inst)
+			wire.PutBuf(f)
+		}
+	}
+	if _, _, err := fr.NextBatch(frames[:0], infos[:0], 4); err != io.EOF {
+		t.Fatalf("after last batch: %v, want io.EOF", err)
+	}
+}
+
+// TestFrameReaderNextBatchBadHeader: a frame whose body fails PeekFrame is
+// still delivered (infos[i].Bad set) and the stream survives — matching
+// the per-frame dispatcher, which drops the frame but keeps the link.
+func TestFrameReaderNextBatchBadHeader(t *testing.T) {
+	good, err := wire.EncodeInstanceMessage(7, frameioMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	stream, _ = wire.AppendRawFrame(stream, good)
+	stream, _ = wire.AppendRawFrame(stream, []byte{0xFF, 0xFF, 0xFF}) // bad version byte
+	stream, _ = wire.AppendRawFrame(stream, good)
+	fr := wire.NewFrameReader(bytes.NewReader(stream))
+	frames, infos, err := fr.NextBatch(nil, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("batch of %d frames, want 3", len(frames))
+	}
+	for i, wantBad := range []bool{false, true, false} {
+		if infos[i].Bad != wantBad {
+			t.Fatalf("infos[%d].Bad = %v, want %v", i, infos[i].Bad, wantBad)
+		}
+		wire.PutBuf(frames[i])
+	}
+	if infos[0].Open || infos[0].Inst != 7 {
+		t.Fatalf("good frame peeked %+v", infos[0])
+	}
+}
+
+// TestFrameReaderNextBatchDeferredError: a mid-batch stream poison (an
+// oversize length prefix after valid frames) must not lose the frames
+// already decoded — they are returned first, and the error surfaces on
+// the following call.
+func TestFrameReaderNextBatchDeferredError(t *testing.T) {
+	good, err := wire.EncodeInstanceMessage(7, frameioMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	stream, _ = wire.AppendRawFrame(stream, good)
+	stream, _ = wire.AppendRawFrame(stream, good)
+	stream = append(stream, 0xFF, 0xFF, 0xFF, 0xFF) // ~4GB length prefix
+	fr := wire.NewFrameReader(bytes.NewReader(stream))
+	frames, infos, err := fr.NextBatch(nil, nil, 8)
+	if err != nil {
+		t.Fatalf("poisoned batch erred early: %v", err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("batch of %d frames, want the 2 before the poison", len(frames))
+	}
+	for i := range frames {
+		if infos[i].Bad || infos[i].Inst != 7 {
+			t.Fatalf("frame %d peeked %+v", i, infos[i])
+		}
+		wire.PutBuf(frames[i])
+	}
+	if _, _, err := fr.NextBatch(nil, nil, 8); err == nil || err == io.EOF {
+		t.Fatalf("deferred poison surfaced as %v, want a MaxFrame error", err)
+	}
+}
+
+// TestFrameReaderNextBatchAllocBudget extends the read alloc fence to the
+// batched path: recycled frames/infos slices and pooled bodies make a
+// steady-state NextBatch allocation-free.
+func TestFrameReaderNextBatchAllocBudget(t *testing.T) {
+	body, err := wire.EncodeInstanceMessage(9, frameioMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream []byte
+	for i := 0; i < 64; i++ {
+		stream, _ = wire.AppendRawFrame(stream, body)
+	}
+	fr := wire.NewFrameReader(&loopReader{data: stream})
+	frames := make([][]byte, 0, 16)
+	infos := make([]wire.FrameInfo, 0, 16)
+	got := testing.AllocsPerRun(1000, func() {
+		var err error
+		frames, infos, err = fr.NextBatch(frames[:0], infos[:0], 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frames {
+			wire.PutBuf(f)
+		}
+	})
+	if got != 0 {
+		t.Errorf("FrameReader.NextBatch allocates %.2f per op, want 0", got)
+	}
+}
+
 // TestWireEncodeAllocBudget is the frame-path alloc fence: encode into a
 // reused buffer, pooled length-prefixed write, and pooled buffered read
 // must all be allocation-free in steady state. The pool is a channel

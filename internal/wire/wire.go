@@ -349,6 +349,12 @@ type FrameInfo struct {
 	// announcement (which the dispatcher consumes) rather than protocol
 	// traffic (which it routes to the instance's machine).
 	Open bool
+	// Bad reports that the frame body's routing header did not parse.
+	// Batch readers set it instead of failing the whole batch: the frame
+	// is still delivered (a dispatcher counts and releases it) and the
+	// connection stays up, matching the per-frame path where a header
+	// that fails PeekFrame is dropped without killing the link.
+	Bad bool
 }
 
 // PeekFrame decodes only a frame body's routing header: version check,
